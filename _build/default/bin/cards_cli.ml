@@ -1,0 +1,269 @@
+(* The `cards` command-line driver.
+
+     cards compile FILE.mc [--dump STAGE] [--table]
+     cards run FILE.mc [--system S] [--policy P] [--k F] [--local N]
+                       [--remotable N] [--prefetch M] [--report]
+     cards workload NAME [--scale N]    (emit a bundled workload's MiniC)
+
+   `cards run --system trackfm` and `--system mira` run the baseline
+   models; `--system plain` runs the guard-free all-local upper bound. *)
+
+module R = Cards_runtime
+module P = Cards.Pipeline
+module W = Cards_workloads
+module B = Cards_baselines
+module T = Cards_util.Table
+
+open Cmdliner
+
+(* ---------- shared helpers ---------- *)
+
+let read_source path =
+  if Filename.check_suffix path ".mc" || Filename.check_suffix path ".c" then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+  else failwith (path ^ ": expected a .mc MiniC source file")
+
+let with_errors f =
+  try f () with
+  | Cards_ir.Ast.Syntax_error (pos, msg) ->
+    Printf.eprintf "syntax error: line %d, col %d: %s\n" pos.line pos.col msg;
+    exit 1
+  | Cards_interp.Machine.Trap msg ->
+    Printf.eprintf "trap: %s\n" msg;
+    exit 2
+  | R.Runtime.Runtime_error msg ->
+    Printf.eprintf "runtime error: %s\n" msg;
+    exit 2
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let print_static_table infos =
+  let t =
+    T.create ~title:"Static data-structure table"
+      ~header:[ "sid"; "name"; "object"; "prefetch"; "use"; "reach"; "recursive" ]
+  in
+  Array.iter
+    (fun (i : R.Static_info.t) ->
+      T.add_row t
+        [ string_of_int i.sid; i.name; string_of_int i.obj_size;
+          R.Static_info.prefetch_class_name i.prefetch;
+          string_of_int i.score_use; string_of_int i.score_reach;
+          string_of_bool i.recursive ])
+    infos;
+  T.print t
+
+(* ---------- cards compile ---------- *)
+
+let dump_stage =
+  let stages = [ ("source", `Source); ("pooled", `Pooled); ("final", `Final) ] in
+  Arg.(value & opt (some (enum stages)) None
+       & info [ "dump" ] ~docv:"STAGE"
+           ~doc:"Print the IR at a pipeline stage: $(b,source) (after the \
+                 frontend), $(b,pooled) (after pool allocation), or \
+                 $(b,final) (guards + versioning).")
+
+let show_table =
+  Arg.(value & flag
+       & info [ "table" ] ~doc:"Print the static data-structure table.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+
+let compile_cmd =
+  let run file dump table =
+    with_errors (fun () ->
+        let compiled = P.compile_source (read_source file) in
+        Printf.printf
+          "%d data structures, %d guards (after removing %d), %d loops versioned\n"
+          (Array.length compiled.infos) compiled.static_guards
+          compiled.guards_removed compiled.versioned_loops;
+        if table then print_static_table compiled.infos;
+        match dump with
+        | Some `Source ->
+          print_string (Cards_ir.Printer.module_to_string compiled.source)
+        | Some `Pooled ->
+          print_string (Cards_ir.Printer.module_to_string compiled.plain)
+        | Some `Final ->
+          print_string (Cards_ir.Printer.module_to_string compiled.instrumented)
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a MiniC file with the CaRDS pipeline")
+    Term.(const run $ file_arg $ dump_stage $ show_table)
+
+(* ---------- cards run ---------- *)
+
+let policy_conv =
+  let policies =
+    [ ("linear", R.Policy.Linear); ("random", R.Policy.Random 7);
+      ("max-use", R.Policy.Max_use); ("max-reach", R.Policy.Max_reach);
+      ("all-remotable", R.Policy.All_remotable); ("all-local", R.Policy.All_local) ]
+  in
+  Arg.enum policies
+
+let policy_arg =
+  Arg.(value & opt policy_conv R.Policy.Linear
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Remoting policy: $(b,linear), $(b,random), $(b,max-use), \
+                 $(b,max-reach), $(b,all-remotable), $(b,all-local).")
+
+let k_arg =
+  Arg.(value & opt float 1.0
+       & info [ "k" ] ~docv:"FRACTION"
+           ~doc:"Fraction of data structures preferring pinned memory.")
+
+let bytes_conv =
+  let parse s =
+    let mult, digits =
+      let n = String.length s in
+      if n = 0 then (1, s)
+      else
+        match s.[n - 1] with
+        | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+        | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+        | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+        | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some v -> Ok (v * mult)
+    | None -> Error (`Msg (s ^ ": not a size (use e.g. 64M, 512K)"))
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%d" v)
+
+let local_arg =
+  Arg.(value & opt bytes_conv (64 * 1024 * 1024)
+       & info [ "local" ] ~docv:"BYTES" ~doc:"Local memory size (e.g. 64M).")
+
+let remot_arg =
+  Arg.(value & opt bytes_conv (8 * 1024 * 1024)
+       & info [ "remotable" ] ~docv:"BYTES"
+           ~doc:"Remotable-cache share of local memory (e.g. 8M).")
+
+let prefetch_arg =
+  let modes =
+    [ ("per-class", R.Runtime.Pf_per_class);
+      ("adaptive", R.Runtime.Pf_adaptive);
+      ("stride-only", R.Runtime.Pf_stride_only);
+      ("none", R.Runtime.Pf_none) ]
+  in
+  Arg.(value & opt (enum modes) R.Runtime.Pf_per_class
+       & info [ "prefetch" ] ~docv:"MODE"
+           ~doc:"Prefetch mode: $(b,per-class), $(b,adaptive), \
+                 $(b,stride-only), $(b,none).")
+
+let system_arg =
+  Arg.(value & opt (enum [ ("cards", `Cards); ("trackfm", `Trackfm);
+                           ("mira", `Mira); ("plain", `Plain) ]) `Cards
+       & info [ "system" ] ~docv:"SYSTEM"
+           ~doc:"Which system to run: $(b,cards) (default), $(b,trackfm), \
+                 $(b,mira) (profile-guided), $(b,plain) (all-local, no \
+                 guards).")
+
+let report_arg =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the per-structure report.")
+
+let print_report rt =
+  let t =
+    T.create ~title:"Per-structure report"
+      ~header:[ "structure"; "pinned"; "bytes"; "guards"; "hits"; "faults";
+                "clean faults"; "pf issued"; "pf used"; "evictions" ]
+  in
+  List.iter
+    (fun (r : R.Runtime.ds_report) ->
+      T.add_row t
+        [ r.r_name; (if r.r_pinned then "yes" else "no");
+          T.fmt_bytes (float_of_int r.r_bytes);
+          string_of_int r.r_stats.guards;
+          string_of_int r.r_stats.guard_hits;
+          string_of_int r.r_stats.remote_faults;
+          string_of_int r.r_stats.clean_faults;
+          string_of_int r.r_stats.prefetch_issued;
+          string_of_int r.r_stats.prefetch_used;
+          string_of_int r.r_stats.evictions ])
+    (R.Runtime.report rt);
+  T.print t
+
+let run_cmd =
+  let run file system policy k local remotable prefetch report =
+    with_errors (fun () ->
+        let src = read_source file in
+        let res, rt =
+          match system with
+          | `Cards ->
+            let compiled = P.compile_source src in
+            P.run compiled
+              { R.Runtime.default_config with
+                policy; k; local_bytes = local; remotable_bytes = remotable;
+                prefetch_mode = prefetch }
+          | `Trackfm ->
+            let compiled = B.Trackfm.compile_source src in
+            B.Trackfm.run compiled ~local_bytes:local
+          | `Mira ->
+            let compiled = P.compile_source src in
+            B.Mira.run compiled ~local_bytes:local ~remotable_bytes:remotable
+          | `Plain ->
+            let compiled = P.compile_source src in
+            B.Noguard.run compiled
+        in
+        List.iter print_endline res.output;
+        let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+        let fs = R.Runtime.fabric_stats rt in
+        Printf.eprintf
+          "-- %s cycles, %d instructions, %d guards (%d hits), %d remote \
+           faults, %s over the fabric\n"
+          (T.fmt_cycles (float_of_int res.cycles))
+          res.instructions tot.guards tot.guard_hits tot.remote_faults
+          (T.fmt_bytes (float_of_int fs.fetched_bytes));
+        if report then print_report rt)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
+    Term.(const run $ file_arg $ system_arg $ policy_arg $ k_arg $ local_arg
+          $ remot_arg $ prefetch_arg $ report_arg)
+
+(* ---------- cards workload ---------- *)
+
+let workload_cmd =
+  let names =
+    [ "listing1"; "analytics"; "ftfdapml"; "bfs"; "pc-array"; "pc-vector";
+      "pc-list"; "pc-map"; "pc-hash"; "pc-tree" ]
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+         & info [] ~docv:"NAME")
+  in
+  let scale_arg =
+    Arg.(value & opt int 10_000
+         & info [ "scale" ] ~docv:"N" ~doc:"Workload size parameter.")
+  in
+  let run name scale =
+    let src =
+      match name with
+      | "listing1" -> W.Listing1.source ~elems:scale ~ntimes:10
+      | "analytics" -> W.Analytics.source ~trips:scale ~query_passes:2
+      | "ftfdapml" ->
+        let d = max 4 (int_of_float (Float.cbrt (float_of_int scale))) in
+        W.Ftfdapml.source ~cz:d ~cym:(3 * d) ~cxm:(3 * d) ~steps:4
+      | "bfs" -> W.Bfs.source ~nodes:scale ~edges:(5 * scale) ~sources:2
+      | other ->
+        let variant = String.sub other 3 (String.length other - 3) in
+        W.Pointer_chase.source ~variant ~scale ~passes:2
+    in
+    print_string src
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Emit a bundled benchmark's MiniC source to stdout")
+    Term.(const run $ name_arg $ scale_arg)
+
+(* ---------- entry ---------- *)
+
+let () =
+  let doc = "CaRDS: compiler-aided remote data structures" in
+  let info = Cmd.info "cards" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; workload_cmd ]))

@@ -1,0 +1,1 @@
+examples/prefetch_lab.ml: Array Cards Cards_baselines Cards_runtime Cards_util Cards_workloads List Printf String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cards Cards_runtime Cards_util Printf String

@@ -1,0 +1,1 @@
+examples/taxi_analytics.ml: Array Cards Cards_baselines Cards_runtime Cards_util Cards_workloads List Printf

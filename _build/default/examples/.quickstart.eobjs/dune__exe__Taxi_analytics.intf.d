@@ -1,0 +1,1 @@
+examples/taxi_analytics.mli:

@@ -1,0 +1,77 @@
+(* Quickstart: compile a MiniC program with the CaRDS pipeline and run
+   it against a far-memory runtime.
+
+     dune exec examples/quickstart.exe
+
+   The program is the paper's Listing 1: two arrays created by the same
+   helper, one hot and one cold.  We compile it, look at what the
+   compiler discovered, then run it twice — once with enough pinned
+   memory and once all-remote — and compare what the runtime saw. *)
+
+module R = Cards_runtime
+module P = Cards.Pipeline
+
+let source =
+  {|
+int ARRAY_SIZE = 65536;
+int NTIMES = 10;
+
+double* alloc() {
+  return malloc(ARRAY_SIZE * 8);
+}
+
+void set(double *ds, double val) {
+  for (int j = 0; j < ARRAY_SIZE; j = j + 1) {
+    ds[j] = val;
+  }
+}
+
+void main() {
+  double *ds1 = alloc();
+  double *ds2 = alloc();
+  set(ds1, 0.0);
+  set(ds2, 1.0);
+  for (int k = 0; k < NTIMES; k = k + 1) {
+    set(ds2, 1.0 * k);
+  }
+  print_float(ds2[0]);
+}
+|}
+
+let mb x = x * 1024 * 1024
+
+let () =
+  (* 1. Compile: DSA, pool allocation, guards, elimination, versioning. *)
+  let compiled = P.compile_source source in
+  Printf.printf "compiled: %d data structures, %d guards after elimination, %d loops versioned\n\n"
+    (Array.length compiled.infos) compiled.static_guards compiled.versioned_loops;
+  Array.iter
+    (fun (i : R.Static_info.t) ->
+      Printf.printf
+        "  structure %-8s object=%-5d prefetch=%-7s max-use score=%d\n"
+        i.name i.obj_size
+        (R.Static_info.prefetch_class_name i.prefetch)
+        i.score_use)
+    compiled.infos;
+  (* 2. Run with a pinned-friendly configuration. *)
+  let run name cfg =
+    let res, rt = P.run compiled cfg in
+    let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+    Printf.printf
+      "\n%-14s output=%-6s cycles=%-10s guards executed=%-9d remote faults=%d\n"
+      name
+      (String.concat "," res.output)
+      (Cards_util.Table.fmt_cycles (float_of_int res.cycles))
+      tot.guards tot.remote_faults
+  in
+  run "pinned (k=1)"
+    { R.Runtime.default_config with
+      policy = R.Policy.Linear; k = 1.0;
+      local_bytes = mb 2; remotable_bytes = mb 1 / 4 };
+  run "all-remotable"
+    { R.Runtime.default_config with
+      policy = R.Policy.All_remotable; k = 0.0;
+      local_bytes = mb 2; remotable_bytes = mb 1 / 4 };
+  print_endline
+    "\nWith pinned memory the hot loops run the uninstrumented clean\n\
+     version (zero guards); all-remotable pays a guard per access."

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Cards_ir Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Cards_ir Cards_util List

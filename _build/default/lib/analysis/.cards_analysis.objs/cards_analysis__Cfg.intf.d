@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Cards_ir Cards_util

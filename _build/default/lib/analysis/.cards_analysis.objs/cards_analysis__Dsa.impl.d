@@ -1,0 +1,1 @@
+lib/analysis/dsa.ml: Array Callgraph Cards_ir Cards_util Cfg Dominators Hashtbl Indvars Int Int64 List Loops Option Printf Set

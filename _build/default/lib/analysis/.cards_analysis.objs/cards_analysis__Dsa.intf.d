@@ -1,0 +1,1 @@
+lib/analysis/dsa.mli: Cards_ir

@@ -1,0 +1,1 @@
+lib/analysis/indvars.ml: Array Cards_ir Cards_util Cfg Hashtbl Int64 List Loops Option

@@ -1,0 +1,1 @@
+lib/analysis/indvars.mli: Cards_ir Cfg Loops

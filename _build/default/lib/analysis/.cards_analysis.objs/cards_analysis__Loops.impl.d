@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cards_util Cfg Dominators Hashtbl List Option

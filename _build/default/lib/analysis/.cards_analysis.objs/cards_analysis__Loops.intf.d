@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Cards_util Cfg Dominators

@@ -1,0 +1,1 @@
+lib/analysis/scores.ml: Array Callgraph Cards_ir Cards_util Cfg Dominators Dsa List Loops

@@ -1,0 +1,1 @@
+lib/analysis/scores.mli: Cards_ir Dsa

@@ -1,0 +1,165 @@
+module Irmod = Cards_ir.Irmod
+module Func = Cards_ir.Func
+module Instr = Cards_ir.Instr
+
+type t = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  callees : int list array;   (* deduplicated *)
+  callers : int list array;
+  scc : int array;            (* function -> scc id *)
+  scc_members : int list array;
+  scc_succs : int list array; (* condensation edges: scc -> callee sccs *)
+  chain : int array;          (* per scc: longest chain (in sccs) *)
+}
+
+let dedup l = List.sort_uniq compare l
+
+let compute (m : Irmod.t) =
+  let names = Array.of_list (List.map (fun (f : Func.t) -> f.name) m.funcs) in
+  let n = Array.length names in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i name -> Hashtbl.replace index name i) names;
+  let callees = Array.make n [] in
+  let callers = Array.make n [] in
+  List.iteri
+    (fun i (f : Func.t) ->
+      let targets = ref [] in
+      Func.iter_instrs f (fun _ _ ins ->
+          match ins with
+          | Instr.Call (_, callee, _) -> begin
+            match Hashtbl.find_opt index callee with
+            | Some j -> targets := j :: !targets
+            | None -> () (* intrinsic *)
+          end
+          | _ -> ());
+      callees.(i) <- dedup !targets)
+    m.funcs;
+  Array.iteri
+    (fun i cs -> List.iter (fun j -> callers.(j) <- i :: callers.(j)) cs)
+    callees;
+  Array.iteri (fun j l -> callers.(j) <- dedup l) callers;
+  (* Tarjan SCC. *)
+  let scc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let num = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_count = ref 0 in
+  let members = ref [] in
+  let rec strongconnect v =
+    num.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if num.(w) = -1 then begin
+          strongconnect w;
+          if low.(w) < low.(v) then low.(v) <- low.(w)
+        end
+        else if on_stack.(w) && num.(w) < low.(v) then low.(v) <- num.(w))
+      callees.(v);
+    if low.(v) = num.(v) then begin
+      let id = !scc_count in
+      incr scc_count;
+      let mem = ref [] in
+      let rec poploop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          scc.(w) <- id;
+          mem := w :: !mem;
+          if w <> v then poploop ()
+      in
+      poploop ();
+      members := (id, !mem) :: !members
+    end
+  in
+  for v = 0 to n - 1 do
+    if num.(v) = -1 then strongconnect v
+  done;
+  let nsccs = !scc_count in
+  let scc_members = Array.make nsccs [] in
+  List.iter (fun (id, mem) -> scc_members.(id) <- mem) !members;
+  let scc_succs = Array.make nsccs [] in
+  Array.iteri
+    (fun v cs ->
+      List.iter
+        (fun w -> if scc.(v) <> scc.(w) then scc_succs.(scc.(v)) <- scc.(w) :: scc_succs.(scc.(v)))
+        cs)
+    callees;
+  Array.iteri (fun i l -> scc_succs.(i) <- dedup l) scc_succs;
+  (* Longest chain through the condensation (it is a DAG).  Tarjan
+     numbers SCCs in reverse topological order: callees get smaller
+     ids, so computing in increasing id order sees callees first. *)
+  let chain = Array.make nsccs 1 in
+  for id = 0 to nsccs - 1 do
+    List.iter
+      (fun s -> if chain.(s) + 1 > chain.(id) then chain.(id) <- chain.(s) + 1)
+      scc_succs.(id)
+  done;
+  { names; index; callees; callers; scc; scc_members; scc_succs; chain }
+
+let idx t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Callgraph: unknown function %s" name)
+
+let callees t name = List.map (fun j -> t.names.(j)) t.callees.(idx t name)
+let callers t name = List.map (fun j -> t.names.(j)) t.callers.(idx t name)
+
+let scc_of t name = t.scc.(idx t name)
+
+let scc_members t id = List.map (fun j -> t.names.(j)) t.scc_members.(id)
+
+let nsccs t = Array.length t.scc_members
+
+let same_scc t a b = scc_of t a = scc_of t b
+
+let bottom_up t =
+  (* Tarjan ids are already bottom-up (callees first). *)
+  List.init (nsccs t) (fun id -> scc_members t id)
+
+let chain_length t name = t.chain.(scc_of t name)
+
+let depth_from_main t name =
+  match Hashtbl.find_opt t.index "main" with
+  | None -> max_int
+  | Some start ->
+    let n = Array.length t.names in
+    let dist = Array.make n max_int in
+    dist.(start) <- 0;
+    let q = Queue.create () in
+    Queue.add start q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun w ->
+          if dist.(w) = max_int then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end)
+        t.callees.(v)
+    done;
+    dist.(idx t name)
+
+let reachable_from t name =
+  let n = Array.length t.names in
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go t.callees.(v)
+    end
+  in
+  go (idx t name);
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if seen.(v) then acc := t.names.(v) :: !acc
+  done;
+  !acc

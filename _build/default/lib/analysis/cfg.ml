@@ -1,0 +1,37 @@
+module Func = Cards_ir.Func
+module Bitset = Cards_util.Bitset
+
+type t = {
+  f : Func.t;
+  preds : int list array;
+  rpo : int array;
+  rpo_idx : int array;
+  reach : Bitset.t;
+}
+
+let of_func f =
+  let n = Array.length f.Func.blocks in
+  let preds = Func.predecessors f in
+  let visited = Bitset.create n in
+  let order = ref [] in
+  (* Iterative DFS computing postorder. *)
+  let rec dfs b =
+    if not (Bitset.mem visited b) then begin
+      Bitset.add visited b;
+      List.iter dfs (Func.successors f b);
+      order := b :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  let rpo = Array.of_list !order in
+  let rpo_idx = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_idx.(b) <- i) rpo;
+  { f; preds; rpo; rpo_idx; reach = visited }
+
+let func t = t.f
+let nblocks t = Array.length t.f.Func.blocks
+let succs t b = Func.successors t.f b
+let preds t b = t.preds.(b)
+let reverse_postorder t = t.rpo
+let rpo_index t = t.rpo_idx
+let reachable t = t.reach

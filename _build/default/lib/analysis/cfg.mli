@@ -1,0 +1,22 @@
+(** Control-flow graph views of a function. *)
+
+type t
+
+val of_func : Cards_ir.Func.t -> t
+
+val func : t -> Cards_ir.Func.t
+
+val nblocks : t -> int
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val reverse_postorder : t -> int array
+(** Blocks reachable from entry in reverse postorder (entry first). *)
+
+val rpo_index : t -> int array
+(** [rpo_index.(b)] is the position of block [b] in
+    {!reverse_postorder}, or [-1] if unreachable. *)
+
+val reachable : t -> Cards_util.Bitset.t
+(** Blocks reachable from the entry. *)

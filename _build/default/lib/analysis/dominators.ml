@@ -1,0 +1,72 @@
+type t = {
+  idom : int array;   (* -1 = none/unreachable; entry maps to itself *)
+  depth : int array;
+}
+
+let compute cfg =
+  let n = Cfg.nblocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_idx = Cfg.rpo_index cfg in
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_idx.(!a) > rpo_idx.(!b) do a := idom.(!a) done;
+        while rpo_idx.(!b) > rpo_idx.(!a) do b := idom.(!b) done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let preds =
+              List.filter (fun p -> rpo_idx.(p) >= 0) (Cfg.preds cfg b)
+            in
+            let processed = List.filter (fun p -> idom.(p) <> -1) preds in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done
+  end;
+  let depth = Array.make n (-1) in
+  let rec depth_of b =
+    if depth.(b) >= 0 then depth.(b)
+    else if idom.(b) = -1 then -1
+    else if b = 0 then begin depth.(b) <- 0; 0 end
+    else begin
+      let d = depth_of idom.(b) in
+      let d = if d < 0 then -1 else d + 1 in
+      depth.(b) <- d;
+      d
+    end
+  in
+  for b = 0 to n - 1 do
+    ignore (depth_of b)
+  done;
+  { idom; depth }
+
+let idom t b =
+  if b = 0 then None
+  else if t.idom.(b) = -1 then None
+  else Some t.idom.(b)
+
+let dominates t a b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else begin
+    let rec walk x = if x = a then true else if x = 0 then a = 0 else walk t.idom.(x) in
+    walk b
+  end
+
+let dominator_depth t b = t.depth.(b)

@@ -1,0 +1,19 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Needed by natural-loop detection and by redundant-guard elimination
+    (a guard dominated by an equivalent guard is redundant). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry block and for blocks
+    unreachable from the entry. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+
+val dominator_depth : t -> int -> int
+(** Distance from the entry in the dominator tree (entry = 0);
+    [-1] for unreachable blocks. *)

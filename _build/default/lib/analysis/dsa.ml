@@ -1,0 +1,907 @@
+module Instr = Cards_ir.Instr
+module Func = Cards_ir.Func
+module Irmod = Cards_ir.Irmod
+module Types = Cards_ir.Types
+module Vec = Cards_util.Vec
+module ISet = Set.Make (Int)
+
+type node = int
+
+type desc_info = {
+  desc_id : int;
+  desc_init_func : string;
+  desc_node : node;
+  desc_elem_size : int;
+  desc_recursive : bool;
+  desc_ptr_fields : int;
+  desc_strided : bool;
+  desc_alloc_sites : (string * int * int) list;
+}
+
+type site = string * int * int
+
+type t = {
+  m : Irmod.t;
+  (* node arena + union-find *)
+  parent : int Vec.t;
+  rank : int Vec.t;
+  pointee : int option Vec.t;
+  heap : bool Vec.t;
+  glob : bool Vec.t;           (* global storage nodes (never cloned) *)
+  sites : site list Vec.t;     (* contributing malloc sites *)
+  scales : int list Vec.t;     (* gep scales with variable index *)
+  field_offs : ISet.t Vec.t;   (* constant gep offsets accessed *)
+  ptr_offs : ISet.t Vec.t;     (* constant offsets holding pointers *)
+  strided : bool Vec.t;        (* loop-strided access observed *)
+  (* per-function interface *)
+  reg_nodes : (string, int array) Hashtbl.t;  (* -1 = untracked *)
+  ret_nodes : (string, int) Hashtbl.t;
+  global_nodes : (string, int) Hashtbl.t;
+  malloc_tbl : (site, int) Hashtbl.t;
+  clone_maps : (site, (int * int) list) Hashtbl.t; (* callee node -> caller node *)
+  callsite_callee : (site, string) Hashtbl.t;
+  mutable argnodes_tbl : (string, int list) Hashtbl.t;
+  mutable initnodes_tbl : (string, (int * int) list) Hashtbl.t;
+  bindings_tbl : (site, int list) Hashtbl.t;
+  mutable descs : desc_info list;
+  (* instance attribution *)
+  node_desc_sets : (int, ISet.t) Hashtbl.t;
+  access_tbl : (site, int list) Hashtbl.t;
+  cs_inst_tbl : (site, int list) Hashtbl.t;
+  cs_nodes_tbl : (site, int list * int list) Hashtbl.t;
+  func_inst_tbl : (string, int list) Hashtbl.t;
+}
+
+(* ---------- arena primitives ---------- *)
+
+let new_node t =
+  let id = Vec.push t.parent 0 in
+  Vec.set t.parent id id;
+  ignore (Vec.push t.rank 0);
+  ignore (Vec.push t.pointee None);
+  ignore (Vec.push t.heap false);
+  ignore (Vec.push t.glob false);
+  ignore (Vec.push t.sites []);
+  ignore (Vec.push t.scales []);
+  ignore (Vec.push t.field_offs ISet.empty);
+  ignore (Vec.push t.ptr_offs ISet.empty);
+  ignore (Vec.push t.strided false);
+  id
+
+let rec find t n =
+  let p = Vec.get t.parent n in
+  if p = n then n
+  else begin
+    let root = find t p in
+    Vec.set t.parent n root;
+    root
+  end
+
+(* Steensgaard unification: merging two nodes also unifies their
+   pointees, which is what collapses recursive structures (a list
+   node's [next] field ends up pointing back at the node itself). *)
+let rec unify t a b =
+  let a = find t a and b = find t b in
+  if a <> b then begin
+    let w, l =
+      if Vec.get t.rank a >= Vec.get t.rank b then (a, b) else (b, a)
+    in
+    Vec.set t.parent l w;
+    if Vec.get t.rank w = Vec.get t.rank l then Vec.set t.rank w (Vec.get t.rank w + 1);
+    Vec.set t.heap w (Vec.get t.heap w || Vec.get t.heap l);
+    Vec.set t.glob w (Vec.get t.glob w || Vec.get t.glob l);
+    Vec.set t.sites w (Vec.get t.sites w @ Vec.get t.sites l);
+    Vec.set t.scales w (Vec.get t.scales w @ Vec.get t.scales l);
+    Vec.set t.field_offs w (ISet.union (Vec.get t.field_offs w) (Vec.get t.field_offs l));
+    Vec.set t.ptr_offs w (ISet.union (Vec.get t.ptr_offs w) (Vec.get t.ptr_offs l));
+    Vec.set t.strided w (Vec.get t.strided w || Vec.get t.strided l);
+    let pw = Vec.get t.pointee w and pl = Vec.get t.pointee l in
+    Vec.set t.pointee l None;
+    match pw, pl with
+    | Some pw, Some pl -> unify t pw pl
+    | None, Some p -> Vec.set t.pointee w (Some p)
+    | Some _, None | None, None -> ()
+  end
+
+let pointee_of t n =
+  let n = find t n in
+  match Vec.get t.pointee n with
+  | Some p -> find t p
+  | None ->
+    let p = new_node t in
+    Vec.set t.pointee n (Some p);
+    p
+
+let pointee_opt t n =
+  let n = find t n in
+  Option.map (find t) (Vec.get t.pointee n)
+
+(* ---------- per-function value -> node ---------- *)
+
+let reg_array t (f : Func.t) =
+  match Hashtbl.find_opt t.reg_nodes f.name with
+  | Some a -> a
+  | None ->
+    let a = Array.make (Func.nregs f) (-1) in
+    Hashtbl.replace t.reg_nodes f.name a;
+    a
+
+let obj_of_reg t f r =
+  let a = reg_array t f in
+  if a.(r) = -1 then a.(r) <- new_node t;
+  find t a.(r)
+
+let global_node t g =
+  match Hashtbl.find_opt t.global_nodes g with
+  | Some n -> find t n
+  | None ->
+    let n = new_node t in
+    Vec.set t.glob n true;
+    Hashtbl.replace t.global_nodes g n;
+    n
+
+let obj_of_value t f = function
+  | Instr.Reg r -> Some (obj_of_reg t f r)
+  | Instr.GlobalAddr g -> Some (global_node t g)
+  | Instr.Imm _ | Instr.Fimm _ | Instr.Null -> None
+
+let obj_of_value_opt t f = function
+  | Instr.Reg r ->
+    let a = reg_array t f in
+    if a.(r) = -1 then None else Some (find t a.(r))
+  | Instr.GlobalAddr g -> Some (global_node t g)
+  | Instr.Imm _ | Instr.Fimm _ | Instr.Null -> None
+
+let ret_node t (f : Func.t) =
+  match Hashtbl.find_opt t.ret_nodes f.name with
+  | Some n -> find t n
+  | None ->
+    let n = new_node t in
+    Hashtbl.replace t.ret_nodes f.name n;
+    n
+
+(* ---------- reachability helpers ---------- *)
+
+let reach_from t roots =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    let n = find t n in
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      match pointee_opt t n with Some p -> go p | None -> ()
+    end
+  in
+  List.iter go roots;
+  seen
+
+let global_roots t = Hashtbl.fold (fun _ n acc -> n :: acc) t.global_nodes []
+
+let interface_roots t (f : Func.t) =
+  let a = reg_array t f in
+  let params =
+    List.filter_map
+      (fun (r, _) -> if a.(r) = -1 then None else Some a.(r))
+      f.params
+  in
+  let ret =
+    match Hashtbl.find_opt t.ret_nodes f.name with Some n -> [ n ] | None -> []
+  in
+  params @ ret
+
+(* ---------- cloning (context sensitivity) ---------- *)
+
+(* Clone the callee's interface-reachable subgraph into fresh caller
+   nodes; global-reachable nodes are shared, not cloned (Lattner–Adve).
+   Returns the (callee node -> caller node) map as an assoc list. *)
+let clone_callee t callee =
+  let groots = reach_from t (global_roots t) in
+  let memo = Hashtbl.create 16 in
+  let rec cl n =
+    let n = find t n in
+    if Hashtbl.mem groots n then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+        let c = new_node t in
+        Hashtbl.replace memo n c;
+        Vec.set t.heap c (Vec.get t.heap n);
+        Vec.set t.sites c (Vec.get t.sites n);
+        Vec.set t.scales c (Vec.get t.scales n);
+        Vec.set t.field_offs c (Vec.get t.field_offs n);
+        Vec.set t.ptr_offs c (Vec.get t.ptr_offs n);
+        Vec.set t.strided c (Vec.get t.strided n);
+        (match pointee_opt t n with
+         | Some p -> Vec.set t.pointee c (Some (cl p))
+         | None -> ());
+        c
+  in
+  List.iter (fun r -> ignore (cl r)) (interface_roots t callee);
+  (* Also make sure every argnode of the callee is in the map (they are
+     interface- or global-reachable by construction, but unifications
+     may have detached the ret node if the callee has no pointers). *)
+  (match Hashtbl.find_opt t.argnodes_tbl callee.Func.name with
+   | Some args -> List.iter (fun n -> ignore (cl n)) args
+   | None -> ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) memo []
+
+let map_lookup t cmap n =
+  let n = find t n in
+  let rec go = function
+    | [] -> None
+    | (k, v) :: rest -> if find t k = n then Some (find t v) else go rest
+  in
+  match go cmap with
+  | Some v -> Some v
+  | None ->
+    (* Global-reachable nodes are shared (identity). *)
+    let groots = reach_from t (global_roots t) in
+    if Hashtbl.mem groots n then Some n else None
+
+(* ---------- constraint generation ---------- *)
+
+let process_function t cg (f : Func.t) =
+  let same_scc callee = Callgraph.same_scc cg f.name callee in
+  (* Pre-create points-to nodes for every pointer-typed register, so a
+     single flow-insensitive pass sees all operand nodes regardless of
+     instruction order (e.g. [n->next = h] before [h]'s first real
+     definition in a loop). *)
+  Array.iteri
+    (fun r ty -> if Types.is_pointer ty then ignore (obj_of_reg t f r))
+    f.reg_tys;
+  Func.iter_instrs f (fun bid idx ins ->
+      match ins with
+      | Instr.Mov (r, v) -> begin
+        match obj_of_value_opt t f v with
+        | Some n -> unify t (obj_of_reg t f r) n
+        | None -> ()
+      end
+      | Instr.Bin (r, (Instr.Add | Instr.Sub), a, b) -> begin
+        (* pointer arithmetic keeps you in the same object *)
+        List.iter
+          (fun v ->
+            match obj_of_value_opt t f v with
+            | Some n -> unify t (obj_of_reg t f r) n
+            | None -> ())
+          [ a; b ]
+      end
+      | Instr.Bin _ | Instr.Cmp _ | Instr.I2f _ | Instr.F2i _ -> ()
+      | Instr.Gep (r, base, idxv, scale) -> begin
+        match obj_of_value t f base with
+        | Some n ->
+          unify t (obj_of_reg t f r) n;
+          let n = find t n in
+          (match idxv with
+           | Instr.Reg _ -> Vec.set t.scales n (scale :: Vec.get t.scales n)
+           | Instr.Imm off when scale = 1 ->
+             Vec.set t.field_offs n (ISet.add (Int64.to_int off) (Vec.get t.field_offs n))
+           | Instr.Imm _ | Instr.Fimm _ | Instr.Null | Instr.GlobalAddr _ -> ())
+        | None -> ()
+      end
+      | Instr.Load (r, ty, addr) -> begin
+        match obj_of_value t f addr with
+        | Some n ->
+          if Types.is_pointer ty then unify t (obj_of_reg t f r) (pointee_of t n)
+        | None -> ()
+      end
+      | Instr.Store (ty, addr, v) -> begin
+        match obj_of_value t f addr with
+        | Some n ->
+          if Types.is_pointer ty then begin
+            match obj_of_value_opt t f v with
+            | Some vn -> unify t (pointee_of t n) vn
+            | None -> ()
+          end
+        | None -> ()
+      end
+      | Instr.Malloc (r, _) | Instr.DsAlloc (r, _, _) ->
+        let h =
+          match Hashtbl.find_opt t.malloc_tbl (f.name, bid, idx) with
+          | Some h -> find t h
+          | None ->
+            let h = new_node t in
+            Vec.set t.heap h true;
+            Vec.set t.sites h [ (f.name, bid, idx) ];
+            Hashtbl.replace t.malloc_tbl (f.name, bid, idx) h;
+            h
+        in
+        unify t (obj_of_reg t f r) h
+      | Instr.Free _ -> ()
+      | Instr.Call (ropt, callee_name, args) -> begin
+        match Irmod.find_func_opt t.m callee_name with
+        | None -> () (* intrinsic *)
+        | Some callee ->
+          Hashtbl.replace t.callsite_callee (f.name, bid, idx) callee_name;
+          if same_scc callee_name then begin
+            (* Recursive edge: share nodes directly (graph collapse). *)
+            let ca = reg_array t callee in
+            List.iteri
+              (fun i (pr, pty) ->
+                if Types.is_pointer pty || ca.(pr) <> -1 then begin
+                  match obj_of_value_opt t f (List.nth args i) with
+                  | Some an -> unify t (obj_of_reg t callee pr) an
+                  | None -> ()
+                end)
+              callee.params;
+            (match ropt with
+             | Some r when Types.is_pointer callee.ret ->
+               unify t (obj_of_reg t f r) (ret_node t callee)
+             | Some _ | None -> ())
+          end
+          else begin
+            let cmap = clone_callee t callee in
+            Hashtbl.replace t.clone_maps (f.name, bid, idx) cmap;
+            let ca = reg_array t callee in
+            List.iteri
+              (fun i (pr, pty) ->
+                if Types.is_pointer pty && ca.(pr) <> -1 then begin
+                  match map_lookup t cmap ca.(pr) with
+                  | Some cloned -> begin
+                    match obj_of_value t f (List.nth args i) with
+                    | Some an -> unify t cloned an
+                    | None -> ()
+                  end
+                  | None -> ()
+                end)
+              callee.params;
+            (match ropt, Hashtbl.find_opt t.ret_nodes callee_name with
+             | Some r, Some rn -> begin
+               match map_lookup t cmap rn with
+               | Some cloned -> unify t (obj_of_reg t f r) cloned
+               | None -> ()
+             end
+             | _ -> ())
+          end
+      end
+      | Instr.Guard _ | Instr.DsInit _ | Instr.LoopCheck _ | Instr.Prefetch _ -> ());
+  (* Return constraint. *)
+  Array.iter
+    (fun (b : Func.block) ->
+      match b.term with
+      | Instr.Ret (Some v) when Types.is_pointer f.ret -> begin
+        match obj_of_value_opt t f v with
+        | Some n -> unify t (ret_node t f) n
+        | None -> ()
+      end
+      | _ -> ())
+    f.blocks
+
+(* ---------- handle plan (Algorithm 1) ---------- *)
+
+let compute_handle_plan t cg =
+  let funcs = t.m.Irmod.funcs in
+  let needs : (string, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let get_needs f = Option.value (Hashtbl.find_opt needs f) ~default:ISet.empty in
+  let get_args f =
+    Option.value (Hashtbl.find_opt t.argnodes_tbl f) ~default:[]
+  in
+  (* Iterate bottom-up; loop until stable to handle SCC recursion. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun scc ->
+        List.iter
+          (fun fname ->
+            let f = Irmod.find_func t.m fname in
+            let acc = ref (get_needs fname) in
+            Func.iter_instrs f (fun bid idx ins ->
+                match ins with
+                | Instr.Malloc _ | Instr.DsAlloc _ -> begin
+                  match Hashtbl.find_opt t.malloc_tbl (fname, bid, idx) with
+                  | Some n -> acc := ISet.add (find t n) !acc
+                  | None -> ()
+                end
+                | Instr.Call (_, callee, _) when Irmod.has_func t.m callee -> begin
+                  let cargs = get_args callee in
+                  if cargs <> [] then begin
+                    if Callgraph.same_scc cg fname callee then
+                      List.iter (fun n -> acc := ISet.add (find t n) !acc) cargs
+                    else begin
+                      match Hashtbl.find_opt t.clone_maps (fname, bid, idx) with
+                      | Some cmap ->
+                        List.iter
+                          (fun n ->
+                            match map_lookup t cmap n with
+                            | Some c -> acc := ISet.add (find t c) !acc
+                            | None -> ())
+                          cargs
+                      | None -> ()
+                    end
+                  end
+                end
+                | _ -> ());
+            if not (ISet.equal !acc (get_needs fname)) then begin
+              Hashtbl.replace needs fname !acc;
+              changed := true
+            end;
+            (* argnodes = escaping needed nodes (main never takes handles) *)
+            let esc =
+              reach_from t (interface_roots t f @ global_roots t)
+            in
+            let args =
+              if fname = "main" then []
+              else
+                ISet.elements
+                  (ISet.filter (fun n -> Hashtbl.mem esc (find t n)) !acc)
+            in
+            if args <> get_args fname then begin
+              Hashtbl.replace t.argnodes_tbl fname args;
+              changed := true
+            end)
+          scc)
+      (Callgraph.bottom_up cg)
+  done;
+  (* Descriptors: nodes each function must ds_init. *)
+  let next_desc = ref 0 in
+  let descs = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.name in
+      let needed = get_needs fname in
+      let args = ISet.of_list (List.map (find t) (get_args fname)) in
+      let inits =
+        ISet.elements (ISet.filter (fun n -> not (ISet.mem n args)) needed)
+      in
+      let with_ids =
+        List.map
+          (fun n ->
+            let id = !next_desc in
+            incr next_desc;
+            descs := (fname, n, id) :: !descs;
+            (n, id))
+          inits
+      in
+      Hashtbl.replace t.initnodes_tbl fname with_ids)
+    funcs;
+  List.rev !descs
+
+(* Per-call-site caller nodes matching the callee's argnodes. *)
+let compute_bindings t cg =
+  Hashtbl.iter
+    (fun cs callee ->
+      let (fname, _, _) = cs in
+      let cargs =
+        Option.value (Hashtbl.find_opt t.argnodes_tbl callee) ~default:[]
+      in
+      let bind =
+        if cargs = [] then []
+        else if Callgraph.same_scc cg fname callee then
+          List.map (find t) cargs
+        else begin
+          match Hashtbl.find_opt t.clone_maps cs with
+          | Some cmap ->
+            List.map
+              (fun n ->
+                match map_lookup t cmap n with
+                | Some c -> find t c
+                | None -> find t n)
+              cargs
+          | None -> List.map (find t) cargs
+        end
+      in
+      Hashtbl.replace t.bindings_tbl cs bind)
+    t.callsite_callee
+
+(* ---------- shape facts (post pass) ---------- *)
+
+(* Field-offset and strided-access attribution needs local def chains
+   and loop structure, so it runs as a separate per-function pass. *)
+let shape_pass t =
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      let dom = Dominators.compute cfg in
+      let loops = Loops.compute cfg dom in
+      let iv = Indvars.compute cfg loops in
+      (* Strided bases *)
+      Array.iteri
+        (fun li _ ->
+          List.iter
+            (fun (sa : Indvars.strided_access) ->
+              match obj_of_value_opt t f sa.sa_base with
+              | Some n -> Vec.set t.strided (find t n) true
+              | None -> ())
+            (Indvars.strided_accesses iv li))
+        (Loops.loops loops);
+      (* Pointer field offsets: find loads/stores of pointers whose
+         address is a constant-offset GEP. *)
+      let gep_def = Hashtbl.create 16 in
+      Func.iter_instrs f (fun _ _ ins ->
+          match ins with
+          | Instr.Gep (r, base, Instr.Imm off, 1) ->
+            Hashtbl.replace gep_def r (base, Int64.to_int off)
+          | _ -> ());
+      let record_ptr_access addr ty =
+        if Types.is_pointer ty then begin
+          let target =
+            match addr with
+            | Instr.Reg a -> begin
+              match Hashtbl.find_opt gep_def a with
+              | Some (base, off) -> Some (base, off)
+              | None -> Some (addr, 0)
+            end
+            | _ -> Some (addr, 0)
+          in
+          match target with
+          | Some (base, off) -> begin
+            match obj_of_value_opt t f base with
+            | Some n ->
+              let n = find t n in
+              Vec.set t.ptr_offs n (ISet.add off (Vec.get t.ptr_offs n))
+            | None -> ()
+          end
+          | None -> ()
+        end
+      in
+      Func.iter_instrs f (fun _ _ ins ->
+          match ins with
+          | Instr.Load (_, ty, addr) -> record_ptr_access addr ty
+          | Instr.Store (ty, addr, _) -> record_ptr_access addr ty
+          | _ -> ()))
+    t.m.Irmod.funcs
+
+(* Clones are made while walking bottom-up, *before* the shape pass
+   runs and before callers add their own facts, so facts must be
+   re-synchronized across every clone edge afterwards:
+   - forward (callee -> caller clone): shape facts observed in the
+     callee body (stride, element scales, pointer fields) describe the
+     caller's instance too;
+   - backward (caller clone -> callee): if any caller passes a heap
+     object, the callee's incomplete node is heap for guard purposes
+     (Lattner's "incomplete node" completion). *)
+let propagate_clone_facts t =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun _ cmap ->
+        List.iter
+          (fun (callee_n, caller_n) ->
+            let a = find t callee_n and b = find t caller_n in
+            if a <> b then begin
+              let merge_into dst src =
+                let h = Vec.get t.heap dst || Vec.get t.heap src in
+                if h <> Vec.get t.heap dst then begin
+                  Vec.set t.heap dst h; changed := true
+                end;
+                let s = Vec.get t.strided dst || Vec.get t.strided src in
+                if s <> Vec.get t.strided dst then begin
+                  Vec.set t.strided dst s; changed := true
+                end;
+                let fo = ISet.union (Vec.get t.field_offs dst) (Vec.get t.field_offs src) in
+                if not (ISet.equal fo (Vec.get t.field_offs dst)) then begin
+                  Vec.set t.field_offs dst fo; changed := true
+                end;
+                let po = ISet.union (Vec.get t.ptr_offs dst) (Vec.get t.ptr_offs src) in
+                if not (ISet.equal po (Vec.get t.ptr_offs dst)) then begin
+                  Vec.set t.ptr_offs dst po; changed := true
+                end;
+                let sc = List.sort_uniq compare (Vec.get t.scales dst @ Vec.get t.scales src) in
+                if sc <> List.sort_uniq compare (Vec.get t.scales dst) then begin
+                  Vec.set t.scales dst (Vec.get t.scales dst @ Vec.get t.scales src);
+                  changed := true
+                end
+              in
+              merge_into b a; (* forward: callee facts reach the caller clone *)
+              merge_into a b  (* backward: caller facts complete the callee node *)
+            end)
+          cmap)
+      t.clone_maps
+  done
+
+(* ---------- instance attribution ---------- *)
+
+let desc_set t n =
+  Option.value (Hashtbl.find_opt t.node_desc_sets (find t n)) ~default:ISet.empty
+
+let add_descs t n s =
+  let n = find t n in
+  Hashtbl.replace t.node_desc_sets n (ISet.union (desc_set t n) s)
+
+let compute_instance_sets t cg =
+  (* Seed with init nodes. *)
+  Hashtbl.iter
+    (fun _ inits ->
+      List.iter (fun (n, id) -> add_descs t n (ISet.singleton id)) inits)
+    t.initnodes_tbl;
+  (* Propagate caller -> callee through clone maps, callers first
+     (descending Tarjan SCC ids).  Iterate to a fixpoint because a
+     single pass can miss chains through shared global nodes. *)
+  let order = List.rev (Callgraph.bottom_up cg) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun scc ->
+        List.iter
+          (fun fname ->
+            let f = Irmod.find_func t.m fname in
+            Func.iter_instrs f (fun bid idx ins ->
+                match ins with
+                | Instr.Call _ -> begin
+                  match Hashtbl.find_opt t.clone_maps (fname, bid, idx) with
+                  | Some cmap ->
+                    List.iter
+                      (fun (callee_n, caller_n) ->
+                        let s = desc_set t caller_n in
+                        let old = desc_set t callee_n in
+                        if not (ISet.subset s old) then begin
+                          add_descs t callee_n s;
+                          changed := true
+                        end)
+                      cmap
+                  | None -> ()
+                end
+                | _ -> ()))
+          scc)
+      order
+  done
+
+(* Accessed-node summaries, bottom-up; [hidden] collects descriptor ids
+   of callee-internal structures with no caller-side node. *)
+let compute_access_summaries t cg =
+  let anodes : (string, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let hidden : (string, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl f = Option.value (Hashtbl.find_opt tbl f) ~default:ISet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun scc ->
+        List.iter
+          (fun fname ->
+            let f = Irmod.find_func t.m fname in
+            let an = ref (get anodes fname) in
+            let hd = ref (get hidden fname) in
+            Func.iter_instrs f (fun bid idx ins ->
+                match ins with
+                | Instr.Load (_, _, addr) | Instr.Store (_, addr, _) -> begin
+                  match obj_of_value_opt t f addr with
+                  | Some n when Vec.get t.heap (find t n) ->
+                    an := ISet.add (find t n) !an
+                  | _ -> ()
+                end
+                | Instr.Call (_, callee, _) when Irmod.has_func t.m callee -> begin
+                  let cs = (fname, bid, idx) in
+                  let callee_an = get anodes callee in
+                  hd := ISet.union !hd (get hidden callee);
+                  if Callgraph.same_scc cg fname callee then
+                    an := ISet.union !an (ISet.map (find t) callee_an)
+                  else begin
+                    match Hashtbl.find_opt t.clone_maps cs with
+                    | Some cmap ->
+                      ISet.iter
+                        (fun m ->
+                          match map_lookup t cmap m with
+                          | Some c -> an := ISet.add (find t c) !an
+                          | None -> hd := ISet.union !hd (desc_set t m))
+                        callee_an
+                    | None -> ()
+                  end
+                end
+                | _ -> ());
+            if not (ISet.equal !an (get anodes fname)) then begin
+              Hashtbl.replace anodes fname !an;
+              changed := true
+            end;
+            if not (ISet.equal !hd (get hidden fname)) then begin
+              Hashtbl.replace hidden fname !hd;
+              changed := true
+            end)
+          scc)
+      (Callgraph.bottom_up cg)
+  done;
+  (* Fill per-instruction tables. *)
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.name in
+      Func.iter_instrs f (fun bid idx ins ->
+          match ins with
+          | Instr.Load (_, _, addr) | Instr.Store (_, addr, _) -> begin
+            match obj_of_value_opt t f addr with
+            | Some n ->
+              Hashtbl.replace t.access_tbl (fname, bid, idx)
+                (ISet.elements (desc_set t n))
+            | None -> ()
+          end
+          | Instr.Call (_, callee, _) when Irmod.has_func t.m callee -> begin
+            let cs = (fname, bid, idx) in
+            let callee_an = get anodes callee in
+            let caller_nodes = ref ISet.empty in
+            let hid = ref (get hidden callee) in
+            if Callgraph.same_scc cg fname callee then
+              caller_nodes := ISet.map (find t) callee_an
+            else begin
+              match Hashtbl.find_opt t.clone_maps cs with
+              | Some cmap ->
+                ISet.iter
+                  (fun m ->
+                    match map_lookup t cmap m with
+                    | Some c -> caller_nodes := ISet.add (find t c) !caller_nodes
+                    | None -> hid := ISet.union !hid (desc_set t m))
+                  callee_an
+              | None -> ()
+            end;
+            let insts =
+              ISet.fold
+                (fun n acc -> ISet.union (desc_set t n) acc)
+                !caller_nodes !hid
+            in
+            Hashtbl.replace t.cs_inst_tbl cs (ISet.elements insts);
+            Hashtbl.replace t.cs_nodes_tbl cs
+              (ISet.elements !caller_nodes, ISet.elements !hid)
+          end
+          | _ -> ());
+      let own = get anodes fname in
+      let insts =
+        ISet.fold
+          (fun n acc -> ISet.union (desc_set t n) acc)
+          own (get hidden fname)
+      in
+      Hashtbl.replace t.func_inst_tbl fname (ISet.elements insts))
+    t.m.Irmod.funcs
+
+(* ---------- descriptor finalization ---------- *)
+
+let pow2_ceil x =
+  let rec go p = if p >= x then p else go (p * 2) in
+  go 8
+
+let mode_of = function
+  | [] -> None
+  | l ->
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun x ->
+        Hashtbl.replace tbl x (1 + Option.value (Hashtbl.find_opt tbl x) ~default:0))
+      l;
+    let best = ref (List.hd l) and bestc = ref 0 in
+    Hashtbl.iter
+      (fun x c -> if c > !bestc then begin best := x; bestc := c end)
+      tbl;
+    Some !best
+
+let is_recursive t n =
+  let n = find t n in
+  let rec walk seen m =
+    match pointee_opt t m with
+    | None -> false
+    | Some p -> if p = n then true else if List.mem p seen then false else walk (p :: seen) p
+  in
+  walk [ n ] n
+
+let finalize_descs t raw =
+  List.map
+    (fun (fname, n, id) ->
+      let n = find t n in
+      let scales = Vec.get t.scales n in
+      let field_offs = Vec.get t.field_offs n in
+      let ptr_offs = Vec.get t.ptr_offs n in
+      let recursive = is_recursive t n in
+      let elem =
+        match mode_of scales with
+        | Some s when s > 1 -> s
+        | _ ->
+          if not (ISet.is_empty field_offs) || not (ISet.is_empty ptr_offs) then begin
+            let all = ISet.union field_offs ptr_offs in
+            pow2_ceil (ISet.max_elt all + 8)
+          end
+          else 8
+      in
+      { desc_id = id;
+        desc_init_func = fname;
+        desc_node = n;
+        desc_elem_size = elem;
+        desc_recursive = recursive;
+        desc_ptr_fields = ISet.cardinal ptr_offs;
+        desc_strided = Vec.get t.strided n;
+        desc_alloc_sites = Vec.get t.sites n })
+    raw
+
+(* ---------- driver ---------- *)
+
+let analyze (m : Irmod.t) =
+  let t =
+    { m;
+      parent = Vec.create (); rank = Vec.create (); pointee = Vec.create ();
+      heap = Vec.create (); glob = Vec.create (); sites = Vec.create ();
+      scales = Vec.create (); field_offs = Vec.create (); ptr_offs = Vec.create ();
+      strided = Vec.create ();
+      reg_nodes = Hashtbl.create 16; ret_nodes = Hashtbl.create 16;
+      global_nodes = Hashtbl.create 16; malloc_tbl = Hashtbl.create 32;
+      clone_maps = Hashtbl.create 32; callsite_callee = Hashtbl.create 32;
+      argnodes_tbl = Hashtbl.create 16; initnodes_tbl = Hashtbl.create 16;
+      bindings_tbl = Hashtbl.create 32; descs = [];
+      node_desc_sets = Hashtbl.create 64;
+      access_tbl = Hashtbl.create 256; cs_inst_tbl = Hashtbl.create 64;
+      cs_nodes_tbl = Hashtbl.create 64; func_inst_tbl = Hashtbl.create 16 }
+  in
+  let cg = Callgraph.compute m in
+  (* Pre-create pointer parameter nodes so recursive calls can unify. *)
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (r, ty) -> if Types.is_pointer ty then ignore (obj_of_reg t f r))
+        f.params;
+      if Types.is_pointer f.ret then ignore (ret_node t f))
+    m.funcs;
+  (* Bottom-up constraint generation with cloning. *)
+  List.iter
+    (fun scc ->
+      List.iter
+        (fun fname -> process_function t cg (Irmod.find_func m fname))
+        scc)
+    (Callgraph.bottom_up cg);
+  shape_pass t;
+  propagate_clone_facts t;
+  let raw = compute_handle_plan t cg in
+  compute_bindings t cg;
+  compute_instance_sets t cg;
+  compute_access_summaries t cg;
+  t.descs <- finalize_descs t raw;
+  t
+
+(* ---------- queries ---------- *)
+
+let canonical t n = find t n
+
+let is_heap t n = Vec.get t.heap (find t n)
+
+let node_of_value t ~fname v =
+  match Irmod.find_func_opt t.m fname with
+  | None -> None
+  | Some f -> Option.map (find t) (obj_of_value_opt t f v)
+
+let value_is_managed t ~fname v =
+  match node_of_value t ~fname v with
+  | Some n -> is_heap t n
+  | None -> false
+
+let nodes_disjoint t a b = find t a <> find t b
+
+let escaping t ~fname n =
+  match Irmod.find_func_opt t.m fname with
+  | None -> false
+  | Some f ->
+    let esc = reach_from t (interface_roots t f @ global_roots t) in
+    Hashtbl.mem esc (find t n)
+
+let argnodes t fname =
+  List.map (find t)
+    (Option.value (Hashtbl.find_opt t.argnodes_tbl fname) ~default:[])
+
+let init_nodes t fname =
+  List.map
+    (fun (n, id) -> (find t n, id))
+    (Option.value (Hashtbl.find_opt t.initnodes_tbl fname) ~default:[])
+
+let callsite_bindings t ~fname ~bid ~idx =
+  List.map (find t)
+    (Option.value (Hashtbl.find_opt t.bindings_tbl (fname, bid, idx)) ~default:[])
+
+let malloc_node t ~fname ~bid ~idx =
+  Option.map (find t) (Hashtbl.find_opt t.malloc_tbl (fname, bid, idx))
+
+let descriptors t = t.descs
+
+let n_descriptors t = List.length t.descs
+
+let desc_info t id =
+  match List.find_opt (fun d -> d.desc_id = id) t.descs with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Dsa.desc_info: no descriptor %d" id)
+
+let access_instances t ~fname ~bid ~idx =
+  Option.value (Hashtbl.find_opt t.access_tbl (fname, bid, idx)) ~default:[]
+
+let callsite_instances t ~fname ~bid ~idx =
+  Option.value (Hashtbl.find_opt t.cs_inst_tbl (fname, bid, idx)) ~default:[]
+
+let func_instances t fname =
+  Option.value (Hashtbl.find_opt t.func_inst_tbl fname) ~default:[]
+
+let node_descs t n = ISet.elements (desc_set t n)
+
+let callsite_accessed_nodes t ~fname ~bid ~idx =
+  Option.value (Hashtbl.find_opt t.cs_nodes_tbl (fname, bid, idx)) ~default:([], [])

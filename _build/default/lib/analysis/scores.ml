@@ -1,0 +1,74 @@
+module Irmod = Cards_ir.Irmod
+module Func = Cards_ir.Func
+module Instr = Cards_ir.Instr
+module Bitset = Cards_util.Bitset
+
+(* Descriptor ids touched by an instruction, own accesses and call
+   sites alike. *)
+let instr_instances dsa ~fname ~bid ~idx = function
+  | Instr.Load _ | Instr.Store _ -> Dsa.access_instances dsa ~fname ~bid ~idx
+  | Instr.Call _ -> Dsa.callsite_instances dsa ~fname ~bid ~idx
+  | _ -> []
+
+let max_use (m : Irmod.t) dsa =
+  let n = Dsa.n_descriptors dsa in
+  let loops_count = Array.make n 0 in
+  let funcs_count = Array.make n 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.name in
+      let cfg = Cfg.of_func f in
+      let dom = Dominators.compute cfg in
+      let loops = Loops.compute cfg dom in
+      let ls = Loops.loops loops in
+      let touched_by_func = Array.make n false in
+      let touched_by_loop = Array.make (Array.length ls) [] in
+      Func.iter_instrs f (fun bid idx ins ->
+          let insts = instr_instances dsa ~fname ~bid ~idx ins in
+          (match ins with
+           | Instr.Load _ | Instr.Store _ ->
+             List.iter (fun d -> touched_by_func.(d) <- true) insts
+           | _ -> ());
+          if insts <> [] then
+            Array.iteri
+              (fun li (loop : Loops.loop) ->
+                if Bitset.mem loop.body bid then
+                  touched_by_loop.(li) <- insts @ touched_by_loop.(li))
+              ls);
+      Array.iteri (fun d hit -> if hit then funcs_count.(d) <- funcs_count.(d) + 1)
+        touched_by_func;
+      Array.iter
+        (fun insts ->
+          List.iter
+            (fun d -> loops_count.(d) <- loops_count.(d) + 1)
+            (List.sort_uniq compare insts))
+        touched_by_loop)
+    m.funcs;
+  Array.init n (fun d -> loops_count.(d) + funcs_count.(d))
+
+let max_reach (m : Irmod.t) dsa =
+  let n = Dsa.n_descriptors dsa in
+  let cg = Callgraph.compute m in
+  let score = Array.make n 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.name in
+      (* "Long caller/callee chain" = how deep in the call tree the
+         accessing function sits (1 + distance from main on the SCC
+         condensation), so structures touched by deeply-shared helpers
+         rank above ones only touched at top level. *)
+      let depth = Callgraph.depth_from_main cg fname in
+      let chain = if depth = max_int then 0 else depth + 1 in
+      let touched = Array.make n false in
+      Func.iter_instrs f (fun bid idx ins ->
+          match ins with
+          | Instr.Load _ | Instr.Store _ ->
+            List.iter
+              (fun d -> touched.(d) <- true)
+              (Dsa.access_instances dsa ~fname ~bid ~idx)
+          | _ -> ());
+      Array.iteri
+        (fun d hit -> if hit && chain > score.(d) then score.(d) <- chain)
+        touched)
+    m.funcs;
+  score

@@ -1,0 +1,18 @@
+(** Static remoting scores for the compiler-guided policies (§4.2).
+
+    - {e Max Use} ranks data structures by Equation 1:
+      [ds = MAX(#loops + #functions)] — the number of loops and
+      functions that access the structure.  A loop counts if it
+      contains a direct access or a call whose callee accesses the
+      structure under that call site's context.
+    - {e Max Reach} ranks structures by the length of the
+      caller/callee chain leading to the functions that access them
+      (computed on the SCC condensation of the call graph), so
+      structures touched by deeply-shared helpers outrank ones only
+      touched at top level. *)
+
+val max_use : Cards_ir.Irmod.t -> Dsa.t -> int array
+(** [max_use m dsa].(desc_id) = Equation-1 score. *)
+
+val max_reach : Cards_ir.Irmod.t -> Dsa.t -> int array
+(** [max_reach m dsa].(desc_id) = longest-chain score. *)

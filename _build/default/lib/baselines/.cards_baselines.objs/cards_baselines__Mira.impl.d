@@ -1,0 +1,1 @@
+lib/baselines/mira.ml: Array Cards Cards_net Cards_runtime List

@@ -1,0 +1,1 @@
+lib/baselines/mira.mli: Cards Cards_interp Cards_runtime

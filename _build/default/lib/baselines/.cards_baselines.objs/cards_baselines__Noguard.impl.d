@@ -1,0 +1,1 @@
+lib/baselines/noguard.ml: Cards Cards_runtime

@@ -1,0 +1,1 @@
+lib/baselines/noguard.mli: Cards Cards_interp Cards_runtime

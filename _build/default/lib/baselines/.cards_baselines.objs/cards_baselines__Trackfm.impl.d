@@ -1,0 +1,1 @@
+lib/baselines/trackfm.ml: Cards Cards_net Cards_runtime

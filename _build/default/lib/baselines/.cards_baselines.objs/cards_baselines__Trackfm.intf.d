@@ -1,0 +1,1 @@
+lib/baselines/trackfm.mli: Cards Cards_interp Cards_ir Cards_runtime

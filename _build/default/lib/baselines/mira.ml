@@ -1,0 +1,74 @@
+module P = Cards.Pipeline
+module R = Cards_runtime
+
+type profile = {
+  per_sid_bytes : int array;
+  per_sid_accesses : int array;
+  profiling_cycles : int;
+}
+
+let profile ?fuel (compiled : P.compiled) =
+  let n = Array.length compiled.infos in
+  (* Profile with everything tagged (all-remotable) but an ample cache,
+     so every access is attributable to its data structure and the
+     profile sees true sizes — the moral equivalent of Mira's memory
+     profiler pass. *)
+  let cfg =
+    { R.Runtime.default_config with
+      policy = R.Policy.All_remotable;
+      k = 0.0;
+      local_bytes = max_int / 2;
+      remotable_bytes = max_int / 2 }
+  in
+  let res, rt = P.run ?fuel compiled cfg in
+  let per_sid_bytes = Array.make n 0 in
+  let per_sid_accesses = Array.make n 0 in
+  List.iter
+    (fun (r : R.Runtime.ds_report) ->
+      if r.r_sid >= 0 && r.r_sid < n then begin
+        per_sid_bytes.(r.r_sid) <- per_sid_bytes.(r.r_sid) + r.r_bytes;
+        per_sid_accesses.(r.r_sid) <-
+          per_sid_accesses.(r.r_sid) + r.r_stats.plain_accesses
+      end)
+    (R.Runtime.report rt);
+  { per_sid_bytes; per_sid_accesses; profiling_cycles = res.cycles }
+
+let pinned_set p ~pinned_budget =
+  let n = Array.length p.per_sid_bytes in
+  let density sid =
+    let b = p.per_sid_bytes.(sid) in
+    if b = 0 then 0.0
+    else float_of_int p.per_sid_accesses.(sid) /. float_of_int b
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (density b) (density a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let pinned = Array.make n false in
+  let budget = ref pinned_budget in
+  Array.iter
+    (fun sid ->
+      let sz = p.per_sid_bytes.(sid) in
+      if sz > 0 && sz <= !budget && p.per_sid_accesses.(sid) > 0 then begin
+        pinned.(sid) <- true;
+        budget := !budget - sz
+      end)
+    order;
+  pinned
+
+let run_config ~pinned ~local_bytes ~remotable_bytes =
+  { R.Runtime.policy = R.Policy.Explicit pinned;
+    k = 1.0;
+    local_bytes;
+    remotable_bytes;
+    cost = R.Cost.cards;
+    fabric_config = Cards_net.Fabric.default_config;
+    prefetch_mode = R.Runtime.Pf_per_class;
+    prefetch_depth = 4 }
+
+let run ?fuel compiled ~local_bytes ~remotable_bytes =
+  let p = profile ?fuel compiled in
+  let pinned = pinned_set p ~pinned_budget:(local_bytes - remotable_bytes) in
+  P.run ?fuel compiled (run_config ~pinned ~local_bytes ~remotable_bytes)

@@ -1,0 +1,44 @@
+(** Mira baseline (Guo et al., SOSP '23), as the paper models it: a
+    {e profile-guided} far-memory compiler.  "In Mira, a memory
+    profiler is used to determine allocation sizes, and only those
+    objects with large sizes are further analyzed to decide on the
+    appropriate far memory policies."
+
+    The model: one profiling execution with ample local memory records
+    per-structure sizes and access counts; a greedy density knapsack
+    (accesses per byte) then picks the pinned set that exactly fits the
+    pinned budget.  Because Mira knows {e sizes}, it never overshoots
+    the way CaRDS's size-oblivious k-fraction can — which is why Mira
+    pulls ahead once local memory is plentiful (paper Fig. 8), while
+    CaRDS stays within ~20–25 % when memory is scarce.
+
+    The profiling run's cost is not charged (the paper compares steady
+    state), but it is reported so the "profiling is expensive" argument
+    stays visible. *)
+
+type profile = {
+  per_sid_bytes : int array;
+  per_sid_accesses : int array;
+  profiling_cycles : int;  (** what the profiling run itself cost *)
+}
+
+val profile : ?fuel:int -> Cards.Pipeline.compiled -> profile
+(** Run the instrumented program once with everything local. *)
+
+val pinned_set : profile -> pinned_budget:int -> bool array
+(** Greedy access-density knapsack under the byte budget. *)
+
+val run_config :
+  pinned:bool array ->
+  local_bytes:int ->
+  remotable_bytes:int ->
+  Cards_runtime.Runtime.config
+
+val run :
+  ?fuel:int ->
+  Cards.Pipeline.compiled ->
+  local_bytes:int ->
+  remotable_bytes:int ->
+  Cards_interp.Machine.result * Cards_runtime.Runtime.t
+(** Profile, pick the pinned set for [local_bytes - remotable_bytes],
+    then run. *)

@@ -1,0 +1,11 @@
+module P = Cards.Pipeline
+module R = Cards_runtime
+
+let run_config () =
+  { R.Runtime.default_config with
+    policy = R.Policy.All_local;
+    k = 1.0;
+    local_bytes = max_int / 2;
+    remotable_bytes = 0 }
+
+let run ?fuel compiled = P.run_plain ?fuel compiled (run_config ())

@@ -1,0 +1,12 @@
+(** The all-local upper bound: the pool-allocated program with no
+    guards and every structure pinned — what the application would cost
+    on a machine with enough local DRAM.  Figures 5–7 normalize against
+    configurations like this, and output-equivalence tests compare
+    every system's results to it. *)
+
+val run_config : unit -> Cards_runtime.Runtime.config
+
+val run :
+  ?fuel:int ->
+  Cards.Pipeline.compiled ->
+  Cards_interp.Machine.result * Cards_runtime.Runtime.t

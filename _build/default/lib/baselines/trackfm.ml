@@ -1,0 +1,20 @@
+module P = Cards.Pipeline
+module R = Cards_runtime
+
+let options = P.trackfm_options
+
+let compile m = P.compile ~options m
+let compile_source src = P.compile_source ~options src
+
+let run_config ~local_bytes ~remotable_bytes =
+  { R.Runtime.policy = R.Policy.All_remotable;
+    k = 0.0;
+    local_bytes;
+    remotable_bytes;
+    cost = R.Cost.trackfm;
+    fabric_config = Cards_net.Fabric.trackfm_config;
+    prefetch_mode = R.Runtime.Pf_stride_only;
+    prefetch_depth = 4 }
+
+let run ?fuel compiled ~local_bytes =
+  P.run ?fuel compiled (run_config ~local_bytes ~remotable_bytes:local_bytes)

@@ -1,0 +1,26 @@
+(** TrackFM baseline (Tauro et al., ASPLOS '24), as the paper models
+    it: a conservative far-memory compiler where "all objects are
+    assumed to be remotable, since the compiler is unable to predict
+    locality of access statically".
+
+    Concretely: guard every managed access with only syntactic
+    redundancy elimination, no code versioning, the {e all-remotable}
+    policy (no pinned memory), induction-variable-only (stride)
+    prefetching, and TrackFM's measured guard costs from Table 1. *)
+
+val options : Cards.Pipeline.options
+
+val compile : Cards_ir.Irmod.t -> Cards.Pipeline.compiled
+val compile_source : string -> Cards.Pipeline.compiled
+
+val run_config :
+  local_bytes:int -> remotable_bytes:int -> Cards_runtime.Runtime.config
+(** TrackFM treats all local memory as one object cache, so
+    [remotable_bytes] should normally equal [local_bytes]; both are
+    exposed for experiments. *)
+
+val run :
+  ?fuel:int ->
+  Cards.Pipeline.compiled ->
+  local_bytes:int ->
+  Cards_interp.Machine.result * Cards_runtime.Runtime.t

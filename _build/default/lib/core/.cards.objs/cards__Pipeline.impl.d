@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Cards_analysis Cards_interp Cards_ir Cards_runtime Cards_transform List Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cards_interp Cards_ir Cards_runtime Cards_transform

@@ -1,0 +1,90 @@
+module Irmod = Cards_ir.Irmod
+module A = Cards_analysis
+module T = Cards_transform
+module R = Cards_runtime
+
+type options = {
+  guard_elim_level : T.Guard_elim.level;
+  versioning : bool;
+  presimplify : bool;
+}
+
+let cards_options =
+  { guard_elim_level = T.Guard_elim.Lcards; versioning = true;
+    presimplify = false }
+
+let trackfm_options =
+  { guard_elim_level = T.Guard_elim.Ltrackfm; versioning = false;
+    presimplify = false }
+
+type compiled = {
+  source : Irmod.t;
+  plain : Irmod.t;
+  instrumented : Irmod.t;
+  infos : R.Static_info.t array;
+  static_guards : int;
+  guards_removed : int;
+  versioned_loops : int;
+}
+
+let to_rt_class = function
+  | T.Prefetch_hints.No_prefetch -> R.Static_info.No_prefetch
+  | T.Prefetch_hints.Stride -> R.Static_info.Stride
+  | T.Prefetch_hints.Greedy_recursive -> R.Static_info.Greedy_recursive
+  | T.Prefetch_hints.Jump_pointer -> R.Static_info.Jump_pointer
+
+let static_table m dsa =
+  let use = A.Scores.max_use m dsa in
+  let reach = A.Scores.max_reach m dsa in
+  let descs = A.Dsa.descriptors dsa in
+  Array.of_list
+    (List.map
+       (fun (d : A.Dsa.desc_info) ->
+         { R.Static_info.sid = d.desc_id;
+           name = Printf.sprintf "%s#%d" d.desc_init_func d.desc_id;
+           obj_size = T.Prefetch_hints.object_size d;
+           prefetch = to_rt_class (T.Prefetch_hints.classify d);
+           score_use = use.(d.desc_id);
+           score_reach = reach.(d.desc_id);
+           recursive = d.desc_recursive;
+           elem_size = d.desc_elem_size })
+       descs)
+
+let compile ?(options = cards_options) (m : Irmod.t) =
+  Cards_ir.Verify.check_exn m;
+  let m = if options.presimplify then T.Simplify.run m else m in
+  let dsa1 = A.Dsa.analyze m in
+  let infos = static_table m dsa1 in
+  let pooled = T.Pool_alloc.run m dsa1 in
+  let dsa2 = A.Dsa.analyze pooled in
+  let guarded = T.Guards.run pooled dsa2 in
+  let dsa3 = A.Dsa.analyze guarded in
+  let slimmed = T.Guard_elim.run guarded dsa3 ~level:options.guard_elim_level in
+  let guards_removed = T.Guard_elim.removed_last_run () in
+  let final, versioned_loops =
+    if options.versioning then begin
+      let dsa4 = A.Dsa.analyze slimmed in
+      let v = T.Versioning.run slimmed dsa4 in
+      (v, T.Versioning.versioned_loops_last_run ())
+    end
+    else (slimmed, 0)
+  in
+  { source = m;
+    plain = pooled;
+    instrumented = final;
+    infos;
+    static_guards = T.Guards.count_guards final;
+    guards_removed;
+    versioned_loops }
+
+let compile_source ?options src = compile ?options (Cards_ir.Minic.compile src)
+
+let run ?fuel c (cfg : R.Runtime.config) =
+  let rt = R.Runtime.create cfg c.infos in
+  let res = Cards_interp.Machine.run ?fuel c.instrumented rt in
+  (res, rt)
+
+let run_plain ?fuel c (cfg : R.Runtime.config) =
+  let rt = R.Runtime.create cfg c.infos in
+  let res = Cards_interp.Machine.run ?fuel c.plain rt in
+  (res, rt)

@@ -1,0 +1,63 @@
+(** The CaRDS compiler pipeline — the paper's Figure 1, end to end:
+
+    {v
+    MiniC ──frontend──► IR
+      ├─ DSA (SeaDSA-style, context-sensitive)        §4.1
+      ├─ pool allocation (Algorithm 1)                 §4.1
+      ├─ guard insertion + redundant guard elimination §4.1
+      ├─ code versioning (selective remoting)          §4.1
+      └─ static descriptor table (scores, prefetch classes, object
+         sizes) handed to the runtime                  §4.2
+    v}
+
+    [compile] produces a transformed module plus the static descriptor
+    table; [run] executes it on a configured runtime and returns the
+    simulated cycle count and per-structure statistics. *)
+
+type options = {
+  guard_elim_level : Cards_transform.Guard_elim.level;
+  versioning : bool;
+  presimplify : bool;
+      (** run {!Cards_transform.Simplify} (constant folding / copy
+          propagation / DCE) before the CaRDS passes; off by default so
+          measured instruction mixes stay comparable across options *)
+}
+
+val cards_options : options
+(** Full CaRDS: object-window + loop-invariant guard elimination, code
+    versioning on. *)
+
+val trackfm_options : options
+(** TrackFM-style conservative compilation: syntactic guard dedup only,
+    no code versioning. *)
+
+type compiled = {
+  source : Cards_ir.Irmod.t;     (** the verified input module *)
+  plain : Cards_ir.Irmod.t;      (** pool-allocated, no guards (upper bound) *)
+  instrumented : Cards_ir.Irmod.t; (** the module the runtime executes *)
+  infos : Cards_runtime.Static_info.t array; (** static descriptor table *)
+  static_guards : int;           (** guards remaining after elimination *)
+  guards_removed : int;
+  versioned_loops : int;
+}
+
+val compile : ?options:options -> Cards_ir.Irmod.t -> compiled
+
+val compile_source : ?options:options -> string -> compiled
+(** MiniC source → [compile]. *)
+
+val run :
+  ?fuel:int ->
+  compiled ->
+  Cards_runtime.Runtime.config ->
+  Cards_interp.Machine.result * Cards_runtime.Runtime.t
+(** Instantiate a runtime with the compiled descriptor table and
+    execute the instrumented module. *)
+
+val run_plain :
+  ?fuel:int ->
+  compiled ->
+  Cards_runtime.Runtime.config ->
+  Cards_interp.Machine.result * Cards_runtime.Runtime.t
+(** Execute the guard-free module (used for the all-local upper bound
+    and for output-equivalence tests). *)

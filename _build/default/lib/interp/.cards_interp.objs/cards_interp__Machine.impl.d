@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Buffer Cards_ir Cards_runtime Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Cards_ir Cards_runtime

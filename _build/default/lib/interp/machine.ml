@@ -1,0 +1,291 @@
+module Instr = Cards_ir.Instr
+module Func = Cards_ir.Func
+module Types = Cards_ir.Types
+module Irmod = Cards_ir.Irmod
+module Runtime = Cards_runtime.Runtime
+module Cost = Cards_runtime.Cost
+
+type result = {
+  ret : int;
+  cycles : int;
+  instructions : int;
+  output : string list;
+}
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type argv = AI of int | AF of float
+
+type state = {
+  rt : Runtime.t;
+  cost : Cost.t;
+  funcs : (string, Func.t) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;  (* name -> unmanaged address *)
+  mutable executed : int;
+  fuel : int;
+  out : Buffer.t;
+}
+
+let global_addr st g =
+  match Hashtbl.find_opt st.globals g with
+  | Some a -> a
+  | None -> trap "unknown global @%s" g
+
+let is_float_reg (f : Func.t) r =
+  match f.reg_tys.(r) with Types.F64 -> true | _ -> false
+
+(* ---------- frame-level evaluation ---------- *)
+
+type frame = { f : Func.t; ints : int array; floats : float array }
+
+let ival st fr = function
+  | Instr.Reg r -> fr.ints.(r)
+  | Instr.Imm i -> Int64.to_int i
+  | Instr.Null -> 0
+  | Instr.GlobalAddr g -> global_addr st g
+  | Instr.Fimm _ -> trap "float immediate in integer context"
+
+let fval st fr = function
+  | Instr.Reg r ->
+    if is_float_reg fr.f r then fr.floats.(r) else float_of_int fr.ints.(r)
+  | Instr.Fimm x -> x
+  | Instr.Imm i -> Int64.to_float i
+  | Instr.Null -> 0.0
+  | Instr.GlobalAddr g -> float_of_int (global_addr st g)
+
+let value_is_floaty fr = function
+  | Instr.Fimm _ -> true
+  | Instr.Reg r -> is_float_reg fr.f r
+  | Instr.Imm _ | Instr.Null | Instr.GlobalAddr _ -> false
+
+let exec_ibin op a b =
+  match (op : Instr.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then trap "division by zero" else a / b
+  | Rem -> if b = 0 then trap "remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | Fadd | Fsub | Fmul | Fdiv -> trap "float op in integer context"
+
+let exec_fbin op a b =
+  match (op : Instr.binop) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | _ -> trap "integer op in float context"
+
+let exec_icmp op a b =
+  let r =
+    match (op : Instr.cmpop) with
+    | Eq -> a = b | Ne -> a <> b | Lt -> a < b
+    | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let exec_fcmp op (a : float) b =
+  let r =
+    match (op : Instr.cmpop) with
+    | Eq -> a = b | Ne -> a <> b | Lt -> a < b
+    | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+(* ---------- the main loop ---------- *)
+
+let rec exec_function st (f : Func.t) (args : argv list) : argv =
+  let fr =
+    { f;
+      ints = Array.make (Func.nregs f) 0;
+      floats = Array.make (Func.nregs f) 0.0 }
+  in
+  (try
+     List.iter2
+       (fun (r, ty) a ->
+         match ty, a with
+         | Types.F64, AF x -> fr.floats.(r) <- x
+         | Types.F64, AI x -> fr.floats.(r) <- float_of_int x
+         | _, AI x -> fr.ints.(r) <- x
+         | _, AF x -> fr.ints.(r) <- int_of_float x)
+       f.params args
+   with Invalid_argument _ ->
+     trap "arity mismatch calling %s" f.name);
+  let rec run_block bid =
+    let b = f.blocks.(bid) in
+    let n = Array.length b.instrs in
+    for i = 0 to n - 1 do
+      exec_instr st fr b.instrs.(i)
+    done;
+    match b.term with
+    | Instr.Br target ->
+      Runtime.charge st.rt st.cost.branch;
+      run_block target
+    | Instr.Cbr (v, bt, bf) ->
+      Runtime.charge st.rt st.cost.branch;
+      let c =
+        if value_is_floaty fr v then fval st fr v <> 0.0 else ival st fr v <> 0
+      in
+      run_block (if c then bt else bf)
+    | Instr.Ret None -> AI 0
+    | Instr.Ret (Some v) ->
+      if Types.equal f.ret Types.F64 then AF (fval st fr v) else AI (ival st fr v)
+    | Instr.Unreachable -> trap "reached unreachable in %s:L%d" f.name bid
+  in
+  run_block 0
+
+and exec_instr st fr ins =
+  st.executed <- st.executed + 1;
+  if st.executed > st.fuel then trap "fuel exhausted (%d instructions)" st.fuel;
+  let rt = st.rt in
+  let cost = st.cost in
+  match ins with
+  | Instr.Bin (r, op, a, b) ->
+    if Instr.is_float_binop op then begin
+      Runtime.charge rt cost.alu;
+      fr.floats.(r) <- exec_fbin op (fval st fr a) (fval st fr b)
+    end
+    else begin
+      (match op with
+       | Instr.Mul | Instr.Div | Instr.Rem -> Runtime.charge rt cost.mul_div
+       | _ -> Runtime.charge rt cost.alu);
+      fr.ints.(r) <- exec_ibin op (ival st fr a) (ival st fr b)
+    end
+  | Instr.Cmp (r, op, a, b) ->
+    Runtime.charge rt cost.alu;
+    fr.ints.(r) <-
+      (if value_is_floaty fr a || value_is_floaty fr b then
+         exec_fcmp op (fval st fr a) (fval st fr b)
+       else exec_icmp op (ival st fr a) (ival st fr b))
+  | Instr.Mov (r, v) ->
+    Runtime.charge rt cost.alu;
+    if is_float_reg fr.f r then fr.floats.(r) <- fval st fr v
+    else fr.ints.(r) <- ival st fr v
+  | Instr.I2f (r, v) ->
+    Runtime.charge rt cost.alu;
+    fr.floats.(r) <- float_of_int (ival st fr v)
+  | Instr.F2i (r, v) ->
+    Runtime.charge rt cost.alu;
+    fr.ints.(r) <- int_of_float (fval st fr v)
+  | Instr.Load (r, ty, addr) ->
+    let a = ival st fr addr in
+    if Types.equal ty Types.F64 then fr.floats.(r) <- Runtime.read_f64 rt a
+    else fr.ints.(r) <- Runtime.read_i64 rt a
+  | Instr.Store (ty, addr, v) ->
+    let a = ival st fr addr in
+    if Types.equal ty Types.F64 then Runtime.write_f64 rt a (fval st fr v)
+    else Runtime.write_i64 rt a (ival st fr v)
+  | Instr.Gep (r, base, idx, scale) ->
+    Runtime.charge rt cost.alu;
+    fr.ints.(r) <- ival st fr base + (ival st fr idx * scale)
+  | Instr.Malloc (r, size) ->
+    fr.ints.(r) <- Runtime.ds_alloc rt ~handle:0 ~size:(ival st fr size)
+  | Instr.Free v -> Runtime.free rt (ival st fr v)
+  | Instr.Guard (k, addr) ->
+    Runtime.guard rt ~write:(k = Instr.Gwrite) (ival st fr addr)
+  | Instr.DsInit (r, sid) -> fr.ints.(r) <- Runtime.ds_init rt ~sid
+  | Instr.DsAlloc (r, size, h) ->
+    fr.ints.(r) <-
+      Runtime.ds_alloc rt ~handle:(ival st fr h) ~size:(ival st fr size)
+  | Instr.LoopCheck (r, bases) ->
+    fr.ints.(r) <-
+      (if Runtime.loop_check rt (List.map (ival st fr) bases) then 1 else 0)
+  | Instr.Prefetch _ -> Runtime.charge rt cost.alu
+  | Instr.Call (ropt, name, args) -> exec_call st fr ropt name args
+
+and exec_call st fr ropt name args =
+  let rt = st.rt in
+  Runtime.charge rt st.cost.call;
+  match name with
+  | "print_int" ->
+    let v = ival st fr (List.hd args) in
+    Buffer.add_string st.out (string_of_int v);
+    Buffer.add_char st.out '\n'
+  | "print_float" ->
+    let v = fval st fr (List.hd args) in
+    Buffer.add_string st.out (Printf.sprintf "%.6g" v);
+    Buffer.add_char st.out '\n'
+  | "clock" -> begin
+    match ropt with
+    | Some r -> fr.ints.(r) <- Runtime.now rt
+    | None -> ()
+  end
+  | "abort" -> trap "abort() called"
+  | _ -> begin
+    match Hashtbl.find_opt st.funcs name with
+    | None -> trap "call to unknown function %s" name
+    | Some callee ->
+      let argv =
+        try
+          List.map2
+            (fun (_, ty) v ->
+              match ty with
+              | Types.F64 -> AF (fval st fr v)
+              | _ -> AI (ival st fr v))
+            callee.params args
+        with Invalid_argument _ ->
+          trap "arity mismatch calling %s" name
+      in
+      let res = exec_function st callee argv in
+      (match ropt with
+       | Some r -> begin
+         match res with
+         | AF x ->
+           if is_float_reg fr.f r then fr.floats.(r) <- x
+           else fr.ints.(r) <- int_of_float x
+         | AI x ->
+           if is_float_reg fr.f r then fr.floats.(r) <- float_of_int x
+           else fr.ints.(r) <- x
+       end
+       | None -> ())
+  end
+
+(* ---------- setup ---------- *)
+
+let setup ?(fuel = max_int) (m : Irmod.t) rt =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Func.t) -> Hashtbl.replace funcs f.name f) m.funcs;
+  let globals = Hashtbl.create 16 in
+  let st =
+    { rt; cost = Cost.cards; funcs; globals; executed = 0; fuel;
+      out = Buffer.create 256 }
+  in
+  List.iter
+    (fun (g : Irmod.global) ->
+      let addr = Runtime.alloc_unmanaged rt ~size:(Types.size_of g.gty) in
+      Hashtbl.replace globals g.gname addr;
+      match g.ginit with
+      | Instr.Imm i -> Runtime.write_i64 rt addr (Int64.to_int i)
+      | Instr.Fimm x -> Runtime.write_f64 rt addr x
+      | Instr.Null -> Runtime.write_i64 rt addr 0
+      | Instr.Reg _ | Instr.GlobalAddr _ -> trap "bad global initializer")
+    m.globals;
+  st
+
+let lines_of buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun s -> s <> "")
+
+let finish st res =
+  { ret = (match res with AI x -> x | AF x -> int_of_float x);
+    cycles = Runtime.now st.rt;
+    instructions = st.executed;
+    output = lines_of st.out }
+
+let run ?fuel (m : Irmod.t) rt =
+  let st = setup ?fuel m rt in
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> trap "module has no main"
+  | Some main -> finish st (exec_function st main [])
+
+let run_function ?fuel (m : Irmod.t) rt name args =
+  let st = setup ?fuel m rt in
+  match Hashtbl.find_opt st.funcs name with
+  | None -> trap "no function %s" name
+  | Some f -> finish st (exec_function st f (List.map (fun x -> AI x) args))

@@ -1,0 +1,39 @@
+(** IR interpreter / cycle-accurate-enough simulator.
+
+    Executes a (possibly CaRDS-transformed) IR module against a
+    {!Cards_runtime.Runtime}: plain instructions charge per-class CPU
+    costs, memory instructions go through the runtime's heap (which
+    charges guard, fault, and network costs), and the result carries
+    the final cycle count every experiment reports.
+
+    Integer and pointer registers are native ints (tagged pointers fit
+    in 63 bits); float registers live in an unboxed [float array].
+
+    Functional correctness is independent of the far-memory
+    configuration — a property the test suite checks by running every
+    workload under multiple policies and comparing outputs. *)
+
+type result = {
+  ret : int;               (** main's return value (0 for void) *)
+  cycles : int;            (** simulated execution time *)
+  instructions : int;      (** IR instructions executed *)
+  output : string list;    (** print_int / print_float lines, in order *)
+}
+
+exception Trap of string
+(** Division by zero, [abort], unknown function, fuel exhausted… *)
+
+val run :
+  ?fuel:int -> Cards_ir.Irmod.t -> Cards_runtime.Runtime.t -> result
+(** Execute [main].  [fuel] bounds the executed instruction count
+    (default: unlimited). *)
+
+val run_function :
+  ?fuel:int ->
+  Cards_ir.Irmod.t ->
+  Cards_runtime.Runtime.t ->
+  string ->
+  int list ->
+  result
+(** Execute an arbitrary function with integer/pointer arguments
+    (testing hook). *)

@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Func Instr List Option Types

@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Ast Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Builder Hashtbl Instr Int64 Irmod List Option Printf Types

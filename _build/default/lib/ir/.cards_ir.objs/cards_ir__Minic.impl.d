@@ -1,0 +1,1 @@
+lib/ir/minic.ml: Ast Lower Parser Printf Verify

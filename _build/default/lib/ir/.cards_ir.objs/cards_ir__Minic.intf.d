@@ -1,0 +1,1 @@
+lib/ir/minic.mli: Irmod

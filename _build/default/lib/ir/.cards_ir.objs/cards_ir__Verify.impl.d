@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Func Instr Irmod List Printf String Types

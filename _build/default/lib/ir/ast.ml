@@ -1,0 +1,83 @@
+type pos = { line : int; col : int }
+
+type ty =
+  | TInt
+  | TDouble
+  | TVoid
+  | TPtr of ty
+  | TStruct of string
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Band | Bor
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_node; epos : pos }
+
+and expr_node =
+  | Eint of int64
+  | Efloat of float
+  | Enull
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Earrow of expr * string
+  | Ederef of expr
+  | Emalloc of expr
+  | Esizeof of ty
+
+type lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+  | Larrow of expr * string
+  | Lderef of expr
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Sdecl of ty * string * expr option
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of stmt option * expr option * stmt option * stmt
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sbreak
+  | Scontinue
+  | Sfree of expr
+
+type struct_decl = { sname : string; sfields : (ty * string) list }
+
+type func_decl = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type global_decl = { gname : string; gty : ty; ginit : expr option }
+
+type decl =
+  | Dstruct of struct_decl
+  | Dglobal of global_decl
+  | Dfunc of func_decl
+
+type program = decl list
+
+exception Syntax_error of pos * string
+
+let error pos msg = raise (Syntax_error (pos, msg))
+
+let rec pp_ty fmt = function
+  | TInt -> Format.pp_print_string fmt "int"
+  | TDouble -> Format.pp_print_string fmt "double"
+  | TVoid -> Format.pp_print_string fmt "void"
+  | TPtr t -> Format.fprintf fmt "%a*" pp_ty t
+  | TStruct s -> Format.fprintf fmt "struct %s" s
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t

@@ -1,0 +1,160 @@
+type reg = int
+
+type value =
+  | Reg of reg
+  | Imm of int64
+  | Fimm of float
+  | Null
+  | GlobalAddr of string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type guard_kind = Gread | Gwrite
+
+type instr =
+  | Bin of reg * binop * value * value
+  | Cmp of reg * cmpop * value * value
+  | Mov of reg * value
+  | I2f of reg * value
+  | F2i of reg * value
+  | Load of reg * Types.t * value
+  | Store of Types.t * value * value
+  | Gep of reg * value * value * int
+  | Malloc of reg * value
+  | Free of value
+  | Call of reg option * string * value list
+  | Guard of guard_kind * value
+  | DsInit of reg * int
+  | DsAlloc of reg * value * value
+  | LoopCheck of reg * value list
+  | Prefetch of value
+
+type term =
+  | Br of int
+  | Cbr of value * int * int
+  | Ret of value option
+  | Unreachable
+
+let defined_reg = function
+  | Bin (r, _, _, _) | Cmp (r, _, _, _) | Mov (r, _) | I2f (r, _) | F2i (r, _)
+  | Load (r, _, _) | Gep (r, _, _, _) | Malloc (r, _)
+  | DsInit (r, _) | DsAlloc (r, _, _) | LoopCheck (r, _) -> Some r
+  | Call (r, _, _) -> r
+  | Store _ | Free _ | Guard _ | Prefetch _ -> None
+
+let used_values = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) -> [ a; b ]
+  | Mov (_, v) | I2f (_, v) | F2i (_, v) -> [ v ]
+  | Load (_, _, addr) -> [ addr ]
+  | Store (_, addr, v) -> [ addr; v ]
+  | Gep (_, base, idx, _) -> [ base; idx ]
+  | Malloc (_, size) -> [ size ]
+  | Free v -> [ v ]
+  | Call (_, _, args) -> args
+  | Guard (_, addr) -> [ addr ]
+  | DsInit (_, _) -> []
+  | DsAlloc (_, size, handle) -> [ size; handle ]
+  | LoopCheck (_, handles) -> handles
+  | Prefetch addr -> [ addr ]
+
+let term_used_values = function
+  | Br _ | Unreachable -> []
+  | Cbr (v, _, _) -> [ v ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+
+let term_successors = function
+  | Br b -> [ b ]
+  | Cbr (_, t, f) -> [ t; f ]
+  | Ret _ | Unreachable -> []
+
+let map_instr_values f = function
+  | Bin (r, op, a, b) -> Bin (r, op, f a, f b)
+  | Cmp (r, op, a, b) -> Cmp (r, op, f a, f b)
+  | Mov (r, v) -> Mov (r, f v)
+  | I2f (r, v) -> I2f (r, f v)
+  | F2i (r, v) -> F2i (r, f v)
+  | Load (r, ty, addr) -> Load (r, ty, f addr)
+  | Store (ty, addr, v) -> Store (ty, f addr, f v)
+  | Gep (r, base, idx, scale) -> Gep (r, f base, f idx, scale)
+  | Malloc (r, size) -> Malloc (r, f size)
+  | Free v -> Free (f v)
+  | Call (r, name, args) -> Call (r, name, List.map f args)
+  | Guard (k, addr) -> Guard (k, f addr)
+  | DsInit (r, d) -> DsInit (r, d)
+  | DsAlloc (r, size, handle) -> DsAlloc (r, f size, f handle)
+  | LoopCheck (r, handles) -> LoopCheck (r, List.map f handles)
+  | Prefetch addr -> Prefetch (f addr)
+
+let map_term_values f = function
+  | Br b -> Br b
+  | Cbr (v, t, fl) -> Cbr (f v, t, fl)
+  | Ret (Some v) -> Ret (Some (f v))
+  | Ret None -> Ret None
+  | Unreachable -> Unreachable
+
+let is_float_binop = function
+  | Fadd | Fsub | Fmul | Fdiv -> true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_value fmt = function
+  | Reg r -> Format.fprintf fmt "%%r%d" r
+  | Imm i -> Format.fprintf fmt "%Ld" i
+  | Fimm f -> Format.fprintf fmt "%g" f
+  | Null -> Format.pp_print_string fmt "null"
+  | GlobalAddr g -> Format.fprintf fmt "@%s" g
+
+let pp_values fmt vs =
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      pp_value fmt v)
+    vs
+
+let pp_instr fmt = function
+  | Bin (r, op, a, b) ->
+    Format.fprintf fmt "%%r%d = %s %a, %a" r (binop_name op) pp_value a pp_value b
+  | Cmp (r, op, a, b) ->
+    Format.fprintf fmt "%%r%d = cmp %s %a, %a" r (cmpop_name op) pp_value a pp_value b
+  | Mov (r, v) -> Format.fprintf fmt "%%r%d = mov %a" r pp_value v
+  | I2f (r, v) -> Format.fprintf fmt "%%r%d = i2f %a" r pp_value v
+  | F2i (r, v) -> Format.fprintf fmt "%%r%d = f2i %a" r pp_value v
+  | Load (r, ty, addr) ->
+    Format.fprintf fmt "%%r%d = load %a, %a" r Types.pp ty pp_value addr
+  | Store (ty, addr, v) ->
+    Format.fprintf fmt "store %a, %a <- %a" Types.pp ty pp_value addr pp_value v
+  | Gep (r, base, idx, scale) ->
+    Format.fprintf fmt "%%r%d = gep %a, %a x %d" r pp_value base pp_value idx scale
+  | Malloc (r, size) -> Format.fprintf fmt "%%r%d = malloc %a" r pp_value size
+  | Free v -> Format.fprintf fmt "free %a" pp_value v
+  | Call (None, name, args) -> Format.fprintf fmt "call %s(%a)" name pp_values args
+  | Call (Some r, name, args) ->
+    Format.fprintf fmt "%%r%d = call %s(%a)" r name pp_values args
+  | Guard (Gread, addr) -> Format.fprintf fmt "guard.r %a" pp_value addr
+  | Guard (Gwrite, addr) -> Format.fprintf fmt "guard.w %a" pp_value addr
+  | DsInit (r, d) -> Format.fprintf fmt "%%r%d = ds_init #%d" r d
+  | DsAlloc (r, size, handle) ->
+    Format.fprintf fmt "%%r%d = dsalloc %a, %a" r pp_value size pp_value handle
+  | LoopCheck (r, handles) ->
+    Format.fprintf fmt "%%r%d = loop_check [%a]" r pp_values handles
+  | Prefetch addr -> Format.fprintf fmt "prefetch %a" pp_value addr
+
+let pp_term fmt = function
+  | Br b -> Format.fprintf fmt "br L%d" b
+  | Cbr (v, t, f) -> Format.fprintf fmt "cbr %a, L%d, L%d" pp_value v t f
+  | Ret None -> Format.pp_print_string fmt "ret"
+  | Ret (Some v) -> Format.fprintf fmt "ret %a" pp_value v
+  | Unreachable -> Format.pp_print_string fmt "unreachable"

@@ -1,0 +1,91 @@
+(** IR values, instructions, and terminators.
+
+    The instruction set is a small RISC-flavoured register IR:
+    unbounded virtual registers per function, loads/stores against a
+    byte-addressed heap, address arithmetic via [Gep], and calls.  It is
+    *not* SSA — loop counters are re-assigned in place — which matches
+    what the analyses in {!Cards_analysis} are written against.
+
+    Far-memory constructs ([Guard], [DsInit], [DsAlloc], [LoopCheck])
+    are never produced by the MiniC frontend; they are injected by the
+    CaRDS transformation passes, mirroring how the paper's compiler
+    rewrites LLVM IR. *)
+
+type reg = int
+(** Virtual register index, local to a function. *)
+
+type value =
+  | Reg of reg
+  | Imm of int64        (** integer immediate *)
+  | Fimm of float       (** float immediate *)
+  | Null                (** null pointer *)
+  | GlobalAddr of string(** address of a global variable *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+(** Comparison; operates on integers or floats depending on operands. *)
+
+type guard_kind = Gread | Gwrite
+
+type instr =
+  | Bin of reg * binop * value * value
+      (** [r <- a op b] *)
+  | Cmp of reg * cmpop * value * value
+      (** [r <- a cmp b], result 0/1 *)
+  | Mov of reg * value
+  | I2f of reg * value          (** int-to-float conversion *)
+  | F2i of reg * value          (** float-to-int (truncating) *)
+  | Load of reg * Types.t * value
+      (** [r <- *(ty* )addr] *)
+  | Store of Types.t * value * value
+      (** [*(ty* )addr <- v]; operands are (ty, addr, v) *)
+  | Gep of reg * value * value * int
+      (** [r <- base + index * scale] — address arithmetic *)
+  | Malloc of reg * value
+      (** heap allocation of [size] bytes (pre-transformation) *)
+  | Free of value
+  | Call of reg option * string * value list
+      (** direct call; also used for intrinsics such as [print_int] *)
+  | Guard of guard_kind * value
+      (** CaRDS/TrackFM guard: localize the object behind [addr]
+          before the following access (injected by {!Cards_transform.Guards}) *)
+  | DsInit of reg * int
+      (** [r <- cards_ds_init static_descriptor_id] (pool allocation) *)
+  | DsAlloc of reg * value * value
+      (** [r <- cards_dsalloc (size, handle)] (pool allocation) *)
+  | LoopCheck of reg * value list
+      (** [r <- 1] iff all data structures behind the handles are
+          currently localized (code versioning, §4.1) *)
+  | Prefetch of value
+      (** non-binding prefetch hint for the object behind [addr] *)
+
+type term =
+  | Br of int                     (** unconditional branch to block id *)
+  | Cbr of value * int * int      (** branch if non-zero / zero *)
+  | Ret of value option
+  | Unreachable
+
+val defined_reg : instr -> reg option
+(** The register written by the instruction, if any. *)
+
+val used_values : instr -> value list
+(** Operand values read by the instruction. *)
+
+val term_used_values : term -> value list
+
+val term_successors : term -> int list
+
+val map_instr_values : (value -> value) -> instr -> instr
+(** Rewrite every operand (not the defined register). *)
+
+val map_term_values : (value -> value) -> term -> term
+
+val is_float_binop : binop -> bool
+
+val pp_value : Format.formatter -> value -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val pp_term : Format.formatter -> term -> unit

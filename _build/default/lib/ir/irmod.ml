@@ -1,0 +1,30 @@
+type global = { gname : string; gty : Types.t; ginit : Instr.value }
+
+type t = {
+  globals : global list;
+  funcs : Func.t list;
+}
+
+let empty = { globals = []; funcs = [] }
+
+let find_func_opt t name =
+  List.find_opt (fun (f : Func.t) -> f.name = name) t.funcs
+
+let find_func t name =
+  match find_func_opt t name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let has_func t name = Option.is_some (find_func_opt t name)
+
+let add_func t f =
+  let others = List.filter (fun (g : Func.t) -> g.Func.name <> f.Func.name) t.funcs in
+  { t with funcs = others @ [ f ] }
+
+let replace_funcs t funcs = { t with funcs }
+
+let main t = find_func t "main"
+
+let intrinsics = [ "print_int"; "print_float"; "abort"; "clock" ]
+
+let is_intrinsic name = List.mem name intrinsics

@@ -1,0 +1,36 @@
+(** A whole-program IR module: globals plus functions.
+
+    Globals are scalar variables living in an unmanaged segment (CaRDS
+    only manages heap data structures — "Notably, only heap-allocated
+    data structures are identified", §4.1 Fig. 2). *)
+
+type global = { gname : string; gty : Types.t; ginit : Instr.value }
+
+type t = {
+  globals : global list;
+  funcs : Func.t list;
+}
+
+val empty : t
+
+val find_func : t -> string -> Func.t
+(** @raise Not_found if absent. *)
+
+val find_func_opt : t -> string -> Func.t option
+
+val has_func : t -> string -> bool
+
+val add_func : t -> Func.t -> t
+(** Add or replace (by name). *)
+
+val replace_funcs : t -> Func.t list -> t
+(** Replace the function list wholesale (used by transforms). *)
+
+val main : t -> Func.t
+(** The entry function. @raise Not_found if there is no [main]. *)
+
+val intrinsics : string list
+(** Names treated as runtime intrinsics rather than IR functions:
+    [print_int], [print_float], [abort], [clock]. *)
+
+val is_intrinsic : string -> bool

@@ -1,0 +1,142 @@
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; pos : Ast.pos }
+
+let keywords =
+  [ "int"; "double"; "void"; "struct"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue"; "malloc"; "free"; "sizeof"; "null" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let token_to_string = function
+  | INT i -> Int64.to_string i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable bol : int; (* index of beginning of current line *)
+}
+
+let pos st = { Ast.line = st.line; col = st.i - st.bol + 1 }
+
+let peek st k =
+  if st.i + k < String.length st.src then Some st.src.[st.i + k] else None
+
+let advance st =
+  (match peek st 0 with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.i + 1
+   | Some _ | None -> ());
+  st.i <- st.i + 1
+
+let rec skip_ws_comments st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_comments st
+  | Some '/' when peek st 1 = Some '/' ->
+    while peek st 0 <> None && peek st 0 <> Some '\n' do advance st done;
+    skip_ws_comments st
+  | Some '/' when peek st 1 = Some '*' ->
+    let p = pos st in
+    advance st; advance st;
+    let rec close () =
+      match peek st 0, peek st 1 with
+      | Some '*', Some '/' -> advance st; advance st
+      | Some _, _ -> advance st; close ()
+      | None, _ -> Ast.error p "unterminated block comment"
+    in
+    close ();
+    skip_ws_comments st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let p = pos st in
+  let start = st.i in
+  while (match peek st 0 with Some c -> is_digit c | None -> false) do advance st done;
+  let is_float =
+    match peek st 0, peek st 1 with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', (Some _ | None) -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st 0 with Some c -> is_digit c | None -> false) do advance st done;
+    (match peek st 0 with
+     | Some ('e' | 'E') ->
+       advance st;
+       (match peek st 0 with Some ('+' | '-') -> advance st | _ -> ());
+       while (match peek st 0 with Some c -> is_digit c | None -> false) do advance st done
+     | _ -> ());
+    let text = String.sub st.src start (st.i - start) in
+    match float_of_string_opt text with
+    | Some f -> { tok = FLOAT f; pos = p }
+    | None -> Ast.error p (Printf.sprintf "malformed float literal %S" text)
+  end
+  else begin
+    let text = String.sub st.src start (st.i - start) in
+    match Int64.of_string_opt text with
+    | Some i -> { tok = INT i; pos = p }
+    | None -> Ast.error p (Printf.sprintf "malformed int literal %S" text)
+  end
+
+let lex_ident st =
+  let p = pos st in
+  let start = st.i in
+  while (match peek st 0 with Some c -> is_ident_char c | None -> false) do advance st done;
+  let text = String.sub st.src start (st.i - start) in
+  if List.mem text keywords then { tok = KW text; pos = p }
+  else { tok = IDENT text; pos = p }
+
+let two_char_puncts = [ "=="; "!="; "<="; ">="; "&&"; "||"; "->" ]
+let one_char_puncts = "(){}[];,*/%+-=<>!."
+
+let lex_punct st =
+  let p = pos st in
+  let two =
+    match peek st 0, peek st 1 with
+    | Some a, Some b ->
+      let s = Printf.sprintf "%c%c" a b in
+      if List.mem s two_char_puncts then Some s else None
+    | _ -> None
+  in
+  match two with
+  | Some s ->
+    advance st; advance st;
+    { tok = PUNCT s; pos = p }
+  | None -> begin
+    match peek st 0 with
+    | Some c when String.contains one_char_puncts c ->
+      advance st;
+      { tok = PUNCT (String.make 1 c); pos = p }
+    | Some c -> Ast.error p (Printf.sprintf "illegal character %C" c)
+    | None -> { tok = EOF; pos = p }
+  end
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    skip_ws_comments st;
+    match peek st 0 with
+    | None -> List.rev ({ tok = EOF; pos = pos st } :: acc)
+    | Some c when is_digit c -> loop (lex_number st :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident st :: acc)
+    | Some _ -> loop (lex_punct st :: acc)
+  in
+  loop []

@@ -1,0 +1,22 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+      (** one of: int double void struct if else while for return break
+          continue malloc free sizeof null *)
+  | PUNCT of string
+      (** operators and delimiters: [( ) { } \[ \] ; , * / % + - = ==
+          != < <= > >= && || ! -> .] *)
+  | EOF
+
+type lexed = { tok : token; pos : Ast.pos }
+
+val tokenize : string -> lexed list
+(** Lex a full source string.
+    @raise Ast.Syntax_error on illegal characters or malformed
+    literals/comments. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,544 @@
+open Ast
+
+type fsig = { sig_ret : Ast.ty; sig_params : Ast.ty list }
+
+type env = {
+  structs : (string, (Ast.ty * string) list) Hashtbl.t;
+  layouts : (string, Types.t) Hashtbl.t;
+  fsigs : (string, fsig) Hashtbl.t;
+  globals : (string, Ast.ty) Hashtbl.t;
+}
+
+(* Pointer fields are flattened to [i64*]: this breaks recursive-type
+   cycles and deliberately erases pointee identity, as LLVM IR does. *)
+let lower_field _env pos = function
+  | TInt -> Types.I64
+  | TDouble -> Types.F64
+  | TPtr _ -> Types.Ptr Types.I64
+  | TStruct s -> error pos (Printf.sprintf "struct %s field must be scalar or pointer" s)
+  | TVoid -> error pos "void struct field"
+
+let layout env pos name =
+  match Hashtbl.find_opt env.layouts name with
+  | Some l -> l
+  | None -> begin
+    match Hashtbl.find_opt env.structs name with
+    | None -> error pos (Printf.sprintf "unknown struct %s" name)
+    | Some fields ->
+      let l =
+        Types.Struct
+          (name, Array.of_list (List.map (fun (ty, _) -> lower_field env pos ty) fields))
+      in
+      Hashtbl.replace env.layouts name l;
+      l
+  end
+
+let rec lower_ty env pos = function
+  | TInt -> Types.I64
+  | TDouble -> Types.F64
+  | TVoid -> Types.Void
+  | TPtr (TStruct s) -> Types.Ptr (layout env pos s)
+  | TPtr t -> Types.Ptr (lower_ty env pos t)
+  | TStruct s -> error pos (Printf.sprintf "struct %s can only be used behind a pointer" s)
+
+let sizeof_ast env pos = function
+  | TInt | TDouble | TPtr _ -> 8
+  | TStruct s -> Types.size_of (layout env pos s)
+  | TVoid -> error pos "sizeof(void)"
+
+let is_numeric = function TInt | TDouble -> true | TPtr _ | TStruct _ | TVoid -> false
+let is_ptr = function TPtr _ -> true | TInt | TDouble | TStruct _ | TVoid -> false
+
+let field_info env pos sname fname =
+  match Hashtbl.find_opt env.structs sname with
+  | None -> error pos (Printf.sprintf "unknown struct %s" sname)
+  | Some fields ->
+    let rec find i = function
+      | [] -> error pos (Printf.sprintf "struct %s has no field %s" sname fname)
+      | (ty, n) :: _ when n = fname -> (i, ty)
+      | _ :: rest -> find (i + 1) rest
+    in
+    let idx, fty = find 0 fields in
+    let l = layout env pos sname in
+    (Types.field_offset l idx, fty)
+
+(* --- per-function lowering state ------------------------------------- *)
+
+type fstate = {
+  env : env;
+  b : Builder.t;
+  mutable scopes : (string, Instr.reg * Ast.ty) Hashtbl.t list;
+  mutable loops : (int * int) list; (* (continue target, break target) *)
+  fret_ty : Ast.ty;
+}
+
+let push_scope fs = fs.scopes <- Hashtbl.create 8 :: fs.scopes
+let pop_scope fs =
+  match fs.scopes with
+  | _ :: rest -> fs.scopes <- rest
+  | [] -> assert false
+
+let lookup_var fs name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> begin
+      match Hashtbl.find_opt scope name with
+      | Some x -> Some x
+      | None -> go rest
+    end
+  in
+  go fs.scopes
+
+let declare_var fs pos name ty =
+  match fs.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then
+      error pos (Printf.sprintf "redeclaration of %s" name);
+    let r = Builder.fresh fs.b (lower_ty fs.env pos ty) in
+    Hashtbl.replace scope name (r, ty);
+    r
+  | [] -> assert false
+
+(* Numeric conversion of [v : from] to [target]. *)
+let convert fs pos v from target =
+  match from, target with
+  | TInt, TDouble -> Builder.i2f fs.b v
+  | TDouble, TInt -> Builder.f2i fs.b v
+  | TInt, TInt | TDouble, TDouble -> v
+  | TPtr _, TPtr _ -> v   (* pointer assignment is untyped, like LLVM *)
+  | (TInt | TDouble | TPtr _ | TStruct _ | TVoid), _ ->
+    if from = target then v
+    else
+      error pos
+        (Printf.sprintf "cannot convert %s to %s" (ty_to_string from)
+           (ty_to_string target))
+
+let rec lower_expr fs ?(hint : Ast.ty option) (e : expr) : Instr.value * Ast.ty =
+  let pos = e.epos in
+  match e.e with
+  | Eint i -> (Instr.Imm i, TInt)
+  | Efloat f -> (Instr.Fimm f, TDouble)
+  | Enull ->
+    let ty = match hint with Some (TPtr _ as t) -> t | _ -> TPtr TInt in
+    (Instr.Null, ty)
+  | Esizeof ty -> (Instr.Imm (Int64.of_int (sizeof_ast fs.env pos ty)), TInt)
+  | Evar name -> begin
+    match lookup_var fs name with
+    | Some (r, ty) -> (Instr.Reg r, ty)
+    | None -> begin
+      match Hashtbl.find_opt fs.env.globals name with
+      | Some gty ->
+        let v = Builder.load fs.b (lower_ty fs.env pos gty) (Instr.GlobalAddr name) in
+        (v, gty)
+      | None -> error pos (Printf.sprintf "unknown variable %s" name)
+    end
+  end
+  | Emalloc size_e ->
+    let size, sty = lower_expr fs size_e in
+    let size = convert fs pos size sty TInt in
+    let ty = match hint with Some (TPtr _ as t) -> t | _ -> TPtr TInt in
+    let v = Builder.malloc fs.b ~ty:(lower_ty fs.env pos ty) size in
+    (v, ty)
+  | Eun (Uneg, e1) ->
+    let v, ty = lower_expr fs e1 in
+    if not (is_numeric ty) then error pos "unary - on non-numeric operand";
+    if ty = TDouble then (Builder.bin fs.b Instr.Fsub (Instr.Fimm 0.0) v, TDouble)
+    else (Builder.bin fs.b Instr.Sub (Instr.Imm 0L) v, TInt)
+  | Eun (Unot, e1) ->
+    let v, ty = lower_expr fs e1 in
+    let zero = if ty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+    (Builder.cmp fs.b Instr.Eq v zero, TInt)
+  | Ebin ((Band | Bor) as op, l, r) -> lower_short_circuit fs pos op l r
+  | Ebin (op, l, r) -> lower_binop fs pos op l r
+  | Ecall (name, args) -> lower_call fs pos ~hint name args
+  | Eindex (base_e, idx_e) ->
+    let addr, elem_ty = lower_index_addr fs pos base_e idx_e in
+    (Builder.load fs.b (lower_ty fs.env pos elem_ty) addr, elem_ty)
+  | Earrow (p_e, fname) ->
+    let addr, fty = lower_arrow_addr fs pos p_e fname in
+    (Builder.load fs.b (lower_ty fs.env pos fty) addr, fty)
+  | Ederef p_e ->
+    let addr, pointee_ty = lower_deref_addr fs pos p_e in
+    (Builder.load fs.b (lower_ty fs.env pos pointee_ty) addr, pointee_ty)
+
+and lower_index_addr fs pos base_e idx_e =
+  let base, bty = lower_expr fs base_e in
+  let idx, ity = lower_expr fs idx_e in
+  let idx = convert fs pos idx ity TInt in
+  match bty with
+  | TPtr elem_ty ->
+    let scale = sizeof_ast fs.env pos elem_ty in
+    let addr =
+      Builder.gep fs.b ~ty:(lower_ty fs.env pos bty) base idx scale
+    in
+    (addr, elem_ty)
+  | TInt | TDouble | TStruct _ | TVoid -> error pos "indexing a non-pointer"
+
+and lower_arrow_addr fs pos p_e fname =
+  let p, pty = lower_expr fs p_e in
+  match pty with
+  | TPtr (TStruct sname) ->
+    let offset, fty = field_info fs.env pos sname fname in
+    let addr =
+      Builder.gep fs.b ~ty:(Types.Ptr (lower_field fs.env pos fty)) p
+        (Instr.Imm (Int64.of_int offset)) 1
+    in
+    (addr, fty)
+  | _ -> error pos (Printf.sprintf "-> on %s (need struct pointer)" (ty_to_string pty))
+
+and lower_deref_addr fs pos p_e =
+  let p, pty = lower_expr fs p_e in
+  match pty with
+  | TPtr (TStruct s) -> error pos (Printf.sprintf "cannot load struct %s by value" s)
+  | TPtr t -> (p, t)
+  | TInt | TDouble | TStruct _ | TVoid -> error pos "dereferencing a non-pointer"
+
+and lower_short_circuit fs pos op l r =
+  let result = Builder.fresh fs.b Types.I64 in
+  let v_l, lty = lower_expr fs l in
+  let zero_l = if lty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+  let l_true = Builder.cmp fs.b Instr.Ne v_l zero_l in
+  let rhs_block = Builder.new_block fs.b in
+  let short_block = Builder.new_block fs.b in
+  let join = Builder.new_block fs.b in
+  (match op with
+   | Band -> Builder.cbr fs.b l_true rhs_block short_block
+   | Bor -> Builder.cbr fs.b l_true short_block rhs_block
+   | _ -> assert false);
+  Builder.set_block fs.b rhs_block;
+  let v_r, rty = lower_expr fs r in
+  let zero_r = if rty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+  let r_true = Builder.cmp fs.b Instr.Ne v_r zero_r in
+  Builder.emit fs.b (Instr.Mov (result, r_true));
+  Builder.br fs.b join;
+  Builder.set_block fs.b short_block;
+  let short_val = match op with Band -> 0L | _ -> 1L in
+  Builder.emit fs.b (Instr.Mov (result, Instr.Imm short_val));
+  Builder.br fs.b join;
+  Builder.set_block fs.b join;
+  ignore pos;
+  (Instr.Reg result, TInt)
+
+and lower_binop fs pos op l r =
+  let v_l, lty = lower_expr fs l in
+  let v_r, rty = lower_expr fs r in
+  let arith iop fop =
+    match lty, rty with
+    | TInt, TInt -> (Builder.bin fs.b iop v_l v_r, TInt)
+    | (TDouble | TInt), (TDouble | TInt) ->
+      let v_l = convert fs pos v_l lty TDouble in
+      let v_r = convert fs pos v_r rty TDouble in
+      (Builder.bin fs.b fop v_l v_r, TDouble)
+    | TPtr elem_ty, TInt when op = Badd || op = Bsub ->
+      let scale = sizeof_ast fs.env pos elem_ty in
+      let idx =
+        if op = Bsub then Builder.bin fs.b Instr.Sub (Instr.Imm 0L) v_r else v_r
+      in
+      (Builder.gep fs.b ~ty:(lower_ty fs.env pos lty) v_l idx scale, lty)
+    | TPtr _, TPtr _ when op = Bsub ->
+      (* pointer difference in bytes *)
+      (Builder.bin fs.b Instr.Sub v_l v_r, TInt)
+    | _ ->
+      error pos
+        (Printf.sprintf "invalid operands %s, %s" (ty_to_string lty) (ty_to_string rty))
+  in
+  let compare cop =
+    match lty, rty with
+    | (TInt | TDouble), (TInt | TDouble) ->
+      if lty = TDouble || rty = TDouble then begin
+        let v_l = convert fs pos v_l lty TDouble in
+        let v_r = convert fs pos v_r rty TDouble in
+        (Builder.cmp fs.b cop v_l v_r, TInt)
+      end
+      else (Builder.cmp fs.b cop v_l v_r, TInt)
+    | TPtr _, TPtr _ -> (Builder.cmp fs.b cop v_l v_r, TInt)
+    | _ ->
+      error pos
+        (Printf.sprintf "cannot compare %s with %s" (ty_to_string lty)
+           (ty_to_string rty))
+  in
+  match op with
+  | Badd -> arith Instr.Add Instr.Fadd
+  | Bsub -> arith Instr.Sub Instr.Fsub
+  | Bmul -> arith Instr.Mul Instr.Fmul
+  | Bdiv -> arith Instr.Div Instr.Fdiv
+  | Brem -> begin
+    match lty, rty with
+    | TInt, TInt -> (Builder.bin fs.b Instr.Rem v_l v_r, TInt)
+    | _ -> error pos "% requires int operands"
+  end
+  | Beq -> compare Instr.Eq
+  | Bne -> compare Instr.Ne
+  | Blt -> compare Instr.Lt
+  | Ble -> compare Instr.Le
+  | Bgt -> compare Instr.Gt
+  | Bge -> compare Instr.Ge
+  | Band | Bor -> assert false
+
+and lower_call fs pos ?hint name args =
+  ignore hint;
+  match name, args with
+  | "print_int", [ a ] ->
+    let v, ty = lower_expr fs a in
+    let v = convert fs pos v ty TInt in
+    Builder.call_void fs.b "print_int" [ v ];
+    (Instr.Imm 0L, TInt)
+  | "print_float", [ a ] ->
+    let v, ty = lower_expr fs a in
+    let v = convert fs pos v ty TDouble in
+    Builder.call_void fs.b "print_float" [ v ];
+    (Instr.Imm 0L, TInt)
+  | "clock", [] -> (Builder.call fs.b ~ty:Types.I64 "clock" [], TInt)
+  | "abort", [] ->
+    Builder.call_void fs.b "abort" [];
+    (Instr.Imm 0L, TInt)
+  | _ -> begin
+    match Hashtbl.find_opt fs.env.fsigs name with
+    | None -> error pos (Printf.sprintf "unknown function %s" name)
+    | Some fsig ->
+      if List.length args <> List.length fsig.sig_params then
+        error pos
+          (Printf.sprintf "%s expects %d arguments, got %d" name
+             (List.length fsig.sig_params) (List.length args));
+      let lowered =
+        List.map2
+          (fun arg pty ->
+            let v, aty = lower_expr fs ~hint:pty arg in
+            convert fs pos v aty pty)
+          args fsig.sig_params
+      in
+      match fsig.sig_ret with
+      | TVoid ->
+        Builder.call_void fs.b name lowered;
+        (Instr.Imm 0L, TInt)
+      | ret ->
+        let v = Builder.call fs.b ~ty:(lower_ty fs.env pos ret) name lowered in
+        (v, ret)
+  end
+
+(* --- statements ------------------------------------------------------ *)
+
+let rec lower_stmt fs (stmt : stmt) =
+  let pos = stmt.spos in
+  match stmt.s with
+  | Sblock body ->
+    push_scope fs;
+    List.iter (lower_stmt fs) body;
+    pop_scope fs
+  | Sdecl (ty, name, init) ->
+    let init_v =
+      Option.map
+        (fun e ->
+          let v, ety = lower_expr fs ~hint:ty e in
+          convert fs pos v ety ty)
+        init
+    in
+    let r = declare_var fs pos name ty in
+    let v =
+      match init_v with
+      | Some v -> v
+      | None -> begin
+        match ty with
+        | TDouble -> Instr.Fimm 0.0
+        | TPtr _ -> Instr.Null
+        | _ -> Instr.Imm 0L
+      end
+    in
+    Builder.emit fs.b (Instr.Mov (r, v))
+  | Sassign (lv, rhs) -> lower_assign fs pos lv rhs
+  | Sexpr e -> ignore (lower_expr fs e)
+  | Sfree e ->
+    let v, ty = lower_expr fs e in
+    if not (is_ptr ty) then error pos "free of non-pointer";
+    Builder.emit fs.b (Instr.Free v)
+  | Sreturn None -> begin
+    match fs.fret_ty with
+    | TVoid -> Builder.ret fs.b None
+    | _ -> error pos "missing return value"
+  end
+  | Sreturn (Some e) ->
+    let v, ty = lower_expr fs ~hint:fs.fret_ty e in
+    let v = convert fs pos v ty fs.fret_ty in
+    Builder.ret fs.b (Some v)
+  | Sif (c, then_s, else_s) ->
+    let v, cty = lower_expr fs c in
+    let zero = if cty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+    let cond = Builder.cmp fs.b Instr.Ne v zero in
+    let bt = Builder.new_block fs.b in
+    let bf = Builder.new_block fs.b in
+    let join = Builder.new_block fs.b in
+    Builder.cbr fs.b cond bt bf;
+    Builder.set_block fs.b bt;
+    push_scope fs;
+    lower_stmt fs then_s;
+    pop_scope fs;
+    if not (Builder.sealed fs.b (Builder.current_block fs.b)) then Builder.br fs.b join;
+    Builder.set_block fs.b bf;
+    (match else_s with
+     | Some s ->
+       push_scope fs;
+       lower_stmt fs s;
+       pop_scope fs
+     | None -> ());
+    if not (Builder.sealed fs.b (Builder.current_block fs.b)) then Builder.br fs.b join;
+    Builder.set_block fs.b join
+  | Swhile (c, body) ->
+    let header = Builder.new_block fs.b in
+    let bodyb = Builder.new_block fs.b in
+    let exitb = Builder.new_block fs.b in
+    Builder.br fs.b header;
+    Builder.set_block fs.b header;
+    let v, cty = lower_expr fs c in
+    let zero = if cty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+    let cond = Builder.cmp fs.b Instr.Ne v zero in
+    Builder.cbr fs.b cond bodyb exitb;
+    Builder.set_block fs.b bodyb;
+    fs.loops <- (header, exitb) :: fs.loops;
+    push_scope fs;
+    lower_stmt fs body;
+    pop_scope fs;
+    fs.loops <- List.tl fs.loops;
+    if not (Builder.sealed fs.b (Builder.current_block fs.b)) then
+      Builder.br fs.b header;
+    Builder.set_block fs.b exitb
+  | Sfor (init, cond, step, body) ->
+    push_scope fs;
+    Option.iter (lower_stmt fs) init;
+    let header = Builder.new_block fs.b in
+    let bodyb = Builder.new_block fs.b in
+    let stepb = Builder.new_block fs.b in
+    let exitb = Builder.new_block fs.b in
+    Builder.br fs.b header;
+    Builder.set_block fs.b header;
+    (match cond with
+     | Some c ->
+       let v, cty = lower_expr fs c in
+       let zero = if cty = TDouble then Instr.Fimm 0.0 else Instr.Imm 0L in
+       let cv = Builder.cmp fs.b Instr.Ne v zero in
+       Builder.cbr fs.b cv bodyb exitb
+     | None -> Builder.br fs.b bodyb);
+    Builder.set_block fs.b bodyb;
+    fs.loops <- (stepb, exitb) :: fs.loops;
+    push_scope fs;
+    lower_stmt fs body;
+    pop_scope fs;
+    fs.loops <- List.tl fs.loops;
+    if not (Builder.sealed fs.b (Builder.current_block fs.b)) then
+      Builder.br fs.b stepb;
+    Builder.set_block fs.b stepb;
+    Option.iter (lower_stmt fs) step;
+    Builder.br fs.b header;
+    Builder.set_block fs.b exitb;
+    pop_scope fs
+  | Sbreak -> begin
+    match fs.loops with
+    | (_, exitb) :: _ -> Builder.br fs.b exitb
+    | [] -> error pos "break outside loop"
+  end
+  | Scontinue -> begin
+    match fs.loops with
+    | (contb, _) :: _ -> Builder.br fs.b contb
+    | [] -> error pos "continue outside loop"
+  end
+
+and lower_assign fs pos lv rhs =
+  match lv with
+  | Lvar name -> begin
+    match lookup_var fs name with
+    | Some (r, ty) ->
+      let v, ety = lower_expr fs ~hint:ty rhs in
+      Builder.emit fs.b (Instr.Mov (r, convert fs pos v ety ty))
+    | None -> begin
+      match Hashtbl.find_opt fs.env.globals name with
+      | Some gty ->
+        let v, ety = lower_expr fs ~hint:gty rhs in
+        let v = convert fs pos v ety gty in
+        Builder.store fs.b (lower_ty fs.env pos gty) ~addr:(Instr.GlobalAddr name) v
+      | None -> error pos (Printf.sprintf "unknown variable %s" name)
+    end
+  end
+  | Lindex (base_e, idx_e) ->
+    let addr, elem_ty = lower_index_addr fs pos base_e idx_e in
+    let v, ety = lower_expr fs ~hint:elem_ty rhs in
+    let v = convert fs pos v ety elem_ty in
+    Builder.store fs.b (lower_ty fs.env pos elem_ty) ~addr v
+  | Larrow (p_e, fname) ->
+    let addr, fty = lower_arrow_addr fs pos p_e fname in
+    let v, ety = lower_expr fs ~hint:fty rhs in
+    let v = convert fs pos v ety fty in
+    Builder.store fs.b (lower_field fs.env pos fty) ~addr v
+  | Lderef p_e ->
+    let addr, pointee_ty = lower_deref_addr fs pos p_e in
+    let v, ety = lower_expr fs ~hint:pointee_ty rhs in
+    let v = convert fs pos v ety pointee_ty in
+    Builder.store fs.b (lower_ty fs.env pos pointee_ty) ~addr v
+
+(* --- whole program ---------------------------------------------------- *)
+
+let lower_func env (fd : func_decl) =
+  let pos = { line = 0; col = 0 } in
+  let params =
+    List.map (fun (ty, name) -> (name, lower_ty env pos ty)) fd.fparams
+  in
+  let b = Builder.create ~name:fd.fname ~params ~ret:(lower_ty env pos fd.fret) in
+  let fs = { env; b; scopes = []; loops = []; fret_ty = fd.fret } in
+  push_scope fs;
+  (* Bind parameters into the top scope (their registers are 0..). *)
+  List.iteri
+    (fun i (ty, name) ->
+      match fs.scopes with
+      | scope :: _ -> Hashtbl.replace scope name (i, ty)
+      | [] -> assert false)
+    fd.fparams;
+  List.iter (lower_stmt fs) fd.fbody;
+  if not (Builder.sealed fs.b (Builder.current_block fs.b)) then begin
+    match fd.fret with
+    | TVoid -> Builder.ret fs.b None
+    | TDouble -> Builder.ret fs.b (Some (Instr.Fimm 0.0))
+    | TPtr _ -> Builder.ret fs.b (Some Instr.Null)
+    | _ -> Builder.ret fs.b (Some (Instr.Imm 0L))
+  end;
+  Builder.finish fs.b
+
+let lower (prog : program) : Irmod.t =
+  let env =
+    { structs = Hashtbl.create 8; layouts = Hashtbl.create 8;
+      fsigs = Hashtbl.create 8; globals = Hashtbl.create 8 }
+  in
+  let pos = { line = 0; col = 0 } in
+  (* First pass: collect declarations so functions can be mutually
+     recursive and mention later structs. *)
+  List.iter
+    (function
+      | Dstruct sd -> Hashtbl.replace env.structs sd.sname sd.sfields
+      | Dglobal gd -> Hashtbl.replace env.globals gd.gname gd.gty
+      | Dfunc fd ->
+        Hashtbl.replace env.fsigs fd.fname
+          { sig_ret = fd.fret; sig_params = List.map fst fd.fparams })
+    prog;
+  let globals =
+    List.filter_map
+      (function
+        | Dglobal gd ->
+          let ginit =
+            match gd.ginit with
+            | Some { e = Eint i; _ } -> Instr.Imm i
+            | Some { e = Efloat f; _ } -> Instr.Fimm f
+            | Some { e = Enull; _ } | None -> begin
+              match gd.gty with
+              | TDouble -> Instr.Fimm 0.0
+              | TPtr _ -> Instr.Null
+              | _ -> Instr.Imm 0L
+            end
+            | Some e -> error e.epos "global initializers must be literals"
+          in
+          Some { Irmod.gname = gd.gname; gty = lower_ty env pos gd.gty; ginit }
+        | Dstruct _ | Dfunc _ -> None)
+      prog
+  in
+  let funcs =
+    List.filter_map
+      (function Dfunc fd -> Some (lower_func env fd) | Dstruct _ | Dglobal _ -> None)
+      prog
+  in
+  { Irmod.globals; funcs }

@@ -1,0 +1,14 @@
+(** Lowering MiniC to the IR, with type checking.
+
+    This is where source-level data-structure information is *lost*, by
+    design: struct names survive only as debug strings and pointer
+    fields are flattened to untyped pointers, so downstream analyses see
+    exactly what the paper's LLVM middle-end sees (§3: "The LLVM type
+    system does not recognize user-defined types").
+
+    Typing rules are C-like: [int]/[double] convert implicitly,
+    pointer+int scales by the pointee size, [malloc] adopts the type of
+    its destination, structs exist only behind pointers. *)
+
+val lower : Ast.program -> Irmod.t
+(** @raise Ast.Syntax_error on type errors (with source position). *)

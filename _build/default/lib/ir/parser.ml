@@ -1,0 +1,433 @@
+open Ast
+
+type st = { toks : Lexer.lexed array; mutable k : int }
+
+let cur st = st.toks.(st.k)
+let cur_tok st = (cur st).Lexer.tok
+let cur_pos st = (cur st).Lexer.pos
+let bump st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let fail st msg =
+  error (cur_pos st)
+    (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string (cur_tok st)))
+
+let eat_punct st p =
+  match cur_tok st with
+  | Lexer.PUNCT q when q = p -> bump st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_kw st kw =
+  match cur_tok st with
+  | Lexer.KW q when q = kw -> bump st
+  | _ -> fail st (Printf.sprintf "expected keyword %S" kw)
+
+let peek_punct st p =
+  match cur_tok st with Lexer.PUNCT q -> q = p | _ -> false
+
+let peek_kw st kw = match cur_tok st with Lexer.KW q -> q = kw | _ -> false
+
+let accept_punct st p =
+  if peek_punct st p then begin bump st; true end else false
+
+let ident st =
+  match cur_tok st with
+  | Lexer.IDENT s -> bump st; s
+  | _ -> fail st "expected identifier"
+
+(* --- types ------------------------------------------------------- *)
+
+let starts_type st =
+  peek_kw st "int" || peek_kw st "double" || peek_kw st "void" || peek_kw st "struct"
+
+let parse_base_ty st =
+  if peek_kw st "int" then begin bump st; TInt end
+  else if peek_kw st "double" then begin bump st; TDouble end
+  else if peek_kw st "void" then begin bump st; TVoid end
+  else if peek_kw st "struct" then begin
+    bump st;
+    let name = ident st in
+    TStruct name
+  end
+  else fail st "expected type"
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  let rec stars t = if accept_punct st "*" then stars (TPtr t) else t in
+  stars base
+
+(* --- expressions -------------------------------------------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek_punct st "||" do
+    let p = cur_pos st in
+    bump st;
+    let rhs = parse_and st in
+    lhs := { e = Ebin (Bor, !lhs, rhs); epos = p }
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_equality st) in
+  while peek_punct st "&&" do
+    let p = cur_pos st in
+    bump st;
+    let rhs = parse_equality st in
+    lhs := { e = Ebin (Band, !lhs, rhs); epos = p }
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_relational st) in
+  let rec loop () =
+    let op =
+      if peek_punct st "==" then Some Beq
+      else if peek_punct st "!=" then Some Bne
+      else None
+    in
+    match op with
+    | Some op ->
+      let p = cur_pos st in
+      bump st;
+      let rhs = parse_relational st in
+      lhs := { e = Ebin (op, !lhs, rhs); epos = p };
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_relational st =
+  let lhs = ref (parse_additive st) in
+  let rec loop () =
+    let op =
+      if peek_punct st "<=" then Some Ble
+      else if peek_punct st ">=" then Some Bge
+      else if peek_punct st "<" then Some Blt
+      else if peek_punct st ">" then Some Bgt
+      else None
+    in
+    match op with
+    | Some op ->
+      let p = cur_pos st in
+      bump st;
+      let rhs = parse_additive st in
+      lhs := { e = Ebin (op, !lhs, rhs); epos = p };
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    let op =
+      if peek_punct st "+" then Some Badd
+      else if peek_punct st "-" then Some Bsub
+      else None
+    in
+    match op with
+    | Some op ->
+      let p = cur_pos st in
+      bump st;
+      let rhs = parse_multiplicative st in
+      lhs := { e = Ebin (op, !lhs, rhs); epos = p };
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    let op =
+      if peek_punct st "*" then Some Bmul
+      else if peek_punct st "/" then Some Bdiv
+      else if peek_punct st "%" then Some Brem
+      else None
+    in
+    match op with
+    | Some op ->
+      let p = cur_pos st in
+      bump st;
+      let rhs = parse_unary st in
+      lhs := { e = Ebin (op, !lhs, rhs); epos = p };
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  let p = cur_pos st in
+  if accept_punct st "-" then
+    let e = parse_unary st in
+    { e = Eun (Uneg, e); epos = p }
+  else if accept_punct st "!" then
+    let e = parse_unary st in
+    { e = Eun (Unot, e); epos = p }
+  else if accept_punct st "*" then
+    let e = parse_unary st in
+    { e = Ederef e; epos = p }
+  else parse_postfix st
+
+and parse_postfix st =
+  let base = ref (parse_primary st) in
+  let rec loop () =
+    if peek_punct st "[" then begin
+      let p = cur_pos st in
+      bump st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      base := { e = Eindex (!base, idx); epos = p };
+      loop ()
+    end
+    else if peek_punct st "->" then begin
+      let p = cur_pos st in
+      bump st;
+      let f = ident st in
+      base := { e = Earrow (!base, f); epos = p };
+      loop ()
+    end
+  in
+  loop ();
+  !base
+
+and parse_primary st =
+  let p = cur_pos st in
+  match cur_tok st with
+  | Lexer.INT i -> bump st; { e = Eint i; epos = p }
+  | Lexer.FLOAT f -> bump st; { e = Efloat f; epos = p }
+  | Lexer.KW "null" -> bump st; { e = Enull; epos = p }
+  | Lexer.KW "malloc" ->
+    bump st;
+    eat_punct st "(";
+    let size = parse_expr st in
+    eat_punct st ")";
+    { e = Emalloc size; epos = p }
+  | Lexer.KW "sizeof" ->
+    bump st;
+    eat_punct st "(";
+    let ty = parse_ty st in
+    eat_punct st ")";
+    { e = Esizeof ty; epos = p }
+  | Lexer.IDENT name ->
+    bump st;
+    if peek_punct st "(" then begin
+      bump st;
+      let args = parse_args st in
+      { e = Ecall (name, args); epos = p }
+    end
+    else { e = Evar name; epos = p }
+  | Lexer.PUNCT "(" ->
+    bump st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+(* --- statements ---------------------------------------------------- *)
+
+(* An expression used in statement position is either a call (kept) or
+   the left-hand side of an assignment (converted to an lvalue). *)
+let expr_to_lvalue st (e : expr) =
+  match e.e with
+  | Evar v -> Lvar v
+  | Eindex (a, i) -> Lindex (a, i)
+  | Earrow (p, f) -> Larrow (p, f)
+  | Ederef p -> Lderef p
+  | Eint _ | Efloat _ | Enull | Ebin _ | Eun _ | Ecall _ | Emalloc _ | Esizeof _ ->
+    error e.epos (ignore st; "not an assignable location")
+
+let rec parse_stmt st =
+  let p = cur_pos st in
+  if peek_punct st "{" then begin
+    bump st;
+    let body = parse_stmts st in
+    eat_punct st "}";
+    { s = Sblock body; spos = p }
+  end
+  else if peek_kw st "if" then begin
+    bump st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    let then_ = parse_stmt st in
+    if peek_kw st "else" then begin
+      bump st;
+      let else_ = parse_stmt st in
+      { s = Sif (c, then_, Some else_); spos = p }
+    end
+    else { s = Sif (c, then_, None); spos = p }
+  end
+  else if peek_kw st "while" then begin
+    bump st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    let body = parse_stmt st in
+    { s = Swhile (c, body); spos = p }
+  end
+  else if peek_kw st "for" then begin
+    bump st;
+    eat_punct st "(";
+    let init = if peek_punct st ";" then None else Some (parse_simple_stmt st) in
+    eat_punct st ";";
+    let cond = if peek_punct st ";" then None else Some (parse_expr st) in
+    eat_punct st ";";
+    let step = if peek_punct st ")" then None else Some (parse_simple_stmt st) in
+    eat_punct st ")";
+    let body = parse_stmt st in
+    { s = Sfor (init, cond, step, body); spos = p }
+  end
+  else if peek_kw st "return" then begin
+    bump st;
+    if accept_punct st ";" then { s = Sreturn None; spos = p }
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      { s = Sreturn (Some e); spos = p }
+    end
+  end
+  else if peek_kw st "break" then begin
+    bump st;
+    eat_punct st ";";
+    { s = Sbreak; spos = p }
+  end
+  else if peek_kw st "continue" then begin
+    bump st;
+    eat_punct st ";";
+    { s = Scontinue; spos = p }
+  end
+  else if peek_kw st "free" then begin
+    bump st;
+    eat_punct st "(";
+    let e = parse_expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    { s = Sfree e; spos = p }
+  end
+  else begin
+    let stmt = parse_simple_stmt st in
+    eat_punct st ";";
+    stmt
+  end
+
+(* decl / assignment / expression — the ";"-free core shared by
+   ordinary statements and for-headers. *)
+and parse_simple_stmt st =
+  let p = cur_pos st in
+  if starts_type st then begin
+    let ty = parse_ty st in
+    let name = ident st in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    { s = Sdecl (ty, name, init); spos = p }
+  end
+  else begin
+    let e = parse_expr st in
+    if accept_punct st "=" then begin
+      let rhs = parse_expr st in
+      { s = Sassign (expr_to_lvalue st e, rhs); spos = p }
+    end
+    else { s = Sexpr e; spos = p }
+  end
+
+and parse_stmts st =
+  let rec loop acc =
+    if peek_punct st "}" || cur_tok st = Lexer.EOF then List.rev acc
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- declarations --------------------------------------------------- *)
+
+let parse_struct_decl st =
+  eat_kw st "struct";
+  let name = ident st in
+  eat_punct st "{";
+  let rec fields acc =
+    if accept_punct st "}" then List.rev acc
+    else begin
+      let ty = parse_ty st in
+      let fname = ident st in
+      eat_punct st ";";
+      fields ((ty, fname) :: acc)
+    end
+  in
+  let sfields = fields [] in
+  ignore (accept_punct st ";");
+  Dstruct { sname = name; sfields }
+
+let parse_params st =
+  eat_punct st "(";
+  if accept_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let ty = parse_ty st in
+      let name = ident st in
+      if accept_punct st "," then loop ((ty, name) :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_top st =
+  if peek_kw st "struct" && (match st.toks.(st.k + 2).Lexer.tok with
+                             | Lexer.PUNCT "{" -> true
+                             | _ -> false)
+  then parse_struct_decl st
+  else begin
+    let ty = parse_ty st in
+    let name = ident st in
+    if peek_punct st "(" then begin
+      let params = parse_params st in
+      eat_punct st "{";
+      let body = parse_stmts st in
+      eat_punct st "}";
+      Dfunc { fname = name; fret = ty; fparams = params; fbody = body }
+    end
+    else begin
+      let init = if accept_punct st "=" then Some (parse_expr st) else None in
+      eat_punct st ";";
+      Dglobal { gname = name; gty = ty; ginit = init }
+    end
+  end
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let rec loop acc =
+    if cur_tok st = Lexer.EOF then List.rev acc
+    else loop (parse_top st :: acc)
+  in
+  loop []
+
+let parse_expr_string src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let e = parse_expr st in
+  (match cur_tok st with
+   | Lexer.EOF -> ()
+   | _ -> fail st "trailing tokens after expression");
+  e

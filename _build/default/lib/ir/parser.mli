@@ -1,0 +1,21 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch (C-like, standard precedence):
+    {v
+    program   := (struct | global | func)*
+    struct    := "struct" IDENT "{" (type IDENT ";")+ "}" ";"
+    type      := ("int" | "double" | "void" | "struct" IDENT) "*"*
+    global    := type IDENT ("=" expr)? ";"
+    func      := type IDENT "(" (type IDENT),* ")" "{" stmt* "}"
+    stmt      := decl | assign | if | while | for | return | break
+               | continue | block | "free" "(" expr ")" ";" | expr ";"
+    expr      := "||" < "&&" < (in)equality < relational < additive
+               < multiplicative < unary < postfix ("[..]", "->f", call)
+    v} *)
+
+val parse : string -> Ast.program
+(** Parse a full MiniC source string.
+    @raise Ast.Syntax_error with position info on malformed input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

@@ -1,0 +1,26 @@
+let pp_func fmt (f : Func.t) =
+  Format.fprintf fmt "define %a @%s(" Types.pp f.ret f.name;
+  List.iteri
+    (fun i (r, ty) ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt "%a %%r%d" Types.pp ty r)
+    f.params;
+  Format.fprintf fmt ") {@.";
+  Array.iter
+    (fun (b : Func.block) ->
+      Format.fprintf fmt "L%d:@." b.bid;
+      Array.iter (fun ins -> Format.fprintf fmt "  %a@." Instr.pp_instr ins) b.instrs;
+      Format.fprintf fmt "  %a@." Instr.pp_term b.term)
+    f.blocks;
+  Format.fprintf fmt "}@."
+
+let pp_module fmt (m : Irmod.t) =
+  List.iter
+    (fun (g : Irmod.global) ->
+      Format.fprintf fmt "global %a @%s = %a@." Types.pp g.gty g.gname
+        Instr.pp_value g.ginit)
+    m.globals;
+  List.iter (fun f -> Format.fprintf fmt "@.%a" pp_func f) m.funcs
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let module_to_string m = Format.asprintf "%a" pp_module m

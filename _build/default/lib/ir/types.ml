@@ -1,0 +1,66 @@
+type t =
+  | I64
+  | F64
+  | Ptr of t
+  | Struct of string * t array
+  | Void
+
+let rec size_of = function
+  | I64 | F64 | Ptr _ -> 8
+  | Struct (_, fields) -> Array.fold_left (fun acc f -> acc + size_of f) 0 fields
+  | Void -> 0
+
+let field_offset ty i =
+  match ty with
+  | Struct (_, fields) ->
+    if i < 0 || i >= Array.length fields then
+      invalid_arg "Types.field_offset: field index out of range";
+    let off = ref 0 in
+    for j = 0 to i - 1 do
+      off := !off + size_of fields.(j)
+    done;
+    !off
+  | _ -> invalid_arg "Types.field_offset: not a struct"
+
+let field_type ty i =
+  match ty with
+  | Struct (_, fields) ->
+    if i < 0 || i >= Array.length fields then
+      invalid_arg "Types.field_type: field index out of range";
+    fields.(i)
+  | _ -> invalid_arg "Types.field_type: not a struct"
+
+let is_pointer = function Ptr _ -> true | I64 | F64 | Struct _ | Void -> false
+
+let pointee = function
+  | Ptr t -> t
+  | I64 | F64 | Struct _ | Void -> invalid_arg "Types.pointee: not a pointer"
+
+let rec equal a b =
+  match a, b with
+  | I64, I64 | F64, F64 | Void, Void -> true
+  | Ptr a, Ptr b -> equal a b
+  | Struct (_, fa), Struct (_, fb) ->
+    Array.length fa = Array.length fb
+    && begin
+      let ok = ref true in
+      Array.iteri (fun i f -> if not (equal f fb.(i)) then ok := false) fa;
+      !ok
+    end
+  | (I64 | F64 | Ptr _ | Struct _ | Void), _ -> false
+
+let rec pp fmt = function
+  | I64 -> Format.pp_print_string fmt "i64"
+  | F64 -> Format.pp_print_string fmt "f64"
+  | Ptr t -> Format.fprintf fmt "%a*" pp t
+  | Struct (name, fields) ->
+    Format.fprintf fmt "%%%s{" name;
+    Array.iteri
+      (fun i f ->
+        if i > 0 then Format.pp_print_string fmt ", ";
+        pp fmt f)
+      fields;
+    Format.pp_print_string fmt "}"
+  | Void -> Format.pp_print_string fmt "void"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,41 @@
+(** IR type system.
+
+    Deliberately low-level, mirroring the paper's premise: "The LLVM
+    type system does not recognize user-defined types" (§3).  MiniC
+    struct *names* survive only as debug strings; analyses must recover
+    data-structure identity from connectivity, exactly as CaRDS does
+    with SeaDSA.
+
+    Every scalar is 8 bytes, which keeps GEP arithmetic and the
+    interpreter's heap model simple without losing any behaviour the
+    paper's analyses depend on. *)
+
+type t =
+  | I64                       (** 64-bit integer *)
+  | F64                       (** 64-bit float *)
+  | Ptr of t                  (** typed pointer *)
+  | Struct of string * t array(** field layout; name is debug-only *)
+  | Void                      (** function results only *)
+
+val size_of : t -> int
+(** Byte size: 8 for scalars/pointers, sum of fields for structs,
+    0 for [Void]. *)
+
+val field_offset : t -> int -> int
+(** [field_offset (Struct _) i] is the byte offset of field [i].
+    @raise Invalid_argument on non-structs or out-of-range fields. *)
+
+val field_type : t -> int -> t
+(** Type of field [i] of a struct. *)
+
+val is_pointer : t -> bool
+
+val pointee : t -> t
+(** @raise Invalid_argument on non-pointers. *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring struct debug names. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

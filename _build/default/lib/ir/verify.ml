@@ -1,0 +1,80 @@
+type error = { where : string; what : string }
+
+let err where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let check_func (m : Irmod.t) (f : Func.t) =
+  let errors = ref [] in
+  let nblocks = Array.length f.blocks in
+  let nregs = Func.nregs f in
+  let add e = errors := e :: !errors in
+  let locus bid = Printf.sprintf "%s:L%d" f.name bid in
+  if nblocks = 0 then add (err f.name "function has no blocks");
+  List.iteri
+    (fun i (r, ty) ->
+      if r < 0 || r >= nregs then
+        add (err f.name "parameter %d bound to out-of-range register %d" i r)
+      else if not (Types.equal f.reg_tys.(r) ty) then
+        add (err f.name "parameter %d type mismatch with reg_tys" i))
+    f.params;
+  let check_value where v =
+    match v with
+    | Instr.Reg r ->
+      if r < 0 || r >= nregs then add (err where "register %%r%d out of range" r)
+    | Instr.GlobalAddr g ->
+      if not (List.exists (fun (gl : Irmod.global) -> gl.gname = g) m.globals) then
+        add (err where "unknown global @%s" g)
+    | Instr.Imm _ | Instr.Fimm _ | Instr.Null -> ()
+  in
+  let check_scalar where ty =
+    match ty with
+    | Types.I64 | Types.F64 | Types.Ptr _ -> ()
+    | Types.Struct _ -> add (err where "aggregate load/store not allowed")
+    | Types.Void -> add (err where "void load/store not allowed")
+  in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      let where = locus bi in
+      if b.bid <> bi then add (err where "block id %d at index %d" b.bid bi);
+      Array.iter
+        (fun ins ->
+          List.iter (check_value where) (Instr.used_values ins);
+          (match Instr.defined_reg ins with
+           | Some r when r < 0 || r >= nregs ->
+             add (err where "defined register %%r%d out of range" r)
+           | Some _ | None -> ());
+          match ins with
+          | Instr.Load (_, ty, _) | Instr.Store (ty, _, _) -> check_scalar where ty
+          | Instr.Gep (_, _, _, scale) ->
+            if scale <= 0 then add (err where "GEP scale must be positive")
+          | Instr.Call (_, name, args) -> begin
+            match Irmod.find_func_opt m name with
+            | Some callee ->
+              if List.length args <> Func.arity callee then
+                add
+                  (err where "call to %s with %d args (arity %d)" name
+                     (List.length args) (Func.arity callee))
+            | None ->
+              if not (Irmod.is_intrinsic name) then
+                add (err where "call to unknown function %s" name)
+          end
+          | Instr.Bin _ | Instr.Cmp _ | Instr.Mov _ | Instr.I2f _ | Instr.F2i _
+          | Instr.Malloc _ | Instr.Free _ | Instr.Guard _ | Instr.DsInit _
+          | Instr.DsAlloc _ | Instr.LoopCheck _ | Instr.Prefetch _ -> ())
+        b.instrs;
+      List.iter (check_value where) (Instr.term_used_values b.term);
+      List.iter
+        (fun s ->
+          if s < 0 || s >= nblocks then add (err where "branch target L%d out of range" s))
+        (Instr.term_successors b.term))
+    f.blocks;
+  List.rev !errors
+
+let check_module m =
+  List.concat_map (check_func m) m.funcs
+
+let check_exn m =
+  match check_module m with
+  | [] -> ()
+  | errs ->
+    let msgs = List.map (fun e -> Printf.sprintf "  [%s] %s" e.where e.what) errs in
+    failwith ("IR verification failed:\n" ^ String.concat "\n" msgs)

@@ -1,0 +1,23 @@
+(** IR well-formedness checking.
+
+    Run after the frontend and after every transformation pass; a
+    transform that produces ill-formed IR is a compiler bug, and
+    catching it here (rather than as a weird interpreter crash) mirrors
+    LLVM's verifier discipline. *)
+
+type error = {
+  where : string;  (** "func:block" locus *)
+  what : string;
+}
+
+val check_func : Irmod.t -> Func.t -> error list
+(** Structural checks for one function: register indices within range
+    (including parameter registers), branch targets exist, blocks
+    sealed, call targets resolve (to a module function or an intrinsic)
+    with matching arity, entry block present, scalar-only loads/stores,
+    positive GEP scales. *)
+
+val check_module : Irmod.t -> error list
+
+val check_exn : Irmod.t -> unit
+(** @raise Failure with a readable report if any check fails. *)

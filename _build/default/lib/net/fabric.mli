@@ -1,0 +1,56 @@
+(** Simulated RDMA fabric between the compute node and the memory node.
+
+    Models the paper's testbed: 25 Gb/s ConnectX-4 NICs on 2.4 GHz
+    Xeons, driven through a DPDK/AIFM-style userspace stack.  Time is
+    measured in CPU cycles (the unit of the whole simulator).
+
+    The model is a single full-duplex link with:
+    - a fixed per-operation protocol cost ([proto_cycles]) covering
+      NIC doorbells, completion polling, and runtime bookkeeping — this
+      dominates small-transfer latency, matching Table 1's ~59 K-cycle
+      remote faults for 4 KiB objects;
+    - a serialization term [bytes / bytes_per_cycle] per transfer;
+    - queueing: transfers serialize behind earlier ones in each
+      direction ([busy_until] per direction), so aggressive prefetching
+      genuinely contends with demand fetches. *)
+
+type config = {
+  proto_cycles : int;      (** fixed request/response overhead per fetch *)
+  bytes_per_cycle : float; (** link bandwidth in bytes per CPU cycle *)
+}
+
+val default_config : config
+(** 25 Gb/s at 2.4 GHz (≈ 1.30 bytes/cycle) with a protocol cost
+    calibrated so a 4 KiB demand fetch costs ≈ 59 K cycles end to end
+    (paper Table 1, CaRDS remote fault). *)
+
+val trackfm_config : config
+(** Same link, lighter protocol path, calibrated to TrackFM's ≈ 46 K
+    cycles per remote guard miss (Table 1). *)
+
+type t
+
+val create : config -> t
+
+val fetch : t -> now:int -> bytes:int -> int
+(** Schedule an inbound transfer starting at [now]; returns its
+    completion time (≥ [now + proto + serialization]). *)
+
+val writeback : t -> now:int -> bytes:int -> unit
+(** Schedule an outbound (eviction) transfer; does not block the CPU,
+    only occupies outbound bandwidth. *)
+
+val inbound_busy_until : t -> int
+(** When the inbound link frees up (for tests). *)
+
+type stats = {
+  fetches : int;
+  fetched_bytes : int;
+  writebacks : int;
+  written_bytes : int;
+  queue_cycles : int;  (** total cycles transfers spent queued *)
+}
+
+val stats : t -> stats
+
+val reset : t -> unit

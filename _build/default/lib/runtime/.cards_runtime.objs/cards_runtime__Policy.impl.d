@@ -1,0 +1,1 @@
+lib/runtime/policy.ml: Array Cards_util Float Static_info

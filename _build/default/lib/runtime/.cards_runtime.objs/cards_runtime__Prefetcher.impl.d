@@ -1,0 +1,1 @@
+lib/runtime/prefetcher.ml: Array Hashtbl List Static_info

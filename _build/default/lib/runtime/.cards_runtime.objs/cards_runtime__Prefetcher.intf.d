@@ -1,0 +1,1 @@
+lib/runtime/prefetcher.mli: Static_info

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Addr Array Bytes Cards_net Cards_util Cost Int64 List Policy Prefetcher Printf Queue Rt_stats Static_info

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Cards_net Cost Policy Rt_stats Static_info

@@ -1,0 +1,1 @@
+lib/runtime/static_info.ml: Printf

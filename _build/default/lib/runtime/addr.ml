@@ -1,0 +1,26 @@
+let handle_bits = 16
+let offset_bits = 47
+
+let max_handle = (1 lsl handle_bits) - 2 (* 0 is reserved for unmanaged *)
+let max_offset = (1 lsl offset_bits) - 1
+
+let encode ~ds ~offset =
+  if ds < 1 || ds > max_handle then
+    invalid_arg (Printf.sprintf "Addr.encode: handle %d out of range" ds);
+  if offset < 0 || offset > max_offset then
+    invalid_arg (Printf.sprintf "Addr.encode: offset %d out of range" offset);
+  (ds lsl offset_bits) lor offset
+
+let unmanaged ~offset =
+  if offset < 0 || offset > max_offset then
+    invalid_arg (Printf.sprintf "Addr.unmanaged: offset %d out of range" offset);
+  offset
+
+let is_managed a = a lsr offset_bits <> 0
+
+let ds_of a =
+  let h = a lsr offset_bits in
+  if h = 0 then invalid_arg "Addr.ds_of: unmanaged address";
+  h
+
+let offset_of a = a land max_offset

@@ -1,0 +1,36 @@
+type t = {
+  guard_local_read : int;
+  guard_local_write : int;
+  guard_unmanaged : int;
+  loop_check_per_ds : int;
+  ds_init : int;
+  ds_alloc : int;
+  deref_map : int;
+  alu : int;
+  mul_div : int;
+  branch : int;
+  call : int;
+  mem_access : int;
+}
+
+let cards =
+  { guard_local_read = 378;
+    guard_local_write = 384;
+    guard_unmanaged = 3;     (* shr + je, Fig. 3 *)
+    loop_check_per_ds = 24;
+    ds_init = 400;
+    ds_alloc = 120;
+    deref_map = 40;
+    alu = 1;
+    mul_div = 4;
+    branch = 1;
+    call = 8;
+    mem_access = 4 }
+
+let trackfm =
+  { cards with
+    guard_local_read = 462;
+    guard_local_write = 579;
+    guard_unmanaged = 3 }
+
+let cards_remote_object_bytes = 4096

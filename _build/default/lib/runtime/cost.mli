@@ -1,0 +1,37 @@
+(** Cycle-cost model, calibrated against the paper's Table 1.
+
+    | Runtime event        | Local | Remote |
+    |----------------------|-------|--------|
+    | CaRDS read fault     |   378 |   59 K |
+    | CaRDS write fault    |   384 |   59 K |
+    | TrackFM read guard   |   462 |   46 K |
+    | TrackFM write guard  |   579 |   47 K |
+
+    "Local" is the full guard path when the object is already resident
+    (custody check + [cards_deref] mapping); "Remote" adds the network
+    fetch, which the {!Cards_net.Fabric} supplies.  Baseline
+    instruction costs are rough per-class CPU costs so that compute /
+    memory ratios stay sane; the far-memory terms dominate whenever
+    they matter. *)
+
+type t = {
+  guard_local_read : int;   (** guard on a resident object, read *)
+  guard_local_write : int;
+  guard_unmanaged : int;    (** custody check that falls through *)
+  loop_check_per_ds : int;  (** versioning check, per handle *)
+  ds_init : int;
+  ds_alloc : int;
+  deref_map : int;          (** address→object mapping inside a fault *)
+  alu : int;
+  mul_div : int;
+  branch : int;
+  call : int;
+  mem_access : int;         (** plain L1-ish access, incl. unguarded *)
+}
+
+val cards : t
+val trackfm : t
+
+val cards_remote_object_bytes : int
+(** Default object size whose demand fetch reproduces Table 1's 59 K
+    cycles: 4096. *)

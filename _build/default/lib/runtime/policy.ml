@@ -1,0 +1,57 @@
+module Rng = Cards_util.Rng
+
+type t =
+  | All_remotable
+  | Linear
+  | Random of int
+  | Max_reach
+  | Max_use
+  | All_local
+  | Explicit of bool array
+
+let name = function
+  | All_remotable -> "all-remotable"
+  | Linear -> "linear"
+  | Random _ -> "random"
+  | Max_reach -> "max-reach"
+  | Max_use -> "max-use"
+  | All_local -> "all-local"
+  | Explicit _ -> "explicit"
+
+let top_k_by score infos k =
+  let n = Array.length infos in
+  let quota = int_of_float (ceil (k *. float_of_int n)) in
+  let order = Array.init n (fun i -> i) in
+  (* Sort by score descending, id ascending on ties (program order). *)
+  Array.sort
+    (fun a b ->
+      let c = compare (score infos.(b)) (score infos.(a)) in
+      if c <> 0 then c else compare a b)
+    order;
+  let pinned = Array.make n false in
+  Array.iteri (fun rank sid -> if rank < quota then pinned.(sid) <- true) order;
+  pinned
+
+let pinned_preference t ~infos ~k =
+  let n = Array.length infos in
+  let k = Float.max 0.0 (Float.min 1.0 k) in
+  match t with
+  | All_remotable -> Array.make n false
+  | All_local -> Array.make n true
+  | Linear ->
+    let quota = int_of_float (ceil (k *. float_of_int n)) in
+    Array.init n (fun i -> i < quota)
+  | Random seed ->
+    let rng = Rng.create seed in
+    let quota = int_of_float (ceil (k *. float_of_int n)) in
+    let order = Array.init n (fun i -> i) in
+    Rng.shuffle rng order;
+    let pinned = Array.make n false in
+    Array.iteri (fun rank sid -> if rank < quota then pinned.(sid) <- true) order;
+    pinned
+  | Max_reach -> top_k_by (fun (i : Static_info.t) -> i.score_reach) infos k
+  | Max_use -> top_k_by (fun (i : Static_info.t) -> i.score_use) infos k
+  | Explicit pinned ->
+    if Array.length pinned <> n then
+      invalid_arg "Policy.pinned_preference: explicit set has wrong length";
+    Array.copy pinned

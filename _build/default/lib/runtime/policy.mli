@@ -1,0 +1,38 @@
+(** Remoting policy selection (paper §4.2).
+
+    Local memory is split into {e pinned} memory (non-remotable) and
+    {e remotable} memory.  The tunable parameter [k] is the fraction of
+    data structures that should prefer pinned memory; the policy
+    decides {e which} ones:
+
+    - {e Linear}: the first ⌈k·n⌉ structures in program (ds_init)
+      order — "allocates pinned memory sequentially in program order,
+      switching to remotable memory once local memory is exhausted";
+    - {e Random}: a random k-fraction;
+    - {e Max Reach}: the top k by SCC caller/callee chain length of the
+      functions using them;
+    - {e Max Use}: the top k by Equation 1 (#loops + #functions);
+    - {e All_remotable}: the conservative TrackFM stance (k ignored);
+    - {e All_local}: everything pinned (an upper bound / oracle);
+    - {e Explicit}: a precomputed pinned set (used by the Mira
+      profile-guided baseline).
+
+    Whatever the preference, the runtime can still override it when the
+    structure does not fit (see {!Runtime}). *)
+
+type t =
+  | All_remotable
+  | Linear
+  | Random of int  (** seed *)
+  | Max_reach
+  | Max_use
+  | All_local
+  | Explicit of bool array
+
+val name : t -> string
+
+val pinned_preference : t -> infos:Static_info.t array -> k:float -> bool array
+(** [pinned_preference p ~infos ~k].(sid) tells whether descriptor
+    [sid] should prefer pinned memory.  [k] is clamped to [0,1].
+    Ties in score-based policies break toward lower descriptor ids
+    (program order). *)

@@ -1,0 +1,132 @@
+type target = { t_ds : int; t_obj : int }
+
+type stride_state = {
+  s_depth : int;
+  mutable last : int;
+  mutable have_last : bool;
+  deltas : int array;          (* ring of recent deltas *)
+  mutable n_deltas : int;
+  mutable next_slot : int;
+  mutable locked : int;        (* 0 = unlocked *)
+}
+
+type jump_state = {
+  j_jump : int;
+  j_depth : int;
+  table : (int, int) Hashtbl.t;   (* obj -> obj seen [jump] steps later *)
+  ring : int array;               (* last [jump] objects *)
+  mutable ring_n : int;
+  mutable ring_pos : int;
+}
+
+type t =
+  | Stride of stride_state
+  | Greedy of int
+  | Jump of jump_state
+
+let stride ~depth =
+  Stride
+    { s_depth = depth; last = 0; have_last = false;
+      deltas = Array.make 8 0; n_deltas = 0; next_slot = 0; locked = 0 }
+
+let greedy ~fanout = Greedy fanout
+
+let jump ~jump ~depth =
+  Jump
+    { j_jump = jump; j_depth = depth; table = Hashtbl.create 256;
+      ring = Array.make jump 0; ring_n = 0; ring_pos = 0 }
+
+let of_class cls ~depth =
+  match (cls : Static_info.prefetch_class) with
+  | No_prefetch -> None
+  | Stride -> Some (stride ~depth)
+  | Greedy_recursive -> Some (greedy ~fanout:depth)
+  | Jump_pointer ->
+    (* Jump pointers exist to tolerate latency on linear chains (Luk &
+       Mowry): each table hop advances [jump] positions, so chasing
+       [4·depth] hops runs far enough ahead of the traversal to cover a
+       full remote fetch. *)
+    Some (jump ~jump:8 ~depth:(4 * depth))
+
+(* Majority vote over the delta window. *)
+let majority_delta st =
+  let n = st.n_deltas in
+  if n < 4 then 0
+  else begin
+    let best = ref 0 and best_count = ref 0 in
+    for i = 0 to n - 1 do
+      let d = st.deltas.(i) in
+      let c = ref 0 in
+      for j = 0 to n - 1 do
+        if st.deltas.(j) = d then incr c
+      done;
+      if !c > !best_count then begin
+        best := d;
+        best_count := !c
+      end
+    done;
+    if 2 * !best_count > n && !best <> 0 then !best else 0
+  end
+
+let on_access t ~obj ~missed ~scan =
+  match t with
+  | Stride st ->
+    let out =
+      if st.have_last then begin
+        let d = obj - st.last in
+        if d <> 0 then begin
+          st.deltas.(st.next_slot) <- d;
+          st.next_slot <- (st.next_slot + 1) mod Array.length st.deltas;
+          if st.n_deltas < Array.length st.deltas then
+            st.n_deltas <- st.n_deltas + 1;
+          st.locked <- majority_delta st
+        end;
+        if st.locked <> 0 then
+          List.init st.s_depth (fun i ->
+              { t_ds = 0; t_obj = obj + (st.locked * (i + 1)) })
+          |> List.filter (fun tg -> tg.t_obj >= 0)
+        else []
+      end
+      else []
+    in
+    st.last <- obj;
+    st.have_last <- true;
+    out
+  | Greedy fanout ->
+    if missed then begin
+      let ptrs = scan () in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      take fanout ptrs
+    end
+    else []
+  | Jump st ->
+    (* Record: the object seen [jump] accesses ago now maps to us. *)
+    let out =
+      if st.ring_n >= st.j_jump then begin
+        let victim = st.ring.(st.ring_pos) in
+        Hashtbl.replace st.table victim obj;
+        (* Fetch ahead through the jump table. *)
+        let rec chase from depth acc =
+          if depth = 0 then acc
+          else
+            match Hashtbl.find_opt st.table from with
+            | Some next -> chase next (depth - 1) ({ t_ds = 0; t_obj = next } :: acc)
+            | None -> acc
+        in
+        chase obj st.j_depth []
+      end
+      else []
+    in
+    st.ring.(st.ring_pos) <- obj;
+    st.ring_pos <- (st.ring_pos + 1) mod st.j_jump;
+    if st.ring_n < st.j_jump then st.ring_n <- st.ring_n + 1;
+    out
+
+let kind_name = function
+  | Stride _ -> "stride"
+  | Greedy _ -> "greedy"
+  | Jump _ -> "jump"

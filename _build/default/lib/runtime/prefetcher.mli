@@ -1,0 +1,39 @@
+(** Per-data-structure prefetchers (paper §4.2, "Prefetching Policy
+    Selection"): a majority stride-based prefetcher, a greedy recursive
+    prefetcher, and a jump-pointer prefetcher.
+
+    A prefetcher observes the object-index stream of one data structure
+    and returns the objects to fetch ahead.  Greedy and jump-pointer
+    prefetchers may target other structures (a node can point into a
+    different pool), so targets carry a handle.
+
+    - {e Stride}: keeps a small window of recent index deltas; when a
+      majority agree it locks that stride and fetches [depth] objects
+      ahead.
+    - {e Greedy recursive}: when an object is (re)fetched, scans its
+      contents for tagged pointers and fetches their objects — one
+      level of fan-out, good for trees.
+    - {e Jump pointer}: remembers, per object, the object the traversal
+      visited [jump] steps later, and fetches through that table —
+      effective for linear chains from the second traversal on. *)
+
+type target = { t_ds : int; t_obj : int }
+(** [t_ds = 0] means "this structure". *)
+
+type t
+
+val stride : depth:int -> t
+val greedy : fanout:int -> t
+val jump : jump:int -> depth:int -> t
+
+val of_class : Static_info.prefetch_class -> depth:int -> t option
+(** The paper's class→prefetcher mapping; [No_prefetch] gives [None]. *)
+
+val on_access :
+  t -> obj:int -> missed:bool -> scan:(unit -> target list) -> target list
+(** Feed one access; [scan] lazily reads the object's pointer slots
+    (only called by the greedy prefetcher, and only on misses).
+    Returns prefetch candidates (possibly already resident — the
+    runtime filters). *)
+
+val kind_name : t -> string

@@ -1,0 +1,65 @@
+type ds = {
+  mutable guards : int;
+  mutable guard_hits : int;
+  mutable remote_faults : int;
+  mutable clean_faults : int;
+  mutable plain_accesses : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_used : int;
+  mutable prefetch_late : int;
+  mutable evictions : int;
+  mutable alloc_bytes : int;
+  mutable demotions : int;
+}
+
+let make_ds () =
+  { guards = 0; guard_hits = 0; remote_faults = 0; clean_faults = 0;
+    plain_accesses = 0; prefetch_issued = 0; prefetch_used = 0;
+    prefetch_late = 0; evictions = 0; alloc_bytes = 0; demotions = 0 }
+
+type t = {
+  per_ds : (int, ds) Hashtbl.t;
+  unmanaged : ds;
+}
+
+let create () = { per_ds = Hashtbl.create 32; unmanaged = make_ds () }
+
+let ds_stats t h =
+  match Hashtbl.find_opt t.per_ds h with
+  | Some d -> d
+  | None ->
+    let d = make_ds () in
+    Hashtbl.replace t.per_ds h d;
+    d
+
+let unmanaged_bucket t = t.unmanaged
+
+let add_into acc (d : ds) =
+  acc.guards <- acc.guards + d.guards;
+  acc.guard_hits <- acc.guard_hits + d.guard_hits;
+  acc.remote_faults <- acc.remote_faults + d.remote_faults;
+  acc.clean_faults <- acc.clean_faults + d.clean_faults;
+  acc.plain_accesses <- acc.plain_accesses + d.plain_accesses;
+  acc.prefetch_issued <- acc.prefetch_issued + d.prefetch_issued;
+  acc.prefetch_used <- acc.prefetch_used + d.prefetch_used;
+  acc.prefetch_late <- acc.prefetch_late + d.prefetch_late;
+  acc.evictions <- acc.evictions + d.evictions;
+  acc.alloc_bytes <- acc.alloc_bytes + d.alloc_bytes;
+  acc.demotions <- acc.demotions + d.demotions
+
+let total t =
+  let acc = make_ds () in
+  Hashtbl.iter (fun _ d -> add_into acc d) t.per_ds;
+  add_into acc t.unmanaged;
+  acc
+
+let prefetch_accuracy d =
+  if d.prefetch_issued = 0 then 1.0
+  else float_of_int d.prefetch_used /. float_of_int d.prefetch_issued
+
+let prefetch_coverage d =
+  let denom = d.prefetch_used + d.remote_faults in
+  if denom = 0 then 0.0 else float_of_int d.prefetch_used /. float_of_int denom
+
+let handles t =
+  List.sort compare (Hashtbl.fold (fun h _ acc -> h :: acc) t.per_ds [])

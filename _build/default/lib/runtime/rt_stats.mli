@@ -1,0 +1,43 @@
+(** Runtime event counters, per data structure and aggregated.
+
+    CaRDS "monitors cache hits and misses for each memory object,
+    leveraging these statistics on a per-data structure basis" (§4.2);
+    the benchmark harness reads them to report guard counts, fault
+    counts, prefetch accuracy and coverage. *)
+
+type ds = {
+  mutable guards : int;          (** guard executions *)
+  mutable guard_hits : int;      (** guards finding the object resident *)
+  mutable remote_faults : int;   (** demand fetches *)
+  mutable clean_faults : int;    (** fallback faults on unguarded paths *)
+  mutable plain_accesses : int;  (** data accesses (loads/stores) *)
+  mutable prefetch_issued : int;
+  mutable prefetch_used : int;   (** prefetched object later accessed *)
+  mutable prefetch_late : int;   (** access arrived before the data did *)
+  mutable evictions : int;
+  mutable alloc_bytes : int;
+  mutable demotions : int;       (** runtime overrides of a pinned hint *)
+}
+
+val make_ds : unit -> ds
+
+type t
+
+val create : unit -> t
+
+val ds_stats : t -> int -> ds
+(** Stats bucket for a runtime handle (auto-created). *)
+
+val total : t -> ds
+(** Sum over all handles plus the unmanaged bucket. *)
+
+val unmanaged_bucket : t -> ds
+
+val prefetch_accuracy : ds -> float
+(** used / issued; 1.0 when nothing was issued. *)
+
+val prefetch_coverage : ds -> float
+(** Fraction of would-be misses that prefetching absorbed:
+    used / (used + remote_faults). *)
+
+val handles : t -> int list

@@ -1,0 +1,631 @@
+module Fabric = Cards_net.Fabric
+module Vec = Cards_util.Vec
+
+type prefetch_mode = Pf_none | Pf_stride_only | Pf_per_class | Pf_adaptive
+
+type config = {
+  policy : Policy.t;
+  k : float;
+  local_bytes : int;
+  remotable_bytes : int;
+  cost : Cost.t;
+  fabric_config : Fabric.config;
+  prefetch_mode : prefetch_mode;
+  prefetch_depth : int;
+}
+
+let default_config =
+  { policy = Policy.Linear;
+    k = 1.0;
+    local_bytes = 64 * 1024 * 1024;
+    remotable_bytes = 8 * 1024 * 1024;
+    cost = Cost.cards;
+    fabric_config = Fabric.default_config;
+    prefetch_mode = Pf_per_class;
+    prefetch_depth = 4 }
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Object state bits. *)
+let b_resident = 1
+let b_dirty = 2
+let b_ref = 4
+let b_prefetched = 8
+let b_inflight = 16
+let b_inclock = 32
+
+let segv_penalty = 2_000 (* trap + handler on the unguarded fallback path *)
+
+type ds = {
+  handle : int;
+  info : Static_info.t;
+  obj_shift : int;
+  mutable pinned : bool;
+      (* Pinned structures allocate *untagged* pointers straight out of
+         local memory: the custody check (shr+jz, Fig. 3) falls through
+         in 3 cycles, which is how per-access guard elision works.
+         When the structure stops fitting, the runtime overrides the
+         hint ([pinned] flips to false) and *future* allocations are
+         tagged/remotable; already-issued untagged pointers stay local
+         forever, as they must. *)
+  mutable pinned_bytes : int;     (* untagged bytes issued while pinned *)
+  mutable data : Bytes.t;
+  mutable pool_used : int;
+  mutable objs : int array;       (* state flags per object *)
+  mutable arrivals : int array;   (* completion time while in flight *)
+  mutable pf : Prefetcher.t option;
+  (* Adaptive prefetch selection (§4.2: "standard prefetching metrics,
+     such as accuracy and coverage, are used to evaluate the
+     effectiveness of each prefetching policy"): per-epoch counters and
+     the list of prefetchers still worth trying. *)
+  mutable pf_candidates : Static_info.prefetch_class list;
+  pf_order : Static_info.prefetch_class list;
+      (* full candidate cycle, for re-exploration after a cool-down *)
+  mutable pf_cooldown : int;      (* epochs to stay off before retrying *)
+  mutable epoch_accesses : int;
+  mutable epoch_issued : int;
+  mutable epoch_used : int;
+  mutable epoch_faults : int;
+  mutable pf_switches : int;
+  st : Rt_stats.ds;
+}
+
+type t = {
+  cfg : config;
+  pinned_budget : int;
+  mutable clock : int;
+  fabric : Fabric.t;
+  infos : Static_info.t array;
+  pref : bool array;              (* per sid: pinned preference *)
+  dss : ds Vec.t;                 (* handle h lives at index h-1 *)
+  mutable unmanaged_data : Bytes.t;
+  mutable unmanaged_used : int;
+  mutable pinned_used : int;
+  mutable remotable_used : int;
+  clockq : (int * int) Queue.t;   (* CLOCK over remotable residents *)
+  stats : Rt_stats.t;
+}
+
+let log2_exact x =
+  let rec go p n = if 1 lsl p >= n then p else go (p + 1) n in
+  go 3 x
+
+let create cfg infos =
+  if cfg.remotable_bytes > cfg.local_bytes then
+    fail "remotable region (%d) exceeds local memory (%d)" cfg.remotable_bytes
+      cfg.local_bytes;
+  Array.iteri
+    (fun i (inf : Static_info.t) ->
+      if inf.sid <> i then fail "static descriptor %d out of order" inf.sid)
+    infos;
+  { cfg;
+    pinned_budget = cfg.local_bytes - cfg.remotable_bytes;
+    clock = 0;
+    fabric = Fabric.create cfg.fabric_config;
+    infos;
+    pref = Policy.pinned_preference cfg.policy ~infos ~k:cfg.k;
+    dss = Vec.create ();
+    unmanaged_data = Bytes.create 4096;
+    unmanaged_used = 0;
+    pinned_used = 0;
+    remotable_used = 0;
+    clockq = Queue.create ();
+    stats = Rt_stats.create () }
+
+let now t = t.clock
+let charge t c = t.clock <- t.clock + c
+
+let n_ds t = Vec.length t.dss
+
+let get_ds t handle =
+  if handle < 1 || handle > Vec.length t.dss then fail "bad handle %d" handle;
+  Vec.get t.dss (handle - 1)
+
+(* ---------- CLOCK eviction over the remotable region ---------- *)
+
+let obj_size (d : ds) = 1 lsl d.obj_shift
+
+let evict_until_fits t =
+  let budget = t.cfg.remotable_bytes in
+  let spins = ref (2 * Queue.length t.clockq + 2) in
+  while t.remotable_used > budget && !spins > 0 && not (Queue.is_empty t.clockq) do
+    decr spins;
+    let h, o = Queue.pop t.clockq in
+    let d = get_ds t h in
+    let st = if o < Array.length d.objs then d.objs.(o) else 0 in
+    let st =
+      (* A transfer that already landed is no longer in flight, even if
+         nothing touched the object since; otherwise stale prefetches
+         would clog the ring as unevictable residents. *)
+      if st land b_inflight <> 0 && d.arrivals.(o) <= t.clock then begin
+        d.objs.(o) <- st land lnot b_inflight;
+        d.objs.(o)
+      end
+      else st
+    in
+    if st land b_inclock = 0 || d.pinned then
+      () (* stale entry *)
+    else if st land b_inflight <> 0 then
+      (* never evict data still on the wire; give it a second chance *)
+      Queue.push (h, o) t.clockq
+    else if st land b_ref <> 0 then begin
+      d.objs.(o) <- st land lnot b_ref;
+      Queue.push (h, o) t.clockq
+    end
+    else begin
+      (* evict *)
+      if st land b_dirty <> 0 then
+        Fabric.writeback t.fabric ~now:t.clock ~bytes:(obj_size d);
+      d.objs.(o) <- 0;
+      t.remotable_used <- t.remotable_used - obj_size d;
+      d.st.evictions <- d.st.evictions + 1
+    end
+  done
+
+let clock_insert t (d : ds) o =
+  if not d.pinned && d.objs.(o) land b_inclock = 0 then begin
+    (* New arrivals enter referenced, or the eviction scan triggered by
+       their own insertion would reclaim them before first use. *)
+    d.objs.(o) <- d.objs.(o) lor b_inclock lor b_ref;
+    Queue.push (d.handle, o) t.clockq;
+    t.remotable_used <- t.remotable_used + obj_size d;
+    evict_until_fits t
+  end
+
+(* ---------- allocation ---------- *)
+
+let grow_bytes data needed =
+  let cur = Bytes.length data in
+  if needed <= cur then data
+  else begin
+    let ncap = ref (max cur 4096) in
+    while !ncap < needed do
+      ncap := !ncap * 2
+    done;
+    let nd = Bytes.make !ncap '\000' in
+    Bytes.blit data 0 nd 0 cur;
+    nd
+  end
+
+let grow_objs (d : ds) nobjs =
+  let cur = Array.length d.objs in
+  if nobjs > cur then begin
+    let ncap = max nobjs (max 16 (2 * cur)) in
+    let no = Array.make ncap 0 in
+    let na = Array.make ncap 0 in
+    Array.blit d.objs 0 no 0 cur;
+    Array.blit d.arrivals 0 na 0 cur;
+    d.objs <- no;
+    d.arrivals <- na
+  end
+
+let pow2_ceil x =
+  let rec go p = if p >= x then p else go (p * 2) in
+  go 8
+
+let align_up x a = (x + a - 1) land lnot (a - 1)
+
+let ds_init t ~sid =
+  charge t t.cfg.cost.ds_init;
+  if sid < 0 || sid >= Array.length t.infos then fail "ds_init: bad sid %d" sid;
+  let info = t.infos.(sid) in
+  let handle = Vec.length t.dss + 1 in
+  if handle > Addr.max_handle then fail "too many data structures";
+  let pf, candidates =
+    let depth = t.cfg.prefetch_depth in
+    match t.cfg.prefetch_mode with
+    | Pf_none -> (None, [])
+    | Pf_stride_only -> (Some (Prefetcher.stride ~depth), [])
+    | Pf_per_class -> (Prefetcher.of_class info.prefetch ~depth, [])
+    | Pf_adaptive ->
+      (* Start from the compiler's class, keep the other classes as
+         fallbacks, and allow switching off entirely. *)
+      let all =
+        Static_info.[ Stride; Jump_pointer; Greedy_recursive ]
+      in
+      let rest = List.filter (fun c -> c <> info.prefetch) all in
+      let order =
+        (if info.prefetch = Static_info.No_prefetch then all
+         else info.prefetch :: rest)
+        @ [ Static_info.No_prefetch ]
+      in
+      (match order with
+       | first :: fallbacks -> (Prefetcher.of_class first ~depth, fallbacks)
+       | [] -> (None, []))
+  in
+  let order_of_candidates =
+    match t.cfg.prefetch_mode with
+    | Pf_adaptive -> begin
+      match pf with
+      | Some p ->
+        let cur =
+          match Prefetcher.kind_name p with
+          | "stride" -> Static_info.Stride
+          | "jump" -> Static_info.Jump_pointer
+          | _ -> Static_info.Greedy_recursive
+        in
+        cur :: candidates
+      | None -> candidates
+    end
+    | _ -> []
+  in
+  let d =
+    { handle; info; obj_shift = log2_exact info.obj_size;
+      pinned = t.pref.(sid); pinned_bytes = 0;
+      data = Bytes.create 0; pool_used = 0; objs = [||]; arrivals = [||];
+      pf; pf_candidates = candidates; pf_order = order_of_candidates;
+      pf_cooldown = 0;
+      epoch_accesses = 0; epoch_issued = 0; epoch_used = 0; epoch_faults = 0;
+      pf_switches = 0;
+      st = Rt_stats.ds_stats t.stats handle }
+  in
+  ignore (Vec.push t.dss d);
+  handle
+
+let alloc_unmanaged t ~size =
+  let off = align_up t.unmanaged_used 8 in
+  t.unmanaged_data <- grow_bytes t.unmanaged_data (off + size);
+  t.unmanaged_used <- off + size;
+  Addr.unmanaged ~offset:off
+
+let ds_alloc t ~handle ~size =
+  charge t t.cfg.cost.ds_alloc;
+  if size <= 0 then fail "dsalloc: non-positive size %d" size;
+  if handle = 0 then alloc_unmanaged t ~size
+  else begin
+    let d = get_ds t handle in
+    (* Runtime override of the static hint (paper §4.2): once the
+       structure stops fitting in pinned memory, remote its future
+       allocations.  Untagged pointers already issued stay local. *)
+    if d.pinned && t.pinned_used + size > t.pinned_budget then begin
+      d.pinned <- false;
+      d.st.demotions <- d.st.demotions + 1
+    end;
+    if d.pinned then begin
+      (* Pinned path: untagged local memory; the custody check will
+         fall through on every access. *)
+      t.pinned_used <- t.pinned_used + size;
+      d.pinned_bytes <- d.pinned_bytes + size;
+      d.st.alloc_bytes <- d.st.alloc_bytes + size;
+      alloc_unmanaged t ~size
+    end
+    else begin
+      let osz = obj_size d in
+      let align = if size >= osz then osz else pow2_ceil size in
+      let off = align_up d.pool_used align in
+      let finish = off + size in
+      d.data <- grow_bytes d.data finish;
+      let was = d.pool_used in
+      d.pool_used <- finish;
+      let first_obj = off lsr d.obj_shift in
+      let last_obj = (finish - 1) lsr d.obj_shift in
+      grow_objs d (last_obj + 1);
+      d.st.alloc_bytes <- d.st.alloc_bytes + (finish - was);
+      for o = first_obj to last_obj do
+        if d.objs.(o) land b_resident = 0 then begin
+          d.objs.(o) <- d.objs.(o) lor b_resident;
+          clock_insert t d o
+        end
+      done;
+      Addr.encode ~ds:handle ~offset:off
+    end
+  end
+
+let free t addr = ignore t; ignore addr (* pool-based lifetime *)
+
+(* ---------- prefetch issue ---------- *)
+
+let scan_object_pointers t (d : ds) o =
+  let osz = obj_size d in
+  let base = o lsl d.obj_shift in
+  let stop = min (base + osz) d.pool_used in
+  let acc = ref [] in
+  let w = ref base in
+  while !w + 8 <= stop do
+    let v = Int64.to_int (Bytes.get_int64_le d.data !w) in
+    if v > 0 && Addr.is_managed v then begin
+      let h = Addr.ds_of v in
+      if h >= 1 && h <= Vec.length t.dss then begin
+        let td = Vec.get t.dss (h - 1) in
+        let off = Addr.offset_of v in
+        if off < td.pool_used then
+          acc := { Prefetcher.t_ds = h; t_obj = off lsr td.obj_shift } :: !acc
+      end
+    end;
+    w := !w + 8
+  done;
+  List.rev !acc
+
+let issue_prefetch t (d : ds) (tg : Prefetcher.target) =
+  let td = if tg.Prefetcher.t_ds = 0 then d else get_ds t tg.Prefetcher.t_ds in
+  let o = tg.Prefetcher.t_obj in
+  (* Throttle: prefetching into a cache that cannot hold the prefetch
+     window alongside the working objects only evicts what the demand
+     stream is about to use. *)
+  let window_fits =
+    t.cfg.remotable_bytes / obj_size td >= 2 * (t.cfg.prefetch_depth + 1)
+  in
+  if window_fits && (not td.pinned) && o >= 0 && o lsl td.obj_shift < td.pool_used
+  then begin
+    let st = td.objs.(o) in
+    if st land (b_resident lor b_inflight) = 0 then begin
+      let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
+      grow_objs td (o + 1);
+      td.objs.(o) <- st lor b_inflight lor b_prefetched lor b_resident;
+      td.arrivals.(o) <- completion;
+      td.st.prefetch_issued <- td.st.prefetch_issued + 1;
+      (* Adaptation is judged at the *originating* structure — its
+         prefetcher made the call, even for cross-structure targets. *)
+      d.epoch_issued <- d.epoch_issued + 1;
+      clock_insert t td o
+    end
+  end
+
+let epoch_len = 1024
+let epoch_min_issued = 64
+let epoch_min_accuracy = 0.25
+let epoch_min_signal = 32     (* misses+uses needed to judge coverage *)
+let epoch_min_coverage = 0.25
+let reexplore_cooldown = 4 (* epochs spent off before retrying *)
+
+(* Adaptive mode (paper: "standard prefetching metrics, such as
+   accuracy and coverage, are used to evaluate the effectiveness of
+   each prefetching policy"): at each epoch boundary, drop a prefetcher
+   that is either inaccurate (issues a lot, little of it used in time)
+   or has poor coverage (misses abound while it stays silent or late),
+   and move to the next candidate.  When every candidate has failed,
+   turn prefetching off for a cool-down and then re-explore — access
+   patterns change between phases (a structure built in random order
+   may still be chased linearly later), so a verdict is never final. *)
+let adapt_prefetcher t (d : ds) =
+  d.epoch_accesses <- d.epoch_accesses + 1;
+  if
+    t.cfg.prefetch_mode = Pf_adaptive
+    && d.epoch_accesses >= epoch_len
+  then begin
+    (match d.pf with
+     | None ->
+       if d.pf_cooldown > 0 then begin
+         d.pf_cooldown <- d.pf_cooldown - 1;
+         if d.pf_cooldown = 0 then begin
+           match d.pf_order with
+           | first :: rest ->
+             d.pf <- Prefetcher.of_class first ~depth:t.cfg.prefetch_depth;
+             d.pf_candidates <- rest;
+             d.pf_switches <- d.pf_switches + 1
+           | [] -> ()
+         end
+       end
+     | Some _ ->
+       let accuracy =
+         if d.epoch_issued = 0 then 1.0
+         else float_of_int d.epoch_used /. float_of_int d.epoch_issued
+       in
+       let signal = d.epoch_faults + d.epoch_used in
+       let coverage =
+         if signal = 0 then 1.0
+         else float_of_int d.epoch_used /. float_of_int signal
+       in
+       let inaccurate =
+         d.epoch_issued >= epoch_min_issued && accuracy < epoch_min_accuracy
+       in
+       let uncovering =
+         signal >= epoch_min_signal && coverage < epoch_min_coverage
+       in
+       if inaccurate || uncovering then begin
+         d.pf_switches <- d.pf_switches + 1;
+         match d.pf_candidates with
+         | [] ->
+           d.pf <- None;
+           d.pf_cooldown <- reexplore_cooldown
+         | next :: rest ->
+           d.pf <- Prefetcher.of_class next ~depth:t.cfg.prefetch_depth;
+           d.pf_candidates <- rest
+       end);
+    d.epoch_accesses <- 0;
+    d.epoch_issued <- 0;
+    d.epoch_used <- 0;
+    d.epoch_faults <- 0
+  end
+
+let run_prefetcher t (d : ds) ~obj ~missed =
+  (match d.pf with
+   | None -> ()
+   | Some pf ->
+     let targets =
+       Prefetcher.on_access pf ~obj ~missed ~scan:(fun () ->
+           scan_object_pointers t d obj)
+     in
+     List.iter (issue_prefetch t d) targets);
+  if t.cfg.prefetch_mode = Pf_adaptive then adapt_prefetcher t d
+
+(* ---------- the guard (cards_deref) ---------- *)
+
+let locate t addr =
+  let h = Addr.ds_of addr in
+  let d = get_ds t h in
+  let off = Addr.offset_of addr in
+  if off >= d.pool_used then
+    fail "wild pointer: ds %d offset %d beyond pool (%d bytes)" h off d.pool_used;
+  (d, off lsr d.obj_shift)
+
+(* Wait for an in-flight object to land; returns true when the data
+   was already there (the prefetch was timely). *)
+let settle_inflight t (d : ds) o =
+  let st = d.objs.(o) in
+  if st land b_inflight <> 0 then begin
+    let wait = d.arrivals.(o) - t.clock in
+    d.objs.(o) <- st land lnot b_inflight;
+    if wait > 0 then begin
+      t.clock <- t.clock + wait;
+      d.st.prefetch_late <- d.st.prefetch_late + 1;
+      false
+    end
+    else true
+  end
+  else true
+
+let demand_fetch t (d : ds) o =
+  let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size d) in
+  t.clock <- completion + t.cfg.cost.deref_map;
+  d.objs.(o) <- d.objs.(o) lor b_resident;
+  d.st.remote_faults <- d.st.remote_faults + 1;
+  d.epoch_faults <- d.epoch_faults + 1;
+  clock_insert t d o
+
+let note_prefetch_hit (d : ds) o ~timely =
+  let st = d.objs.(o) in
+  if st land b_prefetched <> 0 then begin
+    d.objs.(o) <- st land lnot b_prefetched;
+    d.st.prefetch_used <- d.st.prefetch_used + 1;
+    (* Adaptation only credits *timely* prefetches: a prediction that
+       arrives after the access wanted it hid no latency, however
+       accurate it was (greedy one-hop lookahead on a chase is the
+       textbook case). *)
+    if timely then d.epoch_used <- d.epoch_used + 1
+  end
+
+let guard t ~write addr =
+  if not (Addr.is_managed addr) then
+    charge t t.cfg.cost.guard_unmanaged
+  else if
+    (* Guards may be hoisted to loop preheaders and thus run
+       speculatively (e.g. ahead of a zero-trip loop) with an address
+       the loop would never dereference.  A managed address beyond its
+       pool is then benign: pay the custody check and fall through.
+       Real accesses still fault on wild pointers (see [resolve]). *)
+    (let h = addr lsr Addr.offset_bits in
+     h > Vec.length t.dss
+     || Addr.offset_of addr >= (Vec.get t.dss (h - 1)).pool_used)
+  then charge t t.cfg.cost.guard_unmanaged
+  else begin
+    let d, o = locate t addr in
+    d.st.guards <- d.st.guards + 1;
+    let local_cost =
+      if write then t.cfg.cost.guard_local_write else t.cfg.cost.guard_local_read
+    in
+    let st = d.objs.(o) in
+    let missed =
+      if st land b_resident <> 0 then begin
+        let timely = settle_inflight t d o in
+        note_prefetch_hit d o ~timely;
+        charge t local_cost;
+        d.st.guard_hits <- d.st.guard_hits + 1;
+        false
+      end
+      else begin
+        charge t local_cost;
+        demand_fetch t d o;
+        true
+      end
+    in
+    let bits = if write then b_ref lor b_dirty else b_ref in
+    d.objs.(o) <- d.objs.(o) lor bits;
+    run_prefetcher t d ~obj:o ~missed
+  end
+
+let loop_check t addrs =
+  (* A base pointer is clean-runnable iff it is untagged: untagged
+     allocations are pinned local memory that can never be evicted.
+     A tagged base could lose residency mid-loop, so it forces the
+     instrumented version. *)
+  let ok = ref true in
+  List.iter
+    (fun addr ->
+      charge t t.cfg.cost.loop_check_per_ds;
+      if Addr.is_managed addr then ok := false)
+    addrs;
+  !ok
+
+(* ---------- data accesses ---------- *)
+
+(* Unguarded fallback: trap, then behave like a demand fault. *)
+let clean_fault t (d : ds) o ~write =
+  charge t (segv_penalty
+            + (if write then t.cfg.cost.guard_local_write
+               else t.cfg.cost.guard_local_read));
+  ignore (settle_inflight t d o);
+  if d.objs.(o) land b_resident = 0 then demand_fetch t d o;
+  d.st.clean_faults <- d.st.clean_faults + 1
+
+let resolve t addr ~write =
+  if Addr.is_managed addr then begin
+    let d, o = locate t addr in
+    d.st.plain_accesses <- d.st.plain_accesses + 1;
+    let st = d.objs.(o) in
+    if st land b_resident = 0 then clean_fault t d o ~write
+    else if st land b_inflight <> 0 then begin
+      let timely = settle_inflight t d o in
+      note_prefetch_hit d o ~timely
+    end;
+    charge t t.cfg.cost.mem_access;
+    let bits = if write then b_ref lor b_dirty else b_ref in
+    d.objs.(o) <- d.objs.(o) lor bits;
+    (d.data, Addr.offset_of addr)
+  end
+  else begin
+    let off = Addr.offset_of addr in
+    if off + 8 > t.unmanaged_used then
+      fail "wild unmanaged pointer: offset %d (segment %d bytes)" off
+        t.unmanaged_used;
+    Rt_stats.(
+      let u = unmanaged_bucket t.stats in
+      u.plain_accesses <- u.plain_accesses + 1);
+    charge t t.cfg.cost.mem_access;
+    (t.unmanaged_data, off)
+  end
+
+let read_i64 t addr =
+  let data, off = resolve t addr ~write:false in
+  Int64.to_int (Bytes.get_int64_le data off)
+
+let write_i64 t addr v =
+  let data, off = resolve t addr ~write:true in
+  Bytes.set_int64_le data off (Int64.of_int v)
+
+let read_f64 t addr =
+  let data, off = resolve t addr ~write:false in
+  Int64.float_of_bits (Bytes.get_int64_le data off)
+
+let write_f64 t addr v =
+  let data, off = resolve t addr ~write:true in
+  Bytes.set_int64_le data off (Int64.bits_of_float v)
+
+(* ---------- introspection ---------- *)
+
+type ds_report = {
+  r_handle : int;
+  r_sid : int;
+  r_name : string;
+  r_pinned : bool;
+  r_bytes : int;
+  r_objects : int;
+  r_prefetcher : string;     (* currently active prefetcher *)
+  r_pf_switches : int;       (* adaptive-mode policy switches *)
+  r_stats : Rt_stats.ds;
+}
+
+let report t =
+  List.map
+    (fun (d : ds) ->
+      { r_handle = d.handle;
+        r_sid = d.info.sid;
+        r_name = d.info.name;
+        r_pinned = d.pinned;
+        r_bytes = d.pool_used + d.pinned_bytes;
+        r_objects = (d.pool_used + obj_size d - 1) lsr d.obj_shift;
+        r_prefetcher =
+          (match d.pf with
+           | Some p -> Prefetcher.kind_name p
+           | None -> "off");
+        r_pf_switches = d.pf_switches;
+        r_stats = d.st })
+    (Vec.to_list t.dss)
+
+let stats t = t.stats
+let fabric_stats t = Fabric.stats t.fabric
+let pinned_bytes t = t.pinned_used
+let remotable_resident_bytes t = t.remotable_used
+let pinned_preference t = Array.copy t.pref

@@ -1,0 +1,112 @@
+(** The CaRDS far-memory runtime (paper §4.2): a modified-AIFM-style
+    object runtime managing far memory at data-structure granularity.
+
+    Local memory is split into {e pinned} memory (data structures the
+    policy localized; never evicted) and {e remotable} memory (a
+    CLOCK-managed cache of remote objects).  Every pointer carries its
+    data-structure handle in the non-canonical bits ({!Addr});
+    [cards_deref] (here {!guard}) maps an address to its object, checks
+    residency, and fetches over the {!Cards_net.Fabric} on a miss
+    (paper Listing 4).
+
+    Time is a shared cycle counter: the interpreter charges instruction
+    costs, the runtime charges guard/fault/network costs, and the
+    fabric adds queueing — the sum is the simulated execution time that
+    every figure reports.
+
+    Safety fallback: an {e unguarded} access that reaches a non-resident
+    object (possible after guard hoisting/elision or in clean loop
+    versions, §4.1) takes a fault-handler path: full fetch cost plus a
+    trap penalty.  This mirrors the SIGSEGV fallback real far-memory
+    runtimes keep and makes every transformation safe by construction. *)
+
+type prefetch_mode =
+  | Pf_none
+  | Pf_stride_only  (** TrackFM: induction-variable streams only *)
+  | Pf_per_class    (** CaRDS: per-structure class from the compiler *)
+  | Pf_adaptive
+      (** CaRDS with dynamic policy selection (§4.2): start from the
+          compiler's class, monitor per-epoch accuracy, and fall back
+          through the other prefetchers — ultimately to none — when a
+          policy's accuracy stays poor. *)
+
+type config = {
+  policy : Policy.t;
+  k : float;                    (** fraction of structures to localize *)
+  local_bytes : int;            (** total local memory *)
+  remotable_bytes : int;        (** reserved for the remotable cache *)
+  cost : Cost.t;
+  fabric_config : Cards_net.Fabric.config;
+  prefetch_mode : prefetch_mode;
+  prefetch_depth : int;
+}
+
+val default_config : config
+(** CaRDS defaults: linear policy, k = 1, 64 MiB local / 8 MiB
+    remotable, CaRDS costs, per-class prefetch, depth 4. *)
+
+type t
+
+exception Runtime_error of string
+(** Wild pointers, out-of-range handles, pool overflows. *)
+
+val create : config -> Static_info.t array -> t
+
+(** {2 Clock} *)
+
+val now : t -> int
+val charge : t -> int -> unit
+(** Advance the clock (the interpreter charges instruction costs). *)
+
+(** {2 Runtime entry points (called from transformed code)} *)
+
+val ds_init : t -> sid:int -> int
+(** Instantiate a data structure from its static descriptor; returns
+    the runtime handle that [dsalloc] takes and pointers carry. *)
+
+val ds_alloc : t -> handle:int -> size:int -> int
+(** Pool allocation.  [handle = 0] allocates unmanaged memory. *)
+
+val free : t -> int -> unit
+(** Pool deallocation is a no-op on individual objects (pool-based
+    lifetime); kept for API fidelity and accounting. *)
+
+val guard : t -> write:bool -> int -> unit
+(** The [cards_deref] guard: localize the object behind the address. *)
+
+val loop_check : t -> int list -> bool
+(** Code-versioning check: true iff every base address' structure is
+    currently pinned (fully local, cannot be evicted mid-loop). *)
+
+(** {2 Data accesses (the heap)} *)
+
+val read_i64 : t -> int -> int
+val write_i64 : t -> int -> int -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+val alloc_unmanaged : t -> size:int -> int
+(** Reserve unmanaged storage (globals segment). *)
+
+(** {2 Introspection} *)
+
+type ds_report = {
+  r_handle : int;
+  r_sid : int;
+  r_name : string;
+  r_pinned : bool;
+  r_bytes : int;
+  r_objects : int;
+  r_prefetcher : string;  (** currently active prefetcher ("off" if none) *)
+  r_pf_switches : int;    (** adaptive-mode policy switches so far *)
+  r_stats : Rt_stats.ds;
+}
+
+val report : t -> ds_report list
+
+val stats : t -> Rt_stats.t
+val fabric_stats : t -> Cards_net.Fabric.stats
+val pinned_bytes : t -> int
+val remotable_resident_bytes : t -> int
+val pinned_preference : t -> bool array
+val n_ds : t -> int

@@ -1,0 +1,23 @@
+type prefetch_class = No_prefetch | Stride | Greedy_recursive | Jump_pointer
+
+type t = {
+  sid : int;
+  name : string;
+  obj_size : int;
+  prefetch : prefetch_class;
+  score_use : int;
+  score_reach : int;
+  recursive : bool;
+  elem_size : int;
+}
+
+let default ~sid =
+  { sid; name = Printf.sprintf "ds%d" sid; obj_size = 4096;
+    prefetch = No_prefetch; score_use = 0; score_reach = 0;
+    recursive = false; elem_size = 8 }
+
+let prefetch_class_name = function
+  | No_prefetch -> "none"
+  | Stride -> "stride"
+  | Greedy_recursive -> "greedy"
+  | Jump_pointer -> "jump"

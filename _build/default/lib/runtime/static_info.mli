@@ -1,0 +1,25 @@
+(** Compiler-provided static descriptor for one data structure.
+
+    This is the information [ds_init] hands the runtime (paper §4.2):
+    object-size hint, prefetch class, and the static policy scores the
+    remoting policies rank by.  It is the contract between
+    {!Cards_transform} / {!Cards_analysis} and the runtime. *)
+
+type prefetch_class = No_prefetch | Stride | Greedy_recursive | Jump_pointer
+
+type t = {
+  sid : int;                 (** static descriptor id (ds_init operand) *)
+  name : string;             (** diagnostic label, e.g. "main#0" *)
+  obj_size : int;            (** power-of-two object size hint, bytes *)
+  prefetch : prefetch_class;
+  score_use : int;           (** Equation-1 Max Use score *)
+  score_reach : int;         (** Max Reach (SCC chain) score *)
+  recursive : bool;
+  elem_size : int;
+}
+
+val default : sid:int -> t
+(** A descriptor with neutral hints (used for untracked allocations and
+    in unit tests). *)
+
+val prefetch_class_name : prefetch_class -> string

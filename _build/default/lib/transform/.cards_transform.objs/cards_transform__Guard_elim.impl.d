@@ -1,0 +1,1 @@
+lib/transform/guard_elim.ml: Array Cards_analysis Cards_ir Cards_util Hashtbl Int64 List Option Rewrite

@@ -1,0 +1,1 @@
+lib/transform/guard_elim.mli: Cards_analysis Cards_ir

@@ -1,0 +1,1 @@
+lib/transform/guards.ml: Cards_analysis Cards_ir List Rewrite

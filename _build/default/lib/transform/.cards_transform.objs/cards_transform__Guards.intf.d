@@ -1,0 +1,1 @@
+lib/transform/guards.mli: Cards_analysis Cards_ir

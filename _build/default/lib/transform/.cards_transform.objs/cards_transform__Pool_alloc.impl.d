@@ -1,0 +1,1 @@
+lib/transform/pool_alloc.ml: Cards_analysis Cards_ir Hashtbl List Rewrite

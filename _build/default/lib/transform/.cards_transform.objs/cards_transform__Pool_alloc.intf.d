@@ -1,0 +1,1 @@
+lib/transform/pool_alloc.mli: Cards_analysis Cards_ir

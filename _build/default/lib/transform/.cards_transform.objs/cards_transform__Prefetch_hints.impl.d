@@ -1,0 +1,1 @@
+lib/transform/prefetch_hints.ml: Cards_analysis

@@ -1,0 +1,1 @@
+lib/transform/prefetch_hints.mli: Cards_analysis

@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Array Cards_ir Cards_util

@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: Array Cards_analysis Cards_ir Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/transform/versioning.ml: Array Cards_analysis Cards_ir Cards_util Hashtbl List Option Rewrite

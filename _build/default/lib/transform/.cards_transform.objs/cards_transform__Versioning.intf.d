@@ -1,0 +1,1 @@
+lib/transform/versioning.mli: Cards_analysis Cards_ir

@@ -1,0 +1,36 @@
+module Func = Cards_ir.Func
+module Instr = Cards_ir.Instr
+module Irmod = Cards_ir.Irmod
+module Dsa = Cards_analysis.Dsa
+
+let transform_func dsa (f : Func.t) =
+  let fname = f.name in
+  let rw = Rewrite.of_func f in
+  for bid = 0 to Rewrite.nblocks rw - 1 do
+    let out =
+      List.concat_map
+        (fun ins ->
+          match ins with
+          | Instr.Load (_, _, addr) when Dsa.value_is_managed dsa ~fname addr ->
+            [ Instr.Guard (Instr.Gread, addr); ins ]
+          | Instr.Store (_, addr, _) when Dsa.value_is_managed dsa ~fname addr ->
+            [ Instr.Guard (Instr.Gwrite, addr); ins ]
+          | _ -> [ ins ])
+        (Rewrite.instrs rw bid)
+    in
+    Rewrite.set_instrs rw bid out
+  done;
+  Rewrite.finish rw
+
+let run (m : Irmod.t) dsa =
+  let m' = Irmod.replace_funcs m (List.map (transform_func dsa) m.funcs) in
+  Cards_ir.Verify.check_exn m';
+  m'
+
+let count_guards (m : Irmod.t) =
+  List.fold_left
+    (fun acc f ->
+      Func.fold_instrs f
+        (fun acc _ _ ins -> match ins with Instr.Guard _ -> acc + 1 | _ -> acc)
+        acc)
+    0 m.funcs

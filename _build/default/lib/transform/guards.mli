@@ -1,0 +1,21 @@
+(** Guard insertion.
+
+    Far-memory safety requires every access to a possibly-remote object
+    to be preceded by a guard that localizes it (paper §4.2, Fig. 3:
+    custody check on the non-canonical bits, then [cards_deref]).  Both
+    CaRDS and TrackFM insert guards this way; they differ in how many
+    guards later passes can remove and in what the runtime charges per
+    guard, not in insertion.
+
+    A load/store needs a guard iff its address may point into a heap
+    data structure according to DSA; accesses to globals and
+    provably-unmanaged pointers are left bare. *)
+
+val run : Cards_ir.Irmod.t -> Cards_analysis.Dsa.t -> Cards_ir.Irmod.t
+(** Insert a [Guard] immediately before every managed load/store.
+    [dsa] must describe this module (typically the post-pool-allocation
+    module). *)
+
+val count_guards : Cards_ir.Irmod.t -> int
+(** Static guard count (used by tests and the evaluation's
+    "10 billion guard checks" style reporting). *)

@@ -1,0 +1,59 @@
+module Func = Cards_ir.Func
+module Instr = Cards_ir.Instr
+module Types = Cards_ir.Types
+module Irmod = Cards_ir.Irmod
+module Dsa = Cards_analysis.Dsa
+
+let transform_func (m : Irmod.t) dsa (f : Func.t) =
+  let fname = f.name in
+  let rw = Rewrite.of_func f in
+  (* Handles for escaping nodes arrive as appended parameters. *)
+  let handle_of : (int, Instr.value) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let r = Rewrite.add_param rw Types.I64 in
+      Hashtbl.replace handle_of (Dsa.canonical dsa n) (Instr.Reg r))
+    (Dsa.argnodes dsa fname);
+  (* Non-escaping nodes are initialized here (ds_init = descriptor). *)
+  let inits =
+    List.map
+      (fun (n, desc_id) ->
+        let r = Rewrite.fresh_reg rw Types.I64 in
+        Hashtbl.replace handle_of (Dsa.canonical dsa n) (Instr.Reg r);
+        Instr.DsInit (r, desc_id))
+      (Dsa.init_nodes dsa fname)
+  in
+  let handle n =
+    match Hashtbl.find_opt handle_of (Dsa.canonical dsa n) with
+    | Some h -> h
+    | None -> Instr.Imm 0L (* untracked: runtime default pool *)
+  in
+  for bid = 0 to Rewrite.nblocks rw - 1 do
+    let mapped =
+      List.mapi
+        (fun idx ins ->
+          match ins with
+          | Instr.Malloc (r, size) -> begin
+            match Dsa.malloc_node dsa ~fname ~bid ~idx with
+            | Some n -> Instr.DsAlloc (r, size, handle n)
+            | None -> Instr.DsAlloc (r, size, Instr.Imm 0L)
+          end
+          | Instr.Call (ropt, callee, args) when Irmod.has_func m callee -> begin
+            match Dsa.callsite_bindings dsa ~fname ~bid ~idx with
+            | [] -> ins
+            | bindings ->
+              Instr.Call (ropt, callee, args @ List.map handle bindings)
+          end
+          | _ -> ins)
+        (Rewrite.instrs rw bid)
+    in
+    Rewrite.set_instrs rw bid mapped
+  done;
+  Rewrite.prepend_entry rw inits;
+  Rewrite.finish rw
+
+let run (m : Irmod.t) dsa =
+  let funcs = List.map (transform_func m dsa) m.funcs in
+  let m' = Irmod.replace_funcs m funcs in
+  Cards_ir.Verify.check_exn m';
+  m'

@@ -1,0 +1,20 @@
+(** Pool allocation (Lattner–Adve, the paper's Algorithm 1).
+
+    Links every heap allocation site to its compiler-identified data
+    structure and threads handles to where they are needed:
+
+    - functions whose escaping DSA nodes require a handle gain extra
+      [i64] handle parameters (Algorithm 1, lines 4–7);
+    - non-escaping nodes get a [ds_init] call at function entry
+      (lines 8–10) — each such site is a static {e descriptor};
+    - every [malloc] becomes [dsalloc(size, handle)] (line 17);
+    - call sites pass the caller's handles for the callee's handle
+      parameters (lines 18–21).
+
+    At run time the handle ends up in the non-canonical bits of every
+    pointer the allocation returns, which is how [cards_deref] maps an
+    address back to its data structure (paper Listing 4). *)
+
+val run : Cards_ir.Irmod.t -> Cards_analysis.Dsa.t -> Cards_ir.Irmod.t
+(** Transform the whole module.  The result verifies; [dsa] must have
+    been computed on exactly this module. *)

@@ -1,0 +1,24 @@
+module Dsa = Cards_analysis.Dsa
+
+type pclass = No_prefetch | Stride | Greedy_recursive | Jump_pointer
+
+let classify (d : Dsa.desc_info) =
+  if d.desc_recursive then begin
+    if d.desc_ptr_fields >= 2 then Greedy_recursive else Jump_pointer
+  end
+  else if d.desc_strided then Stride
+  else No_prefetch
+
+let pow2_ceil x =
+  let rec go p = if p >= x then p else go (p * 2) in
+  go 8
+
+let object_size (d : Dsa.desc_info) =
+  if d.desc_recursive then pow2_ceil (max 8 d.desc_elem_size)
+  else max 4096 (pow2_ceil d.desc_elem_size)
+
+let pclass_name = function
+  | No_prefetch -> "none"
+  | Stride -> "stride"
+  | Greedy_recursive -> "greedy"
+  | Jump_pointer -> "jump"

@@ -1,0 +1,30 @@
+(** Per-data-structure prefetch classification (paper §4.1 "Prefetching
+    analysis" and §4.2 "Prefetching Policy Selection").
+
+    CaRDS supports three compiler prefetchers — a majority stride-based
+    prefetcher, a greedy recursive prefetcher, and a jump-pointer
+    prefetcher — and assigns the most appropriate one to each data
+    structure from its static shape:
+
+    - flat structures with loop-strided addressing → [Stride];
+    - recursive structures with a single pointer field (lists) →
+      [Jump_pointer] (jump pointers beat greedy fan-out on linear
+      chains);
+    - recursive structures with several pointer fields (trees) →
+      [Greedy_recursive];
+    - everything else → [No_prefetch].
+
+    Also fixes the object-size hint handed to [ds_init]: recursive
+    structures use their node size, flat structures are chunked into
+    4 KiB objects (paper §4.2: "char ds[4096] could correspond to a
+    single CaRDS object"). *)
+
+type pclass = No_prefetch | Stride | Greedy_recursive | Jump_pointer
+
+val classify : Cards_analysis.Dsa.desc_info -> pclass
+
+val object_size : Cards_analysis.Dsa.desc_info -> int
+(** Power-of-two object size the runtime should use for the
+    structure. *)
+
+val pclass_name : pclass -> string

@@ -1,0 +1,83 @@
+type t = { words : Bytes.t; n : int }
+
+(* One byte per 8 members; Bytes gives cheap blits and equality. *)
+
+let create n = { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  i >= 0 && i < t.n
+  && Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.words b
+    (Char.chr (Char.code (Bytes.get t.words b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.words b
+    (Char.chr (Char.code (Bytes.get t.words b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let set_all t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\255';
+  (* Mask off the bits beyond [n] in the final byte so cardinal and
+     equality stay meaningful. *)
+  let extra = (8 - (t.n land 7)) land 7 in
+  if extra > 0 && Bytes.length t.words > 0 then begin
+    let last = Bytes.length t.words - 1 in
+    Bytes.set t.words last (Char.chr (0xff lsr extra))
+  end
+
+let popcount_byte c =
+  let x = Char.code c in
+  let x = x - ((x lsr 1) land 0x55) in
+  let x = (x land 0x33) + ((x lsr 2) land 0x33) in
+  (x + (x lsr 4)) land 0x0f
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.words;
+  !acc
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let binop_into f dst src =
+  if dst.n <> src.n then invalid_arg "Bitset: universe mismatch";
+  let changed = ref false in
+  for i = 0 to Bytes.length dst.words - 1 do
+    let d = Char.code (Bytes.get dst.words i) in
+    let s = Char.code (Bytes.get src.words i) in
+    let r = f d s in
+    if r <> d then begin
+      changed := true;
+      Bytes.set dst.words i (Char.chr r)
+    end
+  done;
+  !changed
+
+let inter_into dst src = binop_into (land) dst src
+let union_into dst src = binop_into (lor) dst src
+let diff_into dst src = ignore (binop_into (fun d s -> d land lnot s land 0xff) dst src)
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,46 @@
+(** Dense fixed-size bit sets.
+
+    Dataflow analyses (dominators, liveness for guard elimination) and
+    the BFS workload's visited set both want a compact mutable set over
+    a dense integer universe. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+(** Membership; indices outside the universe are simply absent. *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val set_all : t -> unit
+(** Make the set the full universe. *)
+
+val clear : t -> unit
+(** Make the set empty. *)
+
+val cardinal : t -> int
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val inter_into : t -> t -> bool
+(** [inter_into dst src] intersects [dst] with [src] in place and
+    returns [true] iff [dst] changed. *)
+
+val union_into : t -> t -> bool
+(** [union_into dst src] unions [src] into [dst] and returns [true] iff
+    [dst] changed. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] removes [src]'s members from [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val to_list : t -> int list

@@ -1,0 +1,61 @@
+type 'a entry = { prio : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+let length t = t.len
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+let push t ~prio value =
+  let e = { prio; value } in
+  grow t e;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while !i > 0 && t.data.((!i - 1) / 2).prio > t.data.(!i).prio do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(p) in
+    t.data.(p) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := p
+  done
+
+let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && t.data.(l).prio < t.data.(!smallest).prio then smallest := l;
+        if r < t.len && t.data.(r).prio < t.data.(!smallest).prio then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end

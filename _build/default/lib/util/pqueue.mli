@@ -1,0 +1,21 @@
+(** Binary min-heap priority queue with integer priorities.
+
+    Used by the fabric's event queue (deliveries ordered by simulated
+    time) and by policies that rank data structures by score. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** Insert an element with the given priority (smaller pops first). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority element, or [None] if empty.
+    Ties pop in unspecified order. *)
+
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free: take the high bits modulo bound.  Bias is
+     negligible for the bounds we use (<< 2^32). *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (r /. 9007199254740992.0) (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Truncated-harmonic inverse transform.  We cache the cumulative table
+   per (n, s) because workload generators call this in a tight loop. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_table n s =
+  match Hashtbl.find_opt zipf_cache (n, s) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      tbl.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      tbl.(i) <- tbl.(i) /. total
+    done;
+    Hashtbl.replace zipf_cache (n, s) tbl;
+    tbl
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let tbl = zipf_table n s in
+  let u = float t 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if tbl.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  -. mean *. log (1.0 -. u)

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that
+    every experiment is exactly reproducible from a seed.  The generator
+    is SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent
+    statistical quality for simulation purposes, and trivially
+    splittable, which lets independent subsystems (workload generator,
+    random remoting policy, fabric jitter) draw from decorrelated
+    streams derived from one master seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t].  Used to hand decorrelated streams to subsystems. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future outputs). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws from a Zipf distribution over [\[0, n)] with
+    exponent [s] by inverse-transform over the truncated harmonic sum.
+    Used to generate skewed key popularity (taxi zones, graph degrees). *)
+
+val exponential : t -> mean:float -> float
+(** Exponential variate with the given mean (network jitter). *)

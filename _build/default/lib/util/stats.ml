@@ -1,0 +1,52 @@
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable samples : float list; (* retained for percentiles *)
+}
+
+let create () =
+  { n = 0; mean_acc = 0.0; m2 = 0.0; total = 0.0;
+    lo = infinity; hi = neg_infinity; samples = [] }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.samples <- x :: t.samples
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let idx =
+      if rank <= 0 then 0
+      else if rank > t.n then t.n - 1
+      else rank - 1
+    in
+    a.(idx)
+  end
+
+let median t = percentile t 50.0
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (List.rev_append a.samples (List.rev b.samples));
+  t

@@ -1,0 +1,39 @@
+(** Streaming summary statistics.
+
+    Used by the runtime to track per-data-structure hit/miss counters
+    and by the benchmark harness to report medians over trials, matching
+    the paper's "median cycles over 100 trials" methodology (Table 1). *)
+
+type t
+(** A mutable accumulator of float observations. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** Mean of observations; 0 when empty. *)
+
+val variance : t -> float
+(** Population variance (Welford); 0 when fewer than 2 observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]] by nearest-rank over the
+    retained samples; 0 when empty. *)
+
+val median : t -> float
+
+val merge : t -> t -> t
+(** Combine two accumulators into a fresh one. *)

@@ -1,0 +1,66 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let all = t.header :: List.map pad_row rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  let total = Array.fold_left (+) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter (fun r -> emit_row (pad_row r)) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_cycles c =
+  let a = Float.abs c in
+  if a < 1e4 then Printf.sprintf "%.0f" c
+  else if a < 1e6 then Printf.sprintf "%.1fK" (c /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.2fM" (c /. 1e6)
+  else Printf.sprintf "%.2fG" (c /. 1e9)
+
+let fmt_speedup r = Printf.sprintf "%.2fx" r
+
+let fmt_bytes b =
+  let a = Float.abs b in
+  if a < 1024.0 then Printf.sprintf "%.0fB" b
+  else if a < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKB" (b /. 1024.0)
+  else if a < 1024.0 *. 1024.0 *. 1024.0 then Printf.sprintf "%.1fMB" (b /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.1fGB" (b /. (1024.0 *. 1024.0 *. 1024.0))

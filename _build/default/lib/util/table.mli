@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every table and figure in the paper is regenerated as an aligned
+    ASCII table so that `bench/main.exe` output is directly comparable
+    with EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** Start a table with a caption and column names. *)
+
+val add_row : t -> string list -> unit
+(** Append one row.  Rows shorter than the header are padded. *)
+
+val render : t -> string
+(** Render with a rule under the header and right-padded columns. *)
+
+val print : t -> unit
+(** [render] then print to stdout followed by a blank line. *)
+
+val fmt_cycles : float -> string
+(** Human format for cycle counts: [1234] / [56.7K] / [8.90M] / [1.23G]. *)
+
+val fmt_speedup : float -> string
+(** Format a ratio as e.g. [1.85x]. *)
+
+val fmt_bytes : float -> string
+(** Human format for byte counts: [512B] / [4.0KB] / [31.0GB]. *)

@@ -1,0 +1,46 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb; rb
+  end else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra; ra
+  end else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let equiv t a b = find t a = find t b
+
+let size t = Array.length t.parent
+
+let count_sets t =
+  let n = size t in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr c
+  done;
+  !c
+
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to size t - 1 do
+    let r = find t i in
+    let old = Option.value (Hashtbl.find_opt tbl r) ~default:[] in
+    Hashtbl.replace tbl r (i :: old)
+  done;
+  tbl

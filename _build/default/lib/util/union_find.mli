@@ -1,0 +1,31 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    This is the workhorse of the unification-based data-structure
+    analysis ({!Cards_analysis.Dsa}): DSA merges memory-object nodes
+    that may alias, and disjoint data structures are exactly the final
+    equivalence classes. *)
+
+type t
+(** A fixed-capacity disjoint-set structure over [0 .. n-1]. *)
+
+val create : int -> t
+(** [create n] makes [n] singleton sets. *)
+
+val find : t -> int -> int
+(** Canonical representative (with path compression). *)
+
+val union : t -> int -> int -> int
+(** [union t a b] merges the two sets and returns the representative of
+    the merged set. *)
+
+val equiv : t -> int -> int -> bool
+(** Same set? *)
+
+val count_sets : t -> int
+(** Number of distinct sets remaining. *)
+
+val size : t -> int
+(** Capacity [n]. *)
+
+val classes : t -> (int, int list) Hashtbl.t
+(** Map from representative to the members of its class. *)

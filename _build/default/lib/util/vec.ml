@@ -1,0 +1,40 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of range (len %d)" i v.len)
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let cap = max 16 (2 * Array.length v.data) in
+    let nd = Array.make cap x in
+    Array.blit v.data 0 nd 0 v.len;
+    v.data <- nd
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_list v =
+  let acc = ref [] in
+  for i = v.len - 1 downto 0 do
+    acc := v.data.(i) :: !acc
+  done;
+  !acc
+
+let ensure v n fill =
+  while v.len < n do
+    ignore (push v fill)
+  done

@@ -1,0 +1,25 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    The DSA node arena and the runtime's per-data-structure object
+    tables both grow dynamically; this is the shared backing store. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Append and return the new element's index. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+
+val ensure : 'a t -> int -> 'a -> unit
+(** [ensure v n fill] grows [v] with [fill] until [length v >= n]. *)

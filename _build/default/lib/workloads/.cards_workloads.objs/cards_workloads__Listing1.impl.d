@@ -1,0 +1,1 @@
+lib/workloads/listing1.ml: Printf

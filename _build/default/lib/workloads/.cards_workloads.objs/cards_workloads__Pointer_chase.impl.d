@@ -1,0 +1,1 @@
+lib/workloads/pointer_chase.ml: Printf

@@ -1,0 +1,25 @@
+(** The paper's data-analytics workload: NYC-taxi-style trip analysis
+    (§5, "analytics").
+
+    The original uses the 2014 Kaggle NYC taxi dataset (16 GB on disk,
+    31 GB working set); the sealed environment has no dataset, so the
+    program {e generates} a synthetic trip table with the same column
+    structure and skew (hour-of-day rush peaks, Zipf-popular zones,
+    fare correlated with distance) and then runs a battery of analytics
+    queries over it: average fare by hour, zone histograms + top-k,
+    long-trip filters, monthly revenue, payment split, speed
+    statistics, and a zone-distance aggregation.
+
+    Columns and aggregation tables are separate heap allocations, so
+    DSA identifies ~22 disjoint data structures, matching the paper's
+    count for this workload.  Query passes revisit the hot columns
+    (hour, fare, distance) far more than the cold ones (vendor,
+    passenger count), which is exactly the asymmetry per-structure
+    remoting policies exploit. *)
+
+val n_zones : int
+val n_hours : int
+
+val source : trips:int -> query_passes:int -> string
+(** MiniC source.  [trips] = row count; [query_passes] = how many
+    times the query battery runs (hot/cold contrast grows with it). *)

@@ -1,0 +1,130 @@
+let source ~nodes ~edges ~sources =
+  Printf.sprintf
+    {|
+// GAP-style BFS: CSR construction + multi-source traversals.
+int N = %d;
+int E = %d;
+int SOURCES = %d;
+
+int rng_state = 987654321;
+
+int rnd(int bound) {
+  rng_state = rng_state * 2862933555777941757 + 3037000493;
+  int x = rng_state / 65536;
+  if (x < 0) { x = 0 - x; }
+  return x %% bound;
+}
+
+void main() {
+  // ---- edge list ----
+  int *src = malloc(E * 8);
+  int *dst = malloc(E * 8);
+  for (int e = 0; e < E; e = e + 1) {
+    src[e] = rnd(N);
+    dst[e] = rnd(N);
+  }
+
+  // ---- forward CSR ----
+  int *deg = malloc(N * 8);
+  for (int v = 0; v < N; v = v + 1) { deg[v] = 0; }
+  for (int e = 0; e < E; e = e + 1) { deg[src[e]] = deg[src[e]] + 1; }
+  int *off = malloc((N + 1) * 8);
+  off[0] = 0;
+  for (int v = 0; v < N; v = v + 1) { off[v + 1] = off[v] + deg[v]; }
+  int *cursor = malloc(N * 8);
+  for (int v = 0; v < N; v = v + 1) { cursor[v] = off[v]; }
+  int *adj = malloc(E * 8);
+  for (int e = 0; e < E; e = e + 1) {
+    int u = src[e];
+    adj[cursor[u]] = dst[e];
+    cursor[u] = cursor[u] + 1;
+  }
+
+  // ---- reverse CSR (kept by direction-optimizing BFS) ----
+  int *rdeg = malloc(N * 8);
+  for (int v = 0; v < N; v = v + 1) { rdeg[v] = 0; }
+  for (int e = 0; e < E; e = e + 1) { rdeg[dst[e]] = rdeg[dst[e]] + 1; }
+  int *roff = malloc((N + 1) * 8);
+  roff[0] = 0;
+  for (int v = 0; v < N; v = v + 1) { roff[v + 1] = roff[v] + rdeg[v]; }
+  int *rcursor = malloc(N * 8);
+  for (int v = 0; v < N; v = v + 1) { rcursor[v] = roff[v]; }
+  int *radj = malloc(E * 8);
+  for (int e = 0; e < E; e = e + 1) {
+    int u = dst[e];
+    radj[rcursor[u]] = src[e];
+    rcursor[u] = rcursor[u] + 1;
+  }
+
+  // ---- traversal state ----
+  int *parent = malloc(N * 8);
+  int *depth = malloc(N * 8);
+  int *frontier = malloc(N * 8);
+  int *next_frontier = malloc(N * 8);
+  int *visited = malloc(N * 8);
+  int *depth_hist = malloc(64 * 8);
+
+  int total_reached = 0;
+  int total_edges_scanned = 0;
+
+  for (int s = 0; s < SOURCES; s = s + 1) {
+    int root = rnd(N);
+    for (int v = 0; v < N; v = v + 1) {
+      parent[v] = 0 - 1;
+      depth[v] = 0 - 1;
+      visited[v] = 0;
+    }
+    for (int d = 0; d < 64; d = d + 1) { depth_hist[d] = 0; }
+    frontier[0] = root;
+    visited[root] = 1;
+    parent[root] = root;
+    depth[root] = 0;
+    int flen = 1;
+    int level = 0;
+    int reached = 1;
+    while (flen > 0) {
+      int nlen = 0;
+      for (int f = 0; f < flen; f = f + 1) {
+        int u = frontier[f];
+        int stop = off[u + 1];
+        for (int e = off[u]; e < stop; e = e + 1) {
+          total_edges_scanned = total_edges_scanned + 1;
+          int w = adj[e];
+          if (visited[w] == 0) {
+            visited[w] = 1;
+            parent[w] = u;
+            depth[w] = level + 1;
+            next_frontier[nlen] = w;
+            nlen = nlen + 1;
+            reached = reached + 1;
+          }
+        }
+      }
+      // swap frontiers
+      for (int f = 0; f < nlen; f = f + 1) { frontier[f] = next_frontier[f]; }
+      flen = nlen;
+      level = level + 1;
+      if (level < 64) { depth_hist[level] = depth_hist[level] + nlen; }
+    }
+    total_reached = total_reached + reached;
+    // A reverse-graph sanity pass: count how many reached nodes have a
+    // reachable in-neighbour (exercises the reverse CSR).
+    int consistent = 0;
+    for (int v = 0; v < N; v = v + 1) {
+      if (visited[v] == 1 && v != root) {
+        int stop = roff[v + 1];
+        int okv = 0;
+        for (int e = roff[v]; e < stop; e = e + 1) {
+          if (visited[radj[e]] == 1) { okv = 1; }
+        }
+        consistent = consistent + okv;
+      }
+    }
+    total_reached = total_reached + consistent / (N + 1);
+  }
+
+  print_int(total_reached);
+  print_int(total_edges_scanned);
+}
+|}
+    nodes edges sources

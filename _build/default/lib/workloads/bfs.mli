@@ -1,0 +1,16 @@
+(** Breadth-first search over a synthetic graph, GAP-benchmark style
+    (§5): irregular access patterns over many structures.
+
+    The program builds a uniformly-random directed multigraph in CSR
+    form (edge list → degree counting → prefix sum → placement, plus
+    the reverse CSR, as direction-optimizing GAP BFS keeps), then runs
+    BFS from several sources, producing a parent array and a depth
+    histogram.  Frontier queues, visited flags, degree/offset/cursor
+    arrays, edge lists, and histograms all come from distinct
+    allocation sites, giving DSA a large population of disjoint
+    structures with wildly different sizes and access patterns —
+    the edges array is huge and scanned irregularly, the frontiers are
+    small and hot. *)
+
+val source : nodes:int -> edges:int -> sources:int -> string
+(** MiniC source.  Working set ≈ (2·[edges] + 10·[nodes]) × 8 bytes. *)

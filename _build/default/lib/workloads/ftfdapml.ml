@@ -1,0 +1,112 @@
+let source ~cz ~cym ~cxm ~steps =
+  Printf.sprintf
+    {|
+// PolyBench fdtd-apml (FDTD with anisotropic perfectly matched layer).
+int CZ = %d;
+int CYM = %d;
+int CXM = %d;
+int STEPS = %d;
+
+double MUI = 2.307;
+double CH = 0.5;
+
+void init_coeff(double *v, int n, double base) {
+  for (int i = 0; i < n; i = i + 1) {
+    v[i] = base + 0.001 * i;
+  }
+}
+
+void init_volume(double *v, int n, double base) {
+  for (int i = 0; i < n; i = i + 1) {
+    v[i] = base + 0.0001 * (i %% 1000);
+  }
+}
+
+void main() {
+  int plane = CYM + 1;
+  int vol = CZ * (CYM + 1) * (CXM + 1);
+
+  // 1-D PML coefficient vectors (6 structures).
+  double *czm = malloc(CZ * 8);
+  double *czp = malloc(CZ * 8);
+  double *cxmh = malloc((CXM + 1) * 8);
+  double *cxph = malloc((CXM + 1) * 8);
+  double *cymh = malloc((CYM + 1) * 8);
+  double *cyph = malloc((CYM + 1) * 8);
+
+  // 2-D boundary planes (2 structures).
+  double *Ry = malloc(CZ * plane * 8);
+  double *Ax = malloc(CZ * plane * 8);
+
+  // 3-D field volumes (4 structures).
+  double *Ex = malloc(vol * 8);
+  double *Ey = malloc(vol * 8);
+  double *Hz = malloc(vol * 8);
+  double *Bza = malloc(vol * 8);
+
+  // Scratch (2 structures).
+  double *clf_row = malloc((CXM + 1) * 8);
+  double *tmp_row = malloc((CXM + 1) * 8);
+
+  init_coeff(czm, CZ, 0.5);
+  init_coeff(czp, CZ, 0.7);
+  init_coeff(cxmh, CXM + 1, 0.4);
+  init_coeff(cxph, CXM + 1, 1.1);
+  init_coeff(cymh, CYM + 1, 0.6);
+  init_coeff(cyph, CYM + 1, 1.2);
+  init_volume(Ry, CZ * plane, 0.1);
+  init_volume(Ax, CZ * plane, 0.2);
+  init_volume(Ex, vol, 1.0);
+  init_volume(Ey, vol, 2.0);
+  init_volume(Hz, vol, 0.0);
+  init_volume(Bza, vol, 0.3);
+
+  int row = CXM + 1;
+  int slab = (CYM + 1) * (CXM + 1);
+
+  for (int t = 0; t < STEPS; t = t + 1) {
+    for (int iz = 0; iz < CZ; iz = iz + 1) {
+      for (int iy = 0; iy < CYM; iy = iy + 1) {
+        for (int ix = 0; ix < CXM; ix = ix + 1) {
+          int c = iz * slab + iy * row + ix;
+          double clf = Ex[c] - Ex[c + row] + Ey[c + 1] - Ey[c];
+          double tmpv = (cymh[iy] / cyph[iy]) * Bza[c]
+                      - (CH / cyph[iy]) * clf;
+          Hz[c] = (cxmh[ix] / cxph[ix]) * Hz[c]
+                + (MUI * czp[iz] / cxph[ix]) * tmpv
+                - (MUI * czm[iz] / cxph[ix]) * Bza[c];
+          Bza[c] = tmpv;
+          clf_row[ix] = clf;
+          tmp_row[ix] = tmpv;
+        }
+        // iy boundary column (uses the Ax plane).
+        int cb = iz * slab + iy * row + CXM;
+        double clf = Ex[cb] - Ax[iz * plane + iy] + Ey[cb + 1] - Ey[cb];
+        double tmpv = (cymh[iy] / cyph[iy]) * Bza[cb] - (CH / cyph[iy]) * clf;
+        Hz[cb] = (cxmh[CXM] / cxph[CXM]) * Hz[cb]
+               + (MUI * czp[iz] / cxph[CXM]) * tmpv
+               - (MUI * czm[iz] / cxph[CXM]) * Bza[cb];
+        Bza[cb] = tmpv;
+      }
+      // iz/iy edge row (uses the Ry plane).
+      for (int ix = 0; ix < CXM; ix = ix + 1) {
+        int ce = iz * slab + CYM * row + ix;
+        double clf = Ex[ce] - Ry[iz * plane + ix %% plane]
+                   + Ey[ce + 1] - Ey[ce];
+        double tmpv = (cymh[CYM] / cyph[CYM]) * Bza[ce] - (CH / cyph[CYM]) * clf;
+        Hz[ce] = (cxmh[ix] / cxph[ix]) * Hz[ce]
+               + (MUI * czp[iz] / cxph[ix]) * tmpv
+               - (MUI * czm[iz] / cxph[ix]) * Bza[ce];
+        Bza[ce] = tmpv;
+      }
+    }
+  }
+
+  double check = 0.0;
+  for (int i = 0; i < vol; i = i + 1) {
+    check = check + Hz[i];
+  }
+  print_float(check);
+}
+|}
+    cz cym cxm steps

@@ -1,0 +1,17 @@
+(** PolyBench [fdtd-apml]: the Finite-Difference Time-Domain kernel
+    with an Anisotropic Perfectly Matched Layer boundary (§5).
+
+    The paper picks this benchmark because it has the largest number of
+    data structures in the PolyBench suite (15 identified by CaRDS):
+    six 1-D coefficient vectors ([czm], [czp], [cxmh], [cxph], [cymh],
+    [cyph]), 2-D boundary planes ([Ry], [Ax]), and 3-D field volumes
+    ([Ex], [Ey], [Hz], [Bza]) of very different sizes — ideal for
+    exercising remoting policies that must pick {e which} structures to
+    localize.
+
+    3-D arrays are flattened with explicit index arithmetic, exactly
+    what the original C produces at the IR level. *)
+
+val source : cz:int -> cym:int -> cxm:int -> steps:int -> string
+(** MiniC source.  Grid of [cz × cym × cxm] cells, [steps] time
+    steps.  Working set ≈ 4 volumes × (cz·cym·cxm) × 8 bytes. *)

@@ -1,0 +1,43 @@
+let source ~elems ~ntimes =
+  Printf.sprintf
+    {|
+// Paper Listing 1: two data structures, ds2 rewritten in a loop.
+int ARRAY_SIZE = %d;
+int NTIMES = %d;
+
+double* alloc() {
+  return malloc(ARRAY_SIZE * 8);
+}
+
+void set(double *ds, double val) {
+  for (int j = 0; j < ARRAY_SIZE; j = j + 1) {
+    ds[j] = val;
+  }
+}
+
+double checksum(double *ds) {
+  double s = 0.0;
+  for (int j = 0; j < ARRAY_SIZE; j = j + 1) {
+    s = s + ds[j];
+  }
+  return s;
+}
+
+void main() {
+  double *ds1 = alloc();
+  double *ds2 = alloc();
+  set(ds1, 0.0);
+  set(ds2, 1.0);
+  for (int k = 0; k < NTIMES; k = k + 1) {
+    set(ds2, 1.0 * k);
+  }
+  print_float(checksum(ds1));
+  print_float(checksum(ds2));
+}
+|}
+    elems ntimes
+
+let expected_output ~elems ~ntimes =
+  let last = float_of_int (ntimes - 1) in
+  [ Printf.sprintf "%.6g" 0.0;
+    Printf.sprintf "%.6g" (last *. float_of_int elems) ]

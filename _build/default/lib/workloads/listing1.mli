@@ -1,0 +1,13 @@
+(** The paper's Listing 1: two data structures initialized by the same
+    [alloc] helper, one of them ([ds2]) re-written [NTIMES] in a loop.
+    The motivating example for per-instance remoting policies (Fig. 4):
+    with k = 50 % one structure can be localized, and a policy that
+    picks the hot [ds2] (Max Use) beats one that picks [ds1]. *)
+
+val source : elems:int -> ntimes:int -> string
+(** MiniC source.  [elems] is the element count of each array
+    (the paper uses 3 GB per structure; scale to taste), [ntimes] the
+    rewrite count of [ds2]. *)
+
+val expected_output : elems:int -> ntimes:int -> string list
+(** The program's print output (for correctness checks). *)

@@ -1,0 +1,395 @@
+let variants = [ "array"; "vector"; "list"; "map"; "hash"; "tree" ]
+
+(* Shared MiniC xorshift-style PRNG (kept positive for %). *)
+let rng_decls =
+  {|
+int rng_state = 123456789;
+
+int rnd(int bound) {
+  rng_state = rng_state * 2862933555777941757 + 3037000493;
+  int x = rng_state / 65536;
+  if (x < 0) { x = 0 - x; }
+  return x % bound;
+}
+|}
+
+let array_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "array": induction variables everywhere; TrackFM's home turf.
+int N = %d;
+int PASSES = %d;
+
+void main() {
+  double *a = malloc(N * 8);
+  double *b = malloc(N * 8);
+  double *c = malloc(N * 8);
+  for (int i = 0; i < N; i = i + 1) {
+    a[i] = 1.0 * i;
+    b[i] = 2.0 * i;
+  }
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    double s = 0.0;
+    for (int i = 0; i < N; i = i + 1) {
+      c[i] = a[i] + b[i];
+      s = s + c[i];
+    }
+    check = check + s;
+  }
+  print_float(check);
+}
+|}
+    scale passes
+
+let vector_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "vector": C++-vector-like growable buffers; every access
+// indirects through the header, and push reallocates on growth.
+struct Vec {
+  int len;
+  int cap;
+  double *data;
+}
+
+int N = %d;
+int PASSES = %d;
+
+struct Vec *vec_new() {
+  struct Vec *v = malloc(sizeof(struct Vec));
+  v->len = 0;
+  v->cap = 4;
+  v->data = malloc(4 * 8);
+  return v;
+}
+
+void vec_push(struct Vec *v, double x) {
+  if (v->len == v->cap) {
+    double *bigger = malloc(v->cap * 2 * 8);
+    for (int i = 0; i < v->len; i = i + 1) {
+      bigger[i] = v->data[i];
+    }
+    free(v->data);
+    v->data = bigger;
+    v->cap = v->cap * 2;
+  }
+  v->data[v->len] = x;
+  v->len = v->len + 1;
+}
+
+double vec_get(struct Vec *v, int i) {
+  return v->data[i];
+}
+
+void vec_set(struct Vec *v, int i, double x) {
+  v->data[i] = x;
+}
+
+void main() {
+  struct Vec *a = vec_new();
+  struct Vec *b = vec_new();
+  struct Vec *c = vec_new();
+  for (int i = 0; i < N; i = i + 1) {
+    vec_push(a, 1.0 * i);
+    vec_push(b, 2.0 * i);
+    vec_push(c, 0.0);
+  }
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    double s = 0.0;
+    for (int i = 0; i < N; i = i + 1) {
+      vec_set(c, i, vec_get(a, i) + vec_get(b, i));
+      s = s + vec_get(c, i);
+    }
+    check = check + s;
+  }
+  print_float(check);
+}
+|}
+    scale passes
+
+let list_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "list": nodes are linked in *shuffled* order, so the chase
+// never matches pool layout and stride prefetching learns nothing.
+struct Node {
+  double val;
+  struct Node *next;
+}
+%s
+int N = %d;
+int PASSES = %d;
+
+// Build a list over a shuffled permutation; returns the head.
+struct Node *build(double mult, struct Node **slots, int *perm) {
+  for (int i = 0; i < N; i = i + 1) {
+    struct Node *n = malloc(sizeof(struct Node));
+    n->val = mult * i;
+    n->next = null;
+    slots[i] = n;
+  }
+  for (int i = 0; i + 1 < N; i = i + 1) {
+    struct Node *cur = slots[perm[i]];
+    cur->next = slots[perm[i + 1]];
+  }
+  return slots[perm[0]];
+}
+
+void main() {
+  int *perm = malloc(N * 8);
+  for (int i = 0; i < N; i = i + 1) { perm[i] = i; }
+  for (int i = N - 1; i > 0; i = i - 1) {
+    int j = rnd(i + 1);
+    int tmp = perm[i];
+    perm[i] = perm[j];
+    perm[j] = tmp;
+  }
+  struct Node **slots_a = malloc(N * 8);
+  struct Node **slots_b = malloc(N * 8);
+  struct Node **slots_c = malloc(N * 8);
+  struct Node *a = build(1.0, slots_a, perm);
+  struct Node *b = build(2.0, slots_b, perm);
+  struct Node *c = build(0.0, slots_c, perm);
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    struct Node *pa = a;
+    struct Node *pb = b;
+    struct Node *pc = c;
+    double s = 0.0;
+    while (pc != null) {
+      pc->val = pa->val + pb->val;
+      s = s + pc->val;
+      pa = pa->next;
+      pb = pb->next;
+      pc = pc->next;
+    }
+    check = check + s;
+  }
+  print_float(check);
+}
+|}
+    rng_decls scale passes
+
+let map_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "map": binary search trees keyed by element index; each sum
+// does three root-to-leaf chases.
+struct Entry {
+  int key;
+  double val;
+  struct Entry *left;
+  struct Entry *right;
+}
+%s
+int N = %d;
+int PASSES = %d;
+
+struct Entry *insert(struct Entry *root, int key, double val) {
+  if (root == null) {
+    struct Entry *e = malloc(sizeof(struct Entry));
+    e->key = key;
+    e->val = val;
+    e->left = null;
+    e->right = null;
+    return e;
+  }
+  if (key < root->key) {
+    root->left = insert(root->left, key, val);
+  } else {
+    if (key > root->key) {
+      root->right = insert(root->right, key, val);
+    } else {
+      root->val = val;
+    }
+  }
+  return root;
+}
+
+double get(struct Entry *root, int key) {
+  struct Entry *cur = root;
+  while (cur != null) {
+    if (key == cur->key) { return cur->val; }
+    if (key < cur->key) { cur = cur->left; } else { cur = cur->right; }
+  }
+  return 0.0;
+}
+
+void main() {
+  struct Entry *a = null;
+  struct Entry *b = null;
+  struct Entry *c = null;
+  // Insert keys in random order for balanced-ish trees.
+  int *perm = malloc(N * 8);
+  for (int i = 0; i < N; i = i + 1) { perm[i] = i; }
+  for (int i = N - 1; i > 0; i = i - 1) {
+    int j = rnd(i + 1);
+    int tmp = perm[i];
+    perm[i] = perm[j];
+    perm[j] = tmp;
+  }
+  for (int i = 0; i < N; i = i + 1) {
+    int k = perm[i];
+    a = insert(a, k, 1.0 * k);
+    b = insert(b, k, 2.0 * k);
+    c = insert(c, k, 0.0);
+  }
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    double s = 0.0;
+    for (int k = 0; k < N; k = k + 1) {
+      double v = get(a, k) + get(b, k);
+      c = insert(c, k, v);
+      s = s + v;
+    }
+    check = check + s;
+  }
+  print_float(check);
+}
+|}
+    rng_decls scale passes
+
+let hash_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "hash": chained hash tables — a bucket-array indirection
+// followed by a short pointer chase, the C++ unordered_map shape.
+struct Cell {
+  int key;
+  double val;
+  struct Cell *next;
+}
+%s
+int N = %d;
+int PASSES = %d;
+int NBUCKETS = %d;
+
+int bucket_of(int key) {
+  int h = key * 2654435761;
+  if (h < 0) { h = 0 - h; }
+  return h %% NBUCKETS;
+}
+
+void put(struct Cell **buckets, int key, double val) {
+  int b = bucket_of(key);
+  struct Cell *p = buckets[b];
+  while (p != null) {
+    if (p->key == key) { p->val = val; return; }
+    p = p->next;
+  }
+  struct Cell *e = malloc(sizeof(struct Cell));
+  e->key = key;
+  e->val = val;
+  e->next = buckets[b];
+  buckets[b] = e;
+}
+
+double lookup(struct Cell **buckets, int key) {
+  struct Cell *p = buckets[bucket_of(key)];
+  while (p != null) {
+    if (p->key == key) { return p->val; }
+    p = p->next;
+  }
+  return 0.0;
+}
+
+struct Cell **table_new() {
+  struct Cell **buckets = malloc(NBUCKETS * 8);
+  for (int b = 0; b < NBUCKETS; b = b + 1) { buckets[b] = null; }
+  return buckets;
+}
+
+void main() {
+  struct Cell **a = table_new();
+  struct Cell **b = table_new();
+  struct Cell **c = table_new();
+  // Insert keys in shuffled order so chains interleave in the pools.
+  int *perm = malloc(N * 8);
+  for (int i = 0; i < N; i = i + 1) { perm[i] = i; }
+  for (int i = N - 1; i > 0; i = i - 1) {
+    int j = rnd(i + 1);
+    int tmp = perm[i];
+    perm[i] = perm[j];
+    perm[j] = tmp;
+  }
+  for (int i = 0; i < N; i = i + 1) {
+    int k = perm[i];
+    put(a, k, 1.0 * k);
+    put(b, k, 2.0 * k);
+    put(c, k, 0.0);
+  }
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    double s = 0.0;
+    for (int k = 0; k < N; k = k + 1) {
+      double v = lookup(a, k) + lookup(b, k);
+      put(c, k, v);
+      s = s + v;
+    }
+    check = check + s;
+  }
+  print_float(check);
+}
+|}
+    rng_decls scale passes (max 16 (scale / 4))
+
+let tree_src ~scale ~passes =
+  Printf.sprintf
+    {|
+// Fig. 9 "tree": recursive binary-tree sum (greedy-prefetcher food).
+struct Tn {
+  double val;
+  struct Tn *left;
+  struct Tn *right;
+}
+
+int N = %d;
+int PASSES = %d;
+
+struct Tn *build(int lo, int hi, double mult) {
+  if (lo >= hi) { return null; }
+  int mid = (lo + hi) / 2;
+  struct Tn *n = malloc(sizeof(struct Tn));
+  n->val = mult * mid;
+  n->left = build(lo, mid, mult);
+  n->right = build(mid + 1, hi, mult);
+  return n;
+}
+
+double tsum(struct Tn *n) {
+  if (n == null) { return 0.0; }
+  return n->val + tsum(n->left) + tsum(n->right);
+}
+
+void add_into(struct Tn *c, struct Tn *a, struct Tn *b) {
+  if (c == null) { return; }
+  c->val = a->val + b->val;
+  add_into(c->left, a->left, b->left);
+  add_into(c->right, a->right, b->right);
+}
+
+void main() {
+  struct Tn *a = build(0, N, 1.0);
+  struct Tn *b = build(0, N, 2.0);
+  struct Tn *c = build(0, N, 0.0);
+  double check = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    add_into(c, a, b);
+    check = check + tsum(c);
+  }
+  print_float(check);
+}
+|}
+    scale passes
+
+let source ~variant ~scale ~passes =
+  match variant with
+  | "array" -> array_src ~scale ~passes
+  | "vector" -> vector_src ~scale ~passes
+  | "list" -> list_src ~scale ~passes
+  | "map" -> map_src ~scale ~passes
+  | "hash" -> hash_src ~scale ~passes
+  | "tree" -> tree_src ~scale ~passes
+  | v -> invalid_arg (Printf.sprintf "Pointer_chase.source: unknown variant %s" v)

@@ -1,0 +1,26 @@
+(** The Figure-9 microbenchmark family: the same element-wise sum
+    ([c\[i\] = a\[i\] + b\[i\]]) expressed over data structures of
+    increasing pointer-chasing intensity:
+
+    - [array]   — three flat arrays (induction-variable friendly:
+                  TrackFM's best case);
+    - [vector]  — growable vectors (header + reallocated buffer
+                  indirection);
+    - [list]    — linked lists whose nodes are linked in {e shuffled}
+                  pool order, so traversal is non-strided;
+    - [map]     — binary search trees keyed by element index;
+    - [hash]    — chained hash tables (bucket array + short chases,
+                  the C++ unordered_map shape);
+    - [tree]    — a recursive binary-tree sum.
+
+    Each program prints one checksum; all variants of one [scale]
+    compute comparable sums. *)
+
+val variants : string list
+(** ["array"; "vector"; "list"; "map"; "hash"; "tree"]. *)
+
+val source : variant:string -> scale:int -> passes:int -> string
+(** MiniC source for a variant.  [scale] = element count,
+    [passes] = number of sweeps (prefetchers that learn layouts need a
+    second pass to shine).
+    @raise Invalid_argument on unknown variant. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Cards_analysis Cards_ir Cards_util Func Instr Irmod List QCheck QCheck_alcotest String Types

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cards Cards_baselines Cards_runtime Cards_workloads List

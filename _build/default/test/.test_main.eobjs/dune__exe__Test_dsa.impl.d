@@ -1,0 +1,1 @@
+test/test_dsa.ml: Alcotest Array Cards_analysis Cards_ir List

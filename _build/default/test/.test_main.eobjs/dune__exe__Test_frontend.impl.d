@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Cards_interp Cards_ir Cards_runtime List

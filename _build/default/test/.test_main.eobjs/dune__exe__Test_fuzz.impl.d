@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Cards Cards_baselines Cards_runtime Cards_util List Printexc Printf QCheck QCheck_alcotest

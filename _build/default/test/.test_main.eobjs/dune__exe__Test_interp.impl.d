@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Cards_interp Cards_ir Cards_runtime Cards_workloads

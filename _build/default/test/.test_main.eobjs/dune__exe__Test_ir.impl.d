@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Cards_ir Func Instr Irmod List Printer String Types Verify

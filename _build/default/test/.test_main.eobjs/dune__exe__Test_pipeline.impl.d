@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cards Cards_baselines Cards_runtime Cards_transform Cards_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cards_net Cards_runtime Cards_util Gen List QCheck QCheck_alcotest

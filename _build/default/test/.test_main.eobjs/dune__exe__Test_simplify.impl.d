@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Builder Cards Cards_baselines Cards_interp Cards_ir Cards_transform Cards_workloads Func Instr Irmod List QCheck QCheck_alcotest Test_fuzz Types

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Cards_analysis Cards_ir Cards_transform Cards_util Func Instr Irmod List Verify

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cards_util Float Gen Hashtbl Int List QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cards Cards_baselines Cards_runtime Cards_workloads Float List

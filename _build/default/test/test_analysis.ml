@@ -1,0 +1,308 @@
+(* Tests for CFG, dominators, natural loops, induction variables, and
+   the call graph. *)
+
+module I = Cards_ir
+module A = Cards_analysis
+open I
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Build a function from a shape: an array of terminators. *)
+let func_of_terms terms =
+  { Func.name = "f"; params = []; ret = Types.Void; reg_tys = [| Types.I64 |];
+    blocks =
+      Array.mapi (fun i t -> { Func.bid = i; instrs = [||]; term = t }) terms }
+
+(* A diamond: 0 -> 1,2 -> 3. *)
+let diamond =
+  func_of_terms
+    [| Instr.Cbr (Instr.Reg 0, 1, 2); Instr.Br 3; Instr.Br 3; Instr.Ret None |]
+
+(* A loop: 0 -> 1; 1 -> 2,3; 2 -> 1; 3 ret. *)
+let simple_loop =
+  func_of_terms
+    [| Instr.Br 1; Instr.Cbr (Instr.Reg 0, 2, 3); Instr.Br 1; Instr.Ret None |]
+
+let test_cfg_diamond () =
+  let cfg = A.Cfg.of_func diamond in
+  check (Alcotest.list Alcotest.int) "succs 0" [ 1; 2 ] (A.Cfg.succs cfg 0);
+  check (Alcotest.list Alcotest.int) "preds 3" [ 1; 2 ] (A.Cfg.preds cfg 3);
+  let rpo = A.Cfg.reverse_postorder cfg in
+  check Alcotest.int "entry first in rpo" 0 rpo.(0);
+  check Alcotest.int "all reachable" 4 (Array.length rpo)
+
+let test_cfg_unreachable () =
+  let f =
+    func_of_terms [| Instr.Ret None; Instr.Br 0 (* unreachable *) |]
+  in
+  let cfg = A.Cfg.of_func f in
+  check Alcotest.int "only entry reachable" 1
+    (Array.length (A.Cfg.reverse_postorder cfg));
+  check Alcotest.int "rpo_index of unreachable" (-1) (A.Cfg.rpo_index cfg).(1)
+
+let test_dominators_diamond () =
+  let cfg = A.Cfg.of_func diamond in
+  let dom = A.Dominators.compute cfg in
+  check Alcotest.bool "idom 1 = 0" true (A.Dominators.idom dom 1 = Some 0);
+  check Alcotest.bool "idom 3 = 0" true (A.Dominators.idom dom 3 = Some 0);
+  check Alcotest.bool "1 does not dominate 3" false (A.Dominators.dominates dom 1 3);
+  check Alcotest.bool "0 dominates 3" true (A.Dominators.dominates dom 0 3);
+  check Alcotest.bool "reflexive" true (A.Dominators.dominates dom 2 2);
+  check Alcotest.int "depth of 3" 1 (A.Dominators.dominator_depth dom 3)
+
+(* Property: on random CFGs, the entry dominates every reachable block,
+   and idom(b) dominates b. *)
+let random_cfg =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    QCheck.Gen.(
+      sized_size (int_range 2 12) (fun n ->
+          list_repeat (2 * n) (int_range 0 (n - 1)) >|= fun targets -> targets))
+
+let cfg_of_targets targets =
+  let n = max 2 (List.length targets / 2) in
+  let tgt = Array.of_list targets in
+  let term i =
+    let a = tgt.(2 * i mod Array.length tgt) mod n in
+    let b = tgt.((2 * i + 1) mod Array.length tgt) mod n in
+    if i = n - 1 then Instr.Ret None else Instr.Cbr (Instr.Reg 0, a, b)
+  in
+  func_of_terms (Array.init n term)
+
+let prop_entry_dominates_all =
+  QCheck.Test.make ~name:"entry dominates every reachable block" ~count:200
+    random_cfg
+    (fun targets ->
+      let f = cfg_of_targets targets in
+      let cfg = A.Cfg.of_func f in
+      let dom = A.Dominators.compute cfg in
+      Array.for_all
+        (fun b -> A.Dominators.dominates dom 0 b)
+        (A.Cfg.reverse_postorder cfg))
+
+let prop_idom_dominates =
+  QCheck.Test.make ~name:"idom(b) strictly dominates b" ~count:200 random_cfg
+    (fun targets ->
+      let f = cfg_of_targets targets in
+      let cfg = A.Cfg.of_func f in
+      let dom = A.Dominators.compute cfg in
+      Array.for_all
+        (fun b ->
+          match A.Dominators.idom dom b with
+          | None -> b = 0
+          | Some d -> d <> b && A.Dominators.dominates dom d b)
+        (A.Cfg.reverse_postorder cfg))
+
+let test_loops_simple () =
+  let cfg = A.Cfg.of_func simple_loop in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let ls = A.Loops.loops loops in
+  check Alcotest.int "one loop" 1 (Array.length ls);
+  check Alcotest.int "header" 1 ls.(0).A.Loops.header;
+  check (Alcotest.list Alcotest.int) "body" [ 1; 2 ]
+    (Cards_util.Bitset.to_list ls.(0).A.Loops.body);
+  check Alcotest.int "depth" 1 ls.(0).A.Loops.depth;
+  check Alcotest.bool "preheader is 0" true
+    (A.Loops.preheader cfg ls.(0) = Some 0)
+
+let test_nested_loops () =
+  (* 0 -> 1 (outer hdr); 1 -> 2,5; 2 -> 3 (inner hdr); 3 -> 3?,4... build:
+     inner: 3 -> 3 or 4; 4 -> 1 (outer latch); 5 ret. *)
+  let f =
+    func_of_terms
+      [| Instr.Br 1;
+         Instr.Cbr (Instr.Reg 0, 2, 5);
+         Instr.Br 3;
+         Instr.Cbr (Instr.Reg 0, 3, 4);
+         Instr.Br 1;
+         Instr.Ret None |]
+  in
+  let cfg = A.Cfg.of_func f in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let ls = A.Loops.loops loops in
+  check Alcotest.int "two loops" 2 (Array.length ls);
+  let inner = ls.(if ls.(0).A.Loops.header = 3 then 0 else 1) in
+  let outer = ls.(if ls.(0).A.Loops.header = 3 then 1 else 0) in
+  check Alcotest.int "inner depth" 2 inner.A.Loops.depth;
+  check Alcotest.int "outer depth" 1 outer.A.Loops.depth;
+  check Alcotest.bool "inner's parent is outer" true
+    (inner.A.Loops.parent = Some (if ls.(0).A.Loops.header = 3 then 1 else 0));
+  check Alcotest.bool "block 3 innermost is inner" true
+    (A.Loops.loop_of_block loops 3 = Some (if ls.(0).A.Loops.header = 3 then 0 else 1))
+
+(* ---------- induction variables on lowered MiniC ---------- *)
+
+let lowered_func src name =
+  let m = I.Minic.compile src in
+  (m, Irmod.find_func m name)
+
+let test_indvars_on_for_loop () =
+  let _, f =
+    lowered_func
+      {|void walk(double *a, int n) {
+          for (int i = 0; i < n; i = i + 1) { a[i] = 1.0; }
+        }|}
+      "walk"
+  in
+  let cfg = A.Cfg.of_func f in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let iv = A.Indvars.compute cfg loops in
+  check Alcotest.int "one loop" 1 (Array.length (A.Loops.loops loops));
+  let ivs = A.Indvars.basic_ivs iv 0 in
+  check Alcotest.bool "found an IV with step 1" true
+    (List.exists (fun (v : A.Indvars.iv) -> v.step = 1) ivs);
+  let sas = A.Indvars.strided_accesses iv 0 in
+  check Alcotest.int "one strided access" 1 (List.length sas);
+  let sa = List.hd sas in
+  check Alcotest.int "stride is 8 bytes" 8 sa.A.Indvars.sa_stride;
+  check Alcotest.bool "it is a store" true sa.A.Indvars.sa_is_store
+
+let test_indvars_negative_step () =
+  let _, f =
+    lowered_func
+      {|void back(double *a, int n) {
+          for (int i = n - 1; i >= 0; i = i - 2) { a[i] = 0.0; }
+        }|}
+      "back"
+  in
+  let cfg = A.Cfg.of_func f in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let iv = A.Indvars.compute cfg loops in
+  let ivs = A.Indvars.basic_ivs iv 0 in
+  check Alcotest.bool "step -2 found" true
+    (List.exists (fun (v : A.Indvars.iv) -> v.step = -2) ivs);
+  let sas = A.Indvars.strided_accesses iv 0 in
+  check Alcotest.bool "stride -16" true
+    (List.exists (fun sa -> sa.A.Indvars.sa_stride = -16) sas)
+
+let test_indvars_rejects_irregular () =
+  let _, f =
+    lowered_func
+      {|void weird(int n) {
+          int i = 0;
+          while (i < n) {
+            if (i % 2 == 0) { i = i + 1; } else { i = i + 3; }
+          }
+        }|}
+      "weird"
+  in
+  let cfg = A.Cfg.of_func f in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let iv = A.Indvars.compute cfg loops in
+  (* i has two defs in the loop: not a basic IV. *)
+  Array.iteri
+    (fun li _ ->
+      check Alcotest.int "no IVs" 0 (List.length (A.Indvars.basic_ivs iv li)))
+    (A.Loops.loops loops)
+
+let test_loop_invariant () =
+  let _, f =
+    lowered_func
+      {|void walk(double *a, int n) {
+          for (int i = 0; i < n; i = i + 1) { a[i] = 1.0; }
+        }|}
+      "walk"
+  in
+  let cfg = A.Cfg.of_func f in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let loop = (A.Loops.loops loops).(0) in
+  check Alcotest.bool "param a invariant" true
+    (A.Indvars.loop_invariant cfg loop (Instr.Reg 0));
+  check Alcotest.bool "imm invariant" true
+    (A.Indvars.loop_invariant cfg loop (Instr.Imm 3L))
+
+(* ---------- call graph ---------- *)
+
+let callgraph_src =
+  {|int leaf(int x) { return x + 1; }
+    int mid(int x) { return leaf(x) + leaf(x + 1); }
+    int r1(int x) { if (x == 0) { return 0; } return r2(x - 1); }
+    int r2(int x) { return r1(x); }
+    void main() { print_int(mid(1) + r1(3)); }|}
+
+let test_callgraph_edges () =
+  let m = I.Minic.compile callgraph_src in
+  let cg = A.Callgraph.compute m in
+  check (Alcotest.list Alcotest.string) "main calls" [ "mid"; "r1" ]
+    (List.sort compare (A.Callgraph.callees cg "main"));
+  check (Alcotest.list Alcotest.string) "leaf callers" [ "mid" ]
+    (A.Callgraph.callers cg "leaf")
+
+let test_callgraph_scc () =
+  let m = I.Minic.compile callgraph_src in
+  let cg = A.Callgraph.compute m in
+  check Alcotest.bool "r1 ~ r2" true (A.Callgraph.same_scc cg "r1" "r2");
+  check Alcotest.bool "r1 !~ main" false (A.Callgraph.same_scc cg "r1" "main");
+  check (Alcotest.list Alcotest.string) "scc members"
+    [ "r1"; "r2" ]
+    (List.sort compare (A.Callgraph.scc_members cg (A.Callgraph.scc_of cg "r1")))
+
+let test_callgraph_bottom_up () =
+  let m = I.Minic.compile callgraph_src in
+  let cg = A.Callgraph.compute m in
+  let order = List.concat (A.Callgraph.bottom_up cg) in
+  let pos f =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = f then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  check Alcotest.bool "leaf before mid" true (pos "leaf" < pos "mid");
+  check Alcotest.bool "mid before main" true (pos "mid" < pos "main")
+
+let test_callgraph_metrics () =
+  let m = I.Minic.compile callgraph_src in
+  let cg = A.Callgraph.compute m in
+  check Alcotest.int "chain(main)" 3 (A.Callgraph.chain_length cg "main");
+  check Alcotest.int "chain(leaf)" 1 (A.Callgraph.chain_length cg "leaf");
+  check Alcotest.int "depth(main)" 0 (A.Callgraph.depth_from_main cg "main");
+  check Alcotest.int "depth(leaf)" 2 (A.Callgraph.depth_from_main cg "leaf");
+  check (Alcotest.list Alcotest.string) "reachable from mid"
+    [ "leaf"; "mid" ]
+    (List.sort compare (A.Callgraph.reachable_from cg "mid"))
+
+(* Natural-loop invariants on random CFGs: the header dominates every
+   block of its loop, and back-edge sources are inside the body. *)
+let prop_loop_invariants =
+  QCheck.Test.make ~name:"natural loop invariants" ~count:200 random_cfg
+    (fun targets ->
+      let f = cfg_of_targets targets in
+      let cfg = A.Cfg.of_func f in
+      let dom = A.Dominators.compute cfg in
+      let loops = A.Loops.compute cfg dom in
+      Array.for_all
+        (fun (l : A.Loops.loop) ->
+          Cards_util.Bitset.mem l.body l.header
+          && List.for_all (fun s -> Cards_util.Bitset.mem l.body s) l.back_edges
+          && (let ok = ref true in
+              Cards_util.Bitset.iter
+                (fun b -> if not (A.Dominators.dominates dom l.header b) then ok := false)
+                l.body;
+              !ok))
+        (A.Loops.loops loops))
+
+let suite =
+  [ ("cfg diamond", `Quick, test_cfg_diamond);
+    ("cfg unreachable", `Quick, test_cfg_unreachable);
+    ("dominators diamond", `Quick, test_dominators_diamond);
+    ("loops simple", `Quick, test_loops_simple);
+    ("loops nested", `Quick, test_nested_loops);
+    ("indvars for-loop", `Quick, test_indvars_on_for_loop);
+    ("indvars negative step", `Quick, test_indvars_negative_step);
+    ("indvars irregular rejected", `Quick, test_indvars_rejects_irregular);
+    ("loop invariance", `Quick, test_loop_invariant);
+    ("callgraph edges", `Quick, test_callgraph_edges);
+    ("callgraph scc", `Quick, test_callgraph_scc);
+    ("callgraph bottom-up", `Quick, test_callgraph_bottom_up);
+    ("callgraph metrics", `Quick, test_callgraph_metrics);
+    qcheck prop_loop_invariants;
+    qcheck prop_entry_dominates_all;
+    qcheck prop_idom_dominates ]

@@ -1,0 +1,129 @@
+(* Tests for the baseline systems: TrackFM, Mira, and the all-local
+   upper bound. *)
+
+module R = Cards_runtime
+module P = Cards.Pipeline
+module W = Cards_workloads
+module B = Cards_baselines
+
+let check = Alcotest.check
+
+let kb x = x * 1024
+
+let listing1 = W.Listing1.source ~elems:8192 ~ntimes:3
+
+(* ---------- TrackFM ---------- *)
+
+let test_trackfm_compiles_conservatively () =
+  let c = B.Trackfm.compile_source listing1 in
+  check Alcotest.int "no versioned loops" 0 c.versioned_loops;
+  (* Its guard count is at least CaRDS's. *)
+  let cards = P.compile_source listing1 in
+  check Alcotest.bool "no fewer guards than CaRDS" true
+    (c.static_guards >= cards.static_guards)
+
+let test_trackfm_config () =
+  let cfg = B.Trackfm.run_config ~local_bytes:(kb 512) ~remotable_bytes:(kb 512) in
+  check Alcotest.bool "all-remotable" true (cfg.policy = R.Policy.All_remotable);
+  check Alcotest.int "trackfm read guard" 462 cfg.cost.guard_local_read;
+  check Alcotest.bool "stride-only prefetch" true
+    (cfg.prefetch_mode = R.Runtime.Pf_stride_only)
+
+let test_trackfm_pins_nothing () =
+  let c = B.Trackfm.compile_source listing1 in
+  let _, rt = B.Trackfm.run c ~local_bytes:(kb 512) in
+  check Alcotest.int "no pinned bytes" 0 (R.Runtime.pinned_bytes rt);
+  List.iter
+    (fun (r : R.Runtime.ds_report) ->
+      check Alcotest.bool "nothing pinned" false r.r_pinned)
+    (R.Runtime.report rt)
+
+(* ---------- Mira ---------- *)
+
+let test_mira_profile_measures () =
+  let c = P.compile_source listing1 in
+  let p = B.Mira.profile c in
+  check Alcotest.int "two structures profiled" 2 (Array.length p.per_sid_bytes);
+  Array.iter
+    (fun b -> check Alcotest.int "sizes measured" (8192 * 8) b)
+    p.per_sid_bytes;
+  (* ds2 is written NTIMES more: more accesses. *)
+  check Alcotest.bool "ds2 hotter in the profile" true
+    (p.per_sid_accesses.(1) > p.per_sid_accesses.(0));
+  check Alcotest.bool "profiling cost recorded" true (p.profiling_cycles > 0)
+
+let test_mira_knapsack_by_density () =
+  let p =
+    { B.Mira.per_sid_bytes = [| 100; 1000; 100 |];
+      per_sid_accesses = [| 1000; 1000; 10 |];
+      profiling_cycles = 0 }
+  in
+  (* Budget fits only the densest structure. *)
+  let pinned = B.Mira.pinned_set p ~pinned_budget:150 in
+  check Alcotest.bool "densest pinned" true pinned.(0);
+  check Alcotest.bool "big one skipped" false pinned.(1);
+  check Alcotest.bool "cold one does not fit the remaining budget" false pinned.(2);
+  (* A bigger budget takes the big structure too. *)
+  let pinned = B.Mira.pinned_set p ~pinned_budget:1200 in
+  check Alcotest.bool "big one fits now" true pinned.(1)
+
+let test_mira_never_overshoots () =
+  let p =
+    { B.Mira.per_sid_bytes = [| 600; 600; 600 |];
+      per_sid_accesses = [| 30; 20; 10 |];
+      profiling_cycles = 0 }
+  in
+  let pinned = B.Mira.pinned_set p ~pinned_budget:1000 in
+  let total =
+    Array.to_list pinned
+    |> List.mapi (fun i b -> if b then p.per_sid_bytes.(i) else 0)
+    |> List.fold_left ( + ) 0
+  in
+  check Alcotest.bool "within budget" true (total <= 1000)
+
+let test_mira_picks_hot_structure () =
+  let c = P.compile_source listing1 in
+  let arr = 8192 * 8 in
+  let p = B.Mira.profile c in
+  (* Budget for exactly one array: must be ds2 (denser). *)
+  let pinned = B.Mira.pinned_set p ~pinned_budget:(arr + 100) in
+  check Alcotest.bool "hot ds2 pinned" true pinned.(1);
+  check Alcotest.bool "cold ds1 not pinned" false pinned.(0)
+
+let test_mira_beats_naive_linear () =
+  let c = P.compile_source listing1 in
+  let arr = 8192 * 8 in
+  let local = arr * 3 / 2 and remot = arr / 4 in
+  let lres, _ =
+    P.run c
+      { R.Runtime.default_config with
+        policy = R.Policy.Linear; k = 0.5;
+        local_bytes = local; remotable_bytes = remot }
+  in
+  let mres, _ = B.Mira.run c ~local_bytes:local ~remotable_bytes:remot in
+  check Alcotest.bool "profile-guided beats naive linear" true
+    (mres.cycles < lres.cycles)
+
+(* ---------- all-local upper bound ---------- *)
+
+let test_noguard_is_fastest () =
+  let c = P.compile_source listing1 in
+  let plain, _ = B.Noguard.run c in
+  let any, _ =
+    P.run c
+      { R.Runtime.default_config with
+        policy = R.Policy.Max_use; k = 0.5;
+        local_bytes = kb 128; remotable_bytes = kb 32 }
+  in
+  check Alcotest.bool "upper bound" true (plain.cycles <= any.cycles)
+
+let suite =
+  [ ("trackfm conservative compile", `Quick, test_trackfm_compiles_conservatively);
+    ("trackfm config", `Quick, test_trackfm_config);
+    ("trackfm pins nothing", `Quick, test_trackfm_pins_nothing);
+    ("mira profile", `Quick, test_mira_profile_measures);
+    ("mira knapsack", `Quick, test_mira_knapsack_by_density);
+    ("mira budget respected", `Quick, test_mira_never_overshoots);
+    ("mira picks hot structure", `Quick, test_mira_picks_hot_structure);
+    ("mira beats naive linear", `Quick, test_mira_beats_naive_linear);
+    ("noguard upper bound", `Quick, test_noguard_is_fastest) ]

@@ -1,0 +1,281 @@
+(* Tests for the data-structure analysis: disjointness, context
+   sensitivity, escape, the handle plan, shape facts, and instance
+   attribution — mostly on the paper's own examples. *)
+
+module I = Cards_ir
+module A = Cards_analysis
+
+let check = Alcotest.check
+
+let analyze src =
+  let m = I.Minic.compile src in
+  (m, A.Dsa.analyze m)
+
+let listing1 =
+  {|int ARRAY_SIZE = 100;
+    int NTIMES = 3;
+    double* alloc() { return malloc(ARRAY_SIZE * 8); }
+    void set(double *ds, double val) {
+      for (int j = 0; j < ARRAY_SIZE; j = j + 1) { ds[j] = val; }
+    }
+    void main() {
+      double *ds1 = alloc();
+      double *ds2 = alloc();
+      set(ds1, 0.0);
+      set(ds2, 1.0);
+      for (int k = 0; k < NTIMES; k = k + 1) { set(ds2, 1.0 * k); }
+    }|}
+
+(* ---------- disjointness & context sensitivity ---------- *)
+
+let test_listing1_two_descriptors () =
+  let _, dsa = analyze listing1 in
+  check Alcotest.int "two disjoint structures" 2 (A.Dsa.n_descriptors dsa);
+  match A.Dsa.descriptors dsa with
+  | [ d0; d1 ] ->
+    check Alcotest.string "both initialized in main" "main" d0.desc_init_func;
+    check Alcotest.string "both initialized in main" "main" d1.desc_init_func;
+    check Alcotest.bool "distinct nodes" true
+      (A.Dsa.nodes_disjoint dsa d0.desc_node d1.desc_node);
+    (* Both come from the same static malloc in alloc(). *)
+    check Alcotest.bool "same alloc site" true
+      (d0.desc_alloc_sites = d1.desc_alloc_sites)
+  | _ -> Alcotest.fail "expected exactly two descriptors"
+
+let test_listing1_shape_facts () =
+  let _, dsa = analyze listing1 in
+  List.iter
+    (fun (d : A.Dsa.desc_info) ->
+      check Alcotest.bool "strided" true d.desc_strided;
+      check Alcotest.bool "not recursive" false d.desc_recursive;
+      check Alcotest.int "element size 8" 8 d.desc_elem_size;
+      check Alcotest.int "no pointer fields" 0 d.desc_ptr_fields)
+    (A.Dsa.descriptors dsa)
+
+let test_listing1_handle_plan () =
+  let _, dsa = analyze listing1 in
+  (* alloc's heap node escapes via ret: one handle parameter. *)
+  check Alcotest.int "alloc takes one handle" 1
+    (List.length (A.Dsa.argnodes dsa "alloc"));
+  (* set only accesses, never allocates: no handles. *)
+  check Alcotest.int "set takes no handle" 0
+    (List.length (A.Dsa.argnodes dsa "set"));
+  (* main owns both ds_inits; main never takes handles. *)
+  check Alcotest.int "main inits two" 2 (List.length (A.Dsa.init_nodes dsa "main"));
+  check Alcotest.int "main takes none" 0 (List.length (A.Dsa.argnodes dsa "main"))
+
+let test_merged_when_aliased () =
+  (* Conditional aliasing forces unification: one structure, not two. *)
+  let _, dsa =
+    analyze
+      {|int c = 1;
+        void main() {
+          double *a = malloc(80);
+          double *b = malloc(80);
+          double *p = a;
+          if (c > 0) { p = b; }
+          p[0] = 1.0;
+        }|}
+  in
+  check Alcotest.int "aliased mallocs merge" 1 (A.Dsa.n_descriptors dsa)
+
+let test_distinct_without_aliasing () =
+  let _, dsa =
+    analyze
+      {|void main() {
+          double *a = malloc(80);
+          double *b = malloc(80);
+          a[0] = 1.0;
+          b[0] = 2.0;
+        }|}
+  in
+  check Alcotest.int "two structures" 2 (A.Dsa.n_descriptors dsa)
+
+let test_store_links_structures () =
+  (* Storing a pointer into another structure's field connects them but
+     keeps them distinct nodes (field-linked, not unified). *)
+  let _, dsa =
+    analyze
+      {|struct Holder { double *payload; }
+        void main() {
+          struct Holder *h = malloc(sizeof(struct Holder));
+          double *d = malloc(80);
+          h->payload = d;
+          double *back = h->payload;
+          back[0] = 1.0;
+        }|}
+  in
+  check Alcotest.int "holder and payload distinct" 2 (A.Dsa.n_descriptors dsa)
+
+(* ---------- recursive structures ---------- *)
+
+let list_src =
+  {|struct Node { int v; struct Node *next; }
+    void main() {
+      struct Node *head = null;
+      for (int i = 0; i < 10; i = i + 1) {
+        struct Node *n = malloc(sizeof(struct Node));
+        n->v = i;
+        n->next = head;
+        head = n;
+      }
+      int acc = 0;
+      struct Node *p = head;
+      while (p != null) { acc = acc + p->v; p = p->next; }
+      print_int(acc);
+    }|}
+
+let test_linked_list_is_recursive () =
+  let _, dsa = analyze list_src in
+  check Alcotest.int "one structure" 1 (A.Dsa.n_descriptors dsa);
+  let d = List.hd (A.Dsa.descriptors dsa) in
+  check Alcotest.bool "recursive" true d.desc_recursive;
+  check Alcotest.int "one pointer field" 1 d.desc_ptr_fields;
+  check Alcotest.bool "elem covers the node" true (d.desc_elem_size >= 16)
+
+let tree_src =
+  {|struct Tn { double v; struct Tn *l; struct Tn *r; }
+    struct Tn *build(int depth) {
+      if (depth == 0) { return null; }
+      struct Tn *n = malloc(sizeof(struct Tn));
+      n->v = 1.0;
+      n->l = build(depth - 1);
+      n->r = build(depth - 1);
+      return n;
+    }
+    double total(struct Tn *n) {
+      if (n == null) { return 0.0; }
+      return n->v + total(n->l) + total(n->r);
+    }
+    void main() {
+      struct Tn *t = build(4);
+      print_float(total(t));
+    }|}
+
+let test_tree_two_pointer_fields () =
+  let _, dsa = analyze tree_src in
+  check Alcotest.int "one structure" 1 (A.Dsa.n_descriptors dsa);
+  let d = List.hd (A.Dsa.descriptors dsa) in
+  check Alcotest.bool "recursive" true d.desc_recursive;
+  check Alcotest.int "two pointer fields" 2 d.desc_ptr_fields
+
+let test_two_trees_distinct () =
+  let _, dsa =
+    analyze
+      {|struct Tn { double v; struct Tn *l; struct Tn *r; }
+        struct Tn *build(int depth) {
+          if (depth == 0) { return null; }
+          struct Tn *n = malloc(sizeof(struct Tn));
+          n->v = 1.0;
+          n->l = build(depth - 1);
+          n->r = build(depth - 1);
+          return n;
+        }
+        void main() {
+          struct Tn *a = build(3);
+          struct Tn *b = build(3);
+          a->v = 2.0;
+          b->v = 3.0;
+        }|}
+  in
+  (* Two call sites of the same recursive builder: context sensitivity
+     must keep the two trees apart. *)
+  check Alcotest.int "two tree instances" 2 (A.Dsa.n_descriptors dsa)
+
+(* ---------- globals & escape ---------- *)
+
+let test_global_reachable_initialized_in_main () =
+  let _, dsa =
+    analyze
+      {|double *g;
+        void fill() { g = malloc(80); g[0] = 1.0; }
+        void main() { fill(); g[1] = 2.0; }|}
+  in
+  check Alcotest.int "one structure" 1 (A.Dsa.n_descriptors dsa);
+  let d = List.hd (A.Dsa.descriptors dsa) in
+  (* Global-reachable: escapes fill, so its ds_init lands in main. *)
+  check Alcotest.string "init in main" "main" d.desc_init_func;
+  check Alcotest.int "fill takes the handle" 1
+    (List.length (A.Dsa.argnodes dsa "fill"))
+
+let test_local_temp_initialized_locally () =
+  let _, dsa =
+    analyze
+      {|int work() {
+          int *tmp = malloc(80);
+          tmp[0] = 7;
+          int r = tmp[0];
+          free(tmp);
+          return r;
+        }
+        void main() { print_int(work()); }|}
+  in
+  check Alcotest.int "one structure" 1 (A.Dsa.n_descriptors dsa);
+  let d = List.hd (A.Dsa.descriptors dsa) in
+  check Alcotest.string "init in work (non-escaping)" "work" d.desc_init_func;
+  check Alcotest.int "work takes no handle" 0
+    (List.length (A.Dsa.argnodes dsa "work"))
+
+let test_value_is_managed () =
+  let m, dsa = analyze listing1 in
+  let set = I.Irmod.find_func m "set" in
+  let param0 = fst (List.hd set.params) in
+  check Alcotest.bool "set's ds param is managed" true
+    (A.Dsa.value_is_managed dsa ~fname:"set" (I.Instr.Reg param0));
+  check Alcotest.bool "immediates unmanaged" false
+    (A.Dsa.value_is_managed dsa ~fname:"set" (I.Instr.Imm 3L));
+  check Alcotest.bool "globals unmanaged" false
+    (A.Dsa.value_is_managed dsa ~fname:"set" (I.Instr.GlobalAddr "ARRAY_SIZE"))
+
+(* ---------- instance attribution ---------- *)
+
+let test_instances_flow_into_callee () =
+  let _, dsa = analyze listing1 in
+  (* set is called with both instances: its accesses may touch both. *)
+  check Alcotest.int "set touches both" 2
+    (List.length (A.Dsa.func_instances dsa "set"));
+  check Alcotest.int "main reaches both" 2
+    (List.length (A.Dsa.func_instances dsa "main"))
+
+let test_callsite_instances_are_context_sensitive () =
+  let m, dsa = analyze listing1 in
+  let main = I.Irmod.find_func m "main" in
+  (* Collect per-call-site instance sets for calls to set. *)
+  let sets = ref [] in
+  I.Func.iter_instrs main (fun bid idx ins ->
+      match ins with
+      | I.Instr.Call (_, "set", _) ->
+        sets := A.Dsa.callsite_instances dsa ~fname:"main" ~bid ~idx :: !sets
+      | _ -> ());
+  check Alcotest.int "three call sites" 3 (List.length !sets);
+  (* Each call site names exactly one instance, and both instances
+     appear across the sites. *)
+  List.iter
+    (fun s -> check Alcotest.int "single instance per site" 1 (List.length s))
+    !sets;
+  let all = List.sort_uniq compare (List.concat !sets) in
+  check Alcotest.int "both instances covered" 2 (List.length all)
+
+let test_scores_listing1 () =
+  let m, dsa = analyze listing1 in
+  let use = A.Scores.max_use m dsa in
+  (* ds2 (the second init) is the hot one: Equation 1 must rank it
+     above ds1 (paper Fig. 4). *)
+  check Alcotest.bool "use score prefers ds2" true (use.(1) > use.(0))
+
+let suite =
+  [ ("listing1: two descriptors", `Quick, test_listing1_two_descriptors);
+    ("listing1: shape facts", `Quick, test_listing1_shape_facts);
+    ("listing1: handle plan", `Quick, test_listing1_handle_plan);
+    ("aliased mallocs merge", `Quick, test_merged_when_aliased);
+    ("independent mallocs stay apart", `Quick, test_distinct_without_aliasing);
+    ("field links keep nodes distinct", `Quick, test_store_links_structures);
+    ("linked list recursive", `Quick, test_linked_list_is_recursive);
+    ("tree has two pointer fields", `Quick, test_tree_two_pointer_fields);
+    ("two trees distinct", `Quick, test_two_trees_distinct);
+    ("global-reachable inits in main", `Quick, test_global_reachable_initialized_in_main);
+    ("local temp inits locally", `Quick, test_local_temp_initialized_locally);
+    ("value_is_managed", `Quick, test_value_is_managed);
+    ("instances flow into callees", `Quick, test_instances_flow_into_callee);
+    ("call-site context sensitivity", `Quick, test_callsite_instances_are_context_sensitive);
+    ("Equation-1 scores on Listing 1", `Quick, test_scores_listing1) ]

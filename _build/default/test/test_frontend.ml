@@ -1,0 +1,309 @@
+(* Tests for the MiniC frontend: lexer, parser, lowering, and the
+   frontend+interpreter pair on small programs. *)
+
+module I = Cards_ir
+module R = Cards_runtime
+module M = Cards_interp.Machine
+
+let check = Alcotest.check
+
+(* Run a MiniC program on a permissive runtime, return print output. *)
+let run_src src =
+  let m = I.Minic.compile src in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_local;
+        local_bytes = max_int / 2;
+        remotable_bytes = 0 }
+      [||]
+  in
+  (M.run m rt).output
+
+let expect_output name src out () =
+  check (Alcotest.list Alcotest.string) name out (run_src src)
+
+let expect_syntax_error name src () =
+  match I.Minic.compile src with
+  | _ -> Alcotest.fail (name ^ ": expected a syntax error")
+  | exception I.Ast.Syntax_error _ -> ()
+
+(* ---------- lexer ---------- *)
+
+let test_lexer_tokens () =
+  let toks = I.Lexer.tokenize "int x = 42; // comment\n x->f <= 3.5 && !y" in
+  let strs =
+    List.map (fun (l : I.Lexer.lexed) -> I.Lexer.token_to_string l.tok) toks
+  in
+  check (Alcotest.list Alcotest.string) "tokens"
+    [ "int"; "x"; "="; "42"; ";"; "x"; "->"; "f"; "<="; "3.5"; "&&"; "!"; "y";
+      "<eof>" ]
+    strs
+
+let test_lexer_positions () =
+  let toks = I.Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+    check Alcotest.int "a line" 1 a.pos.line;
+    check Alcotest.int "b line" 2 b.pos.line;
+    check Alcotest.int "b col" 3 b.pos.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_block_comment () =
+  let toks = I.Lexer.tokenize "a /* x \n y */ b" in
+  check Alcotest.int "two idents + eof" 3 (List.length toks)
+
+let test_lexer_unterminated_comment () =
+  match I.Lexer.tokenize "a /* never closed" with
+  | _ -> Alcotest.fail "expected error"
+  | exception I.Ast.Syntax_error (_, msg) ->
+    check Alcotest.string "message" "unterminated block comment" msg
+
+let test_lexer_illegal_char () =
+  match I.Lexer.tokenize "a $ b" with
+  | _ -> Alcotest.fail "expected error"
+  | exception I.Ast.Syntax_error (_, _) -> ()
+
+(* ---------- parser ---------- *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3): evaluate via the interpreter. *)
+  expect_output "precedence" "void main() { print_int(1 + 2 * 3); }" [ "7" ] ()
+
+let test_parser_associativity () =
+  expect_output "left assoc" "void main() { print_int(10 - 3 - 2); }" [ "5" ] ()
+
+let test_parser_unary () =
+  expect_output "unary minus" "void main() { print_int(-3 + 1); }" [ "-2" ] ();
+  expect_output "not" "void main() { print_int(!0 + !5); }" [ "1" ] ()
+
+let test_parser_comparison_chain () =
+  expect_output "cmp" "void main() { print_int(1 < 2); print_int(2 <= 1); }"
+    [ "1"; "0" ] ()
+
+let test_parser_error_position () =
+  match I.Parser.parse "void main() { int x = ; }" with
+  | _ -> Alcotest.fail "expected error"
+  | exception I.Ast.Syntax_error (pos, _) ->
+    check Alcotest.int "error line" 1 pos.line
+
+let test_parser_missing_semi () =
+  expect_syntax_error "missing semi" "void main() { int x = 1 }" ()
+
+let test_parser_expr_string () =
+  match (I.Parser.parse_expr_string "a[i] + b->f").I.Ast.e with
+  | I.Ast.Ebin (I.Ast.Badd, { e = I.Ast.Eindex _; _ }, { e = I.Ast.Earrow _; _ }) ->
+    ()
+  | _ -> Alcotest.fail "wrong expression shape"
+
+(* ---------- lowering & semantics ---------- *)
+
+let test_arith_int = expect_output "int arith"
+    "void main() { print_int(7 / 2); print_int(7 % 2); print_int(2 * 3 - 1); }"
+    [ "3"; "1"; "5" ]
+
+let test_arith_float = expect_output "float arith"
+    "void main() { print_float(1.5 + 2.25); print_float(7.0 / 2.0); }"
+    [ "3.75"; "3.5" ]
+
+let test_mixed_conversion = expect_output "int->double promotion"
+    "void main() { print_float(1 + 0.5); double x = 3; print_float(x); }"
+    [ "1.5"; "3" ]
+
+let test_globals = expect_output "globals"
+    "int g = 5; double h = 0.5; void main() { g = g + 1; print_int(g); print_float(h); }"
+    [ "6"; "0.5" ]
+
+let test_if_else = expect_output "if/else"
+    {|void main() {
+        int x = 10;
+        if (x > 5) { print_int(1); } else { print_int(0); }
+        if (x < 5) { print_int(1); } else { print_int(0); }
+      }|}
+    [ "1"; "0" ]
+
+let test_while_loop = expect_output "while"
+    {|void main() {
+        int i = 0;
+        int acc = 0;
+        while (i < 5) { acc = acc + i; i = i + 1; }
+        print_int(acc);
+      }|}
+    [ "10" ]
+
+let test_for_break_continue = expect_output "break/continue"
+    {|void main() {
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 10) { break; }
+          acc = acc + i;
+        }
+        print_int(acc);
+      }|}
+    [ "25" ]
+
+let test_short_circuit = expect_output "short circuit does not evaluate rhs"
+    {|int calls = 0;
+      int bump() { calls = calls + 1; return 1; }
+      void main() {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        print_int(calls);
+        print_int(a + b);
+      }|}
+    [ "0"; "1" ]
+
+let test_function_calls = expect_output "recursion (fib)"
+    {|int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+      }
+      void main() { print_int(fib(10)); }|}
+    [ "55" ]
+
+let test_mutual_recursion = expect_output "mutual recursion"
+    {|int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+      void main() { print_int(is_even(10)); print_int(is_odd(10)); }|}
+    [ "1"; "0" ]
+
+let test_heap_array = expect_output "heap array"
+    {|void main() {
+        int *a = malloc(10 * 8);
+        for (int i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+        print_int(a[7]);
+      }|}
+    [ "49" ]
+
+let test_struct_fields = expect_output "struct fields"
+    {|struct Point { int x; double y; }
+      void main() {
+        struct Point *p = malloc(sizeof(struct Point));
+        p->x = 3;
+        p->y = 1.5;
+        print_int(p->x);
+        print_float(p->y);
+      }|}
+    [ "3"; "1.5" ]
+
+let test_linked_list = expect_output "linked list"
+    {|struct Node { int v; struct Node *next; }
+      void main() {
+        struct Node *head = null;
+        for (int i = 0; i < 5; i = i + 1) {
+          struct Node *n = malloc(sizeof(struct Node));
+          n->v = i;
+          n->next = head;
+          head = n;
+        }
+        int acc = 0;
+        struct Node *p = head;
+        while (p != null) { acc = acc + p->v; p = p->next; }
+        print_int(acc);
+      }|}
+    [ "10" ]
+
+let test_pointer_arith = expect_output "pointer arithmetic"
+    {|void main() {
+        int *a = malloc(5 * 8);
+        for (int i = 0; i < 5; i = i + 1) { a[i] = 100 + i; }
+        int *p = a + 2;
+        print_int(*p);
+        print_int(p[1]);
+      }|}
+    [ "102"; "103" ]
+
+let test_double_pointer = expect_output "pointer to pointer"
+    {|void main() {
+        int *a = malloc(8);
+        *a = 42;
+        int **pp = malloc(8);
+        *pp = a;
+        int *b = *pp;
+        print_int(*b);
+      }|}
+    [ "42" ]
+
+let test_sizeof = expect_output "sizeof"
+    {|struct S { int a; int b; int c; }
+      void main() { print_int(sizeof(struct S)); print_int(sizeof(int)); print_int(sizeof(double*)); }|}
+    [ "24"; "8"; "8" ]
+
+let test_scoping = expect_output "block scoping"
+    {|void main() {
+        int x = 1;
+        { int x = 2; print_int(x); }
+        print_int(x);
+      }|}
+    [ "2"; "1" ]
+
+(* ---------- type errors ---------- *)
+
+let test_unknown_var = expect_syntax_error "unknown var"
+    "void main() { print_int(nope); }"
+
+let test_unknown_func = expect_syntax_error "unknown func"
+    "void main() { whatever(1); }"
+
+let test_bad_arity = expect_syntax_error "arity"
+    "int f(int a) { return a; } void main() { print_int(f(1, 2)); }"
+
+let test_struct_by_value = expect_syntax_error "struct by value"
+    "struct S { int a; } void main() { struct S s; }"
+
+let test_bad_field = expect_syntax_error "unknown field"
+    {|struct S { int a; }
+      void main() { struct S *s = malloc(8); s->b = 1; }|}
+
+let test_arrow_on_int = expect_syntax_error "-> on int"
+    "void main() { int x = 1; x->f = 2; }"
+
+let test_redeclaration = expect_syntax_error "redeclaration"
+    "void main() { int x = 1; int x = 2; }"
+
+let test_break_outside_loop = expect_syntax_error "break outside loop"
+    "void main() { break; }"
+
+let test_rem_on_float = expect_syntax_error "% on float"
+    "void main() { print_float(1.5 % 2.0); }"
+
+let suite =
+  [ ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer positions", `Quick, test_lexer_positions);
+    ("lexer block comment", `Quick, test_lexer_block_comment);
+    ("lexer unterminated comment", `Quick, test_lexer_unterminated_comment);
+    ("lexer illegal char", `Quick, test_lexer_illegal_char);
+    ("parser precedence", `Quick, test_parser_precedence);
+    ("parser associativity", `Quick, test_parser_associativity);
+    ("parser unary", `Quick, test_parser_unary);
+    ("parser comparisons", `Quick, test_parser_comparison_chain);
+    ("parser error position", `Quick, test_parser_error_position);
+    ("parser missing semi", `Quick, test_parser_missing_semi);
+    ("parse_expr_string", `Quick, test_parser_expr_string);
+    ("int arithmetic", `Quick, test_arith_int);
+    ("float arithmetic", `Quick, test_arith_float);
+    ("mixed conversion", `Quick, test_mixed_conversion);
+    ("globals", `Quick, test_globals);
+    ("if/else", `Quick, test_if_else);
+    ("while", `Quick, test_while_loop);
+    ("break/continue", `Quick, test_for_break_continue);
+    ("short circuit", `Quick, test_short_circuit);
+    ("recursion", `Quick, test_function_calls);
+    ("mutual recursion", `Quick, test_mutual_recursion);
+    ("heap array", `Quick, test_heap_array);
+    ("struct fields", `Quick, test_struct_fields);
+    ("linked list", `Quick, test_linked_list);
+    ("pointer arithmetic", `Quick, test_pointer_arith);
+    ("double pointer", `Quick, test_double_pointer);
+    ("sizeof", `Quick, test_sizeof);
+    ("scoping", `Quick, test_scoping);
+    ("err: unknown var", `Quick, test_unknown_var);
+    ("err: unknown func", `Quick, test_unknown_func);
+    ("err: arity", `Quick, test_bad_arity);
+    ("err: struct by value", `Quick, test_struct_by_value);
+    ("err: unknown field", `Quick, test_bad_field);
+    ("err: arrow on int", `Quick, test_arrow_on_int);
+    ("err: redeclaration", `Quick, test_redeclaration);
+    ("err: break outside loop", `Quick, test_break_outside_loop);
+    ("err: % on float", `Quick, test_rem_on_float) ]

@@ -1,0 +1,149 @@
+(* Tests for the IR interpreter: semantics, traps, costs, fuel. *)
+
+module I = Cards_ir
+module R = Cards_runtime
+module M = Cards_interp.Machine
+
+let check = Alcotest.check
+
+let permissive_rt () =
+  R.Runtime.create
+    { R.Runtime.default_config with
+      policy = R.Policy.All_local;
+      local_bytes = max_int / 2;
+      remotable_bytes = 0 }
+    [||]
+
+let run ?fuel src =
+  let m = I.Minic.compile src in
+  M.run ?fuel m (permissive_rt ())
+
+let output ?fuel src = (run ?fuel src).output
+
+(* ---------- arithmetic semantics ---------- *)
+
+let test_int_ops () =
+  check (Alcotest.list Alcotest.string) "ops"
+    [ "13"; "-7"; "30"; "3"; "1" ]
+    (output
+       {|void main() {
+           print_int(10 + 3);
+           print_int(3 - 10);
+           print_int(10 * 3);
+           print_int(10 / 3);
+           print_int(10 % 3);
+         }|})
+
+let test_float_ops () =
+  check (Alcotest.list Alcotest.string) "float ops" [ "3.5"; "0.25"; "-1.5" ]
+    (output
+       {|void main() {
+           print_float(1.75 * 2.0);
+           print_float(1.0 / 4.0);
+           print_float(0.5 - 2.0);
+         }|})
+
+let test_f2i_truncates () =
+  check (Alcotest.list Alcotest.string) "truncation" [ "2"; "-2" ]
+    (output
+       {|void main() {
+           int a = 2.9;
+           int b = -2.9;
+           print_int(a);
+           print_int(b);
+         }|})
+
+let test_division_by_zero_traps () =
+  match run "void main() { int z = 0; print_int(1 / z); }" with
+  | _ -> Alcotest.fail "expected trap"
+  | exception M.Trap msg -> check Alcotest.string "message" "division by zero" msg
+
+let test_rem_by_zero_traps () =
+  match run "void main() { int z = 0; print_int(1 % z); }" with
+  | _ -> Alcotest.fail "expected trap"
+  | exception M.Trap _ -> ()
+
+let test_abort_traps () =
+  match run "void main() { abort(); }" with
+  | _ -> Alcotest.fail "expected trap"
+  | exception M.Trap msg -> check Alcotest.string "message" "abort() called" msg
+
+(* ---------- fuel ---------- *)
+
+let test_fuel_stops_infinite_loop () =
+  match run ~fuel:10_000 "void main() { while (1) { } }" with
+  | _ -> Alcotest.fail "expected fuel trap"
+  | exception M.Trap msg ->
+    check Alcotest.string "message" "fuel exhausted (10000 instructions)" msg
+
+let test_fuel_enough () =
+  check (Alcotest.list Alcotest.string) "completes under fuel" [ "42" ]
+    (output ~fuel:1_000_000 "void main() { print_int(42); }")
+
+(* ---------- cycles & instruction counting ---------- *)
+
+let test_cycles_monotone_in_work () =
+  let small = run "void main() { for (int i = 0; i < 10; i = i + 1) { } }" in
+  let big = run "void main() { for (int i = 0; i < 1000; i = i + 1) { } }" in
+  check Alcotest.bool "more work, more cycles" true (big.cycles > small.cycles);
+  check Alcotest.bool "more work, more instructions" true
+    (big.instructions > small.instructions)
+
+let test_clock_intrinsic () =
+  let out =
+    output
+      {|void main() {
+          int t0 = clock();
+          for (int i = 0; i < 100; i = i + 1) { }
+          int t1 = clock();
+          if (t1 > t0) { print_int(1); } else { print_int(0); }
+        }|}
+  in
+  check (Alcotest.list Alcotest.string) "clock advances" [ "1" ] out
+
+let test_determinism () =
+  let src = Cards_workloads.Bfs.source ~nodes:500 ~edges:2000 ~sources:1 in
+  let a = run src and b = run src in
+  check Alcotest.bool "same cycles" true (a.cycles = b.cycles);
+  check (Alcotest.list Alcotest.string) "same output" a.output b.output
+
+(* ---------- guard instructions under the machine ---------- *)
+
+let test_run_function_entry () =
+  let m =
+    I.Minic.compile "int twice(int x) { return 2 * x; } void main() { }"
+  in
+  let res = M.run_function m (permissive_rt ()) "twice" [ 21 ] in
+  check Alcotest.int "direct function call" 42 res.ret
+
+let test_unknown_function_traps () =
+  let m = I.Minic.compile "void main() { }" in
+  match M.run_function m (permissive_rt ()) "nope" [] with
+  | _ -> Alcotest.fail "expected trap"
+  | exception M.Trap _ -> ()
+
+let test_output_order () =
+  check (Alcotest.list Alcotest.string) "print interleaving"
+    [ "1"; "2.5"; "3" ]
+    (output
+       {|void main() {
+           print_int(1);
+           print_float(2.5);
+           print_int(3);
+         }|})
+
+let suite =
+  [ ("int ops", `Quick, test_int_ops);
+    ("float ops", `Quick, test_float_ops);
+    ("f2i truncates", `Quick, test_f2i_truncates);
+    ("div by zero traps", `Quick, test_division_by_zero_traps);
+    ("rem by zero traps", `Quick, test_rem_by_zero_traps);
+    ("abort traps", `Quick, test_abort_traps);
+    ("fuel stops runaway", `Quick, test_fuel_stops_infinite_loop);
+    ("fuel generous", `Quick, test_fuel_enough);
+    ("cycles monotone", `Quick, test_cycles_monotone_in_work);
+    ("clock intrinsic", `Quick, test_clock_intrinsic);
+    ("determinism", `Quick, test_determinism);
+    ("run_function", `Quick, test_run_function_entry);
+    ("unknown function traps", `Quick, test_unknown_function_traps);
+    ("output order", `Quick, test_output_order) ]

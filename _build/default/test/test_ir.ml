@@ -1,0 +1,239 @@
+(* Tests for the IR core: types, builder, verifier, printer. *)
+
+module I = Cards_ir
+open I
+
+let check = Alcotest.check
+
+(* ---------- Types ---------- *)
+
+let test_sizes () =
+  check Alcotest.int "i64" 8 (Types.size_of Types.I64);
+  check Alcotest.int "f64" 8 (Types.size_of Types.F64);
+  check Alcotest.int "ptr" 8 (Types.size_of (Types.Ptr Types.F64));
+  let s = Types.Struct ("node", [| Types.I64; Types.F64; Types.Ptr Types.I64 |]) in
+  check Alcotest.int "struct" 24 (Types.size_of s);
+  check Alcotest.int "void" 0 (Types.size_of Types.Void)
+
+let test_field_offsets () =
+  let s = Types.Struct ("s", [| Types.I64; Types.F64; Types.Ptr Types.I64 |]) in
+  check Alcotest.int "field 0" 0 (Types.field_offset s 0);
+  check Alcotest.int "field 1" 8 (Types.field_offset s 1);
+  check Alcotest.int "field 2" 16 (Types.field_offset s 2);
+  check Alcotest.bool "field 1 type" true
+    (Types.equal (Types.field_type s 1) Types.F64);
+  Alcotest.check_raises "bad field"
+    (Invalid_argument "Types.field_offset: field index out of range") (fun () ->
+      ignore (Types.field_offset s 3))
+
+let test_type_equal_ignores_names () =
+  let a = Types.Struct ("a", [| Types.I64 |]) in
+  let b = Types.Struct ("b", [| Types.I64 |]) in
+  check Alcotest.bool "names ignored" true (Types.equal a b);
+  check Alcotest.bool "fields matter" false
+    (Types.equal a (Types.Struct ("a", [| Types.F64 |])))
+
+let test_pointee () =
+  check Alcotest.bool "pointee" true
+    (Types.equal (Types.pointee (Types.Ptr Types.F64)) Types.F64);
+  Alcotest.check_raises "non-pointer"
+    (Invalid_argument "Types.pointee: not a pointer") (fun () ->
+      ignore (Types.pointee Types.I64))
+
+(* ---------- Builder ---------- *)
+
+let test_builder_simple_function () =
+  let b = Builder.create ~name:"add" ~params:[ ("x", Types.I64); ("y", Types.I64) ]
+      ~ret:Types.I64 in
+  let s = Builder.bin b Instr.Add (Builder.param b "x") (Builder.param b "y") in
+  Builder.ret b (Some s);
+  let f = Builder.finish b in
+  check Alcotest.string "name" "add" f.Func.name;
+  check Alcotest.int "arity" 2 (Func.arity f);
+  check Alcotest.int "blocks" 1 (Array.length f.Func.blocks)
+
+let test_builder_for_loop_shape () =
+  let b = Builder.create ~name:"count" ~params:[] ~ret:Types.I64 in
+  let acc = Builder.fresh b Types.I64 in
+  Builder.emit b (Instr.Mov (acc, Instr.Imm 0L));
+  Builder.build_for b ~init:(Instr.Imm 0L) ~limit:(Instr.Imm 10L) ~step:1
+    (fun b _i ->
+      Builder.emit b (Instr.Bin (acc, Instr.Add, Instr.Reg acc, Instr.Imm 1L)));
+  Builder.ret b (Some (Instr.Reg acc));
+  let f = Builder.finish b in
+  (* entry + header + body + exit *)
+  check Alcotest.int "four blocks" 4 (Array.length f.Func.blocks);
+  (* the function verifies in a module *)
+  let m = Irmod.add_func Irmod.empty f in
+  check (Alcotest.list Alcotest.string) "no verify errors" []
+    (List.map (fun (e : Verify.error) -> e.what) (Verify.check_module m))
+
+let test_builder_unterminated_fails () =
+  let b = Builder.create ~name:"oops" ~params:[] ~ret:Types.Void in
+  ignore (Builder.new_block b);
+  Builder.ret b None;
+  Alcotest.check_raises "unterminated block"
+    (Invalid_argument "Builder.finish: block L1 of oops not terminated") (fun () ->
+      ignore (Builder.finish b))
+
+let test_builder_double_seal_fails () =
+  let b = Builder.create ~name:"seal" ~params:[] ~ret:Types.Void in
+  Builder.ret b None;
+  Alcotest.check_raises "emit after seal"
+    (Invalid_argument "Builder.emit: block L0 of seal already sealed") (fun () ->
+      Builder.emit b (Instr.Mov (0, Instr.Imm 0L)))
+
+let test_builder_if () =
+  let b = Builder.create ~name:"abs" ~params:[ ("x", Types.I64) ] ~ret:Types.I64 in
+  let x = Builder.param b "x" in
+  let out = Builder.fresh b Types.I64 in
+  let c = Builder.cmp b Instr.Lt x (Instr.Imm 0L) in
+  Builder.build_if b c
+    (fun b ->
+      let neg = Builder.bin b Instr.Sub (Instr.Imm 0L) x in
+      Builder.emit b (Instr.Mov (out, neg)))
+    (fun b -> Builder.emit b (Instr.Mov (out, x)));
+  Builder.ret b (Some (Instr.Reg out));
+  let f = Builder.finish b in
+  let m = Irmod.add_func Irmod.empty f in
+  Verify.check_exn m
+
+(* ---------- Verify ---------- *)
+
+let bad_func name blocks ~nregs =
+  { Func.name; params = []; ret = Types.Void;
+    reg_tys = Array.make nregs Types.I64; blocks }
+
+let test_verify_catches_bad_target () =
+  let f =
+    bad_func "f" [| { Func.bid = 0; instrs = [||]; term = Instr.Br 7 } |] ~nregs:0
+  in
+  let errs = Verify.check_func (Irmod.add_func Irmod.empty f) f in
+  check Alcotest.bool "branch error reported" true
+    (List.exists (fun (e : Verify.error) ->
+         e.what = "branch target L7 out of range") errs)
+
+let test_verify_catches_bad_reg () =
+  let f =
+    bad_func "f"
+      [| { Func.bid = 0;
+           instrs = [| Instr.Mov (5, Instr.Imm 1L) |];
+           term = Instr.Ret None } |]
+      ~nregs:1
+  in
+  let errs = Verify.check_func (Irmod.add_func Irmod.empty f) f in
+  check Alcotest.bool "register error" true
+    (List.exists (fun (e : Verify.error) ->
+         e.what = "defined register %r5 out of range") errs)
+
+let test_verify_catches_unknown_call () =
+  let f =
+    bad_func "f"
+      [| { Func.bid = 0;
+           instrs = [| Instr.Call (None, "nope", []) |];
+           term = Instr.Ret None } |]
+      ~nregs:0
+  in
+  let errs = Verify.check_func (Irmod.add_func Irmod.empty f) f in
+  check Alcotest.bool "unknown call" true
+    (List.exists (fun (e : Verify.error) ->
+         e.what = "call to unknown function nope") errs)
+
+let test_verify_intrinsics_allowed () =
+  let f =
+    bad_func "f"
+      [| { Func.bid = 0;
+           instrs = [| Instr.Call (None, "print_int", [ Instr.Imm 1L ]) |];
+           term = Instr.Ret None } |]
+      ~nregs:0
+  in
+  check Alcotest.int "no errors" 0
+    (List.length (Verify.check_func (Irmod.add_func Irmod.empty f) f))
+
+let test_verify_arity () =
+  let callee =
+    { Func.name = "g"; params = [ (0, Types.I64) ]; ret = Types.Void;
+      reg_tys = [| Types.I64 |];
+      blocks = [| { Func.bid = 0; instrs = [||]; term = Instr.Ret None } |] }
+  in
+  let caller =
+    bad_func "f"
+      [| { Func.bid = 0;
+           instrs = [| Instr.Call (None, "g", []) |];
+           term = Instr.Ret None } |]
+      ~nregs:0
+  in
+  let m = Irmod.add_func (Irmod.add_func Irmod.empty callee) caller in
+  let errs = Verify.check_func m caller in
+  check Alcotest.bool "arity mismatch" true
+    (List.exists (fun (e : Verify.error) ->
+         e.what = "call to g with 0 args (arity 1)") errs)
+
+(* ---------- Func helpers ---------- *)
+
+let test_predecessors () =
+  let blocks =
+    [| { Func.bid = 0; instrs = [||]; term = Instr.Cbr (Instr.Imm 1L, 1, 2) };
+       { Func.bid = 1; instrs = [||]; term = Instr.Br 2 };
+       { Func.bid = 2; instrs = [||]; term = Instr.Ret None } |]
+  in
+  let f = bad_func "f" blocks ~nregs:0 in
+  let preds = Func.predecessors f in
+  check (Alcotest.list Alcotest.int) "preds of 2" [ 0; 1 ] preds.(2);
+  check (Alcotest.list Alcotest.int) "preds of 0" [] preds.(0)
+
+(* ---------- Printer ---------- *)
+
+let test_printer_contains () =
+  let b = Builder.create ~name:"p" ~params:[ ("x", Types.I64) ] ~ret:Types.I64 in
+  let s = Builder.bin b Instr.Add (Builder.param b "x") (Instr.Imm 1L) in
+  Builder.ret b (Some s);
+  let txt = Printer.func_to_string (Builder.finish b) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "defines p" true (contains txt "define i64 @p(");
+  check Alcotest.bool "has add" true (contains txt "add %r0, 1");
+  check Alcotest.bool "has ret" true (contains txt "ret %r1")
+
+(* ---------- Instr metadata ---------- *)
+
+let test_instr_defs_uses () =
+  let i = Instr.Store (Types.I64, Instr.Reg 3, Instr.Reg 4) in
+  check Alcotest.bool "store defines nothing" true (Instr.defined_reg i = None);
+  check Alcotest.int "store uses 2" 2 (List.length (Instr.used_values i));
+  let g = Instr.Gep (7, Instr.Reg 1, Instr.Imm 8L, 8) in
+  check Alcotest.bool "gep defines" true (Instr.defined_reg g = Some 7)
+
+let test_map_values () =
+  let i = Instr.Bin (0, Instr.Add, Instr.Reg 1, Instr.Reg 2) in
+  let j =
+    Instr.map_instr_values
+      (function Instr.Reg r -> Instr.Reg (r + 10) | v -> v)
+      i
+  in
+  match j with
+  | Instr.Bin (0, Instr.Add, Instr.Reg 11, Instr.Reg 12) -> ()
+  | _ -> Alcotest.fail "map_instr_values rewrote wrong"
+
+let suite =
+  [ ("type sizes", `Quick, test_sizes);
+    ("field offsets", `Quick, test_field_offsets);
+    ("type equality", `Quick, test_type_equal_ignores_names);
+    ("pointee", `Quick, test_pointee);
+    ("builder simple", `Quick, test_builder_simple_function);
+    ("builder for loop", `Quick, test_builder_for_loop_shape);
+    ("builder unterminated", `Quick, test_builder_unterminated_fails);
+    ("builder double seal", `Quick, test_builder_double_seal_fails);
+    ("builder if", `Quick, test_builder_if);
+    ("verify bad target", `Quick, test_verify_catches_bad_target);
+    ("verify bad reg", `Quick, test_verify_catches_bad_reg);
+    ("verify unknown call", `Quick, test_verify_catches_unknown_call);
+    ("verify intrinsics", `Quick, test_verify_intrinsics_allowed);
+    ("verify arity", `Quick, test_verify_arity);
+    ("predecessors", `Quick, test_predecessors);
+    ("printer", `Quick, test_printer_contains);
+    ("instr defs/uses", `Quick, test_instr_defs_uses);
+    ("map values", `Quick, test_map_values) ]

@@ -1,0 +1,17 @@
+(* Test aggregator: every module contributes a suite. *)
+
+let () =
+  Alcotest.run "cards"
+    [ ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("dsa", Test_dsa.suite);
+      ("transform", Test_transform.suite);
+      ("runtime", Test_runtime.suite);
+      ("interp", Test_interp.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("workloads", Test_workloads.suite);
+      ("baselines", Test_baselines.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("simplify", Test_simplify.suite) ]

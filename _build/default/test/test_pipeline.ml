@@ -1,0 +1,206 @@
+(* End-to-end pipeline tests: compile + run every workload under many
+   far-memory configurations and check (a) functional equivalence to
+   the all-local run, (b) the qualitative performance relations the
+   paper reports. *)
+
+module R = Cards_runtime
+module P = Cards.Pipeline
+module W = Cards_workloads
+module B = Cards_baselines
+
+let check = Alcotest.check
+
+let kb x = x * 1024
+
+let cfg ?(policy = R.Policy.Linear) ?(k = 1.0) ?(local = kb 8192)
+    ?(remot = kb 1024) () =
+  { R.Runtime.default_config with
+    policy; k; local_bytes = local; remotable_bytes = remot }
+
+let small_workloads =
+  [ ("listing1", W.Listing1.source ~elems:8192 ~ntimes:3);
+    ("pc-array", W.Pointer_chase.source ~variant:"array" ~scale:4096 ~passes:2);
+    ("pc-vector", W.Pointer_chase.source ~variant:"vector" ~scale:2048 ~passes:2);
+    ("pc-list", W.Pointer_chase.source ~variant:"list" ~scale:2048 ~passes:2);
+    ("pc-map", W.Pointer_chase.source ~variant:"map" ~scale:512 ~passes:2);
+    ("pc-tree", W.Pointer_chase.source ~variant:"tree" ~scale:2048 ~passes:2);
+    ("analytics", W.Analytics.source ~trips:4000 ~query_passes:1);
+    ("ftfdapml", W.Ftfdapml.source ~cz:6 ~cym:16 ~cxm:16 ~steps:2);
+    ("bfs", W.Bfs.source ~nodes:2000 ~edges:8000 ~sources:1) ]
+
+(* ---------- functional equivalence ---------- *)
+
+(* The far-memory configuration must never change program results:
+   run each workload under a battery of policies and tight memories and
+   compare against the guard-free all-local execution. *)
+let test_output_equivalence (name, src) () =
+  let c = P.compile_source src in
+  let reference, _ = B.Noguard.run c in
+  let configs =
+    [ cfg ();
+      cfg ~policy:R.Policy.All_remotable ~k:0.0 ();
+      cfg ~policy:R.Policy.Max_use ~k:0.5 ();
+      cfg ~policy:R.Policy.Max_reach ~k:0.5 ();
+      cfg ~policy:(R.Policy.Random 13) ~k:0.5 ();
+      (* Very tight memory: heavy eviction traffic. *)
+      cfg ~policy:R.Policy.All_remotable ~k:0.0 ~local:(kb 256) ~remot:(kb 128) () ]
+  in
+  List.iteri
+    (fun i c' ->
+      let res, _ = P.run c c' in
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "%s config %d output" name i)
+        reference.output res.output)
+    configs;
+  (* TrackFM compilation must agree too. *)
+  let tfm = B.Trackfm.compile_source src in
+  let tres, _ = B.Trackfm.run tfm ~local_bytes:(kb 512) in
+  check (Alcotest.list Alcotest.string) (name ^ " trackfm output")
+    reference.output tres.output;
+  (* And Mira. *)
+  let mres, _ = B.Mira.run c ~local_bytes:(kb 512) ~remotable_bytes:(kb 256) in
+  check (Alcotest.list Alcotest.string) (name ^ " mira output") reference.output
+    mres.output
+
+let equivalence_tests =
+  List.map
+    (fun (name, src) ->
+      ("outputs equal: " ^ name, `Quick, test_output_equivalence (name, src)))
+    small_workloads
+
+(* ---------- qualitative performance relations ---------- *)
+
+let listing1_src = W.Listing1.source ~elems:32768 ~ntimes:8
+
+let test_all_local_matches_plain () =
+  (* With everything pinned, versioned clean loops should bring the
+     instrumented build within a few percent of the guard-free one. *)
+  let c = P.compile_source listing1_src in
+  let plain, _ = B.Noguard.run c in
+  let res, _ = P.run c (cfg ~policy:R.Policy.All_local ()) in
+  let ratio = float_of_int res.cycles /. float_of_int plain.cycles in
+  check Alcotest.bool
+    (Printf.sprintf "all-local within 10%% of plain (ratio %.3f)" ratio) true
+    (ratio < 1.10)
+
+let test_all_remotable_is_slowest () =
+  let c = P.compile_source listing1_src in
+  let allrem, _ = P.run c (cfg ~policy:R.Policy.All_remotable ~k:0.0 ()) in
+  let pinned, _ = P.run c (cfg ~policy:R.Policy.All_local ()) in
+  check Alcotest.bool "conservative all-remotable much slower" true
+    (allrem.cycles > 2 * pinned.cycles)
+
+let test_fig4_max_use_beats_linear () =
+  (* Paper Fig. 4: at k = 50% with two structures, Max Use localizes
+     the hot ds2 while Linear wastes the slot on ds1 — ~2x. *)
+  let c = P.compile_source listing1_src in
+  (* Local memory fits exactly one of the two arrays pinned. *)
+  let arr_bytes = 32768 * 8 in
+  let local = arr_bytes + (arr_bytes / 2) and remot = arr_bytes / 4 in
+  let linear, _ = P.run c (cfg ~policy:R.Policy.Linear ~k:0.5 ~local ~remot ()) in
+  let maxuse, _ = P.run c (cfg ~policy:R.Policy.Max_use ~k:0.5 ~local ~remot ()) in
+  let speedup = float_of_int linear.cycles /. float_of_int maxuse.cycles in
+  check Alcotest.bool
+    (Printf.sprintf "max-use >= 1.5x linear at k=50%% (got %.2fx)" speedup) true
+    (speedup >= 1.5)
+
+let test_guard_counts_cards_below_trackfm () =
+  let src = W.Analytics.source ~trips:2000 ~query_passes:1 in
+  let cards_c = P.compile_source src in
+  let tfm_c = B.Trackfm.compile_source src in
+  check Alcotest.bool "cards eliminates more guards statically" true
+    (cards_c.static_guards <= tfm_c.static_guards);
+  check Alcotest.bool "cards versioned some loops" true (cards_c.versioned_loops > 0);
+  check Alcotest.int "trackfm never versions" 0 tfm_c.versioned_loops
+
+let test_fig9_cards_beats_trackfm_on_chase () =
+  (* Pointer-chasing workloads under memory pressure: CaRDS's per-class
+     prefetchers + per-structure policies beat TrackFM (Fig. 9).
+     Local memory is 75 % of each variant's working set with a quarter
+     reserved as remotable cache — the proportions every Fig. 9 bench
+     point uses. *)
+  List.iter
+    (fun (variant, scale, wss_kb) ->
+      let src = W.Pointer_chase.source ~variant ~scale ~passes:2 in
+      let cards_c = P.compile_source src in
+      let tfm_c = B.Trackfm.compile_source src in
+      let local = kb wss_kb * 75 / 100 in
+      let remot = local / 4 in
+      let cres, _ =
+        P.run cards_c (cfg ~policy:R.Policy.Linear ~k:1.0 ~local ~remot ())
+      in
+      let tres, _ = B.Trackfm.run tfm_c ~local_bytes:local in
+      let speedup = float_of_int tres.cycles /. float_of_int cres.cycles in
+      check Alcotest.bool
+        (Printf.sprintf "cards faster than trackfm on %s (%.2fx)" variant speedup)
+        true (speedup > 1.0))
+    [ ("list", 16384, 1228); ("map", 4096, 416); ("tree", 16384, 1536) ]
+
+let test_mira_wins_with_ample_memory () =
+  (* Fig. 8: as local memory grows, the profile-guided baseline pulls
+     ahead of (or matches) size-oblivious CaRDS. *)
+  let src = W.Analytics.source ~trips:4000 ~query_passes:1 in
+  let c = P.compile_source src in
+  let local = kb 512 and remot = kb 128 in
+  let cres, _ = P.run c (cfg ~policy:R.Policy.Linear ~k:1.0 ~local ~remot ()) in
+  let mres, _ = B.Mira.run c ~local_bytes:local ~remotable_bytes:remot in
+  check Alcotest.bool "mira <= cards cycles" true (mres.cycles <= cres.cycles)
+
+let test_versioning_pays () =
+  (* Ablation: with versioning disabled, the fully-pinned run keeps
+     paying custody checks in hot loops. *)
+  let src = listing1_src in
+  let with_v = P.compile_source src in
+  let without_v =
+    P.compile_source
+      ~options:{ P.cards_options with versioning = false }
+      src
+  in
+  let a, _ = P.run with_v (cfg ~policy:R.Policy.All_local ()) in
+  let b, _ = P.run without_v (cfg ~policy:R.Policy.All_local ()) in
+  check Alcotest.bool "versioning reduces cycles" true (a.cycles < b.cycles)
+
+let test_guard_elim_pays () =
+  (* Ablation: CaRDS-level elimination beats TrackFM-level on struct
+     traffic. *)
+  let src = W.Pointer_chase.source ~variant:"list" ~scale:2048 ~passes:2 in
+  let cards_level = P.compile_source src in
+  let tf_level =
+    P.compile_source
+      ~options:{ P.cards_options with guard_elim_level = Cards_transform.Guard_elim.Ltrackfm }
+      src
+  in
+  check Alcotest.bool "fewer static guards at cards level" true
+    (cards_level.static_guards <= tf_level.static_guards)
+
+let test_determinism_across_runs () =
+  let c = P.compile_source (W.Bfs.source ~nodes:1000 ~edges:4000 ~sources:1) in
+  let conf = cfg ~policy:R.Policy.All_remotable ~k:0.0 ~local:(kb 256) ~remot:(kb 128) () in
+  let a, _ = P.run c conf in
+  let b, _ = P.run c conf in
+  check Alcotest.int "cycle-exact determinism" a.cycles b.cycles
+
+let test_static_table_sane () =
+  let c = P.compile_source (W.Analytics.source ~trips:200 ~query_passes:1) in
+  check Alcotest.int "analytics identifies 22 structures" 22 (Array.length c.infos);
+  Array.iteri
+    (fun i (inf : R.Static_info.t) ->
+      check Alcotest.int "sids in order" i inf.sid;
+      check Alcotest.bool "object size is a power of two" true
+        (inf.obj_size land (inf.obj_size - 1) = 0);
+      check Alcotest.bool "scores non-negative" true
+        (inf.score_use >= 0 && inf.score_reach >= 0))
+    c.infos
+
+let suite =
+  equivalence_tests
+  @ [ ("all-local ~ plain", `Quick, test_all_local_matches_plain);
+      ("all-remotable slowest", `Quick, test_all_remotable_is_slowest);
+      ("fig4: max-use beats linear", `Quick, test_fig4_max_use_beats_linear);
+      ("guard counts vs trackfm", `Quick, test_guard_counts_cards_below_trackfm);
+      ("fig9: chase speedups", `Quick, test_fig9_cards_beats_trackfm_on_chase);
+      ("fig8: mira with ample memory", `Quick, test_mira_wins_with_ample_memory);
+      ("ablation: versioning", `Quick, test_versioning_pays);
+      ("ablation: guard elim level", `Quick, test_guard_elim_pays);
+      ("determinism", `Quick, test_determinism_across_runs);
+      ("static table", `Quick, test_static_table_sane) ]

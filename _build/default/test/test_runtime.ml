@@ -1,0 +1,570 @@
+(* Tests for the runtime layer: address codec, cost tables, fabric,
+   policies, prefetchers, and the runtime itself. *)
+
+module R = Cards_runtime
+module N = Cards_net
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---------- Addr ---------- *)
+
+let test_addr_basics () =
+  let a = R.Addr.encode ~ds:3 ~offset:4096 in
+  check Alcotest.bool "managed" true (R.Addr.is_managed a);
+  check Alcotest.int "ds" 3 (R.Addr.ds_of a);
+  check Alcotest.int "offset" 4096 (R.Addr.offset_of a);
+  let u = R.Addr.unmanaged ~offset:77 in
+  check Alcotest.bool "unmanaged" false (R.Addr.is_managed u);
+  check Alcotest.int "unmanaged offset" 77 (R.Addr.offset_of u)
+
+let test_addr_ranges () =
+  Alcotest.check_raises "handle 0 rejected"
+    (Invalid_argument "Addr.encode: handle 0 out of range") (fun () ->
+      ignore (R.Addr.encode ~ds:0 ~offset:0));
+  Alcotest.check_raises "ds_of unmanaged"
+    (Invalid_argument "Addr.ds_of: unmanaged address") (fun () ->
+      ignore (R.Addr.ds_of 42))
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~name:"addr encode/decode roundtrip" ~count:1000
+    QCheck.(pair (int_range 1 60_000) (int_range 0 1_000_000_000))
+    (fun (ds, offset) ->
+      let ds = min ds R.Addr.max_handle in
+      let a = R.Addr.encode ~ds ~offset in
+      R.Addr.is_managed a && R.Addr.ds_of a = ds && R.Addr.offset_of a = offset)
+
+let prop_addr_arith_stays_in_ds =
+  QCheck.Test.make ~name:"pointer arithmetic preserves the handle" ~count:500
+    QCheck.(triple (int_range 1 100) (int_range 0 100_000) (int_range 0 10_000))
+    (fun (ds, offset, delta) ->
+      let a = R.Addr.encode ~ds ~offset in
+      R.Addr.ds_of (a + delta) = ds && R.Addr.offset_of (a + delta) = offset + delta)
+
+(* ---------- Cost (Table 1 calibration) ---------- *)
+
+let test_cost_table1 () =
+  check Alcotest.int "CaRDS local read" 378 R.Cost.cards.guard_local_read;
+  check Alcotest.int "CaRDS local write" 384 R.Cost.cards.guard_local_write;
+  check Alcotest.int "TrackFM local read" 462 R.Cost.trackfm.guard_local_read;
+  check Alcotest.int "TrackFM local write" 579 R.Cost.trackfm.guard_local_write
+
+(* ---------- Fabric ---------- *)
+
+let test_fabric_59k () =
+  (* Table 1: a 4 KiB demand fetch lands at ~59 K cycles. *)
+  let f = N.Fabric.create N.Fabric.default_config in
+  let t = N.Fabric.fetch f ~now:0 ~bytes:R.Cost.cards_remote_object_bytes in
+  check Alcotest.bool "within 5% of 59K" true
+    (abs (t - 59_000) < 59_000 / 20)
+
+let test_fabric_trackfm_46k () =
+  let f = N.Fabric.create N.Fabric.trackfm_config in
+  let t = N.Fabric.fetch f ~now:0 ~bytes:4096 in
+  check Alcotest.bool "within 5% of 46K" true (abs (t - 46_000) < 46_000 / 20)
+
+let test_fabric_queueing () =
+  let f = N.Fabric.create N.Fabric.default_config in
+  let t1 = N.Fabric.fetch f ~now:0 ~bytes:4096 in
+  let t2 = N.Fabric.fetch f ~now:0 ~bytes:4096 in
+  check Alcotest.bool "second transfer serializes" true (t2 > t1);
+  let st = N.Fabric.stats f in
+  check Alcotest.int "two fetches" 2 st.fetches;
+  check Alcotest.int "bytes counted" 8192 st.fetched_bytes;
+  check Alcotest.bool "queueing recorded" true (st.queue_cycles > 0)
+
+let test_fabric_writeback_nonblocking () =
+  let f = N.Fabric.create N.Fabric.default_config in
+  N.Fabric.writeback f ~now:0 ~bytes:4096;
+  (* Outbound traffic must not delay inbound fetches. *)
+  let t = N.Fabric.fetch f ~now:0 ~bytes:4096 in
+  check Alcotest.bool "fetch unaffected by writeback" true (t < 60_000);
+  check Alcotest.int "writeback counted" 1 (N.Fabric.stats f).writebacks
+
+let test_fabric_bandwidth_term () =
+  let f = N.Fabric.create N.Fabric.default_config in
+  let small = N.Fabric.fetch f ~now:0 ~bytes:64 in
+  N.Fabric.reset f;
+  let big = N.Fabric.fetch f ~now:0 ~bytes:65536 in
+  check Alcotest.bool "bigger transfers take longer" true (big > small + 10_000)
+
+let prop_fabric_completion_monotone =
+  QCheck.Test.make ~name:"fabric completions are monotone in time" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_range 64 65536))
+    (fun sizes ->
+      let f = N.Fabric.create N.Fabric.default_config in
+      let now = ref 0 in
+      let last = ref 0 in
+      List.for_all
+        (fun bytes ->
+          now := !now + 100;
+          let t = N.Fabric.fetch f ~now:!now ~bytes in
+          let ok = t >= !last && t > !now in
+          last := t;
+          ok)
+        sizes)
+
+(* ---------- Policy ---------- *)
+
+let infos_n n =
+  Array.init n (fun sid ->
+      { (R.Static_info.default ~sid) with
+        score_use = n - sid;        (* descending: sid 0 hottest *)
+        score_reach = sid })        (* ascending: last sid deepest *)
+
+let count_true = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+
+let test_policy_linear () =
+  let p = R.Policy.pinned_preference R.Policy.Linear ~infos:(infos_n 10) ~k:0.5 in
+  check Alcotest.int "five pinned" 5 (count_true p);
+  for i = 0 to 4 do
+    check Alcotest.bool "prefix pinned" true p.(i)
+  done
+
+let test_policy_all () =
+  let infos = infos_n 6 in
+  check Alcotest.int "all-remotable pins none" 0
+    (count_true (R.Policy.pinned_preference R.Policy.All_remotable ~infos ~k:1.0));
+  check Alcotest.int "all-local pins all" 6
+    (count_true (R.Policy.pinned_preference R.Policy.All_local ~infos ~k:0.0))
+
+let test_policy_max_use () =
+  let p = R.Policy.pinned_preference R.Policy.Max_use ~infos:(infos_n 10) ~k:0.3 in
+  (* scores descend with sid: top-3 = sids 0,1,2 *)
+  check Alcotest.bool "top scorers pinned" true (p.(0) && p.(1) && p.(2));
+  check Alcotest.int "exactly three" 3 (count_true p)
+
+let test_policy_max_reach () =
+  let p = R.Policy.pinned_preference R.Policy.Max_reach ~infos:(infos_n 10) ~k:0.2 in
+  check Alcotest.bool "deepest pinned" true (p.(9) && p.(8));
+  check Alcotest.int "exactly two" 2 (count_true p)
+
+let test_policy_random_deterministic () =
+  let infos = infos_n 20 in
+  let a = R.Policy.pinned_preference (R.Policy.Random 5) ~infos ~k:0.5 in
+  let b = R.Policy.pinned_preference (R.Policy.Random 5) ~infos ~k:0.5 in
+  check Alcotest.bool "same seed, same set" true (a = b);
+  check Alcotest.int "half pinned" 10 (count_true a)
+
+let test_policy_explicit () =
+  let set = [| true; false; true |] in
+  let p = R.Policy.pinned_preference (R.Policy.Explicit set) ~infos:(infos_n 3) ~k:0.0 in
+  check Alcotest.bool "copied through" true (p = set);
+  Alcotest.check_raises "length checked"
+    (Invalid_argument "Policy.pinned_preference: explicit set has wrong length")
+    (fun () ->
+      ignore (R.Policy.pinned_preference (R.Policy.Explicit set) ~infos:(infos_n 4) ~k:0.0))
+
+let prop_policy_quota =
+  QCheck.Test.make ~name:"k-fraction quota respected" ~count:200
+    QCheck.(pair (int_range 1 40) (float_range 0.0 1.0))
+    (fun (n, k) ->
+      let infos = infos_n n in
+      let quota = int_of_float (ceil (k *. float_of_int n)) in
+      List.for_all
+        (fun pol ->
+          count_true (R.Policy.pinned_preference pol ~infos ~k) = quota)
+        [ R.Policy.Linear; R.Policy.Random 3; R.Policy.Max_use; R.Policy.Max_reach ])
+
+(* ---------- Prefetcher ---------- *)
+
+let no_scan () = []
+
+let test_stride_prefetcher_locks () =
+  let p = R.Prefetcher.stride ~depth:3 in
+  (* Feed a stride-1 stream; after the window fills it must predict. *)
+  let last = ref [] in
+  for o = 0 to 9 do
+    last := R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan
+  done;
+  check (Alcotest.list Alcotest.int) "predicts 10,11,12" [ 10; 11; 12 ]
+    (List.map (fun t -> t.R.Prefetcher.t_obj) !last)
+
+let test_stride_prefetcher_majority () =
+  let p = R.Prefetcher.stride ~depth:2 in
+  (* Mostly stride 2 with one hiccup: majority must still lock 2. *)
+  List.iter
+    (fun o -> ignore (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan))
+    [ 0; 2; 4; 6; 7; 9; 11; 13 ];
+  let out = R.Prefetcher.on_access p ~obj:15 ~missed:false ~scan:no_scan in
+  check (Alcotest.list Alcotest.int) "stride 2 locked" [ 17; 19 ]
+    (List.map (fun t -> t.R.Prefetcher.t_obj) out)
+
+let test_stride_prefetcher_random_stays_quiet () =
+  let p = R.Prefetcher.stride ~depth:4 in
+  let rng = Cards_util.Rng.create 11 in
+  let noisy = ref 0 in
+  for _ = 1 to 50 do
+    let o = Cards_util.Rng.int rng 10_000 in
+    let out = R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan in
+    noisy := !noisy + List.length out
+  done;
+  check Alcotest.bool "no majority, few prefetches" true (!noisy < 20)
+
+let test_greedy_scans_on_miss () =
+  let p = R.Prefetcher.greedy ~fanout:2 in
+  let scan () =
+    [ { R.Prefetcher.t_ds = 2; t_obj = 7 };
+      { R.Prefetcher.t_ds = 2; t_obj = 8 };
+      { R.Prefetcher.t_ds = 2; t_obj = 9 } ]
+  in
+  let out = R.Prefetcher.on_access p ~obj:0 ~missed:true ~scan in
+  check Alcotest.int "fanout bounded" 2 (List.length out);
+  let out2 = R.Prefetcher.on_access p ~obj:0 ~missed:false ~scan in
+  check Alcotest.int "no scan on hit" 0 (List.length out2)
+
+let test_jump_learns_second_traversal () =
+  let p = R.Prefetcher.jump ~jump:2 ~depth:1 in
+  let seq = [ 10; 20; 30; 40; 50 ] in
+  (* First traversal: nothing useful predicted yet, table learns. *)
+  List.iter
+    (fun o -> ignore (R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan))
+    seq;
+  (* Second traversal: at 10 it should jump toward 30 (2 ahead). *)
+  let out = R.Prefetcher.on_access p ~obj:10 ~missed:true ~scan:no_scan in
+  check Alcotest.bool "jump target learned" true
+    (List.exists (fun t -> t.R.Prefetcher.t_obj = 30) out)
+
+let test_of_class () =
+  check Alcotest.bool "no_prefetch -> none" true
+    (R.Prefetcher.of_class R.Static_info.No_prefetch ~depth:4 = None);
+  (match R.Prefetcher.of_class R.Static_info.Stride ~depth:4 with
+   | Some p -> check Alcotest.string "stride" "stride" (R.Prefetcher.kind_name p)
+   | None -> Alcotest.fail "expected stride");
+  match R.Prefetcher.of_class R.Static_info.Jump_pointer ~depth:4 with
+  | Some p -> check Alcotest.string "jump" "jump" (R.Prefetcher.kind_name p)
+  | None -> Alcotest.fail "expected jump"
+
+(* ---------- Runtime ---------- *)
+
+let mk_rt ?(policy = R.Policy.All_local) ?(k = 1.0) ?(local = 1 lsl 22)
+    ?(remot = 1 lsl 20) ?(prefetch = R.Runtime.Pf_none) n_infos =
+  let infos = Array.init n_infos (fun sid -> R.Static_info.default ~sid) in
+  R.Runtime.create
+    { R.Runtime.default_config with
+      policy; k; local_bytes = local; remotable_bytes = remot;
+      prefetch_mode = prefetch }
+    infos
+
+let test_rt_pinned_alloc_untagged () =
+  let rt = mk_rt 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:256 in
+  check Alcotest.bool "pinned allocation is untagged" false (R.Addr.is_managed a);
+  check Alcotest.bool "pinned bytes accounted" true (R.Runtime.pinned_bytes rt >= 256)
+
+let test_rt_remotable_alloc_tagged () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:256 in
+  check Alcotest.bool "remotable allocation is tagged" true (R.Addr.is_managed a);
+  check Alcotest.int "handle embedded" h (R.Addr.ds_of a)
+
+let test_rt_data_roundtrip () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:128 in
+  R.Runtime.write_i64 rt a 12345;
+  R.Runtime.write_f64 rt (a + 8) 2.75;
+  check Alcotest.int "i64 roundtrip" 12345 (R.Runtime.read_i64 rt a);
+  check (Alcotest.float 1e-12) "f64 roundtrip" 2.75 (R.Runtime.read_f64 rt (a + 8))
+
+let test_rt_unmanaged_roundtrip () =
+  let rt = mk_rt 0 in
+  let a = R.Runtime.alloc_unmanaged rt ~size:64 in
+  R.Runtime.write_i64 rt a (-7);
+  check Alcotest.int "unmanaged i64" (-7) (R.Runtime.read_i64 rt a)
+
+let test_rt_guard_costs () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  (* Object is resident right after allocation: local-read guard. *)
+  let t0 = R.Runtime.now rt in
+  R.Runtime.guard rt ~write:false a;
+  check Alcotest.int "local read guard = 378" 378 (R.Runtime.now rt - t0);
+  let t1 = R.Runtime.now rt in
+  R.Runtime.guard rt ~write:true a;
+  check Alcotest.int "local write guard = 384" 384 (R.Runtime.now rt - t1);
+  let t2 = R.Runtime.now rt in
+  R.Runtime.guard rt ~write:false 99 (* unmanaged *);
+  check Alcotest.int "unmanaged custody check = 3" 3 (R.Runtime.now rt - t2)
+
+let test_rt_remote_fault_cost () =
+  (* Tiny cache: allocate two objects, evict the first, re-touch it. *)
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 ~local:8192 ~remot:4096 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let b = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  ignore b;
+  (* b's allocation evicted a (budget = one object). *)
+  let t0 = R.Runtime.now rt in
+  R.Runtime.guard rt ~write:false a;
+  let dt = R.Runtime.now rt - t0 in
+  check Alcotest.bool "remote fault ~59K cycles" true
+    (dt > 55_000 && dt < 70_000);
+  let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+  check Alcotest.int "one remote fault" 1 tot.remote_faults;
+  check Alcotest.bool "one eviction" true (tot.evictions >= 1)
+
+let test_rt_pinned_override_demotes () =
+  (* Pinned budget too small: the structure is demoted at allocation
+     and later allocations come back tagged. *)
+  let rt = mk_rt ~local:8192 ~remot:4096 1 in (* pinned budget = 4096 *)
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let b = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  check Alcotest.bool "first fits pinned (untagged)" false (R.Addr.is_managed a);
+  check Alcotest.bool "second overrides to remotable (tagged)" true
+    (R.Addr.is_managed b);
+  let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+  check Alcotest.int "demotion recorded" 1 tot.demotions
+
+let test_rt_loop_check () =
+  let rt = mk_rt ~local:8192 ~remot:4096 2 in
+  let h1 = R.Runtime.ds_init rt ~sid:0 in
+  let h2 = R.Runtime.ds_init rt ~sid:1 in
+  let a = R.Runtime.ds_alloc rt ~handle:h1 ~size:1024 in    (* pinned *)
+  let big = R.Runtime.ds_alloc rt ~handle:h2 ~size:8192 in  (* demoted *)
+  check Alcotest.bool "untagged base passes" true (R.Runtime.loop_check rt [ a ]);
+  check Alcotest.bool "tagged base fails" false (R.Runtime.loop_check rt [ a; big ]);
+  check Alcotest.bool "empty passes" true (R.Runtime.loop_check rt [])
+
+let test_rt_clean_fault_fallback () =
+  (* An unguarded access to an evicted object must still work (trap +
+     fetch), and be counted as a clean fault. *)
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 ~local:8192 ~remot:4096 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  R.Runtime.write_i64 rt a 31337;
+  (* Two further allocations: the first spends a's CLOCK second chance
+     (the write set its reference bit), the second evicts it. *)
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  check Alcotest.int "data survives eviction+refetch" 31337 (R.Runtime.read_i64 rt a);
+  let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+  check Alcotest.bool "clean fault recorded" true (tot.clean_faults >= 1)
+
+let test_rt_dirty_eviction_writes_back () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 ~local:8192 ~remot:4096 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  R.Runtime.guard rt ~write:true a;
+  R.Runtime.write_i64 rt a 1;
+  (* Spend the second chance, then force the dirty eviction. *)
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let fs = R.Runtime.fabric_stats rt in
+  check Alcotest.bool "dirty eviction wrote back" true (fs.writebacks >= 1)
+
+let test_rt_prefetch_hides_latency () =
+  (* Sequential scan with stride prefetch vs without: prefetching must
+     cut the total cycles. *)
+  let scan prefetch =
+    let rt =
+      mk_rt ~policy:R.Policy.All_remotable ~k:0.0 ~local:(1 lsl 18)
+        ~remot:(1 lsl 17) ~prefetch 1
+    in
+    let h = R.Runtime.ds_init rt ~sid:0 in
+    let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+    (* Evict everything by allocating another large structure. *)
+    let _ = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+    let t0 = R.Runtime.now rt in
+    for i = 0 to 4095 do
+      let addr = a + (i * 256) in
+      R.Runtime.guard rt ~write:false addr;
+      ignore (R.Runtime.read_i64 rt addr)
+    done;
+    R.Runtime.now rt - t0
+  in
+  let without = scan R.Runtime.Pf_none in
+  let with_pf = scan R.Runtime.Pf_stride_only in
+  check Alcotest.bool "prefetch cuts cycles" true
+    (float_of_int with_pf < 0.8 *. float_of_int without)
+
+let test_rt_prefetch_stats () =
+  let rt =
+    mk_rt ~policy:R.Policy.All_remotable ~k:0.0 ~local:(1 lsl 18)
+      ~remot:(1 lsl 17) ~prefetch:R.Runtime.Pf_stride_only 1
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+  for i = 0 to 255 do
+    let addr = a + (i * 4096) in
+    R.Runtime.guard rt ~write:false addr;
+    ignore (R.Runtime.read_i64 rt addr)
+  done;
+  let d = R.Rt_stats.ds_stats (R.Runtime.stats rt) h in
+  check Alcotest.bool "prefetches issued" true (d.prefetch_issued > 0);
+  check Alcotest.bool "prefetches used" true (d.prefetch_used > 0);
+  let acc = R.Rt_stats.prefetch_accuracy d in
+  check Alcotest.bool "accuracy in range" true (acc >= 0.0 && acc <= 1.0);
+  let cov = R.Rt_stats.prefetch_coverage d in
+  check Alcotest.bool "coverage positive" true (cov > 0.0 && cov <= 1.0)
+
+let test_rt_wild_pointer_rejected () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:64 in
+  let wild = R.Addr.encode ~ds:h ~offset:1_000_000 in
+  (match R.Runtime.read_i64 rt wild with
+   | _ -> Alcotest.fail "expected Runtime_error"
+   | exception R.Runtime.Runtime_error _ -> ());
+  match R.Runtime.ds_alloc rt ~handle:99 ~size:8 with
+  | _ -> Alcotest.fail "expected bad handle error"
+  | exception R.Runtime.Runtime_error _ -> ()
+
+let test_rt_speculative_guard_benign () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:64 in
+  (* Hoisted guards may target past-the-pool addresses: must not raise. *)
+  R.Runtime.guard rt ~write:false (R.Addr.encode ~ds:h ~offset:1_000_000);
+  R.Runtime.guard rt ~write:true (R.Addr.encode ~ds:(h + 5) ~offset:0)
+
+let test_rt_report () =
+  let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 2 in
+  let h1 = R.Runtime.ds_init rt ~sid:0 in
+  let _h2 = R.Runtime.ds_init rt ~sid:1 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h1 ~size:100 in
+  let rep = R.Runtime.report rt in
+  check Alcotest.int "two structures" 2 (List.length rep);
+  let r1 = List.hd rep in
+  check Alcotest.int "sid" 0 r1.r_sid;
+  check Alcotest.bool "bytes recorded" true (r1.r_bytes >= 100)
+
+(* ---------- adaptive prefetch selection ---------- *)
+
+let test_adaptive_drops_useless_prefetcher () =
+  (* A greedy-classified structure whose pointer fields lead to objects
+     that are never accessed: every prefetch is wasted, accuracy stays
+     at zero, and the adaptive runtime must switch policies. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with
+         prefetch = R.Static_info.Greedy_recursive; obj_size = 64 };
+       { (R.Static_info.default ~sid:1) with obj_size = 64 } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 14; remotable_bytes = 1 lsl 13;
+        prefetch_mode = R.Runtime.Pf_adaptive; prefetch_depth = 2 }
+      infos
+  in
+  let h_a = R.Runtime.ds_init rt ~sid:0 in
+  let h_b = R.Runtime.ds_init rt ~sid:1 in
+  let n = 4096 in
+  let a = R.Runtime.ds_alloc rt ~handle:h_a ~size:(n * 64) in
+  let b = R.Runtime.ds_alloc rt ~handle:h_b ~size:(n * 64) in
+  (* Fill every object of A with pointers into B (the decoys). *)
+  for i = 0 to n - 1 do
+    R.Runtime.write_i64 rt (a + (i * 64)) (b + (i * 64))
+  done;
+  (* Sweep A repeatedly with a cache far too small: all misses, greedy
+     scans fire, decoys never get used. *)
+  for _ = 1 to 3 do
+    for i = 0 to n - 1 do
+      let addr = a + (i * 64) in
+      R.Runtime.guard rt ~write:false addr;
+      ignore (R.Runtime.read_i64 rt addr)
+    done
+  done;
+  let rep_a =
+    List.find (fun (r : R.Runtime.ds_report) -> r.r_handle = h_a)
+      (R.Runtime.report rt)
+  in
+  check Alcotest.bool "adaptive switched at least once" true
+    (rep_a.r_pf_switches >= 1);
+  check Alcotest.bool "greedy abandoned" true (rep_a.r_prefetcher <> "greedy")
+
+let test_adaptive_keeps_good_prefetcher () =
+  (* A stride-classified structure swept sequentially: accuracy is
+     high, so adaptive mode must not switch away. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with prefetch = R.Static_info.Stride } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 18; remotable_bytes = 1 lsl 17;
+        prefetch_mode = R.Runtime.Pf_adaptive }
+      infos
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 21) in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 21) in
+  (* Dense sequential sweep (many accesses per object): stride
+     prefetches run far enough ahead to be timely, so the adaptive
+     runtime has no reason to switch. *)
+  for pass = 1 to 4 do
+    ignore pass;
+    for i = 0 to 511 do
+      for w = 0 to 63 do
+        let addr = a + (i * 4096) + (w * 64) in
+        R.Runtime.guard rt ~write:false addr;
+        ignore (R.Runtime.read_i64 rt addr)
+      done
+    done
+  done;
+  let rep =
+    List.find (fun (r : R.Runtime.ds_report) -> r.r_handle = h)
+      (R.Runtime.report rt)
+  in
+  check Alcotest.int "no switches" 0 rep.r_pf_switches;
+  check Alcotest.string "still stride" "stride" rep.r_prefetcher
+
+let test_rt_config_validation () =
+  match
+    R.Runtime.create
+      { R.Runtime.default_config with local_bytes = 10; remotable_bytes = 20 }
+      [||]
+  with
+  | _ -> Alcotest.fail "expected config rejection"
+  | exception R.Runtime.Runtime_error _ -> ()
+
+let suite =
+  [ ("addr basics", `Quick, test_addr_basics);
+    ("addr ranges", `Quick, test_addr_ranges);
+    ("cost table 1", `Quick, test_cost_table1);
+    ("fabric 59K calibration", `Quick, test_fabric_59k);
+    ("fabric 46K calibration", `Quick, test_fabric_trackfm_46k);
+    ("fabric queueing", `Quick, test_fabric_queueing);
+    ("fabric writeback", `Quick, test_fabric_writeback_nonblocking);
+    ("fabric bandwidth term", `Quick, test_fabric_bandwidth_term);
+    ("policy linear", `Quick, test_policy_linear);
+    ("policy all-*", `Quick, test_policy_all);
+    ("policy max-use", `Quick, test_policy_max_use);
+    ("policy max-reach", `Quick, test_policy_max_reach);
+    ("policy random deterministic", `Quick, test_policy_random_deterministic);
+    ("policy explicit", `Quick, test_policy_explicit);
+    ("stride prefetcher locks", `Quick, test_stride_prefetcher_locks);
+    ("stride majority vote", `Quick, test_stride_prefetcher_majority);
+    ("stride quiet on noise", `Quick, test_stride_prefetcher_random_stays_quiet);
+    ("greedy scans on miss", `Quick, test_greedy_scans_on_miss);
+    ("jump learns", `Quick, test_jump_learns_second_traversal);
+    ("prefetcher of_class", `Quick, test_of_class);
+    ("rt pinned untagged", `Quick, test_rt_pinned_alloc_untagged);
+    ("rt remotable tagged", `Quick, test_rt_remotable_alloc_tagged);
+    ("rt data roundtrip", `Quick, test_rt_data_roundtrip);
+    ("rt unmanaged roundtrip", `Quick, test_rt_unmanaged_roundtrip);
+    ("rt guard costs", `Quick, test_rt_guard_costs);
+    ("rt remote fault cost", `Quick, test_rt_remote_fault_cost);
+    ("rt pinned override", `Quick, test_rt_pinned_override_demotes);
+    ("rt loop check", `Quick, test_rt_loop_check);
+    ("rt clean fault fallback", `Quick, test_rt_clean_fault_fallback);
+    ("rt dirty eviction", `Quick, test_rt_dirty_eviction_writes_back);
+    ("rt prefetch hides latency", `Quick, test_rt_prefetch_hides_latency);
+    ("rt prefetch stats", `Quick, test_rt_prefetch_stats);
+    ("rt wild pointer", `Quick, test_rt_wild_pointer_rejected);
+    ("rt speculative guard benign", `Quick, test_rt_speculative_guard_benign);
+    ("rt report", `Quick, test_rt_report);
+    ("adaptive drops useless prefetcher", `Quick, test_adaptive_drops_useless_prefetcher);
+    ("adaptive keeps good prefetcher", `Quick, test_adaptive_keeps_good_prefetcher);
+    ("rt config validation", `Quick, test_rt_config_validation);
+    qcheck prop_fabric_completion_monotone;
+    qcheck prop_addr_roundtrip;
+    qcheck prop_addr_arith_stays_in_ds;
+    qcheck prop_policy_quota ]

@@ -1,0 +1,209 @@
+(* Tests for the Simplify pass: constant folding, copy propagation,
+   branch folding, DCE — plus differential checks that simplification
+   never changes program outputs. *)
+
+module I = Cards_ir
+module T = Cards_transform
+module P = Cards.Pipeline
+module B = Cards_baselines
+open I
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let count_instrs (f : Func.t) =
+  Func.fold_instrs f (fun acc _ _ _ -> acc + 1) 0
+
+let simplify_src src =
+  let m = I.Minic.compile src in
+  (m, T.Simplify.run m)
+
+let instr_count_module (m : Irmod.t) =
+  List.fold_left (fun acc f -> acc + count_instrs f) 0 m.funcs
+
+let run_with_options options src =
+  let compiled = P.compile_source ~options src in
+  let res, _ = B.Noguard.run compiled in
+  res.output
+
+(* ---------- folding ---------- *)
+
+let test_constant_folding () =
+  let b = Builder.create ~name:"main" ~params:[] ~ret:Types.Void in
+  let x = Builder.bin b Instr.Mul (Instr.Imm 3L) (Instr.Imm 4L) in
+  let y = Builder.bin b Instr.Add x (Instr.Imm 2L) in
+  Builder.emit b (Instr.Call (None, "print_int", [ y ]));
+  Builder.ret b None;
+  let m = Irmod.add_func Irmod.empty (Builder.finish b) in
+  let m' = T.Simplify.run m in
+  let main = Irmod.find_func m' "main" in
+  (* both arithmetic ops folded away; the call argument is Imm 14 *)
+  let folded = ref false in
+  Func.iter_instrs main (fun _ _ ins ->
+      match ins with
+      | Instr.Call (None, "print_int", [ Instr.Imm 14L ]) -> folded := true
+      | _ -> ());
+  check Alcotest.bool "argument folded to 14" true !folded;
+  check Alcotest.int "only the call remains" 1 (count_instrs main)
+
+let test_identities () =
+  let b = Builder.create ~name:"main" ~params:[ ("x", Types.I64) ] ~ret:Types.I64 in
+  let x = Builder.param b "x" in
+  let a = Builder.bin b Instr.Add x (Instr.Imm 0L) in
+  let c = Builder.bin b Instr.Mul a (Instr.Imm 1L) in
+  Builder.ret b (Some c);
+  let f = T.Simplify.run_func (Builder.finish b) in
+  check Alcotest.int "identities erased" 0 (count_instrs f);
+  match (Func.entry f).term with
+  | Instr.Ret (Some (Instr.Reg r)) ->
+    check Alcotest.bool "returns the parameter" true
+      (List.exists (fun (pr, _) -> pr = r) f.params)
+  | _ -> Alcotest.fail "expected ret of the parameter"
+
+let test_mul_by_zero () =
+  let b = Builder.create ~name:"main" ~params:[ ("x", Types.I64) ] ~ret:Types.I64 in
+  let x = Builder.param b "x" in
+  let z = Builder.bin b Instr.Mul x (Instr.Imm 0L) in
+  Builder.ret b (Some z);
+  let f = T.Simplify.run_func (Builder.finish b) in
+  match (Func.entry f).term with
+  | Instr.Ret (Some (Instr.Imm 0L)) -> ()
+  | _ -> Alcotest.fail "x * 0 should fold to 0"
+
+let test_division_by_zero_survives () =
+  (* Simplify must not fold 1/0 into anything: the trap is observable
+     behavior.  Copy propagation feeds the constant zero into the
+     division, and folding must then leave it alone. *)
+  let src = "void main() { int z = 0; print_int(1 / z); }" in
+  let options = { P.cards_options with presimplify = true } in
+  let compiled = P.compile_source ~options src in
+  match B.Noguard.run compiled with
+  | _ -> Alcotest.fail "expected a division-by-zero trap"
+  | exception Cards_interp.Machine.Trap msg ->
+    check Alcotest.string "trap preserved" "division by zero" msg
+
+(* ---------- propagation + branch folding ---------- *)
+
+let test_branch_folding () =
+  let _, m' =
+    simplify_src
+      {|void main() {
+          int flag = 1;
+          if (flag == 1) { print_int(10); } else { print_int(20); }
+        }|}
+  in
+  let main = Irmod.find_func m' "main" in
+  (* the condition chain folds to a constant and the Cbr becomes Br *)
+  let has_cbr =
+    Array.exists
+      (fun (b : Func.block) ->
+        match b.term with Instr.Cbr _ -> true | _ -> false)
+      main.blocks
+  in
+  check Alcotest.bool "conditional branch folded" false has_cbr
+
+let test_propagation_respects_dominance () =
+  (* x defined in one arm of a conditional must not be propagated into
+     the join; this program's output would change if it were. *)
+  let src =
+    {|int flag;
+      void main() {
+        int x = 0;
+        if (flag > 0) { x = 7; }
+        print_int(x);
+      }|}
+  in
+  let options = { P.cards_options with presimplify = true } in
+  check (Alcotest.list Alcotest.string) "x stays 0 when flag is 0" [ "0" ]
+    (run_with_options options src)
+
+(* ---------- DCE ---------- *)
+
+let test_dce_removes_dead_chain () =
+  let _, m' =
+    simplify_src
+      {|void main() {
+          int dead1 = 11;
+          int dead2 = dead1 * 3;
+          int dead3 = dead2 + dead1;
+          print_int(5);
+        }|}
+  in
+  let main = Irmod.find_func m' "main" in
+  check Alcotest.int "only the print remains" 1 (count_instrs main);
+  check Alcotest.bool "removals counted" true (T.Simplify.removed_last_run () > 0)
+
+let test_dce_keeps_side_effects () =
+  let _, m' =
+    simplify_src
+      {|int bump(int x) { print_int(x); return x + 1; }
+        void main() {
+          int unused = bump(1);
+          print_int(2);
+        }|}
+  in
+  let main = Irmod.find_func m' "main" in
+  let calls =
+    Func.fold_instrs main
+      (fun acc _ _ ins -> match ins with Instr.Call _ -> acc + 1 | _ -> acc)
+      0
+  in
+  check Alcotest.int "the call to bump survives" 2 calls
+
+let test_simplified_module_verifies () =
+  let _, m' = simplify_src (Cards_workloads.Bfs.source ~nodes:100 ~edges:300 ~sources:1) in
+  I.Verify.check_exn m'
+
+let test_simplify_shrinks_workloads () =
+  let m, m' =
+    simplify_src (Cards_workloads.Analytics.source ~trips:100 ~query_passes:1)
+  in
+  check Alcotest.bool "module got smaller" true
+    (instr_count_module m' <= instr_count_module m)
+
+(* ---------- differential: simplify never changes outputs ---------- *)
+
+let prop_simplify_preserves_outputs =
+  QCheck.Test.make ~name:"presimplify preserves program outputs" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Test_fuzz.gen_program seed in
+      let plain = run_with_options P.cards_options src in
+      let simplified =
+        run_with_options { P.cards_options with presimplify = true } src
+      in
+      plain = simplified)
+
+let test_workloads_agree_with_simplify () =
+  List.iter
+    (fun src ->
+      let a = run_with_options P.cards_options src in
+      let b = run_with_options { P.cards_options with presimplify = true } src in
+      check (Alcotest.list Alcotest.string) "same output" a b)
+    [ Cards_workloads.Listing1.source ~elems:500 ~ntimes:2;
+      Cards_workloads.Pointer_chase.source ~variant:"hash" ~scale:200 ~passes:1;
+      Cards_workloads.Bfs.source ~nodes:200 ~edges:600 ~sources:1 ]
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"Simplify.run is idempotent" ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let m = I.Minic.compile (Test_fuzz.gen_program seed) in
+      let once = T.Simplify.run m in
+      let twice = T.Simplify.run once in
+      I.Printer.module_to_string once = I.Printer.module_to_string twice)
+
+let suite =
+  [ ("constant folding", `Quick, test_constant_folding);
+    ("identities", `Quick, test_identities);
+    ("mul by zero", `Quick, test_mul_by_zero);
+    ("div by zero survives", `Quick, test_division_by_zero_survives);
+    ("branch folding", `Quick, test_branch_folding);
+    ("propagation respects dominance", `Quick, test_propagation_respects_dominance);
+    ("dce removes dead chain", `Quick, test_dce_removes_dead_chain);
+    ("dce keeps side effects", `Quick, test_dce_keeps_side_effects);
+    ("simplified module verifies", `Quick, test_simplified_module_verifies);
+    ("simplify shrinks workloads", `Quick, test_simplify_shrinks_workloads);
+    ("workloads agree", `Quick, test_workloads_agree_with_simplify);
+    qcheck prop_simplify_preserves_outputs;
+    qcheck prop_simplify_idempotent ]

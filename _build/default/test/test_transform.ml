@@ -1,0 +1,390 @@
+(* Tests for the transformation passes: pool allocation, guard
+   insertion, redundant guard elimination, code versioning. *)
+
+module I = Cards_ir
+module A = Cards_analysis
+module T = Cards_transform
+open I
+
+let check = Alcotest.check
+
+let listing1 =
+  {|int ARRAY_SIZE = 100;
+    double* alloc() { return malloc(ARRAY_SIZE * 8); }
+    void set(double *ds, double val) {
+      for (int j = 0; j < ARRAY_SIZE; j = j + 1) { ds[j] = val; }
+    }
+    void main() {
+      double *ds1 = alloc();
+      double *ds2 = alloc();
+      set(ds1, 0.0);
+      set(ds2, 1.0);
+    }|}
+
+let pooled_of src =
+  let m = I.Minic.compile src in
+  let dsa = A.Dsa.analyze m in
+  (m, T.Pool_alloc.run m dsa)
+
+let count_instrs f pred m =
+  List.fold_left
+    (fun acc fn -> Func.fold_instrs fn (fun a _ _ i -> if pred i then a + 1 else a) acc)
+    0 (List.filter f m.Irmod.funcs)
+
+let all _ = true
+
+(* ---------- pool allocation ---------- *)
+
+let test_pool_alloc_rewrites_mallocs () =
+  let _, m' = pooled_of listing1 in
+  check Alcotest.int "no raw mallocs left" 0
+    (count_instrs all (function Instr.Malloc _ -> true | _ -> false) m');
+  check Alcotest.int "one dsalloc (in alloc)" 1
+    (count_instrs all (function Instr.DsAlloc _ -> true | _ -> false) m')
+
+let test_pool_alloc_adds_handle_param () =
+  let m, m' = pooled_of listing1 in
+  let before = Func.arity (Irmod.find_func m "alloc") in
+  let after = Func.arity (Irmod.find_func m' "alloc") in
+  check Alcotest.int "alloc gains one parameter" (before + 1) after;
+  (* set doesn't allocate: unchanged. *)
+  check Alcotest.int "set unchanged"
+    (Func.arity (Irmod.find_func m "set"))
+    (Func.arity (Irmod.find_func m' "set"))
+
+let test_pool_alloc_inits_in_main () =
+  let _, m' = pooled_of listing1 in
+  let main = Irmod.find_func m' "main" in
+  let inits =
+    Func.fold_instrs main
+      (fun acc _ _ i -> match i with Instr.DsInit (_, sid) -> sid :: acc | _ -> acc)
+      []
+  in
+  check (Alcotest.list Alcotest.int) "main ds_inits 0 and 1" [ 0; 1 ]
+    (List.sort compare inits)
+
+let test_pool_alloc_passes_handles_at_callsites () =
+  let m, m' = pooled_of listing1 in
+  let main = Irmod.find_func m' "main" in
+  let alloc_arity = Func.arity (Irmod.find_func m' "alloc") in
+  ignore m;
+  Func.iter_instrs main (fun _ _ ins ->
+      match ins with
+      | Instr.Call (_, "alloc", args) ->
+        check Alcotest.int "call carries the handle" alloc_arity (List.length args)
+      | _ -> ())
+
+let test_pool_alloc_verifies () =
+  let _, m' = pooled_of listing1 in
+  Verify.check_exn m'
+
+(* dsalloc must reference the handle parameter, not a constant. *)
+let test_dsalloc_uses_handle () =
+  let _, m' = pooled_of listing1 in
+  let alloc = Irmod.find_func m' "alloc" in
+  let ok = ref false in
+  Func.iter_instrs alloc (fun _ _ ins ->
+      match ins with
+      | Instr.DsAlloc (_, _, Instr.Reg r) ->
+        if List.exists (fun (pr, _) -> pr = r) alloc.params then ok := true
+      | _ -> ());
+  check Alcotest.bool "dsalloc takes the handle parameter" true !ok
+
+(* ---------- guard insertion ---------- *)
+
+let guarded_of src =
+  let _, pooled = pooled_of src in
+  let dsa = A.Dsa.analyze pooled in
+  (pooled, T.Guards.run pooled dsa, dsa)
+
+let test_guards_on_managed_accesses () =
+  let _, g, _ = guarded_of listing1 in
+  (* set's ds[j] store gets a write guard. *)
+  let set = Irmod.find_func g "set" in
+  let has_wguard =
+    Func.fold_instrs set
+      (fun acc _ _ i ->
+        acc || match i with Instr.Guard (Instr.Gwrite, _) -> true | _ -> false)
+      false
+  in
+  check Alcotest.bool "write guard in set" true has_wguard
+
+let test_no_guards_on_globals () =
+  let _, g, _ =
+    guarded_of "int g = 1; void main() { g = g + 1; print_int(g); }"
+  in
+  check Alcotest.int "global accesses unguarded" 0 (T.Guards.count_guards g)
+
+let test_guard_precedes_access () =
+  let _, g, _ = guarded_of listing1 in
+  let set = Irmod.find_func g "set" in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Instr.Store (_, addr, _) when i > 0 -> begin
+            match b.instrs.(i - 1) with
+            | Instr.Guard (_, gaddr) ->
+              check Alcotest.bool "guard guards the same address" true (gaddr = addr)
+            | _ -> ()
+          end
+          | _ -> ())
+        b.instrs)
+    set.blocks
+
+(* ---------- guard elimination ---------- *)
+
+let test_elim_dedups_same_object () =
+  (* Two field accesses to the same struct node: CaRDS level keeps one
+     guard, TrackFM level keeps both (different addresses). *)
+  let src =
+    {|struct P { int a; int b; }
+      void main() {
+        struct P *p = malloc(sizeof(struct P));
+        p->a = 1;
+        p->b = 2;
+        print_int(p->a + p->b);
+      }|}
+  in
+  let _, g, dsa = guarded_of src in
+  let total = T.Guards.count_guards g in
+  let tf = T.Guard_elim.run g dsa ~level:T.Guard_elim.Ltrackfm in
+  let cards = T.Guard_elim.run g dsa ~level:T.Guard_elim.Lcards in
+  check Alcotest.bool "cards strictly fewer guards" true
+    (T.Guards.count_guards cards < T.Guards.count_guards tf);
+  check Alcotest.bool "trackfm <= raw" true (T.Guards.count_guards tf <= total);
+  (* CaRDS object-window dedup: 4 accesses to one 16-byte node need
+     exactly one guard. *)
+  check Alcotest.int "one guard survives" 1 (T.Guards.count_guards cards)
+
+let test_elim_syntactic_dedup_both_levels () =
+  (* Dereferencing the same pointer register repeatedly gives the
+     guards a syntactically identical address — the only case the
+     TrackFM level can dedup. *)
+  let src =
+    {|void main() {
+        int *a = malloc(80);
+        *a = 1;
+        *a = *a + 1;
+        print_int(*a);
+      }|}
+  in
+  let _, g, dsa = guarded_of src in
+  let tf = T.Guard_elim.run g dsa ~level:T.Guard_elim.Ltrackfm in
+  (* All four accesses go through register [a]: one write guard
+     survives (write subsumes read). *)
+  check Alcotest.bool "trackfm dedups identical addresses" true
+    (T.Guards.count_guards tf < T.Guards.count_guards g)
+
+let test_read_guard_does_not_cover_write () =
+  let src =
+    {|void main() {
+        int *a = malloc(80);
+        int x = a[0];
+        a[0] = x + 1;
+        print_int(a[0]);
+      }|}
+  in
+  let _, g, dsa = guarded_of src in
+  let slim = T.Guard_elim.run g dsa ~level:T.Guard_elim.Ltrackfm in
+  let main = Irmod.find_func slim "main" in
+  let kinds =
+    Func.fold_instrs main
+      (fun acc _ _ i -> match i with Instr.Guard (k, _) -> k :: acc | _ -> acc)
+      []
+  in
+  check Alcotest.bool "a write guard survives the read guard" true
+    (List.mem Instr.Gwrite kinds)
+
+let test_elim_hoists_invariant_guards () =
+  (* Guard on a loop-invariant address: CaRDS hoists it out, so the
+     executed guard count drops from N to ~1. *)
+  let src =
+    {|void main() {
+        int *flag = malloc(8);
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+          acc = acc + flag[0];
+        }
+        print_int(acc);
+      }|}
+  in
+  let _, g, dsa = guarded_of src in
+  let cards = T.Guard_elim.run g dsa ~level:T.Guard_elim.Lcards in
+  (* the guard must have left the loop: find the loop and check its
+     blocks carry no guard *)
+  let main = Irmod.find_func cards "main" in
+  let cfg = A.Cfg.of_func main in
+  let dom = A.Dominators.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  let in_loop_guards = ref 0 in
+  Array.iter
+    (fun (l : A.Loops.loop) ->
+      Func.iter_instrs main (fun bid _ ins ->
+          if Cards_util.Bitset.mem l.body bid then
+            match ins with Instr.Guard _ -> incr in_loop_guards | _ -> ()))
+    (A.Loops.loops loops);
+  check Alcotest.int "no guards left inside the loop" 0 !in_loop_guards;
+  check Alcotest.bool "guard still exists somewhere" true
+    (T.Guards.count_guards cards > 0)
+
+let test_call_kills_dedup () =
+  (* A call between two identical accesses may evict: the second access
+     keeps its guard at every level. *)
+  let src =
+    {|int *g;
+      void touch() { g[0] = g[0] + 1; }
+      void main() {
+        g = malloc(80);
+        g[0] = 1;
+        touch();
+        print_int(g[0]);
+      }|}
+  in
+  let _, gm, dsa = guarded_of src in
+  let slim = T.Guard_elim.run gm dsa ~level:T.Guard_elim.Lcards in
+  let main = Irmod.find_func slim "main" in
+  (* main: a store guard before touch(), and a read guard after. *)
+  let guards =
+    Func.fold_instrs main
+      (fun acc _ _ i -> match i with Instr.Guard _ -> acc + 1 | _ -> acc)
+      0
+  in
+  check Alcotest.bool "guard after the call survives" true (guards >= 2)
+
+(* ---------- code versioning ---------- *)
+
+let versioned_of src =
+  let _, g, _dsa = guarded_of src in
+  let dsa2 = A.Dsa.analyze g in
+  let slim = T.Guard_elim.run g dsa2 ~level:T.Guard_elim.Lcards in
+  let dsa3 = A.Dsa.analyze slim in
+  T.Versioning.run slim dsa3
+
+let test_versioning_creates_clean_functions () =
+  let v = versioned_of listing1 in
+  check Alcotest.bool "set__clean exists" true (Irmod.has_func v "set__clean");
+  let clean = Irmod.find_func v "set__clean" in
+  let guards =
+    Func.fold_instrs clean
+      (fun acc _ _ i -> match i with Instr.Guard _ -> acc + 1 | _ -> acc)
+      0
+  in
+  check Alcotest.int "clean version has no guards" 0 guards
+
+let test_versioning_no_clean_for_allocators () =
+  let v = versioned_of listing1 in
+  check Alcotest.bool "alloc has no clean version" false
+    (Irmod.has_func v ("alloc" ^ T.Versioning.clean_suffix))
+
+let test_versioning_inserts_loop_checks () =
+  let v = versioned_of listing1 in
+  let checks =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        Func.fold_instrs f
+          (fun a _ _ i -> match i with Instr.LoopCheck _ -> a + 1 | _ -> a)
+          acc)
+      0 v.Irmod.funcs
+  in
+  check Alcotest.bool "loop checks present" true (checks > 0);
+  check Alcotest.bool "counted loops" true
+    (T.Versioning.versioned_loops_last_run () > 0)
+
+let test_versioning_verifies () =
+  Verify.check_exn (versioned_of listing1)
+
+let test_versioning_skips_allocating_loops () =
+  let v =
+    versioned_of
+      {|void main() {
+          for (int i = 0; i < 10; i = i + 1) {
+            int *t = malloc(16);
+            t[0] = i;
+            print_int(t[0]);
+          }
+        }|}
+  in
+  let main = Irmod.find_func v "main" in
+  let checks =
+    Func.fold_instrs main
+      (fun a _ _ i -> match i with Instr.LoopCheck _ -> a + 1 | _ -> a)
+      0
+  in
+  check Alcotest.int "allocating loop not versioned" 0 checks
+
+(* ---------- prefetch classification ---------- *)
+
+let desc_of src =
+  let m = I.Minic.compile src in
+  let dsa = A.Dsa.analyze m in
+  A.Dsa.descriptors dsa
+
+let test_classify_stride () =
+  match desc_of listing1 with
+  | d :: _ ->
+    check Alcotest.string "array class" "stride"
+      (T.Prefetch_hints.pclass_name (T.Prefetch_hints.classify d));
+    check Alcotest.int "array object size 4K" 4096 (T.Prefetch_hints.object_size d)
+  | [] -> Alcotest.fail "no descriptors"
+
+let test_classify_list_and_tree () =
+  let list_d =
+    List.hd
+      (desc_of
+         {|struct N { int v; struct N *next; }
+           void main() {
+             struct N *h = null;
+             for (int i = 0; i < 4; i = i + 1) {
+               struct N *n = malloc(sizeof(struct N));
+               n->next = h;
+               n->v = i;
+               h = n;
+             }
+             print_int(h->v);
+           }|})
+  in
+  check Alcotest.string "list -> jump" "jump"
+    (T.Prefetch_hints.pclass_name (T.Prefetch_hints.classify list_d));
+  let tree_d =
+    List.hd
+      (desc_of
+         {|struct T { int v; struct T *l; struct T *r; }
+           struct T *mk(int d) {
+             if (d == 0) { return null; }
+             struct T *n = malloc(sizeof(struct T));
+             n->l = mk(d - 1);
+             n->r = mk(d - 1);
+             n->v = d;
+             return n;
+           }
+           void main() { struct T *t = mk(3); print_int(t->v); }|})
+  in
+  check Alcotest.string "tree -> greedy" "greedy"
+    (T.Prefetch_hints.pclass_name (T.Prefetch_hints.classify tree_d));
+  check Alcotest.bool "tree object covers node" true
+    (T.Prefetch_hints.object_size tree_d >= 24)
+
+let suite =
+  [ ("pool: mallocs become dsalloc", `Quick, test_pool_alloc_rewrites_mallocs);
+    ("pool: handle parameter added", `Quick, test_pool_alloc_adds_handle_param);
+    ("pool: ds_init in main", `Quick, test_pool_alloc_inits_in_main);
+    ("pool: call sites pass handles", `Quick, test_pool_alloc_passes_handles_at_callsites);
+    ("pool: verifies", `Quick, test_pool_alloc_verifies);
+    ("pool: dsalloc uses handle", `Quick, test_dsalloc_uses_handle);
+    ("guards: managed accesses", `Quick, test_guards_on_managed_accesses);
+    ("guards: globals exempt", `Quick, test_no_guards_on_globals);
+    ("guards: placed before access", `Quick, test_guard_precedes_access);
+    ("elim: object-window dedup", `Quick, test_elim_dedups_same_object);
+    ("elim: syntactic dedup", `Quick, test_elim_syntactic_dedup_both_levels);
+    ("elim: read does not cover write", `Quick, test_read_guard_does_not_cover_write);
+    ("elim: invariant hoisting", `Quick, test_elim_hoists_invariant_guards);
+    ("elim: calls kill availability", `Quick, test_call_kills_dedup);
+    ("versioning: clean functions", `Quick, test_versioning_creates_clean_functions);
+    ("versioning: allocators excluded", `Quick, test_versioning_no_clean_for_allocators);
+    ("versioning: loop checks", `Quick, test_versioning_inserts_loop_checks);
+    ("versioning: verifies", `Quick, test_versioning_verifies);
+    ("versioning: allocating loops skipped", `Quick, test_versioning_skips_allocating_loops);
+    ("prefetch: stride class", `Quick, test_classify_stride);
+    ("prefetch: list and tree classes", `Quick, test_classify_list_and_tree) ]

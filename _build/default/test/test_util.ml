@@ -1,0 +1,327 @@
+(* Unit + property tests for cards_util. *)
+
+module U = Cards_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = U.Rng.create 42 and b = U.Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (U.Rng.int64 a) (U.Rng.int64 b)
+  done
+
+let test_rng_split_decorrelates () =
+  let a = U.Rng.create 42 in
+  let b = U.Rng.split a in
+  let xa = U.Rng.int64 a and xb = U.Rng.int64 b in
+  check Alcotest.bool "split streams differ" true (xa <> xb)
+
+let test_rng_copy () =
+  let a = U.Rng.create 7 in
+  ignore (U.Rng.int64 a);
+  let b = U.Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (U.Rng.int64 a) (U.Rng.int64 b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = U.Rng.create seed in
+      let x = U.Rng.int r bound in
+      x >= 0 && x < bound)
+
+let test_rng_int_bad_bound () =
+  let r = U.Rng.create 1 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (U.Rng.int r 0))
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
+    QCheck.small_int
+    (fun seed ->
+      let r = U.Rng.create seed in
+      let x = U.Rng.float r 3.5 in
+      x >= 0.0 && x < 3.5)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle permutes" ~count:200
+    QCheck.(pair small_int (int_range 0 50))
+    (fun (seed, n) ->
+      let r = U.Rng.create seed in
+      let a = Array.init n (fun i -> i) in
+      U.Rng.shuffle r a;
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let prop_zipf_bounds =
+  QCheck.Test.make ~name:"Rng.zipf stays in bounds" ~count:300
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, n) ->
+      let r = U.Rng.create seed in
+      let x = U.Rng.zipf r ~n ~s:1.1 in
+      x >= 0 && x < n)
+
+let test_zipf_is_skewed () =
+  let r = U.Rng.create 99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let z = U.Rng.zipf r ~n:100 ~s:1.2 in
+    counts.(z) <- counts.(z) + 1
+  done;
+  check Alcotest.bool "rank 0 beats rank 50" true (counts.(0) > counts.(50))
+
+let test_exponential_positive () =
+  let r = U.Rng.create 5 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "exponential >= 0" true (U.Rng.exponential r ~mean:10.0 >= 0.0)
+  done
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let s = U.Stats.create () in
+  List.iter (U.Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check (Alcotest.float 1e-9) "mean" 2.5 (U.Stats.mean s);
+  check (Alcotest.float 1e-9) "sum" 10.0 (U.Stats.sum s);
+  check Alcotest.int "count" 4 (U.Stats.count s);
+  check (Alcotest.float 1e-9) "min" 1.0 (U.Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (U.Stats.max s)
+
+let test_stats_empty () =
+  let s = U.Stats.create () in
+  check (Alcotest.float 1e-9) "mean of empty" 0.0 (U.Stats.mean s);
+  check (Alcotest.float 1e-9) "median of empty" 0.0 (U.Stats.median s)
+
+let test_stats_median () =
+  let s = U.Stats.create () in
+  List.iter (U.Stats.add s) [ 5.0; 1.0; 3.0 ];
+  check (Alcotest.float 1e-9) "odd median" 3.0 (U.Stats.median s);
+  U.Stats.add s 100.0;
+  (* nearest-rank median of 4 = 2nd smallest *)
+  check (Alcotest.float 1e-9) "even median (nearest-rank)" 3.0 (U.Stats.median s)
+
+let test_stats_percentile () =
+  let s = U.Stats.create () in
+  for i = 1 to 100 do
+    U.Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p50" 50.0 (U.Stats.percentile s 50.0);
+  check (Alcotest.float 1e-9) "p99" 99.0 (U.Stats.percentile s 99.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (U.Stats.percentile s 100.0)
+
+let prop_stats_variance_matches_naive =
+  QCheck.Test.make ~name:"Welford variance = naive variance" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let s = U.Stats.create () in
+      List.iter (U.Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+      in
+      Float.abs (U.Stats.variance s -. var) < 1e-6 *. (1.0 +. var))
+
+let test_stats_merge () =
+  let a = U.Stats.create () and b = U.Stats.create () in
+  List.iter (U.Stats.add a) [ 1.0; 2.0 ];
+  List.iter (U.Stats.add b) [ 3.0; 4.0 ];
+  let m = U.Stats.merge a b in
+  check Alcotest.int "merged count" 4 (U.Stats.count m);
+  check (Alcotest.float 1e-9) "merged mean" 2.5 (U.Stats.mean m)
+
+(* ---------- Union_find ---------- *)
+
+let test_uf_basic () =
+  let uf = U.Union_find.create 5 in
+  check Alcotest.int "initial sets" 5 (U.Union_find.count_sets uf);
+  ignore (U.Union_find.union uf 0 1);
+  ignore (U.Union_find.union uf 2 3);
+  check Alcotest.int "after two unions" 3 (U.Union_find.count_sets uf);
+  check Alcotest.bool "0~1" true (U.Union_find.equiv uf 0 1);
+  check Alcotest.bool "0!~2" false (U.Union_find.equiv uf 0 2);
+  ignore (U.Union_find.union uf 1 3);
+  check Alcotest.bool "0~3 transitively" true (U.Union_find.equiv uf 0 3)
+
+let prop_uf_equivalence =
+  QCheck.Test.make ~name:"union-find is an equivalence relation" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 40) (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = U.Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (U.Union_find.union uf a b)) pairs;
+      (* reflexive + symmetric + union implies equiv *)
+      List.for_all (fun (a, b) -> U.Union_find.equiv uf a b) pairs
+      && U.Union_find.equiv uf 5 5)
+
+let prop_uf_count_matches_classes =
+  QCheck.Test.make ~name:"count_sets = |classes|" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_range 0 14) (int_range 0 14)))
+    (fun pairs ->
+      let uf = U.Union_find.create 15 in
+      List.iter (fun (a, b) -> ignore (U.Union_find.union uf a b)) pairs;
+      Hashtbl.length (U.Union_find.classes uf) = U.Union_find.count_sets uf)
+
+(* ---------- Bitset ---------- *)
+
+let prop_bitset_model =
+  let module IS = Set.Make (Int) in
+  QCheck.Test.make ~name:"bitset agrees with Set model" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (pair bool (int_range 0 99)))
+    (fun ops ->
+      let bs = U.Bitset.create 100 in
+      let model = ref IS.empty in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            U.Bitset.add bs i;
+            model := IS.add i !model
+          end
+          else begin
+            U.Bitset.remove bs i;
+            model := IS.remove i !model
+          end)
+        ops;
+      IS.elements !model = U.Bitset.to_list bs
+      && IS.cardinal !model = U.Bitset.cardinal bs)
+
+let test_bitset_ops () =
+  let a = U.Bitset.create 16 and b = U.Bitset.create 16 in
+  U.Bitset.add a 1;
+  U.Bitset.add a 2;
+  U.Bitset.add b 2;
+  U.Bitset.add b 3;
+  let a' = U.Bitset.copy a in
+  check Alcotest.bool "union changes" true (U.Bitset.union_into a' b);
+  check (Alcotest.list Alcotest.int) "union" [ 1; 2; 3 ] (U.Bitset.to_list a');
+  let a'' = U.Bitset.copy a in
+  check Alcotest.bool "inter changes" true (U.Bitset.inter_into a'' b);
+  check (Alcotest.list Alcotest.int) "inter" [ 2 ] (U.Bitset.to_list a'');
+  let a3 = U.Bitset.copy a in
+  U.Bitset.diff_into a3 b;
+  check (Alcotest.list Alcotest.int) "diff" [ 1 ] (U.Bitset.to_list a3)
+
+let test_bitset_set_all () =
+  let b = U.Bitset.create 13 in
+  U.Bitset.set_all b;
+  check Alcotest.int "cardinal = capacity" 13 (U.Bitset.cardinal b);
+  check Alcotest.bool "out-of-universe absent" false (U.Bitset.mem b 13);
+  U.Bitset.clear b;
+  check Alcotest.int "cleared" 0 (U.Bitset.cardinal b)
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_order () =
+  let q = U.Pqueue.create () in
+  List.iter (fun p -> U.Pqueue.push q ~prio:p p) [ 5; 1; 4; 2; 3 ];
+  let out = ref [] in
+  let rec drain () =
+    match U.Pqueue.pop q with
+    | Some (p, _) ->
+      out := p :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "sorted pops" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = U.Pqueue.create () in
+      List.iter (fun x -> U.Pqueue.push q ~prio:x x) xs;
+      let rec drain acc =
+        match U.Pqueue.pop q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare xs)
+
+let test_pqueue_peek () =
+  let q = U.Pqueue.create () in
+  check Alcotest.bool "empty peek" true (U.Pqueue.peek q = None);
+  U.Pqueue.push q ~prio:3 "x";
+  U.Pqueue.push q ~prio:1 "y";
+  (match U.Pqueue.peek q with
+   | Some (1, "y") -> ()
+   | _ -> Alcotest.fail "peek should see min");
+  check Alcotest.int "length" 2 (U.Pqueue.length q)
+
+(* ---------- Vec ---------- *)
+
+let test_vec_basic () =
+  let v = U.Vec.create () in
+  check Alcotest.int "push returns index" 0 (U.Vec.push v 10);
+  check Alcotest.int "second index" 1 (U.Vec.push v 20);
+  check Alcotest.int "get" 20 (U.Vec.get v 1);
+  U.Vec.set v 0 99;
+  check (Alcotest.list Alcotest.int) "to_list" [ 99; 20 ] (U.Vec.to_list v);
+  U.Vec.ensure v 5 0;
+  check Alcotest.int "ensure grows" 5 (U.Vec.length v)
+
+let test_vec_bounds () =
+  let v = U.Vec.create () in
+  ignore (U.Vec.push v 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vec: index 1 out of range (len 1)") (fun () ->
+      ignore (U.Vec.get v 1))
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = U.Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  U.Table.add_row t [ "1"; "2" ];
+  U.Table.add_row t [ "333" ];
+  let s = U.Table.render t in
+  check Alcotest.bool "has title" true (String.length s > 0 && s.[0] = 'T');
+  check Alcotest.bool "contains padded row" true
+    (String.length s > 0
+     &&
+     let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = "333") (List.map String.trim lines))
+
+let test_table_formats () =
+  check Alcotest.string "cycles small" "123" (U.Table.fmt_cycles 123.0);
+  check Alcotest.string "cycles K" "56.7K" (U.Table.fmt_cycles 56_700.0);
+  check Alcotest.string "cycles M" "2.30M" (U.Table.fmt_cycles 2_300_000.0);
+  check Alcotest.string "cycles G" "1.23G" (U.Table.fmt_cycles 1.23e9);
+  check Alcotest.string "speedup" "1.85x" (U.Table.fmt_speedup 1.85);
+  check Alcotest.string "bytes" "4.0KB" (U.Table.fmt_bytes 4096.0);
+  check Alcotest.string "bytes GB" "2.0GB" (U.Table.fmt_bytes (2.0 *. 1024.0 ** 3.0))
+
+let suite =
+  [ ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng split", `Quick, test_rng_split_decorrelates);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng bad bound", `Quick, test_rng_int_bad_bound);
+    ("zipf skew", `Quick, test_zipf_is_skewed);
+    ("exponential positive", `Quick, test_exponential_positive);
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats median", `Quick, test_stats_median);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats merge", `Quick, test_stats_merge);
+    ("union-find basic", `Quick, test_uf_basic);
+    ("bitset ops", `Quick, test_bitset_ops);
+    ("bitset set_all", `Quick, test_bitset_set_all);
+    ("pqueue order", `Quick, test_pqueue_order);
+    ("pqueue peek", `Quick, test_pqueue_peek);
+    ("vec basic", `Quick, test_vec_basic);
+    ("vec bounds", `Quick, test_vec_bounds);
+    ("table render", `Quick, test_table_render);
+    ("table formats", `Quick, test_table_formats);
+    qcheck prop_rng_int_bounds;
+    qcheck prop_rng_float_bounds;
+    qcheck prop_shuffle_is_permutation;
+    qcheck prop_zipf_bounds;
+    qcheck prop_stats_variance_matches_naive;
+    qcheck prop_uf_equivalence;
+    qcheck prop_uf_count_matches_classes;
+    qcheck prop_bitset_model;
+    qcheck prop_pqueue_sorted ]

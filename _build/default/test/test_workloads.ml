@@ -1,0 +1,171 @@
+(* Workload-level tests: each benchmark program compiles, runs, is
+   deterministic, and exposes the structure population the paper
+   describes. *)
+
+module R = Cards_runtime
+module P = Cards.Pipeline
+module W = Cards_workloads
+module B = Cards_baselines
+
+let check = Alcotest.check
+
+let run_plain src =
+  let c = P.compile_source src in
+  let res, _ = B.Noguard.run c in
+  (c, res)
+
+(* ---------- listing 1 ---------- *)
+
+let test_listing1_output () =
+  let elems = 1000 and ntimes = 5 in
+  let _, res = run_plain (W.Listing1.source ~elems ~ntimes) in
+  check (Alcotest.list Alcotest.string) "checksums"
+    (W.Listing1.expected_output ~elems ~ntimes) res.output
+
+let test_listing1_structures () =
+  let c, _ = run_plain (W.Listing1.source ~elems:100 ~ntimes:2) in
+  check Alcotest.int "two structures" 2 (Array.length c.infos);
+  Array.iter
+    (fun (i : R.Static_info.t) ->
+      check Alcotest.bool "stride-classified" true
+        (i.prefetch = R.Static_info.Stride))
+    c.infos
+
+(* ---------- pointer-chase family ---------- *)
+
+let test_chase_variants_agree () =
+  (* All five variants compute the same element-wise sum (the checksum
+     is the full sum of c over every pass): their printed outputs must
+     agree exactly — a strong cross-validation of heap, frontend, and
+     runtime correctness. *)
+  let scale = 512 and passes = 2 in
+  let outputs =
+    List.map
+      (fun v ->
+        let _, res = run_plain (W.Pointer_chase.source ~variant:v ~scale ~passes) in
+        (v, res.output))
+      W.Pointer_chase.variants
+  in
+  match outputs with
+  | (_, reference) :: rest ->
+    List.iter
+      (fun (v, out) ->
+        check (Alcotest.list Alcotest.string) (v ^ " agrees with array") reference out)
+      rest
+  | [] -> assert false
+
+let test_chase_unknown_variant () =
+  Alcotest.check_raises "unknown variant"
+    (Invalid_argument "Pointer_chase.source: unknown variant rope") (fun () ->
+      ignore (W.Pointer_chase.source ~variant:"rope" ~scale:10 ~passes:1))
+
+let test_chase_classes () =
+  let class_of variant =
+    let c = P.compile_source (W.Pointer_chase.source ~variant ~scale:256 ~passes:1) in
+    Array.to_list c.infos
+    |> List.map (fun (i : R.Static_info.t) ->
+           R.Static_info.prefetch_class_name i.prefetch)
+  in
+  check Alcotest.bool "list has a jump-classified structure" true
+    (List.mem "jump" (class_of "list"));
+  check Alcotest.bool "tree has a greedy-classified structure" true
+    (List.mem "greedy" (class_of "tree"));
+  check Alcotest.bool "array structures are stride-classified" true
+    (List.for_all (fun c -> c = "stride") (class_of "array"))
+
+(* ---------- analytics ---------- *)
+
+let test_analytics_structure_count () =
+  (* The paper: "CaRDS identifies 22 disjoint data structures at
+     compile time" for the analytics workload. *)
+  let c, _ = run_plain (W.Analytics.source ~trips:500 ~query_passes:1) in
+  check Alcotest.int "22 structures" 22 (Array.length c.infos)
+
+let test_analytics_deterministic () =
+  let src = W.Analytics.source ~trips:1000 ~query_passes:1 in
+  let _, a = run_plain src in
+  let _, b = run_plain src in
+  check (Alcotest.list Alcotest.string) "deterministic output" a.output b.output
+
+let test_analytics_passes_scale_output () =
+  (* grand_total doubles with query passes (same queries, summed). *)
+  let _, one = run_plain (W.Analytics.source ~trips:500 ~query_passes:1) in
+  let _, two = run_plain (W.Analytics.source ~trips:500 ~query_passes:2) in
+  match one.output, two.output with
+  | [ t1; odd1 ], [ t2; odd2 ] ->
+    check Alcotest.string "cold query unaffected" odd1 odd2;
+    let f1 = float_of_string t1 and f2 = float_of_string t2 in
+    check Alcotest.bool "total scales with passes" true
+      (Float.abs (f2 -. (2.0 *. f1)) < 0.01 *. Float.abs f2)
+  | _ -> Alcotest.fail "unexpected output shape"
+
+(* ---------- ftfdapml ---------- *)
+
+let test_ftfdapml_runs () =
+  let c, res = run_plain (W.Ftfdapml.source ~cz:4 ~cym:8 ~cxm:8 ~steps:2) in
+  (* Paper: 15 structures; we build 14 heap arrays (the two scratch
+     rows share no allocation site with the fields). *)
+  check Alcotest.bool "13..15 structures" true
+    (let n = Array.length c.infos in
+     n >= 13 && n <= 15);
+  check Alcotest.int "prints one checksum" 1 (List.length res.output)
+
+let test_ftfdapml_steps_change_field () =
+  let _, a = run_plain (W.Ftfdapml.source ~cz:4 ~cym:8 ~cxm:8 ~steps:1) in
+  let _, b = run_plain (W.Ftfdapml.source ~cz:4 ~cym:8 ~cxm:8 ~steps:3) in
+  check Alcotest.bool "more steps, different field" true (a.output <> b.output)
+
+(* ---------- bfs ---------- *)
+
+let test_bfs_runs_and_counts () =
+  let c, res = run_plain (W.Bfs.source ~nodes:500 ~edges:3000 ~sources:2) in
+  check Alcotest.bool "many structures" true (Array.length c.infos >= 12);
+  match res.output with
+  | [ reached; scanned ] ->
+    let reached = int_of_string reached and scanned = int_of_string scanned in
+    (* Dense-ish random graph: most nodes reachable from each source. *)
+    check Alcotest.bool "substantial reach" true (reached > 500);
+    check Alcotest.bool "scanned bounded by sources*edges" true
+      (scanned <= 2 * 3000)
+  | _ -> Alcotest.fail "expected two output lines"
+
+let test_bfs_empty_graphish () =
+  (* Degenerate: almost no edges; BFS must still terminate. *)
+  let _, res = run_plain (W.Bfs.source ~nodes:50 ~edges:1 ~sources:1) in
+  check Alcotest.int "two lines" 2 (List.length res.output)
+
+(* ---------- runability under far memory (spot check) ---------- *)
+
+let test_workloads_under_pressure () =
+  (* Every workload at a tight memory point: no traps, no wild
+     pointers, outputs matching the all-local run. *)
+  List.iter
+    (fun src ->
+      let c = P.compile_source src in
+      let reference, _ = B.Noguard.run c in
+      let res, _ =
+        P.run c
+          { R.Runtime.default_config with
+            policy = R.Policy.Max_use; k = 0.5;
+            local_bytes = 96 * 1024; remotable_bytes = 32 * 1024 }
+      in
+      check (Alcotest.list Alcotest.string) "output stable" reference.output
+        res.output)
+    [ W.Listing1.source ~elems:2000 ~ntimes:2;
+      W.Ftfdapml.source ~cz:3 ~cym:6 ~cxm:6 ~steps:1;
+      W.Bfs.source ~nodes:300 ~edges:1200 ~sources:1 ]
+
+let suite =
+  [ ("listing1 output", `Quick, test_listing1_output);
+    ("listing1 structures", `Quick, test_listing1_structures);
+    ("chase variants agree", `Quick, test_chase_variants_agree);
+    ("chase unknown variant", `Quick, test_chase_unknown_variant);
+    ("chase prefetch classes", `Quick, test_chase_classes);
+    ("analytics: 22 structures", `Quick, test_analytics_structure_count);
+    ("analytics deterministic", `Quick, test_analytics_deterministic);
+    ("analytics scaling", `Quick, test_analytics_passes_scale_output);
+    ("ftfdapml runs", `Quick, test_ftfdapml_runs);
+    ("ftfdapml time steps", `Quick, test_ftfdapml_steps_change_field);
+    ("bfs runs", `Quick, test_bfs_runs_and_counts);
+    ("bfs degenerate", `Quick, test_bfs_empty_graphish);
+    ("workloads under pressure", `Quick, test_workloads_under_pressure) ]
