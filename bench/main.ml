@@ -9,7 +9,8 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig8 fig9 # selected experiments
 
-   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 ablations bechamel *)
+   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 profile ablations
+   bechamel *)
 
 module R = Cards_runtime
 module P = Cards.Pipeline
@@ -309,6 +310,50 @@ let fig9 () =
      the most from per-structure prefetchers."
 
 (* ---------------------------------------------------------------- *)
+(* Profile: cycle attribution for the fig8/fig9 workloads.          *)
+(* ---------------------------------------------------------------- *)
+
+module O = Cards_obs
+
+let profile_run name compiled cfg =
+  let res, rt = P.run compiled cfg in
+  let prof = R.Runtime.profile rt in
+  T.print
+    (O.Export.profile_table
+       ~title:
+         (Printf.sprintf "%s: cycle attribution (%s cycles)" name
+            (T.fmt_cycles (float_of_int res.cycles)))
+       ~names:(R.Runtime.ds_name rt) ~total:res.cycles prof);
+  T.print (O.Export.latency_table ~title:(name ^ ": fetch latency") prof)
+
+let profile_section () =
+  header "Profile: where the simulated cycles go (fig8/fig9 workloads)";
+  (* The fig8 analytics workload under memory pressure: demand stalls
+     and queueing should dominate the remoted structures. *)
+  let src = W.Analytics.source ~trips:50000 ~query_passes:2 in
+  let compiled = P.compile_source src in
+  let wss = wss_of compiled in
+  let remot = kb 256 in
+  let local = (wss / 2) + remot in
+  profile_run "analytics (50% local)" compiled
+    (cards_cfg ~policy:R.Policy.Max_use ~k:1.0 ~local ~remot ());
+  (* The fig9 chase suite's hardest cases: the jump prefetcher turns
+     demand stalls into pf-hidden cycles on the list from the second
+     traversal on; the tree's greedy prefetcher hides less. *)
+  List.iter
+    (fun (variant, scale, passes) ->
+      let src = W.Pointer_chase.source ~variant ~scale ~passes in
+      let compiled = P.compile_source src in
+      let wss = wss_of compiled in
+      let local = wss / 2 in
+      let remot = local / 4 in
+      profile_run
+        (Printf.sprintf "pc-%s (50%% local)" variant)
+        compiled
+        (cards_cfg ~k:1.0 ~local ~remot ()))
+    [ ("list", 16384, 2); ("tree", 16384, 2) ]
+
+(* ---------------------------------------------------------------- *)
 (* Ablations: which CaRDS mechanism buys what.                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -494,6 +539,7 @@ let bechamel () =
 let sections =
   [ ("table1", table1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
+    ("profile", profile_section);
     ("ablations", ablations); ("bechamel", bechamel) ]
 
 let () =

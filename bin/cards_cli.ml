@@ -13,6 +13,7 @@ module P = Cards.Pipeline
 module W = Cards_workloads
 module B = Cards_baselines
 module T = Cards_util.Table
+module O = Cards_obs
 
 open Cmdliner
 
@@ -167,6 +168,86 @@ let system_arg =
 let report_arg =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-structure report.")
 
+(* ---------- observability flags ---------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON file (load it in \
+                 chrome://tracing or Perfetto): faults and late \
+                 prefetches as duration spans per structure, the \
+                 interpreter call stack on thread 0.")
+
+let events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Write the raw event ring as JSON-lines (one event \
+                 per line, oldest first).")
+
+let trace_cap_arg =
+  Arg.(value & opt int 1_048_576
+       & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Event-ring capacity; beyond it the oldest events are \
+                 dropped (the exporters report the drop count).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Sample per-structure metrics every \
+                 $(b,--metrics-interval) cycles and print the \
+                 time-series table.")
+
+let metrics_interval_arg =
+  Arg.(value & opt int O.Metrics.default_interval
+       & info [ "metrics-interval" ] ~docv:"CYCLES"
+           ~doc:"Sampling period for $(b,--metrics).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print the cycle-attribution profile (guard / demand \
+                 stall / queueing / prefetch stall / trap / alloc per \
+                 structure, buckets summing to total cycles) and the \
+                 fetch-latency histogram.")
+
+let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval =
+  if trace = None && events = None && not metrics then None
+  else
+    Some
+      (O.Sink.create
+         ?trace_capacity:
+           (if trace <> None || events <> None then Some trace_cap else None)
+         ?metrics_interval:(if metrics then Some metrics_interval else None)
+         ())
+
+let export_obs rt obs ~trace ~events ~metrics =
+  let names = R.Runtime.ds_name rt in
+  Option.iter
+    (fun sink ->
+      (match (O.Sink.trace sink : O.Trace.t option) with
+       | Some tr ->
+         Option.iter
+           (fun path ->
+             O.Export.write_file path (O.Export.chrome_trace_string ~names tr);
+             Printf.eprintf "-- trace: %d events to %s (%d dropped)\n"
+               (O.Trace.length tr) path (O.Trace.dropped tr))
+           trace;
+         Option.iter
+           (fun path -> O.Export.write_file path (O.Export.events_jsonl tr))
+           events
+       | None -> ());
+      if metrics then
+        match O.Sink.metrics sink with
+        | Some m -> T.print (O.Export.metrics_table m)
+        | None -> ())
+    obs
+
+let print_profile rt total =
+  let names = R.Runtime.ds_name rt in
+  let prof = R.Runtime.profile rt in
+  T.print (O.Export.profile_table ~names ~total prof);
+  T.print (O.Export.latency_table prof)
+
 let print_report rt =
   let t =
     T.create ~title:"Per-structure report"
@@ -189,26 +270,28 @@ let print_report rt =
   T.print t
 
 let run_cmd =
-  let run file system policy k local remotable prefetch report =
+  let run file system policy k local remotable prefetch report trace events
+      trace_cap metrics metrics_interval profile =
     with_errors (fun () ->
         let src = read_source file in
+        let obs = make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval in
         let res, rt =
           match system with
           | `Cards ->
             let compiled = P.compile_source src in
-            P.run compiled
+            P.run ?obs compiled
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
                 prefetch_mode = prefetch }
           | `Trackfm ->
             let compiled = B.Trackfm.compile_source src in
-            B.Trackfm.run compiled ~local_bytes:local
+            B.Trackfm.run ?obs compiled ~local_bytes:local
           | `Mira ->
             let compiled = P.compile_source src in
-            B.Mira.run compiled ~local_bytes:local ~remotable_bytes:remotable
+            B.Mira.run ?obs compiled ~local_bytes:local ~remotable_bytes:remotable
           | `Plain ->
             let compiled = P.compile_source src in
-            B.Noguard.run compiled
+            B.Noguard.run ?obs compiled
         in
         List.iter print_endline res.output;
         let tot = R.Rt_stats.total (R.Runtime.stats rt) in
@@ -219,12 +302,15 @@ let run_cmd =
           (T.fmt_cycles (float_of_int res.cycles))
           res.instructions tot.guards tot.guard_hits tot.remote_faults
           (T.fmt_bytes (float_of_int fs.fetched_bytes));
-        if report then print_report rt)
+        if report then print_report rt;
+        if profile then print_profile rt res.cycles;
+        export_obs rt obs ~trace ~events ~metrics)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
     Term.(const run $ file_arg $ system_arg $ policy_arg $ k_arg $ local_arg
-          $ remot_arg $ prefetch_arg $ report_arg)
+          $ remot_arg $ prefetch_arg $ report_arg $ trace_arg $ events_arg
+          $ trace_cap_arg $ metrics_arg $ metrics_interval_arg $ profile_arg)
 
 (* ---------- cards workload ---------- *)
 

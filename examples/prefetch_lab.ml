@@ -58,7 +58,7 @@ let () =
           string_of_int tot.prefetch_issued;
           string_of_int tot.prefetch_used;
           string_of_int tot.prefetch_late;
-          Printf.sprintf "%.2f" (R.Rt_stats.prefetch_accuracy tot);
+          T.fmt_ratio_opt (R.Rt_stats.prefetch_accuracy tot);
           Printf.sprintf "%.2f" (R.Rt_stats.prefetch_coverage tot) ])
     [ ("per-class (CaRDS)", R.Runtime.Pf_per_class);
       ("adaptive (CaRDS dynamic)", R.Runtime.Pf_adaptive);

@@ -70,7 +70,7 @@ let () =
             T.fmt_bytes (float_of_int r.r_bytes);
             string_of_int r.r_stats.guards;
             string_of_int r.r_stats.remote_faults;
-            Printf.sprintf "%.2f" (R.Rt_stats.prefetch_accuracy r.r_stats);
+            T.fmt_ratio_opt (R.Rt_stats.prefetch_accuracy r.r_stats);
             Printf.sprintf "%.2f" (R.Rt_stats.prefetch_coverage r.r_stats) ])
       (R.Runtime.report rt);
     T.print t;

@@ -68,7 +68,9 @@ let run_config ~pinned ~local_bytes ~remotable_bytes =
     prefetch_mode = R.Runtime.Pf_per_class;
     prefetch_depth = 4 }
 
-let run ?fuel compiled ~local_bytes ~remotable_bytes =
+let run ?fuel ?obs compiled ~local_bytes ~remotable_bytes =
   let p = profile ?fuel compiled in
   let pinned = pinned_set p ~pinned_budget:(local_bytes - remotable_bytes) in
-  P.run ?fuel compiled (run_config ~pinned ~local_bytes ~remotable_bytes)
+  (* Only the measured run is observed; the profiling pass stays dark
+     so its events do not pollute the trace. *)
+  P.run ?fuel ?obs compiled (run_config ~pinned ~local_bytes ~remotable_bytes)

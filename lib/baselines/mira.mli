@@ -36,6 +36,7 @@ val run_config :
 
 val run :
   ?fuel:int ->
+  ?obs:Cards_obs.Sink.t ->
   Cards.Pipeline.compiled ->
   local_bytes:int ->
   remotable_bytes:int ->

@@ -8,5 +8,6 @@ val run_config : unit -> Cards_runtime.Runtime.config
 
 val run :
   ?fuel:int ->
+  ?obs:Cards_obs.Sink.t ->
   Cards.Pipeline.compiled ->
   Cards_interp.Machine.result * Cards_runtime.Runtime.t

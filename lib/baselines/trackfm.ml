@@ -16,5 +16,5 @@ let run_config ~local_bytes ~remotable_bytes =
     prefetch_mode = R.Runtime.Pf_stride_only;
     prefetch_depth = 4 }
 
-let run ?fuel compiled ~local_bytes =
-  P.run ?fuel compiled (run_config ~local_bytes ~remotable_bytes:local_bytes)
+let run ?fuel ?obs compiled ~local_bytes =
+  P.run ?fuel ?obs compiled (run_config ~local_bytes ~remotable_bytes:local_bytes)

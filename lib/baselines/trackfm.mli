@@ -21,6 +21,7 @@ val run_config :
 
 val run :
   ?fuel:int ->
+  ?obs:Cards_obs.Sink.t ->
   Cards.Pipeline.compiled ->
   local_bytes:int ->
   Cards_interp.Machine.result * Cards_runtime.Runtime.t

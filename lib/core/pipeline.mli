@@ -48,14 +48,18 @@ val compile_source : ?options:options -> string -> compiled
 
 val run :
   ?fuel:int ->
+  ?obs:Cards_obs.Sink.t ->
   compiled ->
   Cards_runtime.Runtime.config ->
   Cards_interp.Machine.result * Cards_runtime.Runtime.t
 (** Instantiate a runtime with the compiled descriptor table and
-    execute the instrumented module. *)
+    execute the instrumented module.  [obs] forwards to
+    {!Cards_runtime.Runtime.create}: attach a sink to collect traces
+    and epoch metrics without perturbing simulated time. *)
 
 val run_plain :
   ?fuel:int ->
+  ?obs:Cards_obs.Sink.t ->
   compiled ->
   Cards_runtime.Runtime.config ->
   Cards_interp.Machine.result * Cards_runtime.Runtime.t

@@ -4,6 +4,8 @@ module Types = Cards_ir.Types
 module Irmod = Cards_ir.Irmod
 module Runtime = Cards_runtime.Runtime
 module Cost = Cards_runtime.Cost
+module Sink = Cards_obs.Sink
+module Event = Cards_obs.Event
 
 type result = {
   ret : int;
@@ -26,6 +28,7 @@ type state = {
   mutable executed : int;
   fuel : int;
   out : Buffer.t;
+  obs : Sink.t;   (* the runtime's sink, cached for call-stack events *)
 }
 
 let global_addr st g =
@@ -138,7 +141,20 @@ let rec exec_function st (f : Func.t) (args : argv list) : argv =
       if Types.equal f.ret Types.F64 then AF (fval st fr v) else AI (ival st fr v)
     | Instr.Unreachable -> trap "reached unreachable in %s:L%d" f.name bid
   in
-  run_block 0
+  (* Call-stack spans for the Chrome-trace exporter: B/E pairs on the
+     interpreter thread.  A [Trap] unwinds without the exit event,
+     which is fine — the trace just ends inside the failing frame. *)
+  if Sink.tracing st.obs then begin
+    Sink.emit st.obs
+      (Event.make ~cycle:(Runtime.now st.rt) ~ds:0 ~obj:0
+         (Event.Call_enter { fn = f.name }));
+    let res = run_block 0 in
+    Sink.emit st.obs
+      (Event.make ~cycle:(Runtime.now st.rt) ~ds:0 ~obj:0
+         (Event.Call_exit { fn = f.name }));
+    res
+  end
+  else run_block 0
 
 and exec_instr st fr ins =
   st.executed <- st.executed + 1;
@@ -254,7 +270,7 @@ let setup ?(fuel = max_int) (m : Irmod.t) rt =
   let globals = Hashtbl.create 16 in
   let st =
     { rt; cost = Cost.cards; funcs; globals; executed = 0; fuel;
-      out = Buffer.create 256 }
+      out = Buffer.create 256; obs = Runtime.sink rt }
   in
   List.iter
     (fun (g : Irmod.global) ->

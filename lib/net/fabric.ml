@@ -18,7 +18,14 @@ type stats = {
   fetched_bytes : int;
   writebacks : int;
   written_bytes : int;
-  queue_cycles : int;
+  queue_in_cycles : int;
+  queue_out_cycles : int;
+}
+
+type transfer = {
+  t_start : int;
+  t_queued : int;
+  t_complete : int;
 }
 
 type t = {
@@ -29,28 +36,35 @@ type t = {
   mutable fetched_bytes : int;
   mutable writebacks : int;
   mutable written_bytes : int;
-  mutable queue_cycles : int;
+  mutable queue_in_cycles : int;
+  mutable queue_out_cycles : int;
 }
 
 let create cfg =
   { cfg; in_busy_until = 0; out_busy_until = 0;
     fetches = 0; fetched_bytes = 0; writebacks = 0; written_bytes = 0;
-    queue_cycles = 0 }
+    queue_in_cycles = 0; queue_out_cycles = 0 }
 
 let serialization cfg bytes =
   int_of_float (ceil (float_of_int bytes /. cfg.bytes_per_cycle))
 
-let fetch t ~now ~bytes =
+let nominal_fetch_cycles t ~bytes = t.cfg.proto_cycles + serialization t.cfg bytes
+
+let fetch_info t ~now ~bytes =
   let start = max now t.in_busy_until in
-  t.queue_cycles <- t.queue_cycles + (start - now);
+  let queued = start - now in
+  t.queue_in_cycles <- t.queue_in_cycles + queued;
   let ser = serialization t.cfg bytes in
   t.in_busy_until <- start + ser;
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
-  start + t.cfg.proto_cycles + ser
+  { t_start = start; t_queued = queued; t_complete = start + t.cfg.proto_cycles + ser }
+
+let fetch t ~now ~bytes = (fetch_info t ~now ~bytes).t_complete
 
 let writeback t ~now ~bytes =
   let start = max now t.out_busy_until in
+  t.queue_out_cycles <- t.queue_out_cycles + (start - now);
   t.out_busy_until <- start + serialization t.cfg bytes;
   t.writebacks <- t.writebacks + 1;
   t.written_bytes <- t.written_bytes + bytes
@@ -60,7 +74,8 @@ let inbound_busy_until t = t.in_busy_until
 let stats t =
   { fetches = t.fetches; fetched_bytes = t.fetched_bytes;
     writebacks = t.writebacks; written_bytes = t.written_bytes;
-    queue_cycles = t.queue_cycles }
+    queue_in_cycles = t.queue_in_cycles;
+    queue_out_cycles = t.queue_out_cycles }
 
 let reset t =
   t.in_busy_until <- 0;
@@ -69,4 +84,5 @@ let reset t =
   t.fetched_bytes <- 0;
   t.writebacks <- 0;
   t.written_bytes <- 0;
-  t.queue_cycles <- 0
+  t.queue_in_cycles <- 0;
+  t.queue_out_cycles <- 0

@@ -36,6 +36,22 @@ val fetch : t -> now:int -> bytes:int -> int
 (** Schedule an inbound transfer starting at [now]; returns its
     completion time (≥ [now + proto + serialization]). *)
 
+type transfer = {
+  t_start : int;     (** when the link picked the transfer up *)
+  t_queued : int;    (** [t_start - now]: cycles spent waiting in line *)
+  t_complete : int;  (** completion time *)
+}
+
+val fetch_info : t -> now:int -> bytes:int -> transfer
+(** Like {!fetch}, but exposes the queue/transfer split so callers
+    (the runtime's cycle-attribution profiler) can attribute stall
+    cycles to contention vs. the wire. *)
+
+val nominal_fetch_cycles : t -> bytes:int -> int
+(** Uncontended end-to-end fetch cost ([proto + serialization]) —
+    what a demand fetch of [bytes] would cost on an idle link.  Used
+    to estimate latency hidden by timely prefetches. *)
+
 val writeback : t -> now:int -> bytes:int -> unit
 (** Schedule an outbound (eviction) transfer; does not block the CPU,
     only occupies outbound bandwidth. *)
@@ -48,7 +64,10 @@ type stats = {
   fetched_bytes : int;
   writebacks : int;
   written_bytes : int;
-  queue_cycles : int;  (** total cycles transfers spent queued *)
+  queue_in_cycles : int;
+      (** cycles inbound transfers (fetches) spent queued *)
+  queue_out_cycles : int;
+      (** cycles outbound transfers (writebacks) spent queued *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,58 @@
+type kind =
+  | Guard_hit
+  | Guard_miss
+  | Remote_fault of { queued : int; stall : int }
+  | Clean_fault of { stall : int }
+  | Prefetch_issue of { tgt_ds : int; tgt_obj : int }
+  | Prefetch_use of { timely : bool }
+  | Prefetch_late of { wait : int }
+  | Evict of { dirty : bool }
+  | Writeback of { bytes : int }
+  | Policy_switch of { from_pf : string; to_pf : string }
+  | Epoch_mark
+  | Loop_version of { clean : bool }
+  | Call_enter of { fn : string }
+  | Call_exit of { fn : string }
+
+type t = {
+  ev_cycle : int;
+  ev_ds : int;
+  ev_obj : int;
+  ev_kind : kind;
+}
+
+let make ~cycle ~ds ~obj kind =
+  { ev_cycle = cycle; ev_ds = ds; ev_obj = obj; ev_kind = kind }
+
+let kind_name = function
+  | Guard_hit -> "guard_hit"
+  | Guard_miss -> "guard_miss"
+  | Remote_fault _ -> "remote_fault"
+  | Clean_fault _ -> "clean_fault"
+  | Prefetch_issue _ -> "prefetch_issue"
+  | Prefetch_use _ -> "prefetch_use"
+  | Prefetch_late _ -> "prefetch_late"
+  | Evict _ -> "evict"
+  | Writeback _ -> "writeback"
+  | Policy_switch _ -> "policy_switch"
+  | Epoch_mark -> "epoch"
+  | Loop_version _ -> "loop_version"
+  | Call_enter _ -> "call_enter"
+  | Call_exit _ -> "call_exit"
+
+let category = function
+  | Guard_hit | Guard_miss -> "guard"
+  | Remote_fault _ | Clean_fault _ -> "fault"
+  | Prefetch_issue _ | Prefetch_use _ | Prefetch_late _ -> "prefetch"
+  | Evict _ | Writeback _ -> "cache"
+  | Policy_switch _ | Epoch_mark -> "policy"
+  | Loop_version _ -> "versioning"
+  | Call_enter _ | Call_exit _ -> "interp"
+
+(* Span events carry their own duration; everything else is an
+   instant on the timeline. *)
+let duration = function
+  | Remote_fault { stall; _ } -> Some stall
+  | Clean_fault { stall } -> Some stall
+  | Prefetch_late { wait } -> Some wait
+  | _ -> None

@@ -1,0 +1,51 @@
+(** The structured-trace event taxonomy.
+
+    One constructor per observable runtime occurrence, each stamped
+    with the simulated cycle clock and the data-structure handle it
+    concerns (handle [0] = the unmanaged segment / no structure).
+    Span-like events (faults, late prefetches) carry their stall so
+    exporters can render them as durations; [ev_cycle] is then the
+    {e start} of the span. *)
+
+type kind =
+  | Guard_hit           (** guard found the object resident *)
+  | Guard_miss          (** guard found it absent; a demand fetch follows *)
+  | Remote_fault of { queued : int; stall : int }
+      (** demand fetch: [stall] = total CPU stall, of which [queued]
+          cycles were spent waiting behind other transfers *)
+  | Clean_fault of { stall : int }
+      (** unguarded-path fallback (trap + fetch) *)
+  | Prefetch_issue of { tgt_ds : int; tgt_obj : int }
+  | Prefetch_use of { timely : bool }
+      (** prefetched object reached by the demand stream *)
+  | Prefetch_late of { wait : int }
+      (** access had to wait for an in-flight prefetch *)
+  | Evict of { dirty : bool }
+  | Writeback of { bytes : int }
+  | Policy_switch of { from_pf : string; to_pf : string }
+      (** adaptive mode changed this structure's prefetcher *)
+  | Epoch_mark          (** adaptive-mode epoch boundary *)
+  | Loop_version of { clean : bool }
+      (** versioned-loop entry: clean or instrumented copy taken *)
+  | Call_enter of { fn : string }  (** interpreter function entry *)
+  | Call_exit of { fn : string }
+
+type t = {
+  ev_cycle : int;  (** simulated cycle stamp (span start for spans) *)
+  ev_ds : int;     (** data-structure handle; 0 = none/unmanaged *)
+  ev_obj : int;    (** object index within the structure, or 0 *)
+  ev_kind : kind;
+}
+
+val make : cycle:int -> ds:int -> obj:int -> kind -> t
+
+val kind_name : kind -> string
+(** Stable lowercase identifier, e.g. ["remote_fault"] — used as the
+    event name in JSON-lines and Chrome-trace output. *)
+
+val category : kind -> string
+(** Coarse grouping for exporters: guard / fault / prefetch / cache /
+    policy / versioning / interp. *)
+
+val duration : kind -> int option
+(** Span length in cycles for span-like events, [None] for instants. *)

@@ -1,0 +1,246 @@
+module Json = Cards_util.Json
+module Table = Cards_util.Table
+
+(* ---------- JSON-lines ---------- *)
+
+let kind_args (k : Event.kind) : (string * Json.t) list =
+  match k with
+  | Guard_hit | Guard_miss | Epoch_mark -> []
+  | Remote_fault { queued; stall } ->
+    [ ("queued", Json.Int queued); ("stall", Json.Int stall) ]
+  | Clean_fault { stall } -> [ ("stall", Json.Int stall) ]
+  | Prefetch_issue { tgt_ds; tgt_obj } ->
+    [ ("tgt_ds", Json.Int tgt_ds); ("tgt_obj", Json.Int tgt_obj) ]
+  | Prefetch_use { timely } -> [ ("timely", Json.Bool timely) ]
+  | Prefetch_late { wait } -> [ ("wait", Json.Int wait) ]
+  | Evict { dirty } -> [ ("dirty", Json.Bool dirty) ]
+  | Writeback { bytes } -> [ ("bytes", Json.Int bytes) ]
+  | Policy_switch { from_pf; to_pf } ->
+    [ ("from", Json.Str from_pf); ("to", Json.Str to_pf) ]
+  | Loop_version { clean } -> [ ("clean", Json.Bool clean) ]
+  | Call_enter { fn } | Call_exit { fn } -> [ ("fn", Json.Str fn) ]
+
+let event_json (ev : Event.t) =
+  Json.Obj
+    ([ ("ev", Json.Str (Event.kind_name ev.ev_kind));
+       ("cycle", Json.Int ev.ev_cycle);
+       ("ds", Json.Int ev.ev_ds);
+       ("obj", Json.Int ev.ev_obj) ]
+     @ kind_args ev.ev_kind)
+
+let events_jsonl trace =
+  let buf = Buffer.create 4096 in
+  Trace.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (event_json ev));
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let sample_json (s : Metrics.sample) =
+  Json.Obj
+    [ ("ev", Json.Str "sample");
+      ("cycle", Json.Int s.m_cycle);
+      ("ds", Json.Int s.m_ds);
+      ("name", Json.Str s.m_name);
+      ("resident_bytes", Json.Int s.m_resident_bytes);
+      ("guards", Json.Int s.m_guards);
+      ("guard_hits", Json.Int s.m_guard_hits);
+      ("remote_faults", Json.Int s.m_remote_faults);
+      ("clean_faults", Json.Int s.m_clean_faults);
+      ("pf_issued", Json.Int s.m_pf_issued);
+      ("pf_used", Json.Int s.m_pf_used);
+      ("pf_late", Json.Int s.m_pf_late);
+      ("evictions", Json.Int s.m_evictions);
+      ("prefetcher", Json.Str s.m_prefetcher);
+      ("pf_switches", Json.Int s.m_pf_switches) ]
+
+let metrics_jsonl metrics =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (sample_json s));
+      Buffer.add_char buf '\n')
+    (Metrics.samples metrics);
+  Buffer.contents buf
+
+(* ---------- Chrome trace_event ---------- *)
+
+(* The trace_event JSON format understood by chrome://tracing and
+   Perfetto: an object with a "traceEvents" array; each event has a
+   phase "ph" ("X" complete with "dur", "B"/"E" nested spans, "i"
+   instants, "M" metadata), microsecond timestamps "ts", and
+   process/thread ids.  We map each data structure to its own thread
+   row (tid = handle) and the interpreter's call stack to tid 0. *)
+
+let us_of_cycles ~freq_ghz c = float_of_int c /. (freq_ghz *. 1000.0)
+
+let chrome_event ~freq_ghz (ev : Event.t) : Json.t =
+  let ts = us_of_cycles ~freq_ghz ev.ev_cycle in
+  let base name ph tid extra =
+    Json.Obj
+      ([ ("name", Json.Str name);
+         ("cat", Json.Str (Event.category ev.ev_kind));
+         ("ph", Json.Str ph);
+         ("ts", Json.Float ts);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid) ]
+       @ extra)
+  in
+  let args = ("args", Json.Obj (("obj", Json.Int ev.ev_obj) :: kind_args ev.ev_kind)) in
+  match ev.ev_kind with
+  | Call_enter { fn } -> base fn "B" 0 []
+  | Call_exit { fn } -> base fn "E" 0 []
+  | Loop_version _ ->
+    base (Event.kind_name ev.ev_kind) "i" 0 [ ("s", Json.Str "t"); args ]
+  | k -> (
+    match Event.duration k with
+    | Some dur ->
+      base (Event.kind_name k) "X" ev.ev_ds
+        [ ("dur", Json.Float (us_of_cycles ~freq_ghz dur)); args ]
+    | None ->
+      base (Event.kind_name k) "i" ev.ev_ds [ ("s", Json.Str "t"); args ])
+
+let chrome_trace ?(freq_ghz = 2.4) ?names trace =
+  let tids = Hashtbl.create 8 in
+  Trace.iter
+    (fun (ev : Event.t) ->
+      let tid =
+        match ev.ev_kind with Call_enter _ | Call_exit _ | Loop_version _ -> 0 | _ -> ev.ev_ds
+      in
+      Hashtbl.replace tids tid ())
+    trace;
+  let thread_name tid =
+    let name =
+      if tid = 0 then "interpreter"
+      else
+        match names with
+        | Some f -> f tid
+        | None -> Printf.sprintf "ds %d" tid
+    in
+    Json.Obj
+      [ ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+  in
+  let meta =
+    Json.Obj
+      [ ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str "CaRDS simulated run") ]) ]
+  in
+  let metas =
+    meta
+    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+        |> List.sort compare
+        |> List.map thread_name)
+  in
+  let evs = List.map (chrome_event ~freq_ghz) (Trace.to_list trace) in
+  Json.Obj
+    [ ("traceEvents", Json.List (metas @ evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData",
+       Json.Obj
+         [ ("tool", Json.Str "cards");
+           ("clock", Json.Str (Printf.sprintf "%.1f GHz simulated" freq_ghz));
+           ("dropped_events", Json.Int (Trace.dropped trace)) ]) ]
+
+let chrome_trace_string ?freq_ghz ?names trace =
+  Json.to_string (chrome_trace ?freq_ghz ?names trace)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* ---------- human tables ---------- *)
+
+let pct part total =
+  if total <= 0 then "0.0%"
+  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int part /. float_of_int total)
+
+let profile_table ?(title = "Cycle attribution (per data structure)")
+    ~names ~total prof =
+  let t =
+    Table.create ~title
+      ~header:[ "structure"; "guard"; "demand stall"; "queueing"; "pf stall";
+                "trap"; "alloc"; "total"; "share"; "pf hidden" ]
+  in
+  let cyc c = Table.fmt_cycles (float_of_int c) in
+  List.iter
+    (fun h ->
+      let b = Profile.buckets prof h in
+      let wall = Profile.wall b in
+      Table.add_row t
+        [ names h; cyc b.Profile.p_guard; cyc b.Profile.p_demand;
+          cyc b.Profile.p_queue; cyc b.Profile.p_pf_stall;
+          cyc b.Profile.p_trap; cyc b.Profile.p_alloc; cyc wall;
+          pct wall total; cyc b.Profile.p_hidden ])
+    (Profile.handles prof);
+  let comp = Profile.compute prof in
+  Table.add_row t
+    [ "(compute)"; ""; ""; ""; ""; ""; ""; cyc comp; pct comp total; "" ];
+  let attributed = Profile.attributed prof in
+  if attributed <> total then
+    Table.add_row t
+      [ "(unattributed)"; ""; ""; ""; ""; ""; "";
+        cyc (total - attributed); pct (total - attributed) total; "" ];
+  Table.add_row t [ "TOTAL"; ""; ""; ""; ""; ""; ""; cyc total; "100.0%"; "" ];
+  t
+
+let latency_table ?(title = "Fetch latency (demand stalls + late prefetch waits)")
+    prof =
+  let hist = Profile.merged_hist prof in
+  let t = Table.create ~title ~header:[ "latency (cycles)"; "count"; "" ] in
+  let maxc = Array.fold_left max 0 hist in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        let lo = 1 lsl i and hi = (1 lsl (i + 1)) - 1 in
+        let bar =
+          if maxc = 0 then ""
+          else String.make (max 1 (n * 40 / maxc)) '#'
+        in
+        Table.add_row t
+          [ Printf.sprintf "%s - %s"
+              (Table.fmt_cycles (float_of_int lo))
+              (Table.fmt_cycles (float_of_int hi));
+            string_of_int n; bar ]
+      end)
+    hist;
+  t
+
+let metrics_table ?(title = "Epoch metrics") metrics =
+  let t =
+    Table.create ~title
+      ~header:[ "cycle"; "structure"; "resident"; "faults"; "pf issued";
+                "pf used"; "accuracy"; "prefetcher"; "switches" ]
+  in
+  (* Per-interval deltas: remember the previous sample per handle. *)
+  let prev : (int, Metrics.sample) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let d_faults, d_issued, d_used =
+        match Hashtbl.find_opt prev s.m_ds with
+        | Some p ->
+          (s.m_remote_faults - p.m_remote_faults,
+           s.m_pf_issued - p.m_pf_issued,
+           s.m_pf_used - p.m_pf_used)
+        | None -> (s.m_remote_faults, s.m_pf_issued, s.m_pf_used)
+      in
+      Hashtbl.replace prev s.m_ds s;
+      let acc =
+        if d_issued = 0 then None
+        else Some (float_of_int d_used /. float_of_int d_issued)
+      in
+      Table.add_row t
+        [ Table.fmt_cycles (float_of_int s.m_cycle); s.m_name;
+          Table.fmt_bytes (float_of_int s.m_resident_bytes);
+          string_of_int d_faults; string_of_int d_issued;
+          string_of_int d_used; Table.fmt_ratio_opt acc;
+          s.m_prefetcher; string_of_int s.m_pf_switches ])
+    (Metrics.samples metrics);
+  t

@@ -1,0 +1,45 @@
+(** Exporters: human tables, JSON-lines, and Chrome [trace_event].
+
+    The Chrome format loads directly in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}: each data structure becomes
+    its own thread row (faults and late prefetches as duration spans,
+    prefetch/eviction/policy events as instants) and the interpreter's
+    simulated call stack nests on thread 0. *)
+
+val event_json : Event.t -> Cards_util.Json.t
+
+val events_jsonl : Trace.t -> string
+(** One JSON object per line, oldest event first. *)
+
+val sample_json : Metrics.sample -> Cards_util.Json.t
+
+val metrics_jsonl : Metrics.t -> string
+
+val chrome_trace :
+  ?freq_ghz:float -> ?names:(int -> string) -> Trace.t -> Cards_util.Json.t
+(** [freq_ghz] (default 2.4, the paper's Xeon) converts cycle stamps
+    to the format's microsecond timestamps; [names] labels the
+    per-structure thread rows. *)
+
+val chrome_trace_string :
+  ?freq_ghz:float -> ?names:(int -> string) -> Trace.t -> string
+
+val write_file : string -> string -> unit
+
+val profile_table :
+  ?title:string ->
+  names:(int -> string) ->
+  total:int ->
+  Profile.t ->
+  Cards_util.Table.t
+(** Per-structure cycle-attribution table.  Rows sum exactly to
+    [total] (the run's cycle count): per-handle wall buckets, the
+    compute residual, and — only if attribution ever missed cycles —
+    an explicit [(unattributed)] row. *)
+
+val latency_table : ?title:string -> Profile.t -> Cards_util.Table.t
+(** Log₂ fetch-latency histogram with ASCII bars. *)
+
+val metrics_table : ?title:string -> Metrics.t -> Cards_util.Table.t
+(** Per-interval deltas (faults, prefetch accuracy) per structure —
+    the adaptive prefetcher's behaviour over time. *)

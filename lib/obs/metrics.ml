@@ -1,0 +1,48 @@
+module Vec = Cards_util.Vec
+
+type sample = {
+  m_cycle : int;
+  m_ds : int;
+  m_name : string;
+  m_resident_bytes : int;
+  m_guards : int;
+  m_guard_hits : int;
+  m_remote_faults : int;
+  m_clean_faults : int;
+  m_pf_issued : int;
+  m_pf_used : int;
+  m_pf_late : int;
+  m_evictions : int;
+  m_prefetcher : string;
+  m_pf_switches : int;
+}
+
+type t = {
+  interval : int;
+  mutable next_due : int;
+  samples : sample Vec.t;
+}
+
+let default_interval = 250_000
+
+let create ?(interval = default_interval) () =
+  { interval = max 1 interval; next_due = max 1 interval; samples = Vec.create () }
+
+let interval t = t.interval
+
+let due t ~now = now >= t.next_due
+
+let record t s = ignore (Vec.push t.samples s)
+
+let catch_up t ~now =
+  (* The clock jumps tens of thousands of cycles at a time (one fault
+     ≈ 59 K), so advance past [now] rather than one interval at a
+     time. *)
+  if now >= t.next_due then begin
+    let behind = now - t.next_due in
+    t.next_due <- t.next_due + ((behind / t.interval) + 1) * t.interval
+  end
+
+let samples t = Vec.to_list t.samples
+
+let n_samples t = Vec.length t.samples

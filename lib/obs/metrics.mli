@@ -1,0 +1,49 @@
+(** Epoch-based time-series metrics.
+
+    Every [interval] simulated cycles the runtime appends one sample
+    per live data structure: cumulative counters plus gauges (resident
+    bytes, active prefetcher).  Exporters diff consecutive samples to
+    plot rates — fault rate, prefetch accuracy over time — which is
+    how the adaptive prefetcher's mid-run policy switches become
+    visible instead of being averaged away in end-of-run totals. *)
+
+type sample = {
+  m_cycle : int;            (** sample time (simulated cycles) *)
+  m_ds : int;               (** handle *)
+  m_name : string;          (** static name of the structure *)
+  m_resident_bytes : int;   (** pinned + cache-resident bytes *)
+  m_guards : int;           (** cumulative counters follow *)
+  m_guard_hits : int;
+  m_remote_faults : int;
+  m_clean_faults : int;
+  m_pf_issued : int;
+  m_pf_used : int;
+  m_pf_late : int;
+  m_evictions : int;
+  m_prefetcher : string;    (** active prefetcher ("off" when none) *)
+  m_pf_switches : int;      (** adaptive policy switches so far *)
+}
+
+type t
+
+val default_interval : int
+(** 250 K cycles ≈ 100 µs at 2.4 GHz. *)
+
+val create : ?interval:int -> unit -> t
+
+val interval : t -> int
+
+val due : t -> now:int -> bool
+(** True when the clock has crossed the next sampling boundary. *)
+
+val record : t -> sample -> unit
+
+val catch_up : t -> now:int -> unit
+(** Advance the sampling deadline past [now] (the simulated clock
+    jumps, so multiple intervals may have elapsed). *)
+
+val samples : t -> sample list
+(** In recording order: grouped bursts of one sample per structure,
+    bursts in increasing cycle order. *)
+
+val n_samples : t -> int

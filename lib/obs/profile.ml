@@ -1,0 +1,65 @@
+let hist_buckets = 44 (* log2 buckets: covers latencies up to ~2^43 cycles *)
+
+type buckets = {
+  mutable p_guard : int;
+  mutable p_demand : int;
+  mutable p_queue : int;
+  mutable p_pf_stall : int;
+  mutable p_trap : int;
+  mutable p_alloc : int;
+  mutable p_hidden : int;
+  lat_hist : int array;
+}
+
+let make_buckets () =
+  { p_guard = 0; p_demand = 0; p_queue = 0; p_pf_stall = 0; p_trap = 0;
+    p_alloc = 0; p_hidden = 0; lat_hist = Array.make hist_buckets 0 }
+
+type t = {
+  per : (int, buckets) Hashtbl.t;
+  mutable p_compute : int;
+}
+
+let create () = { per = Hashtbl.create 16; p_compute = 0 }
+
+let buckets t h =
+  match Hashtbl.find_opt t.per h with
+  | Some b -> b
+  | None ->
+    let b = make_buckets () in
+    Hashtbl.replace t.per h b;
+    b
+
+let add_compute t c = t.p_compute <- t.p_compute + c
+
+let compute t = t.p_compute
+
+let wall b =
+  b.p_guard + b.p_demand + b.p_queue + b.p_pf_stall + b.p_trap + b.p_alloc
+
+let attributed t =
+  Hashtbl.fold (fun _ b acc -> acc + wall b) t.per t.p_compute
+
+let handles t =
+  List.sort compare (Hashtbl.fold (fun h _ acc -> h :: acc) t.per [])
+
+let log2_bucket c =
+  if c <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref c in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr i
+    done;
+    min !i (hist_buckets - 1)
+  end
+
+let record_latency b c = b.lat_hist.(log2_bucket c) <- b.lat_hist.(log2_bucket c) + 1
+
+let merged_hist t =
+  let acc = Array.make hist_buckets 0 in
+  Hashtbl.iter
+    (fun _ b ->
+      Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) b.lat_hist)
+    t.per;
+  acc

@@ -1,0 +1,66 @@
+(** Cycle-attribution profiler.
+
+    Splits the run's total simulated cycles into buckets, per data
+    structure (handle [0] = unmanaged segment / runtime bookkeeping
+    not tied to one structure), plus one global compute bucket fed by
+    the interpreter's instruction charges.  The runtime attributes
+    {e every} clock advance to exactly one bucket, so
+
+    {[ compute + Σ_handles wall(buckets) = Runtime.now ]}
+
+    holds exactly — the invariant [test/test_obs.ml] asserts and the
+    property that makes "where did the cycles go" answerable without
+    double counting.  Attribution never touches the clock itself, so
+    profiled and unprofiled runs report identical cycle counts.
+
+    Also collects per-structure log₂-bucketed histograms of fetch
+    latency (demand-fault stalls and late-prefetch waits). *)
+
+type buckets = {
+  mutable p_guard : int;
+      (** guard executions: custody checks + local hit/miss cost *)
+  mutable p_demand : int;
+      (** demand-fetch stall: protocol + wire + mapping cycles *)
+  mutable p_queue : int;
+      (** demand-fetch cycles spent queued behind other transfers *)
+  mutable p_pf_stall : int;
+      (** stalls waiting on late (in-flight) prefetches *)
+  mutable p_trap : int;
+      (** clean-fault trap penalties on unguarded paths *)
+  mutable p_alloc : int;
+      (** ds_init / dsalloc / loop-check bookkeeping *)
+  mutable p_hidden : int;
+      (** {e informational}, not wall-clock: fetch latency hidden by
+          timely prefetches (what demand faults would have cost) *)
+  lat_hist : int array;  (** log₂ fetch-latency histogram *)
+}
+
+type t
+
+val create : unit -> t
+
+val buckets : t -> int -> buckets
+(** Bucket record for a handle, auto-created. *)
+
+val add_compute : t -> int -> unit
+(** Charge interpreter/compute cycles (the residual category). *)
+
+val compute : t -> int
+
+val wall : buckets -> int
+(** Sum of one handle's wall-clock buckets ([p_hidden] excluded). *)
+
+val attributed : t -> int
+(** [compute + Σ wall] over all handles; equals the runtime clock. *)
+
+val handles : t -> int list
+
+val record_latency : buckets -> int -> unit
+(** Add one fetch latency (cycles) to the handle's histogram. *)
+
+val merged_hist : t -> int array
+(** Histogram summed over all handles. *)
+
+val hist_buckets : int
+(** Length of [lat_hist]: bucket [i] counts latencies in
+    [2^i, 2^(i+1)). *)

@@ -1,0 +1,33 @@
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  tracing : bool;
+  sampling : bool;
+}
+
+let null = { trace = None; metrics = None; tracing = false; sampling = false }
+
+let create ?trace_capacity ?metrics_interval () =
+  let trace = Option.map (fun capacity -> Trace.create ~capacity) trace_capacity in
+  let metrics =
+    Option.map (fun interval -> Metrics.create ~interval ()) metrics_interval
+  in
+  { trace; metrics; tracing = trace <> None; sampling = metrics <> None }
+
+let tracing t = t.tracing
+
+let sampling t = t.sampling
+
+let emit t ev =
+  match t.trace with
+  | Some tr -> Trace.add tr ev
+  | None -> ()
+
+let metrics_due t ~now =
+  match t.metrics with
+  | Some m -> Metrics.due m ~now
+  | None -> false
+
+let trace t = t.trace
+
+let metrics t = t.metrics

@@ -1,0 +1,29 @@
+(** The instrumentation hook handed to the runtime and interpreter.
+
+    A sink bundles an optional event ring ({!Trace}) and an optional
+    metrics series ({!Metrics}).  The default {!null} sink has
+    neither: instrumented call sites check {!tracing} / {!sampling}
+    (one cached boolean load) before constructing an event, so a run
+    without observability does no extra allocation and follows the
+    seed fast path. *)
+
+type t
+
+val null : t
+(** No trace, no metrics; every hook is a no-op. *)
+
+val create : ?trace_capacity:int -> ?metrics_interval:int -> unit -> t
+(** Tracing is enabled iff [trace_capacity] is given; metric sampling
+    iff [metrics_interval] (cycles) is given. *)
+
+val tracing : t -> bool
+(** Call sites must gate event construction on this. *)
+
+val sampling : t -> bool
+
+val emit : t -> Event.t -> unit
+
+val metrics_due : t -> now:int -> bool
+
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option

@@ -1,0 +1,28 @@
+type t = {
+  buf : Event.t array;
+  cap : int;
+  mutable added : int;  (* total events ever offered *)
+}
+
+let dummy = Event.make ~cycle:0 ~ds:0 ~obj:0 Event.Epoch_mark
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  { buf = Array.make cap dummy; cap; added = 0 }
+
+let add t ev =
+  t.buf.(t.added mod t.cap) <- ev;
+  t.added <- t.added + 1
+
+let length t = min t.added t.cap
+
+let capacity t = t.cap
+
+let dropped t = max 0 (t.added - t.cap)
+
+let to_list t =
+  let n = length t in
+  let first = if t.added <= t.cap then 0 else t.added mod t.cap in
+  List.init n (fun i -> t.buf.((first + i) mod t.cap))
+
+let iter f t = List.iter f (to_list t)

@@ -19,22 +19,35 @@ type jump_state = {
   mutable ring_pos : int;
 }
 
-type t =
+type kind =
   | Stride of stride_state
   | Greedy of int
   | Jump of jump_state
 
-let stride ~depth =
-  Stride
-    { s_depth = depth; last = 0; have_last = false;
-      deltas = Array.make 8 0; n_deltas = 0; next_slot = 0; locked = 0 }
+(* Observability wrapper: every prefetcher counts its invocations and
+   emitted targets, so epoch metrics can report per-policy activity
+   without the runtime re-deriving it. *)
+type t = {
+  k : kind;
+  mutable calls : int;
+  mutable emitted : int;
+}
 
-let greedy ~fanout = Greedy fanout
+let wrap k = { k; calls = 0; emitted = 0 }
+
+let stride ~depth =
+  wrap
+    (Stride
+       { s_depth = depth; last = 0; have_last = false;
+         deltas = Array.make 8 0; n_deltas = 0; next_slot = 0; locked = 0 })
+
+let greedy ~fanout = wrap (Greedy fanout)
 
 let jump ~jump ~depth =
-  Jump
-    { j_jump = jump; j_depth = depth; table = Hashtbl.create 256;
-      ring = Array.make jump 0; ring_n = 0; ring_pos = 0 }
+  wrap
+    (Jump
+       { j_jump = jump; j_depth = depth; table = Hashtbl.create 256;
+         ring = Array.make jump 0; ring_n = 0; ring_pos = 0 })
 
 let of_class cls ~depth =
   match (cls : Static_info.prefetch_class) with
@@ -68,7 +81,7 @@ let majority_delta st =
     if 2 * !best_count > n && !best <> 0 then !best else 0
   end
 
-let on_access t ~obj ~missed ~scan =
+let on_access_kind t ~obj ~missed ~scan =
   match t with
   | Stride st ->
     let out =
@@ -126,7 +139,17 @@ let on_access t ~obj ~missed ~scan =
     if st.ring_n < st.j_jump then st.ring_n <- st.ring_n + 1;
     out
 
-let kind_name = function
+let on_access t ~obj ~missed ~scan =
+  t.calls <- t.calls + 1;
+  let out = on_access_kind t.k ~obj ~missed ~scan in
+  t.emitted <- t.emitted + List.length out;
+  out
+
+let kind_name t =
+  match t.k with
   | Stride _ -> "stride"
   | Greedy _ -> "greedy"
   | Jump _ -> "jump"
+
+let calls t = t.calls
+let targets_emitted t = t.emitted

@@ -37,3 +37,10 @@ val on_access :
     runtime filters). *)
 
 val kind_name : t -> string
+
+val calls : t -> int
+(** Accesses observed (observability counter). *)
+
+val targets_emitted : t -> int
+(** Prefetch candidates returned over the prefetcher's lifetime —
+    before the runtime's residency/window filtering. *)

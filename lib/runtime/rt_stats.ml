@@ -54,8 +54,11 @@ let total t =
   acc
 
 let prefetch_accuracy d =
-  if d.prefetch_issued = 0 then 1.0
-  else float_of_int d.prefetch_used /. float_of_int d.prefetch_issued
+  (* No issues = no data, not a perfect prefetcher: a [None] here keeps
+     an idle prefetcher from showing a vacuous 100% in reports and from
+     misleading accuracy-driven policy decisions. *)
+  if d.prefetch_issued = 0 then None
+  else Some (float_of_int d.prefetch_used /. float_of_int d.prefetch_issued)
 
 let prefetch_coverage d =
   let denom = d.prefetch_used + d.remote_faults in

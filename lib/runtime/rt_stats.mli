@@ -33,8 +33,9 @@ val total : t -> ds
 
 val unmanaged_bucket : t -> ds
 
-val prefetch_accuracy : ds -> float
-(** used / issued; 1.0 when nothing was issued. *)
+val prefetch_accuracy : ds -> float option
+(** used / issued; [None] when nothing was issued (no data — render
+    as ["-"], see {!Cards_util.Table.fmt_ratio_opt}). *)
 
 val prefetch_coverage : ds -> float
 (** Fraction of would-be misses that prefetching absorbed:

@@ -1,5 +1,9 @@
 module Fabric = Cards_net.Fabric
 module Vec = Cards_util.Vec
+module Sink = Cards_obs.Sink
+module Event = Cards_obs.Event
+module Profile = Cards_obs.Profile
+module Metrics = Cards_obs.Metrics
 
 type prefetch_mode = Pf_none | Pf_stride_only | Pf_per_class | Pf_adaptive
 
@@ -51,6 +55,7 @@ type ds = {
          tagged/remotable; already-issued untagged pointers stay local
          forever, as they must. *)
   mutable pinned_bytes : int;     (* untagged bytes issued while pinned *)
+  mutable resident_bytes : int;   (* bytes currently in the remotable cache *)
   mutable data : Bytes.t;
   mutable pool_used : int;
   mutable objs : int array;       (* state flags per object *)
@@ -70,6 +75,7 @@ type ds = {
   mutable epoch_faults : int;
   mutable pf_switches : int;
   st : Rt_stats.ds;
+  prof : Profile.buckets;         (* cycle-attribution buckets *)
 }
 
 type t = {
@@ -86,13 +92,16 @@ type t = {
   mutable remotable_used : int;
   clockq : (int * int) Queue.t;   (* CLOCK over remotable residents *)
   stats : Rt_stats.t;
+  obs : Sink.t;
+  prof : Profile.t;
+  prof0 : Profile.buckets;        (* handle-0 bucket, cached off the hot path *)
 }
 
 let log2_exact x =
   let rec go p n = if 1 lsl p >= n then p else go (p + 1) n in
   go 3 x
 
-let create cfg infos =
+let create ?(obs = Sink.null) cfg infos =
   if cfg.remotable_bytes > cfg.local_bytes then
     fail "remotable region (%d) exceeds local memory (%d)" cfg.remotable_bytes
       cfg.local_bytes;
@@ -100,6 +109,7 @@ let create cfg infos =
     (fun i (inf : Static_info.t) ->
       if inf.sid <> i then fail "static descriptor %d out of order" inf.sid)
     infos;
+  let prof = Profile.create () in
   { cfg;
     pinned_budget = cfg.local_bytes - cfg.remotable_bytes;
     clock = 0;
@@ -112,16 +122,65 @@ let create cfg infos =
     pinned_used = 0;
     remotable_used = 0;
     clockq = Queue.create ();
-    stats = Rt_stats.create () }
+    stats = Rt_stats.create ();
+    obs;
+    prof;
+    prof0 = Profile.buckets prof 0 }
 
 let now t = t.clock
-let charge t c = t.clock <- t.clock + c
+
+(* Every clock advance is attributed to exactly one profiler bucket, so
+   [Profile.attributed t.prof = t.clock] holds at all times (the
+   invariant test/test_obs.ml asserts).  [charge] is the public
+   interpreter entry point and feeds the compute bucket; internal
+   runtime costs advance the clock with [spend] and attribute the same
+   cycles to a specific bucket at the call site.  Attribution never
+   feeds back into the clock, so profiled and unprofiled runs produce
+   bit-identical cycle counts. *)
+let charge t c =
+  t.clock <- t.clock + c;
+  Profile.add_compute t.prof c
+
+let spend t c = t.clock <- t.clock + c
 
 let n_ds t = Vec.length t.dss
 
 let get_ds t handle =
   if handle < 1 || handle > Vec.length t.dss then fail "bad handle %d" handle;
   Vec.get t.dss (handle - 1)
+
+(* ---------- metrics sampling ---------- *)
+
+let pf_name (d : ds) =
+  match d.pf with Some p -> Prefetcher.kind_name p | None -> "off"
+
+let sample_all t m =
+  let cycle = t.clock in
+  Vec.iteri
+    (fun _ (d : ds) ->
+      Metrics.record m
+        { Metrics.m_cycle = cycle;
+          m_ds = d.handle;
+          m_name = d.info.name;
+          m_resident_bytes = d.pinned_bytes + d.resident_bytes;
+          m_guards = d.st.guards;
+          m_guard_hits = d.st.guard_hits;
+          m_remote_faults = d.st.remote_faults;
+          m_clean_faults = d.st.clean_faults;
+          m_pf_issued = d.st.prefetch_issued;
+          m_pf_used = d.st.prefetch_used;
+          m_pf_late = d.st.prefetch_late;
+          m_evictions = d.st.evictions;
+          m_prefetcher = pf_name d;
+          m_pf_switches = d.pf_switches })
+    t.dss;
+  Metrics.catch_up m ~now:cycle
+
+let maybe_sample t =
+  if Sink.sampling t.obs && Sink.metrics_due t.obs ~now:t.clock then
+    match Sink.metrics t.obs with
+    | Some m -> sample_all t m
+    | None -> ()
 
 (* ---------- CLOCK eviction over the remotable region ---------- *)
 
@@ -156,11 +215,21 @@ let evict_until_fits t =
     end
     else begin
       (* evict *)
-      if st land b_dirty <> 0 then
+      let dirty = st land b_dirty <> 0 in
+      if dirty then begin
         Fabric.writeback t.fabric ~now:t.clock ~bytes:(obj_size d);
+        if Sink.tracing t.obs then
+          Sink.emit t.obs
+            (Event.make ~cycle:t.clock ~ds:h ~obj:o
+               (Event.Writeback { bytes = obj_size d }))
+      end;
       d.objs.(o) <- 0;
       t.remotable_used <- t.remotable_used - obj_size d;
-      d.st.evictions <- d.st.evictions + 1
+      d.resident_bytes <- d.resident_bytes - obj_size d;
+      d.st.evictions <- d.st.evictions + 1;
+      if Sink.tracing t.obs then
+        Sink.emit t.obs
+          (Event.make ~cycle:t.clock ~ds:h ~obj:o (Event.Evict { dirty }))
     end
   done
 
@@ -171,6 +240,7 @@ let clock_insert t (d : ds) o =
     d.objs.(o) <- d.objs.(o) lor b_inclock lor b_ref;
     Queue.push (d.handle, o) t.clockq;
     t.remotable_used <- t.remotable_used + obj_size d;
+    d.resident_bytes <- d.resident_bytes + obj_size d;
     evict_until_fits t
   end
 
@@ -208,11 +278,13 @@ let pow2_ceil x =
 let align_up x a = (x + a - 1) land lnot (a - 1)
 
 let ds_init t ~sid =
-  charge t t.cfg.cost.ds_init;
   if sid < 0 || sid >= Array.length t.infos then fail "ds_init: bad sid %d" sid;
   let info = t.infos.(sid) in
   let handle = Vec.length t.dss + 1 in
   if handle > Addr.max_handle then fail "too many data structures";
+  let prof = Profile.buckets t.prof handle in
+  spend t t.cfg.cost.ds_init;
+  prof.Profile.p_alloc <- prof.Profile.p_alloc + t.cfg.cost.ds_init;
   let pf, candidates =
     let depth = t.cfg.prefetch_depth in
     match t.cfg.prefetch_mode with
@@ -253,13 +325,14 @@ let ds_init t ~sid =
   in
   let d =
     { handle; info; obj_shift = log2_exact info.obj_size;
-      pinned = t.pref.(sid); pinned_bytes = 0;
+      pinned = t.pref.(sid); pinned_bytes = 0; resident_bytes = 0;
       data = Bytes.create 0; pool_used = 0; objs = [||]; arrivals = [||];
       pf; pf_candidates = candidates; pf_order = order_of_candidates;
       pf_cooldown = 0;
       epoch_accesses = 0; epoch_issued = 0; epoch_used = 0; epoch_faults = 0;
       pf_switches = 0;
-      st = Rt_stats.ds_stats t.stats handle }
+      st = Rt_stats.ds_stats t.stats handle;
+      prof }
   in
   ignore (Vec.push t.dss d);
   handle
@@ -271,7 +344,9 @@ let alloc_unmanaged t ~size =
   Addr.unmanaged ~offset:off
 
 let ds_alloc t ~handle ~size =
-  charge t t.cfg.cost.ds_alloc;
+  spend t t.cfg.cost.ds_alloc;
+  let ab = if handle = 0 then t.prof0 else (get_ds t handle).prof in
+  ab.Profile.p_alloc <- ab.Profile.p_alloc + t.cfg.cost.ds_alloc;
   if size <= 0 then fail "dsalloc: non-positive size %d" size;
   if handle = 0 then alloc_unmanaged t ~size
   else begin
@@ -359,6 +434,10 @@ let issue_prefetch t (d : ds) (tg : Prefetcher.target) =
       (* Adaptation is judged at the *originating* structure — its
          prefetcher made the call, even for cross-structure targets. *)
       d.epoch_issued <- d.epoch_issued + 1;
+      if Sink.tracing t.obs then
+        Sink.emit t.obs
+          (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
+             (Event.Prefetch_issue { tgt_ds = td.handle; tgt_obj = o }));
       clock_insert t td o
     end
   end
@@ -369,6 +448,12 @@ let epoch_min_accuracy = 0.25
 let epoch_min_signal = 32     (* misses+uses needed to judge coverage *)
 let epoch_min_coverage = 0.25
 let reexplore_cooldown = 4 (* epochs spent off before retrying *)
+
+let emit_policy_switch t (d : ds) ~from_pf =
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:t.clock ~ds:d.handle ~obj:0
+         (Event.Policy_switch { from_pf; to_pf = pf_name d }))
 
 (* Adaptive mode (paper: "standard prefetching metrics, such as
    accuracy and coverage, are used to evaluate the effectiveness of
@@ -385,6 +470,9 @@ let adapt_prefetcher t (d : ds) =
     t.cfg.prefetch_mode = Pf_adaptive
     && d.epoch_accesses >= epoch_len
   then begin
+    if Sink.tracing t.obs then
+      Sink.emit t.obs
+        (Event.make ~cycle:t.clock ~ds:d.handle ~obj:0 Event.Epoch_mark);
     (match d.pf with
      | None ->
        if d.pf_cooldown > 0 then begin
@@ -394,7 +482,8 @@ let adapt_prefetcher t (d : ds) =
            | first :: rest ->
              d.pf <- Prefetcher.of_class first ~depth:t.cfg.prefetch_depth;
              d.pf_candidates <- rest;
-             d.pf_switches <- d.pf_switches + 1
+             d.pf_switches <- d.pf_switches + 1;
+             emit_policy_switch t d ~from_pf:"off"
            | [] -> ()
          end
        end
@@ -415,14 +504,16 @@ let adapt_prefetcher t (d : ds) =
          signal >= epoch_min_signal && coverage < epoch_min_coverage
        in
        if inaccurate || uncovering then begin
+         let from_pf = pf_name d in
          d.pf_switches <- d.pf_switches + 1;
-         match d.pf_candidates with
-         | [] ->
-           d.pf <- None;
-           d.pf_cooldown <- reexplore_cooldown
-         | next :: rest ->
-           d.pf <- Prefetcher.of_class next ~depth:t.cfg.prefetch_depth;
-           d.pf_candidates <- rest
+         (match d.pf_candidates with
+          | [] ->
+            d.pf <- None;
+            d.pf_cooldown <- reexplore_cooldown
+          | next :: rest ->
+            d.pf <- Prefetcher.of_class next ~depth:t.cfg.prefetch_depth;
+            d.pf_candidates <- rest);
+         emit_policy_switch t d ~from_pf
        end);
     d.epoch_accesses <- 0;
     d.epoch_issued <- 0;
@@ -459,8 +550,15 @@ let settle_inflight t (d : ds) o =
     let wait = d.arrivals.(o) - t.clock in
     d.objs.(o) <- st land lnot b_inflight;
     if wait > 0 then begin
-      t.clock <- t.clock + wait;
+      let start = t.clock in
+      spend t wait;
+      d.prof.Profile.p_pf_stall <- d.prof.Profile.p_pf_stall + wait;
+      Profile.record_latency d.prof wait;
       d.st.prefetch_late <- d.st.prefetch_late + 1;
+      if Sink.tracing t.obs then
+        Sink.emit t.obs
+          (Event.make ~cycle:start ~ds:d.handle ~obj:o
+             (Event.Prefetch_late { wait }));
       false
     end
     else true
@@ -468,14 +566,24 @@ let settle_inflight t (d : ds) o =
   else true
 
 let demand_fetch t (d : ds) o =
-  let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size d) in
-  t.clock <- completion + t.cfg.cost.deref_map;
+  let start = t.clock in
+  let tr = Fabric.fetch_info t.fabric ~now:start ~bytes:(obj_size d) in
+  t.clock <- tr.Fabric.t_complete + t.cfg.cost.deref_map;
+  let stall = t.clock - start in
+  let queued = tr.Fabric.t_queued in
+  d.prof.Profile.p_queue <- d.prof.Profile.p_queue + queued;
+  d.prof.Profile.p_demand <- d.prof.Profile.p_demand + (stall - queued);
+  Profile.record_latency d.prof stall;
   d.objs.(o) <- d.objs.(o) lor b_resident;
   d.st.remote_faults <- d.st.remote_faults + 1;
   d.epoch_faults <- d.epoch_faults + 1;
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:start ~ds:d.handle ~obj:o
+         (Event.Remote_fault { queued; stall }));
   clock_insert t d o
 
-let note_prefetch_hit (d : ds) o ~timely =
+let note_prefetch_hit t (d : ds) o ~timely =
   let st = d.objs.(o) in
   if st land b_prefetched <> 0 then begin
     d.objs.(o) <- st land lnot b_prefetched;
@@ -484,12 +592,27 @@ let note_prefetch_hit (d : ds) o ~timely =
        arrives after the access wanted it hid no latency, however
        accurate it was (greedy one-hop lookahead on a chase is the
        textbook case). *)
-    if timely then d.epoch_used <- d.epoch_used + 1
+    if timely then begin
+      d.epoch_used <- d.epoch_used + 1;
+      (* Informational bucket: the demand stall this prefetch avoided
+         (uncontended fetch + mapping) — what the access would have
+         cost as a fault.  Not part of the wall-clock identity. *)
+      d.prof.Profile.p_hidden <-
+        d.prof.Profile.p_hidden
+        + Fabric.nominal_fetch_cycles t.fabric ~bytes:(obj_size d)
+        + t.cfg.cost.deref_map
+    end;
+    if Sink.tracing t.obs then
+      Sink.emit t.obs
+        (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
+           (Event.Prefetch_use { timely }))
   end
 
 let guard t ~write addr =
-  if not (Addr.is_managed addr) then
-    charge t t.cfg.cost.guard_unmanaged
+  if not (Addr.is_managed addr) then begin
+    spend t t.cfg.cost.guard_unmanaged;
+    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged
+  end
   else if
     (* Guards may be hoisted to loop preheaders and thus run
        speculatively (e.g. ahead of a zero-trip loop) with an address
@@ -499,7 +622,10 @@ let guard t ~write addr =
     (let h = addr lsr Addr.offset_bits in
      h > Vec.length t.dss
      || Addr.offset_of addr >= (Vec.get t.dss (h - 1)).pool_used)
-  then charge t t.cfg.cost.guard_unmanaged
+  then begin
+    spend t t.cfg.cost.guard_unmanaged;
+    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged
+  end
   else begin
     let d, o = locate t addr in
     d.st.guards <- d.st.guards + 1;
@@ -510,20 +636,29 @@ let guard t ~write addr =
     let missed =
       if st land b_resident <> 0 then begin
         let timely = settle_inflight t d o in
-        note_prefetch_hit d o ~timely;
-        charge t local_cost;
+        note_prefetch_hit t d o ~timely;
+        spend t local_cost;
+        d.prof.Profile.p_guard <- d.prof.Profile.p_guard + local_cost;
         d.st.guard_hits <- d.st.guard_hits + 1;
+        if Sink.tracing t.obs then
+          Sink.emit t.obs
+            (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o Event.Guard_hit);
         false
       end
       else begin
-        charge t local_cost;
+        spend t local_cost;
+        d.prof.Profile.p_guard <- d.prof.Profile.p_guard + local_cost;
+        if Sink.tracing t.obs then
+          Sink.emit t.obs
+            (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o Event.Guard_miss);
         demand_fetch t d o;
         true
       end
     in
     let bits = if write then b_ref lor b_dirty else b_ref in
     d.objs.(o) <- d.objs.(o) lor bits;
-    run_prefetcher t d ~obj:o ~missed
+    run_prefetcher t d ~obj:o ~missed;
+    maybe_sample t
   end
 
 let loop_check t addrs =
@@ -534,21 +669,37 @@ let loop_check t addrs =
   let ok = ref true in
   List.iter
     (fun addr ->
-      charge t t.cfg.cost.loop_check_per_ds;
+      spend t t.cfg.cost.loop_check_per_ds;
+      t.prof0.Profile.p_alloc <-
+        t.prof0.Profile.p_alloc + t.cfg.cost.loop_check_per_ds;
       if Addr.is_managed addr then ok := false)
     addrs;
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:t.clock ~ds:0 ~obj:0 (Event.Loop_version { clean = !ok }));
   !ok
 
 (* ---------- data accesses ---------- *)
 
 (* Unguarded fallback: trap, then behave like a demand fault. *)
 let clean_fault t (d : ds) o ~write =
-  charge t (segv_penalty
-            + (if write then t.cfg.cost.guard_local_write
-               else t.cfg.cost.guard_local_read));
+  let start = t.clock in
+  let c =
+    segv_penalty
+    + (if write then t.cfg.cost.guard_local_write
+       else t.cfg.cost.guard_local_read)
+  in
+  spend t c;
+  d.prof.Profile.p_trap <- d.prof.Profile.p_trap + c;
   ignore (settle_inflight t d o);
   if d.objs.(o) land b_resident = 0 then demand_fetch t d o;
-  d.st.clean_faults <- d.st.clean_faults + 1
+  d.st.clean_faults <- d.st.clean_faults + 1;
+  (* The span covers trap + settle + fetch; a nested [Remote_fault]
+     span appears inside it when the object had to be demand-fetched. *)
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:start ~ds:d.handle ~obj:o
+         (Event.Clean_fault { stall = t.clock - start }))
 
 let resolve t addr ~write =
   if Addr.is_managed addr then begin
@@ -558,11 +709,12 @@ let resolve t addr ~write =
     if st land b_resident = 0 then clean_fault t d o ~write
     else if st land b_inflight <> 0 then begin
       let timely = settle_inflight t d o in
-      note_prefetch_hit d o ~timely
+      note_prefetch_hit t d o ~timely
     end;
     charge t t.cfg.cost.mem_access;
     let bits = if write then b_ref lor b_dirty else b_ref in
     d.objs.(o) <- d.objs.(o) lor bits;
+    maybe_sample t;
     (d.data, Addr.offset_of addr)
   end
   else begin
@@ -574,6 +726,7 @@ let resolve t addr ~write =
       let u = unmanaged_bucket t.stats in
       u.plain_accesses <- u.plain_accesses + 1);
     charge t t.cfg.cost.mem_access;
+    maybe_sample t;
     (t.unmanaged_data, off)
   end
 
@@ -602,7 +755,10 @@ type ds_report = {
   r_pinned : bool;
   r_bytes : int;
   r_objects : int;
+  r_resident_bytes : int;    (* pinned + currently cache-resident *)
   r_prefetcher : string;     (* currently active prefetcher *)
+  r_pf_calls : int;          (* accesses the active prefetcher observed *)
+  r_pf_targets : int;        (* candidates it emitted (pre-filtering) *)
   r_pf_switches : int;       (* adaptive-mode policy switches *)
   r_stats : Rt_stats.ds;
 }
@@ -616,10 +772,11 @@ let report t =
         r_pinned = d.pinned;
         r_bytes = d.pool_used + d.pinned_bytes;
         r_objects = (d.pool_used + obj_size d - 1) lsr d.obj_shift;
-        r_prefetcher =
-          (match d.pf with
-           | Some p -> Prefetcher.kind_name p
-           | None -> "off");
+        r_resident_bytes = d.pinned_bytes + d.resident_bytes;
+        r_prefetcher = pf_name d;
+        r_pf_calls = (match d.pf with Some p -> Prefetcher.calls p | None -> 0);
+        r_pf_targets =
+          (match d.pf with Some p -> Prefetcher.targets_emitted p | None -> 0);
         r_pf_switches = d.pf_switches;
         r_stats = d.st })
     (Vec.to_list t.dss)
@@ -629,3 +786,9 @@ let fabric_stats t = Fabric.stats t.fabric
 let pinned_bytes t = t.pinned_used
 let remotable_resident_bytes t = t.remotable_used
 let pinned_preference t = Array.copy t.pref
+let sink t = t.obs
+let profile t = t.prof
+let ds_name t handle =
+  if handle >= 1 && handle <= Vec.length t.dss then
+    (Vec.get t.dss (handle - 1)).info.name
+  else "(unmanaged)"

@@ -50,13 +50,20 @@ type t
 exception Runtime_error of string
 (** Wild pointers, out-of-range handles, pool overflows. *)
 
-val create : config -> Static_info.t array -> t
+val create : ?obs:Cards_obs.Sink.t -> config -> Static_info.t array -> t
+(** [obs] (default {!Cards_obs.Sink.null}) receives trace events and
+    epoch metric samples.  Observability is read-only with respect to
+    simulated time: any sink yields cycle counts bit-identical to a
+    run with the null sink. *)
 
 (** {2 Clock} *)
 
 val now : t -> int
 val charge : t -> int -> unit
-(** Advance the clock (the interpreter charges instruction costs). *)
+(** Advance the clock (the interpreter charges instruction costs).
+    Charged cycles land in the profiler's compute bucket; the
+    runtime's own costs are attributed internally so that
+    [Cards_obs.Profile.attributed (profile t) = now t] always holds. *)
 
 (** {2 Runtime entry points (called from transformed code)} *)
 
@@ -97,7 +104,10 @@ type ds_report = {
   r_pinned : bool;
   r_bytes : int;
   r_objects : int;
+  r_resident_bytes : int; (** pinned bytes + bytes now in the remotable cache *)
   r_prefetcher : string;  (** currently active prefetcher ("off" if none) *)
+  r_pf_calls : int;       (** accesses the active prefetcher observed *)
+  r_pf_targets : int;     (** candidates it emitted, before filtering *)
   r_pf_switches : int;    (** adaptive-mode policy switches so far *)
   r_stats : Rt_stats.ds;
 }
@@ -110,3 +120,17 @@ val pinned_bytes : t -> int
 val remotable_resident_bytes : t -> int
 val pinned_preference : t -> bool array
 val n_ds : t -> int
+
+(** {2 Observability} *)
+
+val sink : t -> Cards_obs.Sink.t
+(** The sink passed to {!create} (the interpreter fetches it from
+    here to stamp call events). *)
+
+val profile : t -> Cards_obs.Profile.t
+(** The always-on cycle-attribution profiler;
+    [Cards_obs.Profile.attributed] of it equals {!now}. *)
+
+val ds_name : t -> int -> string
+(** Static name for a handle (["(unmanaged)"] for handle 0 or unknown)
+    — the [names] labeller exporters take. *)

@@ -1,0 +1,246 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- printing ---------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_literal x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else if Float.is_nan x then "null" (* JSON has no NaN *)
+  else Printf.sprintf "%.17g" x
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_literal x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        emit buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ---------- parsing (recursive descent) ---------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail_at c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail_at c (Printf.sprintf "expected %C" ch)
+
+let expect_lit c lit v =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = lit then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail_at c (Printf.sprintf "expected %S" lit)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail_at c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char buf '"'; advance c
+       | Some '\\' -> Buffer.add_char buf '\\'; advance c
+       | Some '/' -> Buffer.add_char buf '/'; advance c
+       | Some 'n' -> Buffer.add_char buf '\n'; advance c
+       | Some 't' -> Buffer.add_char buf '\t'; advance c
+       | Some 'r' -> Buffer.add_char buf '\r'; advance c
+       | Some 'b' -> Buffer.add_char buf '\b'; advance c
+       | Some 'f' -> Buffer.add_char buf '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         if c.pos + 4 > String.length c.s then fail_at c "bad \\u escape";
+         let hex = String.sub c.s c.pos 4 in
+         c.pos <- c.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with _ -> fail_at c "bad \\u escape"
+         in
+         (* Only BMP code points below 0x80 kept literal; others as '?'
+            — the exporter never emits non-ASCII. *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else Buffer.add_char buf '?'
+       | _ -> fail_at c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let lit = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt lit with
+    | Some x -> Float x
+    | None -> fail_at c "bad number"
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some x -> Float x
+      | None -> fail_at c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail_at c "unexpected end of input"
+  | Some '"' -> Str (parse_string_body c)
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> fail_at c "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elems (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> fail_at c "expected ',' or ']'"
+      in
+      List (elems [])
+    end
+  | Some 't' -> expect_lit c "true" (Bool true)
+  | Some 'f' -> expect_lit c "false" (Bool false)
+  | Some 'n' -> expect_lit c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail_at c (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail_at c "trailing garbage";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_list_opt = function List xs -> Some xs | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_number_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None

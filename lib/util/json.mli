@@ -1,0 +1,31 @@
+(** Minimal JSON: just enough for the observability exporters (Chrome
+    [trace_event] files, JSON-lines event/metric dumps) and for tests
+    to round-trip what the exporters emit.  No external dependency —
+    the container's opam switch has no JSON library, and the format
+    needed here is small. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact rendering with proper string escaping.  [Float nan]
+    renders as [null] (JSON has no NaN). *)
+
+val parse : string -> t
+(** Strict parse of a complete document; raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Object field lookup ([None] on non-objects too). *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_number_opt : t -> float option
+(** Ints widen to float. *)

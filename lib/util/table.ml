@@ -58,6 +58,11 @@ let fmt_cycles c =
 
 let fmt_speedup r = Printf.sprintf "%.2fx" r
 
+let fmt_ratio_opt = function
+  | None -> "-"
+  | Some r when Float.is_nan r -> "-"
+  | Some r -> Printf.sprintf "%.2f" r
+
 let fmt_bytes b =
   let a = Float.abs b in
   if a < 1024.0 then Printf.sprintf "%.0fB" b

@@ -24,5 +24,10 @@ val fmt_cycles : float -> string
 val fmt_speedup : float -> string
 (** Format a ratio as e.g. [1.85x]. *)
 
+val fmt_ratio_opt : float option -> string
+(** Format an optional ratio as e.g. [0.87]; [None] (or NaN) renders
+    as ["-"], the "no data" cell used for e.g. prefetch accuracy when
+    nothing was issued. *)
+
 val fmt_bytes : float -> string
 (** Human format for byte counts: [512B] / [4.0KB] / [31.0GB]. *)

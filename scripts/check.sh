@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate: the whole build, the whole test suite, and an
+# observability smoke run (compile + execute a bundled example with
+# tracing, metrics, and the cycle-attribution profile on, then make
+# sure the emitted Chrome trace is non-empty).
+#
+#   scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== smoke: cards run with --trace/--metrics/--profile"
+trace=$(mktemp /tmp/cards-trace.XXXXXX.json)
+trap 'rm -f "$trace"' EXIT
+dune exec --no-build bin/cards_cli.exe -- run examples/minic/listing1.mc \
+  --policy all-remotable --local 1M --remotable 256K \
+  --trace "$trace" --metrics --profile > /dev/null
+test -s "$trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
+grep -q traceEvents "$trace" || {
+  echo "check.sh: trace is not a Chrome trace_event file" >&2; exit 1; }
+
+echo "== check.sh: all green"

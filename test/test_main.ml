@@ -13,5 +13,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("workloads", Test_workloads.suite);
       ("baselines", Test_baselines.suite);
+      ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("simplify", Test_simplify.suite) ]

@@ -1,0 +1,281 @@
+(* Tests for the observability layer: the event ring, the
+   cycle-attribution profiler's exactness invariant, epoch metrics,
+   the exporters, and — critically — that observability never perturbs
+   simulated time. *)
+
+module O = Cards_obs
+module R = Cards_runtime
+module P = Cards.Pipeline
+module W = Cards_workloads
+module J = Cards_util.Json
+
+let check = Alcotest.check
+
+(* A pointer-chase under memory pressure: remote faults, queueing,
+   prefetches and evictions all occur, so every bucket and event kind
+   is exercised. *)
+let chase =
+  lazy
+    (P.compile_source
+       (W.Pointer_chase.source ~variant:"list" ~scale:2048 ~passes:2))
+
+let pressure_cfg =
+  { R.Runtime.default_config with
+    policy = R.Policy.All_remotable;
+    k = 0.0;
+    local_bytes = 256 * 1024;
+    remotable_bytes = 64 * 1024 }
+
+let full_sink () =
+  O.Sink.create ~trace_capacity:200_000 ~metrics_interval:100_000 ()
+
+(* ---------- cycle attribution ---------- *)
+
+let test_attribution_sums_to_total () =
+  let res, rt = P.run (Lazy.force chase) pressure_cfg in
+  let prof = R.Runtime.profile rt in
+  check Alcotest.int "compute + Σ wall buckets = total cycles" res.cycles
+    (O.Profile.attributed prof);
+  (* The identity must not be vacuous: the run really faulted and the
+     fault cycles really landed in per-structure buckets. *)
+  let tot = R.Rt_stats.total (R.Runtime.stats rt) in
+  check Alcotest.bool "remote faults occurred" true (tot.remote_faults > 0);
+  let demand =
+    List.fold_left
+      (fun acc h ->
+        let b = O.Profile.buckets prof h in
+        acc + b.O.Profile.p_demand + b.O.Profile.p_queue)
+      0 (O.Profile.handles prof)
+  in
+  check Alcotest.bool "demand/queue buckets non-empty" true (demand > 0);
+  check Alcotest.bool "compute bucket non-empty" true
+    (O.Profile.compute prof > 0);
+  (* Fetch latencies were recorded for the faults. *)
+  let hist_total = Array.fold_left ( + ) 0 (O.Profile.merged_hist prof) in
+  check Alcotest.bool "latency histogram populated" true (hist_total > 0)
+
+let test_attribution_all_pinned_is_pure_compute_and_alloc () =
+  (* Everything pinned: no guards survive versioning's clean loops, no
+     faults — attribution still balances, via compute + alloc alone. *)
+  let res, rt = P.run (Lazy.force chase) R.Runtime.default_config in
+  let prof = R.Runtime.profile rt in
+  check Alcotest.int "attributed = total" res.cycles
+    (O.Profile.attributed prof);
+  List.iter
+    (fun h ->
+      let b = O.Profile.buckets prof h in
+      check Alcotest.int "no demand stall when pinned" 0 b.O.Profile.p_demand;
+      check Alcotest.int "no queueing when pinned" 0 b.O.Profile.p_queue)
+    (O.Profile.handles prof)
+
+(* ---------- observability does not perturb the simulation ---------- *)
+
+let test_sink_off_bit_identical () =
+  let bare, _ = P.run (Lazy.force chase) pressure_cfg in
+  let obs = full_sink () in
+  let traced, rt = P.run ~obs (Lazy.force chase) pressure_cfg in
+  check Alcotest.int "cycles identical with full sink" bare.cycles
+    traced.cycles;
+  check Alcotest.int "instructions identical" bare.instructions
+    traced.instructions;
+  check (Alcotest.list Alcotest.string) "output identical" bare.output
+    traced.output;
+  (* And the sink actually observed the run. *)
+  (match O.Sink.trace obs with
+   | Some tr -> check Alcotest.bool "events captured" true (O.Trace.length tr > 0)
+   | None -> Alcotest.fail "sink lost its trace");
+  ignore rt
+
+(* ---------- the event ring ---------- *)
+
+let mk_ev i =
+  O.Event.make ~cycle:i ~ds:1 ~obj:i O.Event.Guard_hit
+
+let test_ring_keeps_newest () =
+  let tr = O.Trace.create ~capacity:4 in
+  for i = 0 to 9 do
+    O.Trace.add tr (mk_ev i)
+  done;
+  check Alcotest.int "length capped" 4 (O.Trace.length tr);
+  check Alcotest.int "dropped counted" 6 (O.Trace.dropped tr);
+  let cycles = List.map (fun (e : O.Event.t) -> e.ev_cycle) (O.Trace.to_list tr) in
+  check (Alcotest.list Alcotest.int) "newest retained, oldest first"
+    [ 6; 7; 8; 9 ] cycles
+
+let test_ring_under_capacity () =
+  let tr = O.Trace.create ~capacity:8 in
+  for i = 0 to 2 do
+    O.Trace.add tr (mk_ev i)
+  done;
+  check Alcotest.int "length" 3 (O.Trace.length tr);
+  check Alcotest.int "nothing dropped" 0 (O.Trace.dropped tr);
+  let cycles = List.map (fun (e : O.Event.t) -> e.ev_cycle) (O.Trace.to_list tr) in
+  check (Alcotest.list Alcotest.int) "insertion order" [ 0; 1; 2 ] cycles
+
+(* ---------- exporters ---------- *)
+
+let test_chrome_trace_roundtrips () =
+  let obs = full_sink () in
+  let _, rt = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let tr = match O.Sink.trace obs with Some t -> t | None -> assert false in
+  let s = O.Export.chrome_trace_string ~names:(R.Runtime.ds_name rt) tr in
+  let j = J.parse s in
+  let events =
+    match J.member "traceEvents" j with
+    | Some v -> (match J.to_list_opt v with Some l -> l | None -> [])
+    | None -> []
+  in
+  check Alcotest.bool "traceEvents non-empty" true (List.length events > 0);
+  (* Every entry is an object with the mandatory trace_event fields. *)
+  List.iter
+    (fun e ->
+      (match J.member "ph" e with
+       | Some (J.Str ph) ->
+         check Alcotest.bool "known phase" true
+           (List.mem ph [ "B"; "E"; "X"; "i"; "M" ])
+       | _ -> Alcotest.fail "event missing ph");
+      (match J.member "pid" e with
+       | Some (J.Int _) -> ()
+       | _ -> Alcotest.fail "event missing pid");
+      match J.member "ph" e with
+      | Some (J.Str "X") -> begin
+        (* Duration spans need a non-negative dur. *)
+        match J.member "dur" e with
+        | Some v -> begin
+          match J.to_number_opt v with
+          | Some d -> check Alcotest.bool "dur >= 0" true (d >= 0.0)
+          | None -> Alcotest.fail "dur not a number"
+        end
+        | None -> Alcotest.fail "X event missing dur"
+      end
+      | _ -> ())
+    events;
+  (* B/E pairs on the interpreter thread must balance (a trap could
+     legitimately truncate, but this run completes normally). *)
+  let depth =
+    List.fold_left
+      (fun acc e ->
+        match (J.member "ph" e, J.member "tid" e) with
+        | (Some (J.Str "B"), Some (J.Int 0)) -> acc + 1
+        | (Some (J.Str "E"), Some (J.Int 0)) -> acc - 1
+        | _ -> acc)
+      0 events
+  in
+  check Alcotest.int "call stack balanced" 0 depth
+
+let test_events_jsonl_parses () =
+  let obs = full_sink () in
+  let _ = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let tr = match O.Sink.trace obs with Some t -> t | None -> assert false in
+  let lines =
+    String.split_on_char '\n' (O.Export.events_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one line per event" (O.Trace.length tr)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      let j = J.parse line in
+      match (J.member "ev" j, J.member "cycle" j) with
+      | (Some (J.Str _), Some (J.Int _)) -> ()
+      | _ -> Alcotest.fail "event line missing fields")
+    lines
+
+let test_profile_table_renders () =
+  let res, rt = P.run (Lazy.force chase) pressure_cfg in
+  let s =
+    Cards_util.Table.render
+      (O.Export.profile_table ~names:(R.Runtime.ds_name rt) ~total:res.cycles
+         (R.Runtime.profile rt))
+  in
+  check Alcotest.bool "has TOTAL row" true
+    (String.length s > 0
+     && (let re = "TOTAL" in
+         let n = String.length s and m = String.length re in
+         let rec go i = i + m <= n && (String.sub s i m = re || go (i + 1)) in
+         go 0));
+  (* Exact attribution means no (unattributed) row. *)
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "no unattributed row" false (has "(unattributed)")
+
+(* ---------- epoch metrics ---------- *)
+
+let test_metrics_sampled () =
+  let obs = O.Sink.create ~metrics_interval:50_000 () in
+  let _, rt = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let m = match O.Sink.metrics obs with Some m -> m | None -> assert false in
+  check Alcotest.bool "samples recorded" true (O.Metrics.n_samples m > 0);
+  let samples = O.Metrics.samples m in
+  (* Cycle stamps never decrease, and cumulative counters never
+     decrease per structure. *)
+  let last_cycle = ref 0 in
+  let last_guards = Hashtbl.create 8 in
+  List.iter
+    (fun (s : O.Metrics.sample) ->
+      check Alcotest.bool "cycles monotone" true (s.m_cycle >= !last_cycle);
+      last_cycle := s.m_cycle;
+      let prev =
+        match Hashtbl.find_opt last_guards s.m_ds with Some g -> g | None -> 0
+      in
+      check Alcotest.bool "counters monotone" true (s.m_guards >= prev);
+      Hashtbl.replace last_guards s.m_ds s.m_guards)
+    samples;
+  (* The number of live structures matches the report. *)
+  let dss = List.length (R.Runtime.report rt) in
+  let seen = Hashtbl.length last_guards in
+  check Alcotest.int "every structure sampled" dss seen
+
+let test_metrics_jsonl_parses () =
+  let obs = O.Sink.create ~metrics_interval:50_000 () in
+  let _ = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let m = match O.Sink.metrics obs with Some m -> m | None -> assert false in
+  let lines =
+    String.split_on_char '\n' (O.Export.metrics_jsonl m)
+    |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one line per sample" (O.Metrics.n_samples m)
+    (List.length lines);
+  List.iter (fun l -> ignore (J.parse l)) lines
+
+(* ---------- json codec ---------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("a", J.Int 42); ("b", J.Str "x\"y\n\\z");
+        ("c", J.List [ J.Null; J.Bool true; J.Float 1.5 ]);
+        ("d", J.Obj [] ) ]
+  in
+  let s = J.to_string v in
+  check Alcotest.bool "roundtrip equal" true (J.parse s = v)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("accepted garbage: " ^ s))
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let suite =
+  [ Alcotest.test_case "attribution sums to total" `Quick
+      test_attribution_sums_to_total;
+    Alcotest.test_case "attribution balances when pinned" `Quick
+      test_attribution_all_pinned_is_pure_compute_and_alloc;
+    Alcotest.test_case "full sink is cycle-identical" `Quick
+      test_sink_off_bit_identical;
+    Alcotest.test_case "ring keeps newest" `Quick test_ring_keeps_newest;
+    Alcotest.test_case "ring under capacity" `Quick test_ring_under_capacity;
+    Alcotest.test_case "chrome trace round-trips" `Quick
+      test_chrome_trace_roundtrips;
+    Alcotest.test_case "events jsonl parses" `Quick test_events_jsonl_parses;
+    Alcotest.test_case "profile table renders" `Quick
+      test_profile_table_renders;
+    Alcotest.test_case "metrics sampled" `Quick test_metrics_sampled;
+    Alcotest.test_case "metrics jsonl parses" `Quick test_metrics_jsonl_parses;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage ]

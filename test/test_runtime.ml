@@ -71,7 +71,8 @@ let test_fabric_queueing () =
   let st = N.Fabric.stats f in
   check Alcotest.int "two fetches" 2 st.fetches;
   check Alcotest.int "bytes counted" 8192 st.fetched_bytes;
-  check Alcotest.bool "queueing recorded" true (st.queue_cycles > 0)
+  check Alcotest.bool "queueing recorded" true (st.queue_in_cycles > 0);
+  check Alcotest.int "no outbound queueing" 0 st.queue_out_cycles
 
 let test_fabric_writeback_nonblocking () =
   let f = N.Fabric.create N.Fabric.default_config in
@@ -79,7 +80,12 @@ let test_fabric_writeback_nonblocking () =
   (* Outbound traffic must not delay inbound fetches. *)
   let t = N.Fabric.fetch f ~now:0 ~bytes:4096 in
   check Alcotest.bool "fetch unaffected by writeback" true (t < 60_000);
-  check Alcotest.int "writeback counted" 1 (N.Fabric.stats f).writebacks
+  check Alcotest.int "writeback counted" 1 (N.Fabric.stats f).writebacks;
+  (* A second immediate writeback queues behind the first on the
+     outbound link; the wait lands in the outbound counter only. *)
+  N.Fabric.writeback f ~now:0 ~bytes:4096;
+  let st = N.Fabric.stats f in
+  check Alcotest.bool "outbound queueing recorded" true (st.queue_out_cycles > 0)
 
 let test_fabric_bandwidth_term () =
   let f = N.Fabric.create N.Fabric.default_config in
@@ -398,7 +404,11 @@ let test_rt_prefetch_stats () =
   let d = R.Rt_stats.ds_stats (R.Runtime.stats rt) h in
   check Alcotest.bool "prefetches issued" true (d.prefetch_issued > 0);
   check Alcotest.bool "prefetches used" true (d.prefetch_used > 0);
-  let acc = R.Rt_stats.prefetch_accuracy d in
+  let acc =
+    match R.Rt_stats.prefetch_accuracy d with
+    | Some a -> a
+    | None -> Alcotest.fail "accuracy should have data after issues"
+  in
   check Alcotest.bool "accuracy in range" true (acc >= 0.0 && acc <= 1.0);
   let cov = R.Rt_stats.prefetch_coverage d in
   check Alcotest.bool "coverage positive" true (cov > 0.0 && cov <= 1.0)
