@@ -9,20 +9,63 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig8 fig9 # selected experiments
 
-   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 profile ablations
-   bechamel *)
+   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 fabric profile
+   ablations bechamel
+
+   `--json FILE` additionally records every experiment the chosen
+   sections register (tag, total cycles, fabric counters) as a JSON
+   snapshot, so successive PRs leave comparable perf records. *)
 
 module R = Cards_runtime
 module P = Cards.Pipeline
 module W = Cards_workloads
 module B = Cards_baselines
 module T = Cards_util.Table
+module J = Cards_util.Json
 
 let kb x = x * 1024
 let mcycles c = Printf.sprintf "%.1f" (float_of_int c /. 1e6)
 let fx r = T.fmt_speedup r
 
 let header title = Printf.printf "\n==== %s ====\n\n%!" title
+
+(* ---------- JSON perf snapshot (--json FILE) ---------- *)
+
+let json_out : string option ref = ref None
+let experiments : J.t list ref = ref []
+
+let fabric_json (fs : Cards_net.Fabric.stats) =
+  J.Obj
+    [ ("fetches", J.Int fs.fetches);
+      ("fetched_bytes", J.Int fs.fetched_bytes);
+      ("batches", J.Int fs.batches);
+      ("batched_objects", J.Int fs.batched_objects);
+      ("writebacks", J.Int fs.writebacks);
+      ("written_bytes", J.Int fs.written_bytes);
+      ("wb_batches", J.Int fs.wb_batches);
+      ("queue_in_cycles", J.Int fs.queue_in_cycles);
+      ("queue_out_cycles", J.Int fs.queue_out_cycles);
+      ("qp_queue_cycles",
+       J.List (Array.to_list (Array.map (fun c -> J.Int c) fs.qp_queue_cycles))) ]
+
+let record_experiment ~tag ~cycles rt =
+  experiments :=
+    J.Obj
+      [ ("tag", J.Str tag); ("cycles", J.Int cycles);
+        ("fabric", fabric_json (R.Runtime.fabric_stats rt)) ]
+    :: !experiments
+
+let write_json () =
+  Option.iter
+    (fun path ->
+      let doc = J.Obj [ ("experiments", J.List (List.rev !experiments)) ] in
+      let oc = open_out path in
+      output_string oc (J.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "-- recorded %d experiments to %s\n"
+        (List.length !experiments) path)
+    !json_out
 
 let cards_cfg ?(policy = R.Policy.Linear) ~k ~local ~remot () =
   { R.Runtime.default_config with
@@ -310,6 +353,65 @@ let fig9 () =
      the most from per-structure prefetchers."
 
 (* ---------------------------------------------------------------- *)
+(* Fabric: batching & queue pairs on the fig9 stride/list chases.   *)
+(* ---------------------------------------------------------------- *)
+
+let fabric_section () =
+  header "Fabric: batched transport vs per-object requests (50% local)";
+  let t =
+    T.create
+      ~title:"Same program, same outputs — batching must win or the bench fails"
+      ~header:[ "workload"; "batched"; "unbatched"; "speedup"; "batches";
+                "objs/batch" ]
+  in
+  List.iter
+    (fun (variant, scale, passes) ->
+      let src = W.Pointer_chase.source ~variant ~scale ~passes in
+      let compiled = P.compile_source src in
+      let wss = wss_of compiled in
+      let local = wss / 2 in
+      let remot = local / 4 in
+      let batched_cfg = cards_cfg ~k:1.0 ~local ~remot () in
+      let unbatched_cfg =
+        { batched_cfg with
+          batching = false;
+          fabric_config =
+            { batched_cfg.fabric_config with Cards_net.Fabric.qp_count = 1 } }
+      in
+      let bres, brt = P.run compiled batched_cfg in
+      let ures, urt = P.run compiled unbatched_cfg in
+      (* Batching is a timing optimization; program results must be
+         bit-identical, and the batched run must actually be faster. *)
+      if bres.output <> ures.output then begin
+        Printf.eprintf "FABRIC: outputs diverge on pc-%s\n" variant;
+        exit 1
+      end;
+      if bres.cycles >= ures.cycles then begin
+        Printf.eprintf "FABRIC: batching did not pay on pc-%s (%d vs %d)\n"
+          variant bres.cycles ures.cycles;
+        exit 1
+      end;
+      record_experiment ~tag:("pc-" ^ variant ^ "-batched") ~cycles:bres.cycles
+        brt;
+      record_experiment ~tag:("pc-" ^ variant ^ "-unbatched")
+        ~cycles:ures.cycles urt;
+      let fs : Cards_net.Fabric.stats = R.Runtime.fabric_stats brt in
+      T.add_row t
+        [ "pc-" ^ variant; mcycles bres.cycles ^ " Mc"; mcycles ures.cycles ^ " Mc";
+          fx (float_of_int ures.cycles /. float_of_int bres.cycles);
+          string_of_int fs.batches;
+          (if fs.batches = 0 then "-"
+           else
+             Printf.sprintf "%.1f"
+               (float_of_int fs.batched_objects /. float_of_int fs.batches)) ])
+    [ ("array", 32768, 2); ("list", 16384, 2) ];
+  T.print t;
+  print_endline
+    "Stride windows and jump-pointer chases both coalesce; the checks\n\
+     above are hard assertions (divergent outputs or a slowdown fail\n\
+     the bench)."
+
+(* ---------------------------------------------------------------- *)
 (* Profile: cycle attribution for the fig8/fig9 workloads.          *)
 (* ---------------------------------------------------------------- *)
 
@@ -324,7 +426,11 @@ let profile_run name compiled cfg =
          (Printf.sprintf "%s: cycle attribution (%s cycles)" name
             (T.fmt_cycles (float_of_int res.cycles)))
        ~names:(R.Runtime.ds_name rt) ~total:res.cycles prof);
-  T.print (O.Export.latency_table ~title:(name ^ ": fetch latency") prof)
+  T.print (O.Export.latency_table ~title:(name ^ ": fetch latency") prof);
+  T.print
+    (O.Export.fabric_table ~title:(name ^ ": fabric")
+       ~over_budget:(R.Rt_stats.over_budget (R.Runtime.stats rt))
+       (R.Runtime.fabric_stats rt))
 
 let profile_section () =
   header "Profile: where the simulated cycles go (fig8/fig9 workloads)";
@@ -539,11 +645,21 @@ let bechamel () =
 let sections =
   [ ("table1", table1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
-    ("profile", profile_section);
+    ("fabric", fabric_section); ("profile", profile_section);
     ("ablations", ablations); ("bechamel", bechamel) ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      strip acc rest
+    | "--json" :: [] ->
+      Printf.eprintf "--json needs a FILE argument\n";
+      exit 1
+    | arg :: rest -> strip (arg :: acc) rest
+  in
+  let args = strip [] (List.tl (Array.to_list Sys.argv)) in
   let chosen = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->
@@ -553,4 +669,5 @@ let () =
         Printf.eprintf "unknown section %S; available: %s\n" name
           (String.concat " " (List.map fst sections));
         exit 1)
-    chosen
+    chosen;
+  write_json ()

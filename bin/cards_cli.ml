@@ -168,6 +168,20 @@ let system_arg =
 let report_arg =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-structure report.")
 
+let qp_arg =
+  Arg.(value & opt int
+         R.Runtime.default_config.fabric_config.Cards_net.Fabric.qp_count
+       & info [ "qp" ] ~docv:"N"
+           ~doc:"Inbound fabric queue pairs with least-loaded dispatch \
+                 (cards system; TrackFM is single-queue by design).")
+
+let no_batching_arg =
+  Arg.(value & flag
+       & info [ "no-batching" ]
+           ~doc:"Disable request batching: prefetch targets and eviction \
+                 writebacks go out one object at a time, each paying the \
+                 full protocol cost (cards system).")
+
 (* ---------- observability flags ---------- *)
 
 let trace_arg =
@@ -246,7 +260,11 @@ let print_profile rt total =
   let names = R.Runtime.ds_name rt in
   let prof = R.Runtime.profile rt in
   T.print (O.Export.profile_table ~names ~total prof);
-  T.print (O.Export.latency_table prof)
+  T.print (O.Export.latency_table prof);
+  T.print
+    (O.Export.fabric_table
+       ~over_budget:(R.Rt_stats.over_budget (R.Runtime.stats rt))
+       (R.Runtime.fabric_stats rt))
 
 let print_report rt =
   let t =
@@ -270,8 +288,8 @@ let print_report rt =
   T.print t
 
 let run_cmd =
-  let run file system policy k local remotable prefetch report trace events
-      trace_cap metrics metrics_interval profile =
+  let run file system policy k local remotable prefetch report qp no_batching
+      trace events trace_cap metrics metrics_interval profile =
     with_errors (fun () ->
         let src = read_source file in
         let obs = make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval in
@@ -282,7 +300,11 @@ let run_cmd =
             P.run ?obs compiled
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
-                prefetch_mode = prefetch }
+                prefetch_mode = prefetch;
+                fabric_config =
+                  { R.Runtime.default_config.fabric_config with
+                    Cards_net.Fabric.qp_count = qp };
+                batching = not no_batching }
           | `Trackfm ->
             let compiled = B.Trackfm.compile_source src in
             B.Trackfm.run ?obs compiled ~local_bytes:local
@@ -309,8 +331,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
     Term.(const run $ file_arg $ system_arg $ policy_arg $ k_arg $ local_arg
-          $ remot_arg $ prefetch_arg $ report_arg $ trace_arg $ events_arg
-          $ trace_cap_arg $ metrics_arg $ metrics_interval_arg $ profile_arg)
+          $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
+          $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
+          $ metrics_interval_arg $ profile_arg)
 
 (* ---------- cards workload ---------- *)
 

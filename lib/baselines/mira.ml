@@ -64,9 +64,12 @@ let run_config ~pinned ~local_bytes ~remotable_bytes =
     local_bytes;
     remotable_bytes;
     cost = R.Cost.cards;
-    fabric_config = Cards_net.Fabric.default_config;
+    (* Same transport as CaRDS (batched, two QPs): Mira differs in
+       placement policy, not in the fabric. *)
+    fabric_config = R.Runtime.default_config.fabric_config;
     prefetch_mode = R.Runtime.Pf_per_class;
-    prefetch_depth = 4 }
+    prefetch_depth = 4;
+    batching = true }
 
 let run ?fuel ?obs compiled ~local_bytes ~remotable_bytes =
   let p = profile ?fuel compiled in

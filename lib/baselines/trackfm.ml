@@ -14,7 +14,11 @@ let run_config ~local_bytes ~remotable_bytes =
     cost = R.Cost.trackfm;
     fabric_config = Cards_net.Fabric.trackfm_config;
     prefetch_mode = R.Runtime.Pf_stride_only;
-    prefetch_depth = 4 }
+    prefetch_depth = 4;
+    (* TrackFM swaps per object over a single queue: its leaner
+       protocol path never aggregates requests, which is exactly the
+       Fig. 8 contrast against CaRDS's batched fabric. *)
+    batching = false }
 
 let run ?fuel ?obs compiled ~local_bytes =
   P.run ?fuel ?obs compiled (run_config ~local_bytes ~remotable_bytes:local_bytes)

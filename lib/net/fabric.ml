@@ -1,48 +1,67 @@
 type config = {
   proto_cycles : int;
   bytes_per_cycle : float;
+  qp_count : int;
 }
 
 (* 25 Gb/s / 8 bits / 2.4 GHz = 1.302 bytes per cycle. *)
 let link_bytes_per_cycle = 25.0e9 /. 8.0 /. 2.4e9
 
 (* 59 K total - 4096 B / 1.302 B/c (≈ 3146) ≈ 55.8 K protocol cycles. *)
-let default_config = { proto_cycles = 55_800; bytes_per_cycle = link_bytes_per_cycle }
+let default_config =
+  { proto_cycles = 55_800; bytes_per_cycle = link_bytes_per_cycle; qp_count = 1 }
 
 (* TrackFM's swap-in path is leaner (no per-DS bookkeeping):
-   46 K - 3146 ≈ 42.8 K. *)
-let trackfm_config = { proto_cycles = 42_800; bytes_per_cycle = link_bytes_per_cycle }
+   46 K - 3146 ≈ 42.8 K.  It is also per-object and single-queue — the
+   leaner-but-unbatched contrast Fig. 8 depends on. *)
+let trackfm_config =
+  { proto_cycles = 42_800; bytes_per_cycle = link_bytes_per_cycle; qp_count = 1 }
 
 type stats = {
   fetches : int;
   fetched_bytes : int;
+  batches : int;
+  batched_objects : int;
   writebacks : int;
   written_bytes : int;
+  wb_batches : int;
   queue_in_cycles : int;
   queue_out_cycles : int;
+  qp_queue_cycles : int array;
 }
 
 type transfer = {
   t_start : int;
   t_queued : int;
   t_complete : int;
+  t_qp : int;
 }
 
 type t = {
   cfg : config;
-  mutable in_busy_until : int;
+  in_busy_until : int array;      (* one inbound queue pair per slot *)
+  qp_queue_cycles : int array;
   mutable out_busy_until : int;
   mutable fetches : int;
   mutable fetched_bytes : int;
+  mutable batches : int;
+  mutable batched_objects : int;
   mutable writebacks : int;
   mutable written_bytes : int;
+  mutable wb_batches : int;
   mutable queue_in_cycles : int;
   mutable queue_out_cycles : int;
 }
 
 let create cfg =
-  { cfg; in_busy_until = 0; out_busy_until = 0;
-    fetches = 0; fetched_bytes = 0; writebacks = 0; written_bytes = 0;
+  if cfg.qp_count < 1 then
+    invalid_arg "Fabric.create: qp_count must be at least 1";
+  { cfg;
+    in_busy_until = Array.make cfg.qp_count 0;
+    qp_queue_cycles = Array.make cfg.qp_count 0;
+    out_busy_until = 0;
+    fetches = 0; fetched_bytes = 0; batches = 0; batched_objects = 0;
+    writebacks = 0; written_bytes = 0; wb_batches = 0;
     queue_in_cycles = 0; queue_out_cycles = 0 }
 
 let serialization cfg bytes =
@@ -50,39 +69,109 @@ let serialization cfg bytes =
 
 let nominal_fetch_cycles t ~bytes = t.cfg.proto_cycles + serialization t.cfg bytes
 
+(* Least-loaded dispatch: the QP that frees up first wins; ties go to
+   the lowest index so dispatch is deterministic. *)
+let pick_qp t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.in_busy_until - 1 do
+    if t.in_busy_until.(i) < t.in_busy_until.(!best) then best := i
+  done;
+  !best
+
 let fetch_info t ~now ~bytes =
-  let start = max now t.in_busy_until in
+  let qp = pick_qp t in
+  let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
   t.queue_in_cycles <- t.queue_in_cycles + queued;
+  t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
   let ser = serialization t.cfg bytes in
-  t.in_busy_until <- start + ser;
+  (* The protocol cost is per-request work (doorbells, completion
+     polling, bookkeeping) that occupies the queue pair, not just
+     latency: back-to-back requests serialize behind it.  This is what
+     batching amortizes. *)
+  t.in_busy_until.(qp) <- start + t.cfg.proto_cycles + ser;
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
-  { t_start = start; t_queued = queued; t_complete = start + t.cfg.proto_cycles + ser }
+  { t_start = start; t_queued = queued;
+    t_complete = start + t.cfg.proto_cycles + ser; t_qp = qp }
 
 let fetch t ~now ~bytes = (fetch_info t ~now ~bytes).t_complete
 
+let fetch_many t ~now ~sizes =
+  let n = Array.length sizes in
+  if n = 0 then invalid_arg "Fabric.fetch_many: empty batch";
+  let qp = pick_qp t in
+  let start = max now t.in_busy_until.(qp) in
+  let queued = start - now in
+  t.queue_in_cycles <- t.queue_in_cycles + queued;
+  t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
+  (* One request/response pair carries the whole batch: the protocol
+     overhead is paid once, each object lands as soon as its bytes have
+     streamed off the wire behind its predecessors. *)
+  let completions = Array.make n 0 in
+  let cum = ref 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    cum := !cum + serialization t.cfg sizes.(i);
+    total := !total + sizes.(i);
+    completions.(i) <- start + t.cfg.proto_cycles + !cum
+  done;
+  (* One request, one protocol cost: the QP is held for proto plus the
+     batch's summed serialization — per object, a [1/n] share of the
+     overhead that dominates small transfers. *)
+  t.in_busy_until.(qp) <- start + t.cfg.proto_cycles + !cum;
+  t.fetches <- t.fetches + n;
+  t.fetched_bytes <- t.fetched_bytes + !total;
+  t.batches <- t.batches + 1;
+  t.batched_objects <- t.batched_objects + n;
+  ({ t_start = start; t_queued = queued;
+     t_complete = completions.(n - 1); t_qp = qp },
+   completions)
+
+(* Writebacks are posted writes: the CPU never waits for them, but the
+   request still crosses the wire, so the outbound direction is
+   occupied for the full protocol + serialization time — the same cost
+   structure as a fetch, just asynchronous (DESIGN.md §fabric). *)
 let writeback t ~now ~bytes =
   let start = max now t.out_busy_until in
   t.queue_out_cycles <- t.queue_out_cycles + (start - now);
-  t.out_busy_until <- start + serialization t.cfg bytes;
+  t.out_busy_until <- start + t.cfg.proto_cycles + serialization t.cfg bytes;
   t.writebacks <- t.writebacks + 1;
   t.written_bytes <- t.written_bytes + bytes
 
-let inbound_busy_until t = t.in_busy_until
+let writeback_many t ~now ~count ~bytes =
+  if count < 1 then invalid_arg "Fabric.writeback_many: empty batch";
+  let start = max now t.out_busy_until in
+  t.queue_out_cycles <- t.queue_out_cycles + (start - now);
+  t.out_busy_until <- start + t.cfg.proto_cycles + serialization t.cfg bytes;
+  t.writebacks <- t.writebacks + count;
+  t.written_bytes <- t.written_bytes + bytes;
+  t.wb_batches <- t.wb_batches + 1
+
+let inbound_busy_until t =
+  Array.fold_left min t.in_busy_until.(0) t.in_busy_until
+
+let outbound_busy_until t = t.out_busy_until
 
 let stats t =
   { fetches = t.fetches; fetched_bytes = t.fetched_bytes;
+    batches = t.batches; batched_objects = t.batched_objects;
     writebacks = t.writebacks; written_bytes = t.written_bytes;
+    wb_batches = t.wb_batches;
     queue_in_cycles = t.queue_in_cycles;
-    queue_out_cycles = t.queue_out_cycles }
+    queue_out_cycles = t.queue_out_cycles;
+    qp_queue_cycles = Array.copy t.qp_queue_cycles }
 
 let reset t =
-  t.in_busy_until <- 0;
+  Array.fill t.in_busy_until 0 (Array.length t.in_busy_until) 0;
+  Array.fill t.qp_queue_cycles 0 (Array.length t.qp_queue_cycles) 0;
   t.out_busy_until <- 0;
   t.fetches <- 0;
   t.fetched_bytes <- 0;
+  t.batches <- 0;
+  t.batched_objects <- 0;
   t.writebacks <- 0;
   t.written_bytes <- 0;
+  t.wb_batches <- 0;
   t.queue_in_cycles <- 0;
   t.queue_out_cycles <- 0

@@ -4,42 +4,55 @@
     Xeons, driven through a DPDK/AIFM-style userspace stack.  Time is
     measured in CPU cycles (the unit of the whole simulator).
 
-    The model is a single full-duplex link with:
-    - a fixed per-operation protocol cost ([proto_cycles]) covering
+    The model is a full-duplex link with:
+    - a fixed per-request protocol cost ([proto_cycles]) covering
       NIC doorbells, completion polling, and runtime bookkeeping — this
       dominates small-transfer latency, matching Table 1's ~59 K-cycle
       remote faults for 4 KiB objects;
     - a serialization term [bytes / bytes_per_cycle] per transfer;
-    - queueing: transfers serialize behind earlier ones in each
-      direction ([busy_until] per direction), so aggressive prefetching
-      genuinely contends with demand fetches. *)
+    - [qp_count] inbound queue pairs with least-loaded dispatch:
+      transfers serialize behind earlier ones on the same QP, so deep
+      prefetch windows genuinely contend with demand fetches — but a
+      second QP lets a demand fault slip past a streaming window;
+    - batching ({!fetch_many}): a run of objects coalesced into one
+      request pays [proto_cycles] once plus the summed serialization —
+      the RPC-aggregation effect that makes prefetching amortize
+      anything at all;
+    - posted writebacks: evictions occupy the outbound direction for
+      the full protocol + serialization time but never block the CPU. *)
 
 type config = {
-  proto_cycles : int;      (** fixed request/response overhead per fetch *)
+  proto_cycles : int;      (** fixed request/response overhead per transfer *)
   bytes_per_cycle : float; (** link bandwidth in bytes per CPU cycle *)
+  qp_count : int;          (** inbound queue pairs (>= 1) *)
 }
 
 val default_config : config
 (** 25 Gb/s at 2.4 GHz (≈ 1.30 bytes/cycle) with a protocol cost
     calibrated so a 4 KiB demand fetch costs ≈ 59 K cycles end to end
-    (paper Table 1, CaRDS remote fault). *)
+    (paper Table 1, CaRDS remote fault).  Single QP: the runtime
+    chooses its own QP count ({!Cards_runtime.Runtime.default_config}). *)
 
 val trackfm_config : config
 (** Same link, lighter protocol path, calibrated to TrackFM's ≈ 46 K
-    cycles per remote guard miss (Table 1). *)
+    cycles per remote guard miss (Table 1).  Single QP, and TrackFM
+    never batches — its leaner-but-unbatched path is part of the
+    Fig. 8 contrast. *)
 
 type t
 
 val create : config -> t
+(** @raise Invalid_argument when [qp_count < 1]. *)
 
 val fetch : t -> now:int -> bytes:int -> int
 (** Schedule an inbound transfer starting at [now]; returns its
     completion time (≥ [now + proto + serialization]). *)
 
 type transfer = {
-  t_start : int;     (** when the link picked the transfer up *)
+  t_start : int;     (** when a queue pair picked the transfer up *)
   t_queued : int;    (** [t_start - now]: cycles spent waiting in line *)
-  t_complete : int;  (** completion time *)
+  t_complete : int;  (** completion time (of the last object for batches) *)
+  t_qp : int;        (** the queue pair that carried it *)
 }
 
 val fetch_info : t -> now:int -> bytes:int -> transfer
@@ -47,27 +60,52 @@ val fetch_info : t -> now:int -> bytes:int -> transfer
     (the runtime's cycle-attribution profiler) can attribute stall
     cycles to contention vs. the wire. *)
 
+val fetch_many : t -> now:int -> sizes:int array -> transfer * int array
+(** Coalesce a batch of objects into one request on the least-loaded
+    queue pair.  The protocol cost is paid once; object [i] completes
+    at [start + proto + Σ serialization sizes.(0..i)] (returned in the
+    array, index-aligned with [sizes]), and the QP stays busy for the
+    summed serialization only.  Counts one batch and [n] fetches in
+    {!stats}.
+    @raise Invalid_argument on an empty batch. *)
+
 val nominal_fetch_cycles : t -> bytes:int -> int
 (** Uncontended end-to-end fetch cost ([proto + serialization]) —
     what a demand fetch of [bytes] would cost on an idle link.  Used
     to estimate latency hidden by timely prefetches. *)
 
 val writeback : t -> now:int -> bytes:int -> unit
-(** Schedule an outbound (eviction) transfer; does not block the CPU,
-    only occupies outbound bandwidth. *)
+(** Schedule an outbound (eviction) transfer as a posted write: the
+    CPU does not block, but the outbound direction is occupied for the
+    full [proto + serialization] time — writes cross the same wire as
+    reads (DESIGN.md §fabric). *)
+
+val writeback_many : t -> now:int -> count:int -> bytes:int -> unit
+(** Coalesced writeback of [count] dirty objects totalling [bytes]:
+    one posted request paying [proto_cycles] once.  Counts [count]
+    writebacks and one wb-batch in {!stats}.
+    @raise Invalid_argument when [count < 1]. *)
 
 val inbound_busy_until : t -> int
-(** When the inbound link frees up (for tests). *)
+(** When the earliest inbound queue pair frees up (for tests). *)
+
+val outbound_busy_until : t -> int
+(** When the outbound direction frees up (for tests). *)
 
 type stats = {
-  fetches : int;
+  fetches : int;           (** objects fetched (batched or not) *)
   fetched_bytes : int;
-  writebacks : int;
+  batches : int;           (** coalesced inbound requests *)
+  batched_objects : int;   (** objects carried by those requests *)
+  writebacks : int;        (** objects written back *)
   written_bytes : int;
+  wb_batches : int;        (** coalesced outbound requests *)
   queue_in_cycles : int;
-      (** cycles inbound transfers (fetches) spent queued *)
+      (** cycles inbound transfers (fetches) spent queued, all QPs *)
   queue_out_cycles : int;
       (** cycles outbound transfers (writebacks) spent queued *)
+  qp_queue_cycles : int array;
+      (** inbound queue cycles per queue pair (length [qp_count]) *)
 }
 
 val stats : t -> stats

@@ -3,7 +3,8 @@ type kind =
   | Guard_miss
   | Remote_fault of { queued : int; stall : int }
   | Clean_fault of { stall : int }
-  | Prefetch_issue of { tgt_ds : int; tgt_obj : int }
+  | Prefetch_issue of { origin_ds : int; origin_obj : int }
+  | Batch_fetch of { count : int; bytes : int }
   | Prefetch_use of { timely : bool }
   | Prefetch_late of { wait : int }
   | Evict of { dirty : bool }
@@ -30,6 +31,7 @@ let kind_name = function
   | Remote_fault _ -> "remote_fault"
   | Clean_fault _ -> "clean_fault"
   | Prefetch_issue _ -> "prefetch_issue"
+  | Batch_fetch _ -> "batch_fetch"
   | Prefetch_use _ -> "prefetch_use"
   | Prefetch_late _ -> "prefetch_late"
   | Evict _ -> "evict"
@@ -43,7 +45,8 @@ let kind_name = function
 let category = function
   | Guard_hit | Guard_miss -> "guard"
   | Remote_fault _ | Clean_fault _ -> "fault"
-  | Prefetch_issue _ | Prefetch_use _ | Prefetch_late _ -> "prefetch"
+  | Prefetch_issue _ | Batch_fetch _ | Prefetch_use _ | Prefetch_late _ ->
+    "prefetch"
   | Evict _ | Writeback _ -> "cache"
   | Policy_switch _ | Epoch_mark -> "policy"
   | Loop_version _ -> "versioning"

@@ -15,7 +15,14 @@ type kind =
           cycles were spent waiting behind other transfers *)
   | Clean_fault of { stall : int }
       (** unguarded-path fallback (trap + fetch) *)
-  | Prefetch_issue of { tgt_ds : int; tgt_obj : int }
+  | Prefetch_issue of { origin_ds : int; origin_obj : int }
+      (** prefetch issued for [ev_ds]/[ev_obj] (the {e target} — its
+          Chrome-trace row); the payload names the structure and access
+          object whose prefetcher made the call, which differ from the
+          target on cross-structure prefetches *)
+  | Batch_fetch of { count : int; bytes : int }
+      (** [count] prefetch targets coalesced into one fabric request
+          totalling [bytes]; stamped on the originating structure's row *)
   | Prefetch_use of { timely : bool }
       (** prefetched object reached by the demand stream *)
   | Prefetch_late of { wait : int }

@@ -9,8 +9,10 @@ let kind_args (k : Event.kind) : (string * Json.t) list =
   | Remote_fault { queued; stall } ->
     [ ("queued", Json.Int queued); ("stall", Json.Int stall) ]
   | Clean_fault { stall } -> [ ("stall", Json.Int stall) ]
-  | Prefetch_issue { tgt_ds; tgt_obj } ->
-    [ ("tgt_ds", Json.Int tgt_ds); ("tgt_obj", Json.Int tgt_obj) ]
+  | Prefetch_issue { origin_ds; origin_obj } ->
+    [ ("origin_ds", Json.Int origin_ds); ("origin_obj", Json.Int origin_obj) ]
+  | Batch_fetch { count; bytes } ->
+    [ ("count", Json.Int count); ("bytes", Json.Int bytes) ]
   | Prefetch_use { timely } -> [ ("timely", Json.Bool timely) ]
   | Prefetch_late { wait } -> [ ("wait", Json.Int wait) ]
   | Evict { dirty } -> [ ("dirty", Json.Bool dirty) ]
@@ -211,6 +213,29 @@ let latency_table ?(title = "Fetch latency (demand stalls + late prefetch waits)
             string_of_int n; bar ]
       end)
     hist;
+  t
+
+let fabric_table ?(title = "Fabric") ?over_budget
+    (fs : Cards_net.Fabric.stats) =
+  let t = Table.create ~title ~header:[ "counter"; "value" ] in
+  let i name v = Table.add_row t [ name; string_of_int v ] in
+  let b name v = Table.add_row t [ name; Table.fmt_bytes (float_of_int v) ] in
+  let c name v = Table.add_row t [ name; Table.fmt_cycles (float_of_int v) ] in
+  i "objects fetched" fs.fetches;
+  b "fetched bytes" fs.fetched_bytes;
+  i "batched requests" fs.batches;
+  i "objects in batches" fs.batched_objects;
+  i "objects written back" fs.writebacks;
+  b "written bytes" fs.written_bytes;
+  i "writeback batches" fs.wb_batches;
+  c "inbound queueing" fs.queue_in_cycles;
+  c "outbound queueing" fs.queue_out_cycles;
+  Array.iteri
+    (fun qp cycles -> c (Printf.sprintf "  qp%d queueing" qp) cycles)
+    fs.qp_queue_cycles;
+  (match over_budget with
+   | Some n -> i "over-budget evictions" n
+   | None -> ());
   t
 
 let metrics_table ?(title = "Epoch metrics") metrics =

@@ -40,6 +40,16 @@ val profile_table :
 val latency_table : ?title:string -> Profile.t -> Cards_util.Table.t
 (** Log₂ fetch-latency histogram with ASCII bars. *)
 
+val fabric_table :
+  ?title:string ->
+  ?over_budget:int ->
+  Cards_net.Fabric.stats ->
+  Cards_util.Table.t
+(** Fabric transport counters: objects fetched/written, batching
+    (coalesced requests and the objects they carried, both directions),
+    queueing split per inbound queue pair, and — when given — the
+    runtime's over-budget eviction count. *)
+
 val metrics_table : ?title:string -> Metrics.t -> Cards_util.Table.t
 (** Per-interval deltas (faults, prefetch accuracy) per structure —
     the adaptive prefetcher's behaviour over time. *)

@@ -1,4 +1,4 @@
-type target = { t_ds : int; t_obj : int }
+type target = { t_ds : int; t_obj : int; t_len : int }
 
 type stride_state = {
   s_depth : int;
@@ -8,6 +8,8 @@ type stride_state = {
   mutable n_deltas : int;
   mutable next_slot : int;
   mutable locked : int;        (* 0 = unlocked *)
+  mutable frontier : int;      (* first object not yet covered by an
+                                  emitted run (unit-stride mode only) *)
 }
 
 type jump_state = {
@@ -17,6 +19,7 @@ type jump_state = {
   ring : int array;               (* last [jump] objects *)
   mutable ring_n : int;
   mutable ring_pos : int;
+  mutable since_chase : int;      (* accesses since the last chase *)
 }
 
 type kind =
@@ -39,7 +42,8 @@ let stride ~depth =
   wrap
     (Stride
        { s_depth = depth; last = 0; have_last = false;
-         deltas = Array.make 8 0; n_deltas = 0; next_slot = 0; locked = 0 })
+         deltas = Array.make 8 0; n_deltas = 0; next_slot = 0; locked = 0;
+         frontier = 0 })
 
 let greedy ~fanout = wrap (Greedy fanout)
 
@@ -47,7 +51,8 @@ let jump ~jump ~depth =
   wrap
     (Jump
        { j_jump = jump; j_depth = depth; table = Hashtbl.create 256;
-         ring = Array.make jump 0; ring_n = 0; ring_pos = 0 })
+         ring = Array.make jump 0; ring_n = 0; ring_pos = 0;
+         since_chase = 0 })
 
 let of_class cls ~depth =
   match (cls : Static_info.prefetch_class) with
@@ -92,11 +97,34 @@ let on_access_kind t ~obj ~missed ~scan =
           st.next_slot <- (st.next_slot + 1) mod Array.length st.deltas;
           if st.n_deltas < Array.length st.deltas then
             st.n_deltas <- st.n_deltas + 1;
-          st.locked <- majority_delta st
+          let was = st.locked in
+          st.locked <- majority_delta st;
+          if st.locked <> was then st.frontier <- 0
         end;
-        if st.locked <> 0 then
+        if st.locked = 1 then begin
+          (* Unit stride: emit the window as contiguous runs with
+             hysteresis.  Topping the window up only when the issued
+             frontier falls within [depth] of the access point means
+             each top-up covers ~[depth] fresh objects — one wire
+             request per window chunk instead of one per object. *)
+          (* A seek backwards (typically a new pass over the same
+             array) strands the frontier beyond anything we would emit
+             again; snap it back so the re-traversal prefetches like
+             the first pass did. *)
+          if st.frontier > obj + (2 * st.s_depth) + 1 then
+            st.frontier <- obj + 1;
+          if st.frontier - obj <= st.s_depth then begin
+            let lo = max st.frontier (obj + 1) in
+            let hi = obj + (2 * st.s_depth) in
+            st.frontier <- hi + 1;
+            if hi >= lo then [ { t_ds = 0; t_obj = lo; t_len = hi - lo + 1 } ]
+            else []
+          end
+          else []
+        end
+        else if st.locked <> 0 then
           List.init st.s_depth (fun i ->
-              { t_ds = 0; t_obj = obj + (st.locked * (i + 1)) })
+              { t_ds = 0; t_obj = obj + (st.locked * (i + 1)); t_len = 1 })
           |> List.filter (fun tg -> tg.t_obj >= 0)
         else []
       end
@@ -122,15 +150,29 @@ let on_access_kind t ~obj ~missed ~scan =
       if st.ring_n >= st.j_jump then begin
         let victim = st.ring.(st.ring_pos) in
         Hashtbl.replace st.table victim obj;
-        (* Fetch ahead through the jump table. *)
-        let rec chase from depth acc =
-          if depth = 0 then acc
-          else
-            match Hashtbl.find_opt st.table from with
-            | Some next -> chase next (depth - 1) ({ t_ds = 0; t_obj = next } :: acc)
-            | None -> acc
-        in
-        chase obj st.j_depth []
+        (* Chase on a cadence, not every access: re-chasing from every
+           position re-emits yesterday's window and nets one fresh
+           object per call — a stream of single-object requests each
+           paying the full protocol cost.  Chasing every [jump]
+           accesses (immediately on a miss, when the window collapsed)
+           advances the frontier by ~[jump] objects at a time, which a
+           batching fabric carries as one request. *)
+        st.since_chase <- st.since_chase + 1;
+        if missed || st.since_chase >= st.j_jump then begin
+          st.since_chase <- 0;
+          (* Fetch ahead through the jump table. *)
+          let rec chase from depth acc =
+            if depth = 0 then acc
+            else
+              match Hashtbl.find_opt st.table from with
+              | Some next ->
+                chase next (depth - 1)
+                  ({ t_ds = 0; t_obj = next; t_len = 1 } :: acc)
+              | None -> acc
+          in
+          chase obj st.j_depth []
+        end
+        else []
       end
       else []
     in
@@ -142,7 +184,7 @@ let on_access_kind t ~obj ~missed ~scan =
 let on_access t ~obj ~missed ~scan =
   t.calls <- t.calls + 1;
   let out = on_access_kind t.k ~obj ~missed ~scan in
-  t.emitted <- t.emitted + List.length out;
+  t.emitted <- t.emitted + List.fold_left (fun acc tg -> acc + tg.t_len) 0 out;
   out
 
 let kind_name t =

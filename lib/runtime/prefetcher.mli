@@ -9,7 +9,10 @@
 
     - {e Stride}: keeps a small window of recent index deltas; when a
       majority agree it locks that stride and fetches [depth] objects
-      ahead.
+      ahead.  At unit stride it emits {e contiguous runs}: the ahead
+      window is topped up in ~[depth]-object chunks, so a batching
+      fabric can carry a whole chunk in one request instead of paying
+      the protocol cost per object.
     - {e Greedy recursive}: when an object is (re)fetched, scans its
       contents for tagged pointers and fetches their objects — one
       level of fan-out, good for trees.
@@ -17,8 +20,10 @@
       visited [jump] steps later, and fetches through that table —
       effective for linear chains from the second traversal on. *)
 
-type target = { t_ds : int; t_obj : int }
-(** [t_ds = 0] means "this structure". *)
+type target = { t_ds : int; t_obj : int; t_len : int }
+(** [t_ds = 0] means "this structure".  A target names the contiguous
+    ascending run of [t_len] objects starting at [t_obj] ([t_len = 1]
+    for a single object); runs never span structures. *)
 
 type t
 
@@ -42,5 +47,6 @@ val calls : t -> int
 (** Accesses observed (observability counter). *)
 
 val targets_emitted : t -> int
-(** Prefetch candidates returned over the prefetcher's lifetime —
-    before the runtime's residency/window filtering. *)
+(** Prefetch candidate {e objects} returned over the prefetcher's
+    lifetime (runs count their length) — before the runtime's
+    residency/window filtering. *)

@@ -20,9 +20,14 @@ let make_ds () =
 type t = {
   per_ds : (int, ds) Hashtbl.t;
   unmanaged : ds;
+  mutable over_budget : int;
 }
 
-let create () = { per_ds = Hashtbl.create 32; unmanaged = make_ds () }
+let create () =
+  { per_ds = Hashtbl.create 32; unmanaged = make_ds (); over_budget = 0 }
+
+let note_over_budget t = t.over_budget <- t.over_budget + 1
+let over_budget t = t.over_budget
 
 let ds_stats t h =
   match Hashtbl.find_opt t.per_ds h with

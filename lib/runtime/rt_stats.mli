@@ -41,4 +41,14 @@ val prefetch_coverage : ds -> float
 (** Fraction of would-be misses that prefetching absorbed:
     used / (used + remote_faults). *)
 
+val note_over_budget : t -> unit
+(** Record an occupancy overflow: eviction gave up (everything left in
+    the ring was in flight or exhausted its spin bound) with the
+    remotable cache still above budget. *)
+
+val over_budget : t -> int
+(** Times eviction left the cache over budget — transient overshoot
+    from deep in-flight prefetch windows, surfaced instead of silently
+    ignored. *)
+
 val handles : t -> int list

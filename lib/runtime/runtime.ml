@@ -16,6 +16,7 @@ type config = {
   fabric_config : Fabric.config;
   prefetch_mode : prefetch_mode;
   prefetch_depth : int;
+  batching : bool;
 }
 
 let default_config =
@@ -24,9 +25,12 @@ let default_config =
     local_bytes = 64 * 1024 * 1024;
     remotable_bytes = 8 * 1024 * 1024;
     cost = Cost.cards;
-    fabric_config = Fabric.default_config;
+    (* Two inbound QPs: demand faults dispatch least-loaded, so a miss
+       is not queued behind a streaming prefetch window. *)
+    fabric_config = { Fabric.default_config with qp_count = 2 };
     prefetch_mode = Pf_per_class;
-    prefetch_depth = 4 }
+    prefetch_depth = 4;
+    batching = true }
 
 exception Runtime_error of string
 
@@ -189,6 +193,11 @@ let obj_size (d : ds) = 1 lsl d.obj_shift
 let evict_until_fits t =
   let budget = t.cfg.remotable_bytes in
   let spins = ref (2 * Queue.length t.clockq + 2) in
+  (* Eviction bursts coalesce their dirty writebacks into one posted
+     request when batching is on; the per-object count/bytes accumulate
+     here and hit the fabric once after the scan. *)
+  let wb_count = ref 0 in
+  let wb_bytes = ref 0 in
   while t.remotable_used > budget && !spins > 0 && not (Queue.is_empty t.clockq) do
     decr spins;
     let h, o = Queue.pop t.clockq in
@@ -217,7 +226,11 @@ let evict_until_fits t =
       (* evict *)
       let dirty = st land b_dirty <> 0 in
       if dirty then begin
-        Fabric.writeback t.fabric ~now:t.clock ~bytes:(obj_size d);
+        if t.cfg.batching then begin
+          incr wb_count;
+          wb_bytes := !wb_bytes + obj_size d
+        end
+        else Fabric.writeback t.fabric ~now:t.clock ~bytes:(obj_size d);
         if Sink.tracing t.obs then
           Sink.emit t.obs
             (Event.make ~cycle:t.clock ~ds:h ~obj:o
@@ -231,7 +244,14 @@ let evict_until_fits t =
         Sink.emit t.obs
           (Event.make ~cycle:t.clock ~ds:h ~obj:o (Event.Evict { dirty }))
     end
-  done
+  done;
+  if !wb_count > 0 then
+    Fabric.writeback_many t.fabric ~now:t.clock ~count:!wb_count
+      ~bytes:!wb_bytes;
+  (* With everything left in the ring on the wire (or the spin bound
+     exhausted) the cache can stay transiently above budget; count it
+     instead of silently ignoring it. *)
+  if t.remotable_used > budget then Rt_stats.note_over_budget t.stats
 
 let clock_insert t (d : ds) o =
   if not d.pinned && d.objs.(o) land b_inclock = 0 then begin
@@ -406,14 +426,31 @@ let scan_object_pointers t (d : ds) o =
         let td = Vec.get t.dss (h - 1) in
         let off = Addr.offset_of v in
         if off < td.pool_used then
-          acc := { Prefetcher.t_ds = h; t_obj = off lsr td.obj_shift } :: !acc
+          acc :=
+            { Prefetcher.t_ds = h; t_obj = off lsr td.obj_shift; t_len = 1 }
+            :: !acc
       end
     end;
     w := !w + 8
   done;
   List.rev !acc
 
-let issue_prefetch t (d : ds) (tg : Prefetcher.target) =
+(* Runs are a prefetcher-side compression; the runtime filters and
+   marks per object, so expand them before viability checks. *)
+let expand_targets targets =
+  List.concat_map
+    (fun (tg : Prefetcher.target) ->
+      if tg.Prefetcher.t_len <= 1 then [ tg ]
+      else
+        List.init tg.Prefetcher.t_len (fun i ->
+            { tg with Prefetcher.t_obj = tg.Prefetcher.t_obj + i; t_len = 1 }))
+    targets
+
+(* Would this target actually go on the wire?  Returns its structure
+   and object when yes.  The flag array is grown *before* it is read:
+   jump/greedy prefetchers can emit indices beyond the grown portion of
+   a target structure's arrays. *)
+let prefetch_viable t (tg : Prefetcher.target) (d : ds) =
   let td = if tg.Prefetcher.t_ds = 0 then d else get_ds t tg.Prefetcher.t_ds in
   let o = tg.Prefetcher.t_obj in
   (* Throttle: prefetching into a cache that cannot hold the prefetch
@@ -424,23 +461,66 @@ let issue_prefetch t (d : ds) (tg : Prefetcher.target) =
   in
   if window_fits && (not td.pinned) && o >= 0 && o lsl td.obj_shift < td.pool_used
   then begin
-    let st = td.objs.(o) in
-    if st land (b_resident lor b_inflight) = 0 then begin
-      let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
-      grow_objs td (o + 1);
-      td.objs.(o) <- st lor b_inflight lor b_prefetched lor b_resident;
-      td.arrivals.(o) <- completion;
-      td.st.prefetch_issued <- td.st.prefetch_issued + 1;
-      (* Adaptation is judged at the *originating* structure — its
-         prefetcher made the call, even for cross-structure targets. *)
-      d.epoch_issued <- d.epoch_issued + 1;
-      if Sink.tracing t.obs then
-        Sink.emit t.obs
-          (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
-             (Event.Prefetch_issue { tgt_ds = td.handle; tgt_obj = o }));
-      clock_insert t td o
-    end
+    grow_objs td (o + 1);
+    if td.objs.(o) land (b_resident lor b_inflight) = 0 then Some (td, o)
+    else None
   end
+  else None
+
+let mark_prefetched t (d : ds) ~origin_obj (td : ds) o ~completion =
+  td.objs.(o) <- td.objs.(o) lor b_inflight lor b_prefetched lor b_resident;
+  td.arrivals.(o) <- completion;
+  td.st.prefetch_issued <- td.st.prefetch_issued + 1;
+  (* Adaptation is judged at the *originating* structure — its
+     prefetcher made the call, even for cross-structure targets. *)
+  d.epoch_issued <- d.epoch_issued + 1;
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:t.clock ~ds:td.handle ~obj:o
+         (Event.Prefetch_issue
+            { origin_ds = d.handle; origin_obj }));
+  clock_insert t td o
+
+let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
+  match prefetch_viable t tg d with
+  | None -> ()
+  | Some (td, o) ->
+    let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
+    mark_prefetched t d ~origin_obj td o ~completion
+
+(* Batched issue: everything one prefetcher call produced — expanded
+   runs and cross-structure fanout alike — goes to the fabric as a
+   single request.  Targets are sorted by (structure, object) so
+   adjacent objects serialize back to back, and deduplicated so a
+   prefetcher repeating itself cannot double-mark.  A batch of one
+   takes the plain fetch path and stays bit-identical to unbatched
+   mode. *)
+let issue_prefetch_batch t (d : ds) ~origin_obj targets =
+  let viable = List.filter_map (fun tg -> prefetch_viable t tg d) targets in
+  let viable =
+    List.sort_uniq
+      (fun ((a : ds), ao) ((b : ds), bo) ->
+        let c = compare a.handle b.handle in
+        if c <> 0 then c else compare ao bo)
+      viable
+  in
+  match viable with
+  | [] -> ()
+  | [ (td, o) ] ->
+    let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
+    mark_prefetched t d ~origin_obj td o ~completion
+  | items ->
+    let sizes = Array.of_list (List.map (fun (td, _) -> obj_size td) items) in
+    let _, completions = Fabric.fetch_many t.fabric ~now:t.clock ~sizes in
+    if Sink.tracing t.obs then
+      Sink.emit t.obs
+        (Event.make ~cycle:t.clock ~ds:d.handle ~obj:origin_obj
+           (Event.Batch_fetch
+              { count = Array.length sizes;
+                bytes = Array.fold_left ( + ) 0 sizes }));
+    List.iteri
+      (fun i (td, o) -> mark_prefetched t d ~origin_obj td o ~completion:completions.(i))
+      items
 
 let epoch_len = 1024
 let epoch_min_issued = 64
@@ -529,7 +609,9 @@ let run_prefetcher t (d : ds) ~obj ~missed =
        Prefetcher.on_access pf ~obj ~missed ~scan:(fun () ->
            scan_object_pointers t d obj)
      in
-     List.iter (issue_prefetch t d) targets);
+     let targets = expand_targets targets in
+     if t.cfg.batching then issue_prefetch_batch t d ~origin_obj:obj targets
+     else List.iter (issue_prefetch t d ~origin_obj:obj) targets);
   if t.cfg.prefetch_mode = Pf_adaptive then adapt_prefetcher t d
 
 (* ---------- the guard (cards_deref) ---------- *)

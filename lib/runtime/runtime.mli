@@ -39,11 +39,16 @@ type config = {
   fabric_config : Cards_net.Fabric.config;
   prefetch_mode : prefetch_mode;
   prefetch_depth : int;
+  batching : bool;
+      (** coalesce each prefetcher call's targets into one fabric
+          request ({!Cards_net.Fabric.fetch_many}) and eviction-burst
+          writebacks into posted batches; [false] issues per object *)
 }
 
 val default_config : config
 (** CaRDS defaults: linear policy, k = 1, 64 MiB local / 8 MiB
-    remotable, CaRDS costs, per-class prefetch, depth 4. *)
+    remotable, CaRDS costs, per-class prefetch, depth 4, batching on
+    over two inbound queue pairs. *)
 
 type t
 

@@ -26,4 +26,16 @@ test -s "$trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
 grep -q traceEvents "$trace" || {
   echo "check.sh: trace is not a Chrome trace_event file" >&2; exit 1; }
 
+echo "== bench: fabric batching snapshot (BENCH_fabric.json)"
+# The fabric section is itself an assertion: it exits non-zero if the
+# batched transport fails to beat per-object requests or if outputs
+# diverge.  The JSON snapshot stays in the tree so successive PRs have
+# comparable perf records.
+dune exec --no-build bench/main.exe -- fabric --json BENCH_fabric.json \
+  > /dev/null
+test -s BENCH_fabric.json || {
+  echo "check.sh: empty BENCH_fabric.json" >&2; exit 1; }
+grep -q '"batches"' BENCH_fabric.json || {
+  echo "check.sh: BENCH_fabric.json has no fabric stats" >&2; exit 1; }
+
 echo "== check.sh: all green"

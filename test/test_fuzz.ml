@@ -13,6 +13,7 @@ module Rng = Cards_util.Rng
 module R = Cards_runtime
 module P = Cards.Pipeline
 module B = Cards_baselines
+module O = Cards_obs
 
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
@@ -160,6 +161,25 @@ let configs =
         local_bytes = kb 8; remotable_bytes = kb 4;
         prefetch_mode = R.Runtime.Pf_none }) ]
 
+(* The batched-fabric matrix: the transport is a timing model only, so
+   program outputs must be bit-identical across queue-pair counts and
+   with batching on or off, and the profiler's exactness invariant
+   (compute + Σ wall buckets = now) must survive batch completions. *)
+let fabric_matrix =
+  List.concat_map
+    (fun qp ->
+      List.map
+        (fun batching () ->
+          { R.Runtime.default_config with
+            policy = R.Policy.Linear; k = 1.0;
+            local_bytes = kb 16; remotable_bytes = kb 8;
+            fabric_config =
+              { R.Runtime.default_config.fabric_config with
+                Cards_net.Fabric.qp_count = qp };
+            batching })
+        [ true; false ])
+    [ 1; 2; 4 ]
+
 let fuel = 30_000_000
 
 let run_differential seed =
@@ -172,6 +192,12 @@ let run_differential seed =
         let res, _ = P.run ~fuel compiled (mk ()) in
         res.output = reference.output)
       configs
+    && List.for_all
+         (fun mk ->
+           let res, rt = P.run ~fuel compiled (mk ()) in
+           res.output = reference.output
+           && O.Profile.attributed (R.Runtime.profile rt) = R.Runtime.now rt)
+         fabric_matrix
     && (let tfm = B.Trackfm.compile_source src in
         let res, _ = B.Trackfm.run ~fuel tfm ~local_bytes:(kb 32) in
         res.output = reference.output)

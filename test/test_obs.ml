@@ -202,6 +202,52 @@ let test_profile_table_renders () =
   in
   check Alcotest.bool "no unattributed row" false (has "(unattributed)")
 
+(* ---------- corrected prefetch & batch event fields ---------- *)
+
+let test_prefetch_and_batch_events_roundtrip () =
+  let obs = full_sink () in
+  let _ = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let tr = match O.Sink.trace obs with Some t -> t | None -> assert false in
+  let lines =
+    String.split_on_char '\n' (O.Export.events_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+    |> List.map J.parse
+  in
+  let of_kind k =
+    List.filter
+      (fun j ->
+        match J.member "ev" j with Some (J.Str s) -> s = k | _ -> false)
+      lines
+  in
+  let int_field name j =
+    match J.member name j with
+    | Some (J.Int v) -> v
+    | _ -> Alcotest.fail (Printf.sprintf "missing int field %S" name)
+  in
+  (* Prefetch_issue renders on the *target* structure's row and names
+     its origin explicitly — a cross-structure prefetch must not land
+     on the origin's row with the target's object id. *)
+  let issues = of_kind "prefetch_issue" in
+  check Alcotest.bool "prefetch_issue events present" true (issues <> []);
+  List.iter
+    (fun j ->
+      check Alcotest.bool "target ds valid" true (int_field "ds" j >= 0);
+      check Alcotest.bool "target obj valid" true (int_field "obj" j >= 0);
+      check Alcotest.bool "origin_ds valid" true (int_field "origin_ds" j >= 0);
+      check Alcotest.bool "origin_obj valid" true
+        (int_field "origin_obj" j >= 0))
+    issues;
+  (* Batch_fetch events carry the coalesced object count and payload
+     bytes; under pressure at least one real (multi-object) batch goes
+     out. *)
+  let batches = of_kind "batch_fetch" in
+  check Alcotest.bool "batch_fetch events present" true (batches <> []);
+  List.iter
+    (fun j ->
+      check Alcotest.bool "count >= 2" true (int_field "count" j >= 2);
+      check Alcotest.bool "bytes > 0" true (int_field "bytes" j > 0))
+    batches
+
 (* ---------- epoch metrics ---------- *)
 
 let test_metrics_sampled () =
@@ -273,6 +319,8 @@ let suite =
     Alcotest.test_case "chrome trace round-trips" `Quick
       test_chrome_trace_roundtrips;
     Alcotest.test_case "events jsonl parses" `Quick test_events_jsonl_parses;
+    Alcotest.test_case "prefetch & batch events round-trip" `Quick
+      test_prefetch_and_batch_events_roundtrip;
     Alcotest.test_case "profile table renders" `Quick
       test_profile_table_renders;
     Alcotest.test_case "metrics sampled" `Quick test_metrics_sampled;

@@ -94,6 +94,83 @@ let test_fabric_bandwidth_term () =
   let big = N.Fabric.fetch f ~now:0 ~bytes:65536 in
   check Alcotest.bool "bigger transfers take longer" true (big > small + 10_000)
 
+let test_fabric_fetch_many_amortizes () =
+  (* Four 4 KiB objects in one request: the protocol cost is paid once,
+     so the batch completes in a fraction of four serial fetches. *)
+  let f = N.Fabric.create N.Fabric.default_config in
+  let single = N.Fabric.fetch f ~now:0 ~bytes:4096 in
+  N.Fabric.reset f;
+  let tr, completions =
+    N.Fabric.fetch_many f ~now:0 ~sizes:(Array.make 4 4096)
+  in
+  check Alcotest.int "one completion per object" 4 (Array.length completions);
+  (* Per-object completions: strictly increasing, first = a plain
+     fetch, last = proto + 4x serialization. *)
+  check Alcotest.int "first object lands like a single fetch" single
+    completions.(0);
+  for i = 1 to 3 do
+    check Alcotest.bool "completions increase" true
+      (completions.(i) > completions.(i - 1))
+  done;
+  check Alcotest.int "transfer completes with its last object"
+    completions.(3) tr.N.Fabric.t_complete;
+  check Alcotest.bool "batch of 4 beats 2 serial fetches" true
+    (tr.N.Fabric.t_complete < 2 * single);
+  let st = N.Fabric.stats f in
+  check Alcotest.int "objects counted as fetches" 4 st.fetches;
+  check Alcotest.int "one batch" 1 st.batches;
+  check Alcotest.int "batched objects" 4 st.batched_objects;
+  check Alcotest.int "bytes counted" (4 * 4096) st.fetched_bytes
+
+let test_fabric_qp_dispatch () =
+  (* Two queue pairs: two simultaneous fetches ride different QPs with
+     no queueing; the third queues behind the least-loaded one. *)
+  let f =
+    N.Fabric.create { N.Fabric.default_config with qp_count = 2 }
+  in
+  let t1 = N.Fabric.fetch_info f ~now:0 ~bytes:4096 in
+  let t2 = N.Fabric.fetch_info f ~now:0 ~bytes:4096 in
+  check Alcotest.int "first not queued" 0 t1.N.Fabric.t_queued;
+  check Alcotest.int "second not queued" 0 t2.N.Fabric.t_queued;
+  check Alcotest.bool "different QPs" true
+    (t1.N.Fabric.t_qp <> t2.N.Fabric.t_qp);
+  let t3 = N.Fabric.fetch_info f ~now:0 ~bytes:4096 in
+  check Alcotest.bool "third queues" true (t3.N.Fabric.t_queued > 0);
+  let st = N.Fabric.stats f in
+  check Alcotest.int "per-QP counters sized" 2
+    (Array.length st.qp_queue_cycles);
+  check Alcotest.int "per-QP queueing sums to the total" st.queue_in_cycles
+    (Array.fold_left ( + ) 0 st.qp_queue_cycles)
+
+let test_fabric_writeback_charges_proto () =
+  (* Writebacks are posted, but the request still crosses the wire:
+     outbound occupancy covers protocol + serialization, same cost
+     structure as a fetch (DESIGN.md §fabric). *)
+  let cfg = N.Fabric.default_config in
+  let f = N.Fabric.create cfg in
+  N.Fabric.writeback f ~now:0 ~bytes:4096;
+  let busy = N.Fabric.outbound_busy_until f in
+  check Alcotest.bool "outbound occupied past proto_cycles" true
+    (busy > cfg.proto_cycles);
+  check Alcotest.bool "occupancy matches a fetch's cost" true
+    (busy = N.Fabric.nominal_fetch_cycles f ~bytes:4096)
+
+let test_fabric_writeback_many_coalesces () =
+  (* A coalesced eviction burst pays the protocol cost once. *)
+  let f1 = N.Fabric.create N.Fabric.default_config in
+  N.Fabric.writeback f1 ~now:0 ~bytes:4096;
+  N.Fabric.writeback f1 ~now:0 ~bytes:4096;
+  let serial = N.Fabric.outbound_busy_until f1 in
+  let f2 = N.Fabric.create N.Fabric.default_config in
+  N.Fabric.writeback_many f2 ~now:0 ~count:2 ~bytes:8192;
+  let batched = N.Fabric.outbound_busy_until f2 in
+  check Alcotest.bool "batched burst frees the wire sooner" true
+    (batched < serial);
+  let st = N.Fabric.stats f2 in
+  check Alcotest.int "objects counted" 2 st.writebacks;
+  check Alcotest.int "one outbound batch" 1 st.wb_batches;
+  check Alcotest.int "bytes counted" 8192 st.written_bytes
+
 let prop_fabric_completion_monotone =
   QCheck.Test.make ~name:"fabric completions are monotone in time" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 20) (int_range 64 65536))
@@ -176,15 +253,37 @@ let prop_policy_quota =
 
 let no_scan () = []
 
+(* Expand a target list to the individual objects it names. *)
+let objs_of targets =
+  List.concat_map
+    (fun (t : R.Prefetcher.target) ->
+      List.init t.t_len (fun i -> t.t_obj + i))
+    targets
+
 let test_stride_prefetcher_locks () =
   let p = R.Prefetcher.stride ~depth:3 in
-  (* Feed a stride-1 stream; after the window fills it must predict. *)
-  let last = ref [] in
+  (* Feed a stride-1 stream; after the window fills it must predict
+     ahead, emitting the window as contiguous runs. *)
+  let all = ref [] in
+  let runs = ref [] in
   for o = 0 to 9 do
-    last := R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan
+    let out = R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan in
+    runs := !runs @ out;
+    all := !all @ objs_of out
   done;
-  check (Alcotest.list Alcotest.int) "predicts 10,11,12" [ 10; 11; 12 ]
-    (List.map (fun t -> t.R.Prefetcher.t_obj) !last)
+  (* The issued window must reach past the last access by the depth. *)
+  check Alcotest.bool "window covers obj+depth" true
+    (List.mem 10 !all && List.mem 11 !all && List.mem 12 !all);
+  (* Runs only ever point ahead of the access stream. *)
+  check Alcotest.bool "all targets ahead" true (List.for_all (fun o -> o >= 5) !all);
+  (* No object is requested twice... *)
+  check Alcotest.int "no duplicate objects"
+    (List.length !all)
+    (List.length (List.sort_uniq compare !all));
+  (* ...and the window arrives as real runs a batching fabric can
+     coalesce, not as per-object targets. *)
+  check Alcotest.bool "emits multi-object runs" true
+    (List.exists (fun (t : R.Prefetcher.target) -> t.t_len >= 3) !runs)
 
 let test_stride_prefetcher_majority () =
   let p = R.Prefetcher.stride ~depth:2 in
@@ -193,8 +292,7 @@ let test_stride_prefetcher_majority () =
     (fun o -> ignore (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan))
     [ 0; 2; 4; 6; 7; 9; 11; 13 ];
   let out = R.Prefetcher.on_access p ~obj:15 ~missed:false ~scan:no_scan in
-  check (Alcotest.list Alcotest.int) "stride 2 locked" [ 17; 19 ]
-    (List.map (fun t -> t.R.Prefetcher.t_obj) out)
+  check (Alcotest.list Alcotest.int) "stride 2 locked" [ 17; 19 ] (objs_of out)
 
 let test_stride_prefetcher_random_stays_quiet () =
   let p = R.Prefetcher.stride ~depth:4 in
@@ -203,16 +301,16 @@ let test_stride_prefetcher_random_stays_quiet () =
   for _ = 1 to 50 do
     let o = Cards_util.Rng.int rng 10_000 in
     let out = R.Prefetcher.on_access p ~obj:o ~missed:true ~scan:no_scan in
-    noisy := !noisy + List.length out
+    noisy := !noisy + List.length (objs_of out)
   done;
   check Alcotest.bool "no majority, few prefetches" true (!noisy < 20)
 
 let test_greedy_scans_on_miss () =
   let p = R.Prefetcher.greedy ~fanout:2 in
   let scan () =
-    [ { R.Prefetcher.t_ds = 2; t_obj = 7 };
-      { R.Prefetcher.t_ds = 2; t_obj = 8 };
-      { R.Prefetcher.t_ds = 2; t_obj = 9 } ]
+    [ { R.Prefetcher.t_ds = 2; t_obj = 7; t_len = 1 };
+      { R.Prefetcher.t_ds = 2; t_obj = 8; t_len = 1 };
+      { R.Prefetcher.t_ds = 2; t_obj = 9; t_len = 1 } ]
   in
   let out = R.Prefetcher.on_access p ~obj:0 ~missed:true ~scan in
   check Alcotest.int "fanout bounded" 2 (List.length out);
@@ -413,6 +511,112 @@ let test_rt_prefetch_stats () =
   let cov = R.Rt_stats.prefetch_coverage d in
   check Alcotest.bool "coverage positive" true (cov > 0.0 && cov <= 1.0)
 
+let test_rt_cross_structure_prefetch_at_frontier () =
+  (* Regression: issuing a prefetch for another structure's object at
+     the pool frontier must grow the target's flag array *before*
+     reading it.  A greedy prefetcher on A chases a pointer to the last
+     object of B. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with
+         prefetch = R.Static_info.Greedy_recursive; obj_size = 64 };
+       { (R.Static_info.default ~sid:1) with obj_size = 64 };
+       { (R.Static_info.default ~sid:2) with obj_size = 64 } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 20; remotable_bytes = 64 * 64 }
+      infos
+  in
+  let h_a = R.Runtime.ds_init rt ~sid:0 in
+  let h_b = R.Runtime.ds_init rt ~sid:1 in
+  let h_c = R.Runtime.ds_init rt ~sid:2 in
+  let b = R.Runtime.ds_alloc rt ~handle:h_b ~size:(128 * 64) in
+  let a = R.Runtime.ds_alloc rt ~handle:h_a ~size:64 in
+  (* A's only object points at B's frontier object. *)
+  R.Runtime.write_i64 rt a (b + (127 * 64));
+  (* Flood the cache so both A's object and B's frontier are evicted. *)
+  let _ = R.Runtime.ds_alloc rt ~handle:h_c ~size:(128 * 64) in
+  (* Miss on A: the greedy scan emits the cross-structure target; the
+     issue path must not read past B's flag array. *)
+  R.Runtime.guard rt ~write:false a;
+  ignore (R.Runtime.read_i64 rt a);
+  let sb = R.Rt_stats.ds_stats (R.Runtime.stats rt) h_b in
+  check Alcotest.bool "frontier prefetch issued on B" true
+    (sb.prefetch_issued >= 1)
+
+let test_rt_over_budget_counted () =
+  (* Regression: a deep jump-pointer chase puts more objects in flight
+     than the remotable budget holds; eviction cannot reclaim data
+     still on the wire, so it must give up *and say so*. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with
+         prefetch = R.Static_info.Jump_pointer; obj_size = 4096 } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 20;
+        (* ten objects: smaller than the jump window (4·depth = 16) *)
+        remotable_bytes = 10 * 4096 }
+      infos
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(256 * 4096) in
+  let touch i =
+    let addr = a + (i * 4096) in
+    R.Runtime.guard rt ~write:false addr;
+    ignore (R.Runtime.read_i64 rt addr)
+  in
+  (* First traversal teaches the jump table i -> i+8. *)
+  for i = 0 to 255 do
+    touch i
+  done;
+  check Alcotest.int "no overflow while learning" 0
+    (R.Rt_stats.over_budget (R.Runtime.stats rt));
+  (* Second traversal: the first access chases 16 objects into a
+     10-object cache — everything in flight, nothing evictable. *)
+  touch 0;
+  check Alcotest.bool "occupancy overflow counted" true
+    (R.Rt_stats.over_budget (R.Runtime.stats rt) > 0)
+
+let test_rt_batching_reduces_cycles () =
+  (* The tentpole, end to end: the same sequential scan, batched versus
+     per-object fabric; identical data, fewer cycles. *)
+  let scan batching =
+    let rt =
+      R.Runtime.create
+        { R.Runtime.default_config with
+          policy = R.Policy.All_remotable; k = 0.0;
+          local_bytes = 1 lsl 18; remotable_bytes = 1 lsl 17;
+          prefetch_mode = R.Runtime.Pf_stride_only;
+          batching;
+          fabric_config =
+            { R.Runtime.default_config.fabric_config with
+              qp_count = (if batching then 2 else 1) } }
+        [| R.Static_info.default ~sid:0 |]
+    in
+    let h = R.Runtime.ds_init rt ~sid:0 in
+    let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+    let _ = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 20) in
+    let t0 = R.Runtime.now rt in
+    for i = 0 to 4095 do
+      let addr = a + (i * 256) in
+      R.Runtime.guard rt ~write:false addr;
+      ignore (R.Runtime.read_i64 rt addr)
+    done;
+    (R.Runtime.now rt - t0, R.Runtime.fabric_stats rt)
+  in
+  let unbatched, fs_u = scan false in
+  let batched, fs_b = scan true in
+  check Alcotest.bool "batching cuts scan cycles" true (batched < unbatched);
+  check Alcotest.int "unbatched path never batches" 0 fs_u.batches;
+  check Alcotest.bool "batched path coalesced requests" true (fs_b.batches > 0);
+  check Alcotest.bool "batches carry multiple objects" true
+    (fs_b.batched_objects >= 2 * fs_b.batches)
+
 let test_rt_wild_pointer_rejected () =
   let rt = mk_rt ~policy:R.Policy.All_remotable ~k:0.0 1 in
   let h = R.Runtime.ds_init rt ~sid:0 in
@@ -544,6 +748,10 @@ let suite =
     ("fabric queueing", `Quick, test_fabric_queueing);
     ("fabric writeback", `Quick, test_fabric_writeback_nonblocking);
     ("fabric bandwidth term", `Quick, test_fabric_bandwidth_term);
+    ("fabric fetch_many amortizes", `Quick, test_fabric_fetch_many_amortizes);
+    ("fabric qp dispatch", `Quick, test_fabric_qp_dispatch);
+    ("fabric writeback charges proto", `Quick, test_fabric_writeback_charges_proto);
+    ("fabric writeback_many coalesces", `Quick, test_fabric_writeback_many_coalesces);
     ("policy linear", `Quick, test_policy_linear);
     ("policy all-*", `Quick, test_policy_all);
     ("policy max-use", `Quick, test_policy_max_use);
@@ -568,6 +776,10 @@ let suite =
     ("rt dirty eviction", `Quick, test_rt_dirty_eviction_writes_back);
     ("rt prefetch hides latency", `Quick, test_rt_prefetch_hides_latency);
     ("rt prefetch stats", `Quick, test_rt_prefetch_stats);
+    ("rt cross-structure frontier prefetch", `Quick,
+     test_rt_cross_structure_prefetch_at_frontier);
+    ("rt over-budget counted", `Quick, test_rt_over_budget_counted);
+    ("rt batching reduces cycles", `Quick, test_rt_batching_reduces_cycles);
     ("rt wild pointer", `Quick, test_rt_wild_pointer_rejected);
     ("rt speculative guard benign", `Quick, test_rt_speculative_guard_benign);
     ("rt report", `Quick, test_rt_report);
