@@ -9,12 +9,19 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig8 fig9 # selected experiments
 
-   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 fabric profile
+   Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 fabric profile attr
    ablations bechamel
 
    `--json FILE` additionally records every experiment the chosen
    sections register (tag, total cycles, fabric counters) as a JSON
-   snapshot, so successive PRs leave comparable perf records. *)
+   snapshot, so successive PRs leave comparable perf records.
+
+   `--compare BASELINE.json [--tolerance F]` diffs the experiments this
+   invocation registers against a committed snapshot (relative
+   tolerance, default 2%) and exits non-zero on any deviation — the
+   regression gate scripts/check.sh runs against BENCH_fabric.json and
+   BENCH_attr.json.  The baseline is read before `--json` rewrites it,
+   so `--json X --compare X` gates and refreshes in one run. *)
 
 module R = Cards_runtime
 module P = Cards.Pipeline
@@ -32,6 +39,8 @@ let header title = Printf.printf "\n==== %s ====\n\n%!" title
 (* ---------- JSON perf snapshot (--json FILE) ---------- *)
 
 let json_out : string option ref = ref None
+let compare_to : string option ref = ref None
+let tolerance = ref 0.02
 let experiments : J.t list ref = ref []
 
 let fabric_json (fs : Cards_net.Fabric.stats) =
@@ -55,12 +64,13 @@ let record_experiment ~tag ~cycles rt =
         ("fabric", fabric_json (R.Runtime.fabric_stats rt)) ]
     :: !experiments
 
+let current_doc () = J.Obj [ ("experiments", J.List (List.rev !experiments)) ]
+
 let write_json () =
   Option.iter
     (fun path ->
-      let doc = J.Obj [ ("experiments", J.List (List.rev !experiments)) ] in
       let oc = open_out path in
-      output_string oc (J.to_string doc);
+      output_string oc (J.to_string (current_doc ()));
       output_char oc '\n';
       close_out oc;
       Printf.eprintf "-- recorded %d experiments to %s\n"
@@ -460,6 +470,65 @@ let profile_section () =
     [ ("list", 16384, 2); ("tree", 16384, 2) ]
 
 (* ---------------------------------------------------------------- *)
+(* Attribution: stall root causes + fetch-latency percentiles.      *)
+(* ---------------------------------------------------------------- *)
+
+(* The regression-gated observability suite: runs the fig9 chases and
+   the fig8 analytics workload at 50% local, asserts the ledger
+   exactness invariant at bench scale, prints the per-cause / per-site
+   stall decomposition, and records each run so BENCH_attr.json gates
+   cycle counts and fabric counters across PRs. *)
+let attr_section () =
+  header "Attribution: stall root causes (fig8/fig9 workloads, 50% local)";
+  let run_one tag compiled cfg =
+    let res, rt = P.run compiled cfg in
+    let prof = R.Runtime.profile rt in
+    let attr = R.Runtime.attribution rt in
+    let stall = res.cycles - O.Profile.compute prof in
+    if O.Attribution.total attr <> stall then begin
+      Printf.eprintf
+        "ATTR: ledger total %d <> stall %d (cycles %d - compute %d) on %s\n"
+        (O.Attribution.total attr) stall res.cycles
+        (O.Profile.compute prof) tag;
+      exit 1
+    end;
+    let names = R.Runtime.ds_name rt in
+    T.print
+      (O.Export.attribution_table
+         ~title:
+           (Printf.sprintf "%s: stall attribution (%s stall / %s total)" tag
+              (T.fmt_cycles (float_of_int stall))
+              (T.fmt_cycles (float_of_int res.cycles)))
+         ~names attr);
+    T.print
+      (O.Export.attribution_sites_table ~title:(tag ^ ": hottest access sites")
+         ~names attr);
+    T.print
+      (O.Export.latency_percentiles_table
+         ~title:(tag ^ ": fetch latency percentiles") ~names prof);
+    record_experiment ~tag ~cycles:res.cycles rt
+  in
+  let analytics = P.compile_source (W.Analytics.source ~trips:50000 ~query_passes:2) in
+  let wss = wss_of analytics in
+  let remot = kb 256 in
+  let local = (wss / 2) + remot in
+  run_one "attr-analytics" analytics
+    (cards_cfg ~policy:R.Policy.Max_use ~k:1.0 ~local ~remot ());
+  List.iter
+    (fun (variant, scale, passes) ->
+      let compiled =
+        P.compile_source (W.Pointer_chase.source ~variant ~scale ~passes)
+      in
+      let wss = wss_of compiled in
+      let local = wss / 2 in
+      let remot = local / 4 in
+      run_one ("attr-pc-" ^ variant) compiled (cards_cfg ~k:1.0 ~local ~remot ()))
+    [ ("list", 16384, 2); ("tree", 16384, 2) ];
+  print_endline
+    "Every stalled cycle lands in exactly one cause bucket; the ledger\n\
+     total matching (cycles - compute) above is a hard assertion."
+
+(* ---------------------------------------------------------------- *)
 (* Ablations: which CaRDS mechanism buys what.                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -646,6 +715,7 @@ let sections =
   [ ("table1", table1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fabric", fabric_section); ("profile", profile_section);
+    ("attr", attr_section);
     ("ablations", ablations); ("bechamel", bechamel) ]
 
 let () =
@@ -657,9 +727,40 @@ let () =
     | "--json" :: [] ->
       Printf.eprintf "--json needs a FILE argument\n";
       exit 1
+    | "--compare" :: path :: rest ->
+      compare_to := Some path;
+      strip acc rest
+    | "--compare" :: [] ->
+      Printf.eprintf "--compare needs a BASELINE.json argument\n";
+      exit 1
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f >= 0.0 -> tolerance := f
+       | _ ->
+         Printf.eprintf "--tolerance needs a non-negative float, got %S\n" v;
+         exit 1);
+      strip acc rest
+    | "--tolerance" :: [] ->
+      Printf.eprintf "--tolerance needs a FLOAT argument\n";
+      exit 1
     | arg :: rest -> strip (arg :: acc) rest
   in
   let args = strip [] (List.tl (Array.to_list Sys.argv)) in
+  (* Read the baseline up front so `--json X --compare X` gates against
+     the committed snapshot, then refreshes it. *)
+  let baseline =
+    Option.map
+      (fun path ->
+        match O.Regress.load_file path with
+        | doc -> (path, doc)
+        | exception Sys_error msg ->
+          Printf.eprintf "cannot read baseline %s: %s\n" path msg;
+          exit 1
+        | exception Cards_util.Json.Parse_error msg ->
+          Printf.eprintf "cannot parse baseline %s: %s\n" path msg;
+          exit 1)
+      !compare_to
+  in
   let chosen = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->
@@ -670,4 +771,22 @@ let () =
           (String.concat " " (List.map fst sections));
         exit 1)
     chosen;
-  write_json ()
+  write_json ();
+  match baseline with
+  | None -> ()
+  | Some (path, base) ->
+    let violations =
+      O.Regress.compare_snapshots ~tolerance:!tolerance ~baseline:base
+        ~current:(current_doc ()) ()
+    in
+    if violations = [] then
+      Printf.eprintf "-- regression gate: %d experiment(s) within %.1f%% of %s\n"
+        (List.length !experiments) (100.0 *. !tolerance) path
+    else begin
+      List.iter
+        (fun v -> Printf.eprintf "%s\n" (O.Regress.format_violation v))
+        violations;
+      Printf.eprintf "-- regression gate: %d violation(s) against %s\n"
+        (List.length violations) path;
+      exit 1
+    end

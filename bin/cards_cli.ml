@@ -221,8 +221,10 @@ let profile_arg =
        & info [ "profile" ]
            ~doc:"Print the cycle-attribution profile (guard / demand \
                  stall / queueing / prefetch stall / trap / alloc per \
-                 structure, buckets summing to total cycles) and the \
-                 fetch-latency histogram.")
+                 structure, buckets summing to total cycles), the stall \
+                 root-cause tables (per structure and per access site, \
+                 causes summing to total stall), and the fetch-latency \
+                 histogram with p50/p90/p99/p999 percentiles.")
 
 let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval =
   if trace = None && events = None && not metrics then None
@@ -259,8 +261,12 @@ let export_obs rt obs ~trace ~events ~metrics =
 let print_profile rt total =
   let names = R.Runtime.ds_name rt in
   let prof = R.Runtime.profile rt in
+  let attr = R.Runtime.attribution rt in
   T.print (O.Export.profile_table ~names ~total prof);
+  T.print (O.Export.attribution_table ~names attr);
+  T.print (O.Export.attribution_sites_table ~names attr);
   T.print (O.Export.latency_table prof);
+  T.print (O.Export.latency_percentiles_table ~names prof);
   T.print
     (O.Export.fabric_table
        ~over_budget:(R.Rt_stats.over_budget (R.Runtime.stats rt))

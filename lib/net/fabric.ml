@@ -35,6 +35,8 @@ type transfer = {
   t_queued : int;
   t_complete : int;
   t_qp : int;
+  t_proto : int;
+  t_ser : int;
 }
 
 type t = {
@@ -93,7 +95,8 @@ let fetch_info t ~now ~bytes =
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
   { t_start = start; t_queued = queued;
-    t_complete = start + t.cfg.proto_cycles + ser; t_qp = qp }
+    t_complete = start + t.cfg.proto_cycles + ser; t_qp = qp;
+    t_proto = t.cfg.proto_cycles; t_ser = ser }
 
 let fetch t ~now ~bytes = (fetch_info t ~now ~bytes).t_complete
 
@@ -125,7 +128,8 @@ let fetch_many t ~now ~sizes =
   t.batches <- t.batches + 1;
   t.batched_objects <- t.batched_objects + n;
   ({ t_start = start; t_queued = queued;
-     t_complete = completions.(n - 1); t_qp = qp },
+     t_complete = completions.(n - 1); t_qp = qp;
+     t_proto = t.cfg.proto_cycles; t_ser = !cum },
    completions)
 
 (* Writebacks are posted writes: the CPU never waits for them, but the

@@ -53,12 +53,16 @@ type transfer = {
   t_queued : int;    (** [t_start - now]: cycles spent waiting in line *)
   t_complete : int;  (** completion time (of the last object for batches) *)
   t_qp : int;        (** the queue pair that carried it *)
+  t_proto : int;     (** per-request protocol cycles this transfer paid *)
+  t_ser : int;       (** serialization cycles (summed over a batch) *)
 }
 
 val fetch_info : t -> now:int -> bytes:int -> transfer
-(** Like {!fetch}, but exposes the queue/transfer split so callers
-    (the runtime's cycle-attribution profiler) can attribute stall
-    cycles to contention vs. the wire. *)
+(** Like {!fetch}, but exposes the queue/protocol/serialization split
+    ([t_queued + t_proto + t_ser = t_complete - now]) so callers (the
+    runtime's cycle-attribution profiler and the stall-attribution
+    ledger) can decompose stall cycles into root causes instead of
+    reporting one opaque fetch cost. *)
 
 val fetch_many : t -> now:int -> sizes:int array -> transfer * int array
 (** Coalesce a batch of objects into one request on the least-loaded

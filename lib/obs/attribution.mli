@@ -1,0 +1,93 @@
+(** Stall root-cause attribution.
+
+    The cycle-attribution profiler ({!Profile}) answers {e how much}
+    time each structure stalled; this ledger answers {e why}: every
+    stalled CPU cycle is charged to exactly one root cause —
+
+    - {!Proto}: per-request protocol overhead (doorbells, completion
+      polling, bookkeeping) plus address-to-object mapping;
+    - {!Wire}: serialization cycles on the link;
+    - [Queue qp]: inbound contention — cycles spent queued behind
+      earlier transfers on queue pair [qp] (e.g. a demand fault stuck
+      behind a streaming prefetch window);
+    - {!Pf_wait}: stalls on late (in-flight) prefetches;
+    - {!Guard_exec}: custody checks and local guard hit/miss cost;
+    - {!Trap}: clean-fault trap overhead on unguarded paths;
+    - {!Bookkeeping}: [ds_init] / [dsalloc] / loop-version checks —
+
+    and double-keyed by data structure {e and} access site (function,
+    basic block, instruction index: the identity the compiler's
+    rewrite operates on, threaded from the interpreter).  The
+    exactness invariant mirrors the profiler's:
+
+    {[ total ledger = Runtime.now - Profile.compute ]}
+
+    — every non-compute clock advance lands here exactly once, with
+    the queue/protocol/serialization split {!Cards_net.Fabric.transfer}
+    exposes.  The ledger never writes the clock: attributed and
+    unattributed runs are cycle-identical. *)
+
+type cause =
+  | Proto        (** per-request protocol + mapping overhead *)
+  | Wire         (** serialization cycles on the link *)
+  | Queue of int (** inbound queueing behind this queue pair *)
+  | Pf_wait      (** stall waiting on a late (in-flight) prefetch *)
+  | Guard_exec   (** custody checks + local guard hit/miss cost *)
+  | Trap         (** clean-fault trap overhead *)
+  | Bookkeeping  (** ds_init / dsalloc / loop-version checks *)
+
+val cause_name : cause -> string
+(** Stable human label, e.g. ["qp0 queueing"]. *)
+
+type site = {
+  s_fn : string;   (** function name *)
+  s_block : int;   (** basic-block id ([-1]: outside interpreted code) *)
+  s_instr : int;   (** instruction index within the block *)
+}
+
+val unknown_site : site
+(** [("(runtime)", -1, -1)]: charges from direct runtime API use
+    (benchmarks, tests) with no interpreted instruction behind them. *)
+
+val site_name : site -> string
+(** ["fn/bb2#5"], or just the function name for {!unknown_site}. *)
+
+type t
+
+val create : unit -> t
+
+val charge :
+  t -> ds:int -> fn:string -> block:int -> instr:int -> cause -> int -> unit
+(** Charge [cycles] to one cause at one (structure, site) key.  The
+    site is passed as components so the hot path does not allocate; a
+    one-entry memo makes consecutive same-site charges O(1). *)
+
+val total : t -> int
+(** Σ over every key and cause — must equal
+    [Runtime.now - Profile.compute] (the exactness invariant tests
+    assert). *)
+
+val causes : t -> cause list
+(** Display order: protocol, wire, one [Queue] entry per queue pair
+    ever charged, late-prefetch, guard, trap, bookkeeping. *)
+
+val cause_totals : t -> (cause * int) list
+(** Per-cause totals over all structures and sites, in {!causes}
+    order; their sum is {!total}. *)
+
+val ds_cause_totals : t -> int -> (cause * int) list
+(** Per-cause totals restricted to one structure handle. *)
+
+val ds_list : t -> int list
+(** Structure handles with at least one charged cell, ascending. *)
+
+type site_row = {
+  r_site : site;
+  r_ds : int;
+  r_total : int;                 (** this key's total stall *)
+  r_causes : (cause * int) list; (** non-zero causes, largest first *)
+}
+
+val site_rows : ?limit:int -> t -> site_row list
+(** Per-(site, structure) breakdown, heaviest first — the "loop at
+    [traverse]/bb2 paid 71% of its stall to qp0 queueing" view. *)

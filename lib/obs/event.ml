@@ -7,6 +7,7 @@ type kind =
   | Batch_fetch of { count : int; bytes : int }
   | Prefetch_use of { timely : bool }
   | Prefetch_late of { wait : int }
+  | Qp_busy of { qp : int; busy : int }
   | Evict of { dirty : bool }
   | Writeback of { bytes : int }
   | Policy_switch of { from_pf : string; to_pf : string }
@@ -34,6 +35,7 @@ let kind_name = function
   | Batch_fetch _ -> "batch_fetch"
   | Prefetch_use _ -> "prefetch_use"
   | Prefetch_late _ -> "prefetch_late"
+  | Qp_busy _ -> "qp_busy"
   | Evict _ -> "evict"
   | Writeback _ -> "writeback"
   | Policy_switch _ -> "policy_switch"
@@ -47,6 +49,7 @@ let category = function
   | Remote_fault _ | Clean_fault _ -> "fault"
   | Prefetch_issue _ | Batch_fetch _ | Prefetch_use _ | Prefetch_late _ ->
     "prefetch"
+  | Qp_busy _ -> "fabric"
   | Evict _ | Writeback _ -> "cache"
   | Policy_switch _ | Epoch_mark -> "policy"
   | Loop_version _ -> "versioning"
@@ -58,4 +61,5 @@ let duration = function
   | Remote_fault { stall; _ } -> Some stall
   | Clean_fault { stall } -> Some stall
   | Prefetch_late { wait } -> Some wait
+  | Qp_busy { busy; _ } -> Some busy
   | _ -> None

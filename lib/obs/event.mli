@@ -27,6 +27,12 @@ type kind =
       (** prefetched object reached by the demand stream *)
   | Prefetch_late of { wait : int }
       (** access had to wait for an in-flight prefetch *)
+  | Qp_busy of { qp : int; busy : int }
+      (** inbound queue pair [qp] occupied for [busy] cycles by one
+          request (protocol + serialization); [ev_cycle] is when the
+          QP picked the transfer up, [ev_ds] the structure whose
+          access put it on the wire.  Rendered as its own thread row
+          so queue contention is visible next to the fault spans. *)
   | Evict of { dirty : bool }
   | Writeback of { bytes : int }
   | Policy_switch of { from_pf : string; to_pf : string }

@@ -15,6 +15,7 @@ let kind_args (k : Event.kind) : (string * Json.t) list =
     [ ("count", Json.Int count); ("bytes", Json.Int bytes) ]
   | Prefetch_use { timely } -> [ ("timely", Json.Bool timely) ]
   | Prefetch_late { wait } -> [ ("wait", Json.Int wait) ]
+  | Qp_busy { qp; busy } -> [ ("qp", Json.Int qp); ("busy", Json.Int busy) ]
   | Evict { dirty } -> [ ("dirty", Json.Bool dirty) ]
   | Writeback { bytes } -> [ ("bytes", Json.Int bytes) ]
   | Policy_switch { from_pf; to_pf } ->
@@ -73,9 +74,15 @@ let metrics_jsonl metrics =
    phase "ph" ("X" complete with "dur", "B"/"E" nested spans, "i"
    instants, "M" metadata), microsecond timestamps "ts", and
    process/thread ids.  We map each data structure to its own thread
-   row (tid = handle) and the interpreter's call stack to tid 0. *)
+   row (tid = handle), the interpreter's call stack to tid 0, and each
+   inbound fabric queue pair to its own row (tid = qp_tid_base + qp)
+   showing occupancy spans — queue contention made visible next to the
+   fault spans it causes. *)
 
 let us_of_cycles ~freq_ghz c = float_of_int c /. (freq_ghz *. 1000.0)
+
+(* QP rows sort after every plausible structure handle. *)
+let qp_tid_base = 100_000
 
 let chrome_event ~freq_ghz (ev : Event.t) : Json.t =
   let ts = us_of_cycles ~freq_ghz ev.ev_cycle in
@@ -95,6 +102,9 @@ let chrome_event ~freq_ghz (ev : Event.t) : Json.t =
   | Call_exit { fn } -> base fn "E" 0 []
   | Loop_version _ ->
     base (Event.kind_name ev.ev_kind) "i" 0 [ ("s", Json.Str "t"); args ]
+  | Qp_busy { qp; busy } ->
+    base "qp_busy" "X" (qp_tid_base + qp)
+      [ ("dur", Json.Float (us_of_cycles ~freq_ghz busy)); args ]
   | k -> (
     match Event.duration k with
     | Some dur ->
@@ -108,13 +118,18 @@ let chrome_trace ?(freq_ghz = 2.4) ?names trace =
   Trace.iter
     (fun (ev : Event.t) ->
       let tid =
-        match ev.ev_kind with Call_enter _ | Call_exit _ | Loop_version _ -> 0 | _ -> ev.ev_ds
+        match ev.ev_kind with
+        | Call_enter _ | Call_exit _ | Loop_version _ -> 0
+        | Qp_busy { qp; _ } -> qp_tid_base + qp
+        | _ -> ev.ev_ds
       in
       Hashtbl.replace tids tid ())
     trace;
   let thread_name tid =
     let name =
       if tid = 0 then "interpreter"
+      else if tid >= qp_tid_base then
+        Printf.sprintf "qp%d inbound" (tid - qp_tid_base)
       else
         match names with
         | Some f -> f tid
@@ -193,9 +208,19 @@ let profile_table ?(title = "Cycle attribution (per data structure)")
   Table.add_row t [ "TOTAL"; ""; ""; ""; ""; ""; ""; cyc total; "100.0%"; "" ];
   t
 
+let percentile_points = [ ("p50", 50.0); ("p90", 90.0); ("p99", 99.0); ("p999", 99.9) ]
+
+let percentile_summary lat =
+  percentile_points
+  |> List.map (fun (name, p) ->
+         Printf.sprintf "%s=%s" name
+           (Table.fmt_cycles (Cards_util.Stats.percentile lat p)))
+  |> String.concat "  "
+
 let latency_table ?(title = "Fetch latency (demand stalls + late prefetch waits)")
     prof =
-  let hist = Profile.merged_hist prof in
+  let lat = Profile.merged_latency prof in
+  let hist = Cards_util.Stats.log2_counts lat in
   let t = Table.create ~title ~header:[ "latency (cycles)"; "count"; "" ] in
   let maxc = Array.fold_left max 0 hist in
   Array.iteri
@@ -213,6 +238,82 @@ let latency_table ?(title = "Fetch latency (demand stalls + late prefetch waits)
             string_of_int n; bar ]
       end)
     hist;
+  if Cards_util.Stats.count lat > 0 then
+    Table.add_row t
+      [ "percentiles"; string_of_int (Cards_util.Stats.count lat);
+        percentile_summary lat ];
+  t
+
+let latency_percentiles_table ?(title = "Fetch latency percentiles") ~names prof =
+  let t =
+    Table.create ~title
+      ~header:[ "structure"; "fetches"; "p50"; "p90"; "p99"; "p999"; "max" ]
+  in
+  let row name lat =
+    if Cards_util.Stats.count lat > 0 then
+      Table.add_row t
+        (name :: string_of_int (Cards_util.Stats.count lat)
+         :: (List.map
+               (fun (_, p) ->
+                 Table.fmt_cycles (Cards_util.Stats.percentile lat p))
+               percentile_points
+             @ [ Table.fmt_cycles (Cards_util.Stats.max lat) ]))
+  in
+  List.iter
+    (fun h -> row (names h) (Profile.latency (Profile.buckets prof h)))
+    (Profile.handles prof);
+  row "ALL" (Profile.merged_latency prof);
+  t
+
+(* ---------- stall attribution tables ---------- *)
+
+let attribution_table ?(title = "Stall root causes (per data structure)")
+    ~names attr =
+  let causes = Attribution.causes attr in
+  let t =
+    Table.create ~title
+      ~header:
+        ("structure" :: List.map Attribution.cause_name causes
+         @ [ "total stall"; "share" ])
+  in
+  let grand = Attribution.total attr in
+  let cyc c = if c = 0 then "" else Table.fmt_cycles (float_of_int c) in
+  List.iter
+    (fun ds ->
+      let per = Attribution.ds_cause_totals attr ds in
+      let tot = List.fold_left (fun acc (_, v) -> acc + v) 0 per in
+      Table.add_row t
+        (names ds :: List.map (fun (_, v) -> cyc v) per
+         @ [ Table.fmt_cycles (float_of_int tot); pct tot grand ]))
+    (Attribution.ds_list attr);
+  let totals = Attribution.cause_totals attr in
+  Table.add_row t
+    ("TOTAL" :: List.map (fun (_, v) -> cyc v) totals
+     @ [ Table.fmt_cycles (float_of_int grand); "100.0%" ]);
+  t
+
+let attribution_sites_table ?(title = "Stall by access site (heaviest first)")
+    ?(limit = 12) ~names attr =
+  let grand = Attribution.total attr in
+  let t =
+    Table.create ~title
+      ~header:[ "site"; "structure"; "stall"; "share"; "dominant causes" ]
+  in
+  List.iter
+    (fun (r : Attribution.site_row) ->
+      let dominant =
+        r.r_causes
+        |> List.filteri (fun i _ -> i < 3)
+        |> List.map (fun (cause, v) ->
+               Printf.sprintf "%s %s" (Attribution.cause_name cause)
+                 (pct v r.r_total))
+        |> String.concat ", "
+      in
+      Table.add_row t
+        [ Attribution.site_name r.r_site; names r.r_ds;
+          Table.fmt_cycles (float_of_int r.r_total); pct r.r_total grand;
+          dominant ])
+    (Attribution.site_rows ~limit attr);
   t
 
 let fabric_table ?(title = "Fabric") ?over_budget

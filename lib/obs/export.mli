@@ -38,7 +38,29 @@ val profile_table :
     an explicit [(unattributed)] row. *)
 
 val latency_table : ?title:string -> Profile.t -> Cards_util.Table.t
-(** Log₂ fetch-latency histogram with ASCII bars. *)
+(** Log₂ fetch-latency histogram with ASCII bars, closed by a
+    p50/p90/p99/p999 percentile summary row. *)
+
+val latency_percentiles_table :
+  ?title:string -> names:(int -> string) -> Profile.t -> Cards_util.Table.t
+(** Per-structure fetch-latency percentiles (p50/p90/p99/p999/max)
+    plus an [ALL] row merged over every structure. *)
+
+val attribution_table :
+  ?title:string -> names:(int -> string) -> Attribution.t -> Cards_util.Table.t
+(** Per-structure stall decomposition: one column per root cause
+    (protocol, wire, one per queue pair, late-prefetch, guard, trap,
+    bookkeeping); the TOTAL row sums exactly to {!Attribution.total}. *)
+
+val attribution_sites_table :
+  ?title:string ->
+  ?limit:int ->
+  names:(int -> string) ->
+  Attribution.t ->
+  Cards_util.Table.t
+(** Heaviest access sites (default top 12) with their dominant causes
+    — the "loop at [traverse/bb2] paid 71% of its stall to qp0
+    queueing" view. *)
 
 val fabric_table :
   ?title:string ->

@@ -1,4 +1,6 @@
-let hist_buckets = 44 (* log2 buckets: covers latencies up to ~2^43 cycles *)
+module Stats = Cards_util.Stats
+
+let hist_buckets = Stats.log2_buckets
 
 type buckets = {
   mutable p_guard : int;
@@ -8,12 +10,12 @@ type buckets = {
   mutable p_trap : int;
   mutable p_alloc : int;
   mutable p_hidden : int;
-  lat_hist : int array;
+  lat : Stats.t;
 }
 
 let make_buckets () =
   { p_guard = 0; p_demand = 0; p_queue = 0; p_pf_stall = 0; p_trap = 0;
-    p_alloc = 0; p_hidden = 0; lat_hist = Array.make hist_buckets 0 }
+    p_alloc = 0; p_hidden = 0; lat = Stats.create () }
 
 type t = {
   per : (int, buckets) Hashtbl.t;
@@ -43,23 +45,13 @@ let attributed t =
 let handles t =
   List.sort compare (Hashtbl.fold (fun h _ acc -> h :: acc) t.per [])
 
-let log2_bucket c =
-  if c <= 0 then 0
-  else begin
-    let i = ref 0 and v = ref c in
-    while !v > 1 do
-      v := !v lsr 1;
-      incr i
-    done;
-    min !i (hist_buckets - 1)
-  end
+let record_latency b c = Stats.add b.lat (float_of_int c)
 
-let record_latency b c = b.lat_hist.(log2_bucket c) <- b.lat_hist.(log2_bucket c) + 1
+let latency b = b.lat
 
-let merged_hist t =
-  let acc = Array.make hist_buckets 0 in
-  Hashtbl.iter
-    (fun _ b ->
-      Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) b.lat_hist)
-    t.per;
-  acc
+(* The all-structure latency distribution: bucket-wise merge, no
+   sample lists anywhere (Stats is a bounded histogram). *)
+let merged_latency t =
+  Hashtbl.fold (fun _ b acc -> Stats.merge acc b.lat) t.per (Stats.create ())
+
+let merged_hist t = Stats.log2_counts (merged_latency t)

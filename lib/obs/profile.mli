@@ -13,8 +13,11 @@
     double counting.  Attribution never touches the clock itself, so
     profiled and unprofiled runs report identical cycle counts.
 
-    Also collects per-structure log₂-bucketed histograms of fetch
-    latency (demand-fault stalls and late-prefetch waits). *)
+    Also collects per-structure fetch-latency distributions
+    (demand-fault stalls and late-prefetch waits) in bounded-memory
+    log-bucket histograms ({!Cards_util.Stats}), so p50/p90/p99/p999
+    tail latency is answerable per structure without retaining
+    samples. *)
 
 type buckets = {
   mutable p_guard : int;
@@ -32,7 +35,7 @@ type buckets = {
   mutable p_hidden : int;
       (** {e informational}, not wall-clock: fetch latency hidden by
           timely prefetches (what demand faults would have cost) *)
-  lat_hist : int array;  (** log₂ fetch-latency histogram *)
+  lat : Cards_util.Stats.t;  (** fetch-latency distribution *)
 }
 
 type t
@@ -56,11 +59,16 @@ val attributed : t -> int
 val handles : t -> int list
 
 val record_latency : buckets -> int -> unit
-(** Add one fetch latency (cycles) to the handle's histogram. *)
+(** Add one fetch latency (cycles) to the handle's distribution. *)
+
+val latency : buckets -> Cards_util.Stats.t
+(** One handle's fetch-latency distribution (percentiles, count). *)
+
+val merged_latency : t -> Cards_util.Stats.t
+(** The latency distribution merged over all handles (bucket-wise). *)
 
 val merged_hist : t -> int array
-(** Histogram summed over all handles. *)
+(** Octave (log₂) view of {!merged_latency}: bucket [i] counts
+    latencies in [2^i, 2^(i+1)).  Length {!hist_buckets}. *)
 
 val hist_buckets : int
-(** Length of [lat_hist]: bucket [i] counts latencies in
-    [2^i, 2^(i+1)). *)

@@ -1,0 +1,121 @@
+(* Bench regression gate: diff a perf snapshot (the `--json` output of
+   bench/main.exe — per-experiment cycle counts and fabric counters)
+   against a committed baseline, within a configurable relative
+   tolerance.
+
+   The simulator is deterministic, so on an unchanged tree the diff is
+   exactly zero and any tolerance passes; the tolerance exists to
+   absorb *intentional* small drifts (a recalibrated cost constant)
+   without forcing a baseline refresh for every third decimal.  The
+   comparison is two-sided — an unexplained speedup is as much a
+   "your model changed" signal as a slowdown — and every violation
+   names the experiment, the metric, and both values, so a gate
+   failure reads as a diagnosis rather than a boolean. *)
+
+module Json = Cards_util.Json
+
+type violation = {
+  v_experiment : string;
+  v_metric : string;
+  v_baseline : float;
+  v_observed : float option; (* None: metric/experiment gone from current *)
+}
+
+(* Flatten one experiment object into ("cycles" / "fabric.fetches" /
+   "fabric.qp_queue_cycles[0]" / ...) metric pairs.  Anything numeric
+   under "fabric" is gated, so counters added later join the gate
+   without this module changing. *)
+let metrics_of_experiment (e : Json.t) : (string * float) list =
+  let num j = Json.to_number_opt j in
+  let cycles =
+    match Option.bind (Json.member "cycles" e) num with
+    | Some c -> [ ("cycles", c) ]
+    | None -> []
+  in
+  let fabric =
+    match Json.member "fabric" e with
+    | Some (Json.Obj fields) ->
+      List.concat_map
+        (fun (name, v) ->
+          match v with
+          | Json.List items ->
+            List.mapi
+              (fun i item ->
+                Option.map
+                  (fun x -> (Printf.sprintf "fabric.%s[%d]" name i, x))
+                  (num item))
+              items
+            |> List.filter_map Fun.id
+          | _ -> (
+            match num v with
+            | Some x -> [ ("fabric." ^ name, x) ]
+            | None -> []))
+        fields
+    | _ -> []
+  in
+  cycles @ fabric
+
+let experiments_of_snapshot (doc : Json.t) : (string * Json.t) list =
+  match Option.bind (Json.member "experiments" doc) Json.to_list_opt with
+  | None -> []
+  | Some es ->
+    List.filter_map
+      (fun e ->
+        Option.bind (Json.member "tag" e) Json.to_string_opt
+        |> Option.map (fun tag -> (tag, e)))
+      es
+
+let within ~tolerance ~baseline ~observed =
+  let denom = Float.max (Float.abs baseline) 1.0 in
+  Float.abs (observed -. baseline) /. denom <= tolerance
+
+let compare_snapshots ?(tolerance = 0.0) ~baseline ~current () =
+  let cur = experiments_of_snapshot current in
+  let check_experiment (tag, base_e) =
+    match List.assoc_opt tag cur with
+    | None ->
+      (* The whole experiment vanished: report its headline metric so
+         the message still carries a number to anchor on. *)
+      let base_cycles =
+        match metrics_of_experiment base_e with
+        | (_, c) :: _ -> c
+        | [] -> 0.0
+      in
+      [ { v_experiment = tag; v_metric = "cycles"; v_baseline = base_cycles;
+          v_observed = None } ]
+    | Some cur_e ->
+      let cur_metrics = metrics_of_experiment cur_e in
+      List.filter_map
+        (fun (metric, base_v) ->
+          match List.assoc_opt metric cur_metrics with
+          | None ->
+            Some
+              { v_experiment = tag; v_metric = metric; v_baseline = base_v;
+                v_observed = None }
+          | Some cur_v ->
+            if within ~tolerance ~baseline:base_v ~observed:cur_v then None
+            else
+              Some
+                { v_experiment = tag; v_metric = metric; v_baseline = base_v;
+                  v_observed = Some cur_v })
+        (metrics_of_experiment base_e)
+  in
+  List.concat_map check_experiment (experiments_of_snapshot baseline)
+
+let format_violation v =
+  match v.v_observed with
+  | None ->
+    Printf.sprintf "REGRESSION %s: %s missing (baseline %.0f)" v.v_experiment
+      v.v_metric v.v_baseline
+  | Some obs ->
+    let denom = Float.max (Float.abs v.v_baseline) 1.0 in
+    let delta = 100.0 *. (obs -. v.v_baseline) /. denom in
+    Printf.sprintf "REGRESSION %s: %s baseline %.0f observed %.0f (%+.2f%%)"
+      v.v_experiment v.v_metric v.v_baseline obs delta
+
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.parse s

@@ -1,0 +1,47 @@
+(** Bench regression gate.
+
+    Compares a perf snapshot (the [--json] output of [bench/main.exe]:
+    per-experiment cycle counts and fabric transport counters) against
+    a committed baseline within a relative tolerance, and reports every
+    deviation with the experiment, metric, and both values.  The
+    simulator is deterministic, so an unchanged tree diffs to exactly
+    zero; the tolerance only absorbs intentional small drifts.  Checks
+    are two-sided — an unexplained speedup means the cost model moved,
+    which the baseline should record, not hide. *)
+
+type violation = {
+  v_experiment : string;  (** experiment tag, e.g. ["pc-list-batched"] *)
+  v_metric : string;      (** ["cycles"], ["fabric.fetches"], ... *)
+  v_baseline : float;
+  v_observed : float option;
+      (** [None]: the metric (or whole experiment) is gone from the
+          current snapshot *)
+}
+
+val metrics_of_experiment : Cards_util.Json.t -> (string * float) list
+(** Flatten one experiment object to metric pairs: ["cycles"] plus
+    every numeric field under ["fabric"] (arrays indexed as
+    ["fabric.qp_queue_cycles\[0\]"]).  Counters added to the snapshot
+    later join the gate automatically. *)
+
+val experiments_of_snapshot : Cards_util.Json.t -> (string * Cards_util.Json.t) list
+(** Tagged experiment objects of a snapshot document, in file order. *)
+
+val compare_snapshots :
+  ?tolerance:float ->
+  baseline:Cards_util.Json.t ->
+  current:Cards_util.Json.t ->
+  unit ->
+  violation list
+(** All metrics of [baseline] whose [current] value deviates by more
+    than [tolerance] (relative, default [0.]), plus metrics or
+    experiments missing from [current].  Experiments only in [current]
+    are not violations — they appear when the baseline is refreshed. *)
+
+val format_violation : violation -> string
+(** One line naming experiment, metric, baseline and observed values,
+    e.g. ["REGRESSION pc-list-batched: cycles baseline 1200 observed
+    1400 (+16.67%)"]. *)
+
+val load_file : string -> Cards_util.Json.t
+(** Parse a snapshot file; raises [Sys_error] / [Json.Parse_error]. *)

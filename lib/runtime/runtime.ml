@@ -4,6 +4,7 @@ module Sink = Cards_obs.Sink
 module Event = Cards_obs.Event
 module Profile = Cards_obs.Profile
 module Metrics = Cards_obs.Metrics
+module Attribution = Cards_obs.Attribution
 
 type prefetch_mode = Pf_none | Pf_stride_only | Pf_per_class | Pf_adaptive
 
@@ -99,6 +100,14 @@ type t = {
   obs : Sink.t;
   prof : Profile.t;
   prof0 : Profile.buckets;        (* handle-0 bucket, cached off the hot path *)
+  attr : Attribution.t;
+  (* Current access site (function, block, instruction), stamped by the
+     interpreter before each runtime-entering instruction so stall
+     charges land on the instruction that paid them.  Direct API users
+     (benches, tests) stay on [Attribution.unknown_site]. *)
+  mutable site_fn : string;
+  mutable site_block : int;
+  mutable site_instr : int;
 }
 
 let log2_exact x =
@@ -129,7 +138,11 @@ let create ?(obs = Sink.null) cfg infos =
     stats = Rt_stats.create ();
     obs;
     prof;
-    prof0 = Profile.buckets prof 0 }
+    prof0 = Profile.buckets prof 0;
+    attr = Attribution.create ();
+    site_fn = Attribution.unknown_site.Attribution.s_fn;
+    site_block = Attribution.unknown_site.Attribution.s_block;
+    site_instr = Attribution.unknown_site.Attribution.s_instr }
 
 let now t = t.clock
 
@@ -146,6 +159,20 @@ let charge t c =
   Profile.add_compute t.prof c
 
 let spend t c = t.clock <- t.clock + c
+
+(* Every [spend] pairs with one ledger charge: the same cycles, the
+   same call site, one root cause — so [Attribution.total t.attr]
+   equals [t.clock - Profile.compute t.prof] at all times (the stall
+   side of the attribution invariant).  Like the profiler, the ledger
+   is write-only with respect to the clock. *)
+let attr_charge t ~ds cause c =
+  Attribution.charge t.attr ~ds ~fn:t.site_fn ~block:t.site_block
+    ~instr:t.site_instr cause c
+
+let set_site t ~fn ~block ~instr =
+  t.site_fn <- fn;
+  t.site_block <- block;
+  t.site_instr <- instr
 
 let n_ds t = Vec.length t.dss
 
@@ -305,6 +332,7 @@ let ds_init t ~sid =
   let prof = Profile.buckets t.prof handle in
   spend t t.cfg.cost.ds_init;
   prof.Profile.p_alloc <- prof.Profile.p_alloc + t.cfg.cost.ds_init;
+  attr_charge t ~ds:handle Attribution.Bookkeeping t.cfg.cost.ds_init;
   let pf, candidates =
     let depth = t.cfg.prefetch_depth in
     match t.cfg.prefetch_mode with
@@ -367,6 +395,7 @@ let ds_alloc t ~handle ~size =
   spend t t.cfg.cost.ds_alloc;
   let ab = if handle = 0 then t.prof0 else (get_ds t handle).prof in
   ab.Profile.p_alloc <- ab.Profile.p_alloc + t.cfg.cost.ds_alloc;
+  attr_charge t ~ds:handle Attribution.Bookkeeping t.cfg.cost.ds_alloc;
   if size <= 0 then fail "dsalloc: non-positive size %d" size;
   if handle = 0 then alloc_unmanaged t ~size
   else begin
@@ -481,12 +510,25 @@ let mark_prefetched t (d : ds) ~origin_obj (td : ds) o ~completion =
             { origin_ds = d.handle; origin_obj }));
   clock_insert t td o
 
+(* One QP occupancy span per fabric request, on the queue pair's own
+   Chrome-trace row: when it picked the transfer up and how long it
+   held the link (protocol + serialization; queueing is the gap before
+   [t_start]).  [ds] is the structure whose access put it on the wire. *)
+let emit_qp_busy t ~ds ~obj (tr : Fabric.transfer) =
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:tr.Fabric.t_start ~ds ~obj
+         (Event.Qp_busy
+            { qp = tr.Fabric.t_qp;
+              busy = tr.Fabric.t_proto + tr.Fabric.t_ser }))
+
 let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
   match prefetch_viable t tg d with
   | None -> ()
   | Some (td, o) ->
-    let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
-    mark_prefetched t d ~origin_obj td o ~completion
+    let tr = Fabric.fetch_info t.fabric ~now:t.clock ~bytes:(obj_size td) in
+    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
+    mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
 
 (* Batched issue: everything one prefetcher call produced — expanded
    runs and cross-structure fanout alike — goes to the fabric as a
@@ -507,11 +549,13 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
   match viable with
   | [] -> ()
   | [ (td, o) ] ->
-    let completion = Fabric.fetch t.fabric ~now:t.clock ~bytes:(obj_size td) in
-    mark_prefetched t d ~origin_obj td o ~completion
+    let tr = Fabric.fetch_info t.fabric ~now:t.clock ~bytes:(obj_size td) in
+    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
+    mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
   | items ->
     let sizes = Array.of_list (List.map (fun (td, _) -> obj_size td) items) in
-    let _, completions = Fabric.fetch_many t.fabric ~now:t.clock ~sizes in
+    let tr, completions = Fabric.fetch_many t.fabric ~now:t.clock ~sizes in
+    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
     if Sink.tracing t.obs then
       Sink.emit t.obs
         (Event.make ~cycle:t.clock ~ds:d.handle ~obj:origin_obj
@@ -635,6 +679,7 @@ let settle_inflight t (d : ds) o =
       let start = t.clock in
       spend t wait;
       d.prof.Profile.p_pf_stall <- d.prof.Profile.p_pf_stall + wait;
+      attr_charge t ~ds:d.handle Attribution.Pf_wait wait;
       Profile.record_latency d.prof wait;
       d.st.prefetch_late <- d.st.prefetch_late + 1;
       if Sink.tracing t.obs then
@@ -655,6 +700,13 @@ let demand_fetch t (d : ds) o =
   let queued = tr.Fabric.t_queued in
   d.prof.Profile.p_queue <- d.prof.Profile.p_queue + queued;
   d.prof.Profile.p_demand <- d.prof.Profile.p_demand + (stall - queued);
+  (* The root-cause split of the same stall: queued + proto + ser
+     account for the fabric's [t_complete - start]; address-to-object
+     mapping rides with the protocol overhead. *)
+  attr_charge t ~ds:d.handle (Attribution.Queue tr.Fabric.t_qp) queued;
+  attr_charge t ~ds:d.handle Attribution.Proto
+    (tr.Fabric.t_proto + t.cfg.cost.deref_map);
+  attr_charge t ~ds:d.handle Attribution.Wire tr.Fabric.t_ser;
   Profile.record_latency d.prof stall;
   d.objs.(o) <- d.objs.(o) lor b_resident;
   d.st.remote_faults <- d.st.remote_faults + 1;
@@ -663,6 +715,7 @@ let demand_fetch t (d : ds) o =
     Sink.emit t.obs
       (Event.make ~cycle:start ~ds:d.handle ~obj:o
          (Event.Remote_fault { queued; stall }));
+  emit_qp_busy t ~ds:d.handle ~obj:o tr;
   clock_insert t d o
 
 let note_prefetch_hit t (d : ds) o ~timely =
@@ -693,7 +746,8 @@ let note_prefetch_hit t (d : ds) o ~timely =
 let guard t ~write addr =
   if not (Addr.is_managed addr) then begin
     spend t t.cfg.cost.guard_unmanaged;
-    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged
+    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged;
+    attr_charge t ~ds:0 Attribution.Guard_exec t.cfg.cost.guard_unmanaged
   end
   else if
     (* Guards may be hoisted to loop preheaders and thus run
@@ -706,7 +760,8 @@ let guard t ~write addr =
      || Addr.offset_of addr >= (Vec.get t.dss (h - 1)).pool_used)
   then begin
     spend t t.cfg.cost.guard_unmanaged;
-    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged
+    t.prof0.Profile.p_guard <- t.prof0.Profile.p_guard + t.cfg.cost.guard_unmanaged;
+    attr_charge t ~ds:0 Attribution.Guard_exec t.cfg.cost.guard_unmanaged
   end
   else begin
     let d, o = locate t addr in
@@ -721,6 +776,7 @@ let guard t ~write addr =
         note_prefetch_hit t d o ~timely;
         spend t local_cost;
         d.prof.Profile.p_guard <- d.prof.Profile.p_guard + local_cost;
+        attr_charge t ~ds:d.handle Attribution.Guard_exec local_cost;
         d.st.guard_hits <- d.st.guard_hits + 1;
         if Sink.tracing t.obs then
           Sink.emit t.obs
@@ -730,6 +786,7 @@ let guard t ~write addr =
       else begin
         spend t local_cost;
         d.prof.Profile.p_guard <- d.prof.Profile.p_guard + local_cost;
+        attr_charge t ~ds:d.handle Attribution.Guard_exec local_cost;
         if Sink.tracing t.obs then
           Sink.emit t.obs
             (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o Event.Guard_miss);
@@ -754,6 +811,7 @@ let loop_check t addrs =
       spend t t.cfg.cost.loop_check_per_ds;
       t.prof0.Profile.p_alloc <-
         t.prof0.Profile.p_alloc + t.cfg.cost.loop_check_per_ds;
+      attr_charge t ~ds:0 Attribution.Bookkeeping t.cfg.cost.loop_check_per_ds;
       if Addr.is_managed addr then ok := false)
     addrs;
   if Sink.tracing t.obs then
@@ -773,6 +831,7 @@ let clean_fault t (d : ds) o ~write =
   in
   spend t c;
   d.prof.Profile.p_trap <- d.prof.Profile.p_trap + c;
+  attr_charge t ~ds:d.handle Attribution.Trap c;
   ignore (settle_inflight t d o);
   if d.objs.(o) land b_resident = 0 then demand_fetch t d o;
   d.st.clean_faults <- d.st.clean_faults + 1;
@@ -870,6 +929,7 @@ let remotable_resident_bytes t = t.remotable_used
 let pinned_preference t = Array.copy t.pref
 let sink t = t.obs
 let profile t = t.prof
+let attribution t = t.attr
 let ds_name t handle =
   if handle >= 1 && handle <= Vec.length t.dss then
     (Vec.get t.dss (handle - 1)).info.name

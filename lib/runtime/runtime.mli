@@ -136,6 +136,21 @@ val profile : t -> Cards_obs.Profile.t
 (** The always-on cycle-attribution profiler;
     [Cards_obs.Profile.attributed] of it equals {!now}. *)
 
+val attribution : t -> Cards_obs.Attribution.t
+(** The always-on stall root-cause ledger:
+    [Cards_obs.Attribution.total] of it equals
+    [now t - Cards_obs.Profile.compute (profile t)] — every
+    non-compute cycle decomposed into protocol / wire / per-QP
+    queueing / late-prefetch / guard / trap / bookkeeping, keyed by
+    structure and access site. *)
+
+val set_site : t -> fn:string -> block:int -> instr:int -> unit
+(** Stamp the current access site (function, basic block, instruction
+    index) so subsequent stall charges attribute to it.  The
+    interpreter calls this before each runtime-entering instruction;
+    direct API users may ignore it and charge to
+    [Attribution.unknown_site]. *)
+
 val ds_name : t -> int -> string
 (** Static name for a handle (["(unmanaged)"] for handle 0 or unknown)
     — the [names] labeller exporters take. *)

@@ -1,3 +1,20 @@
+(* Streaming summary statistics over a bounded log-bucket histogram.
+
+   The seed kept every observation in a list and re-sorted it on every
+   percentile call: O(n) memory forever and O(n log n) per query — a
+   pathology once the runtime records a latency per fetch.  The
+   replacement is an HDR-style histogram: each octave [2^e, 2^(e+1))
+   is split into [subs] equal-width sub-buckets, so memory is a fixed
+   ~2 K counters and any percentile is one O(buckets) scan with
+   relative error bounded by the sub-bucket width (1/subs of the
+   value, ~3% at subs = 32).  Mean/variance stay exact via Welford;
+   min/max are exact, and percentile results are clamped to them. *)
+
+let sub_bits = 5
+let subs = 1 lsl sub_bits (* sub-buckets per octave: relative width 1/32 *)
+let octaves = 60 (* covers magnitudes up to 2^60 — beyond any cycle count *)
+let buckets = 1 + (octaves * subs) (* bucket 0: everything below 1.0 *)
+
 type t = {
   mutable n : int;
   mutable mean_acc : float;
@@ -5,12 +22,36 @@ type t = {
   mutable total : float;
   mutable lo : float;
   mutable hi : float;
-  mutable samples : float list; (* retained for percentiles *)
+  hist : int array;
 }
 
 let create () =
   { n = 0; mean_acc = 0.0; m2 = 0.0; total = 0.0;
-    lo = infinity; hi = neg_infinity; samples = [] }
+    lo = infinity; hi = neg_infinity; hist = Array.make buckets 0 }
+
+(* Index of the sub-bucket holding [x].  Values below 1.0 (including
+   negatives) share bucket 0: the histogram's precision contract is
+   for magnitudes >= 1, which cycle counts always are. *)
+let bucket_of x =
+  if x < 1.0 || Float.is_nan x then 0
+  else begin
+    let e = Stdlib.min (octaves - 1) (int_of_float (Float.log2 x)) in
+    let lo = Float.ldexp 1.0 e in
+    let frac = (x -. lo) /. lo in
+    let sub = Stdlib.min (subs - 1) (int_of_float (frac *. float_of_int subs)) in
+    1 + (e * subs) + sub
+  end
+
+(* Midpoint of a bucket's value range — the representative a
+   percentile query returns (before clamping to the exact min/max). *)
+let bucket_mid i =
+  if i = 0 then 0.5
+  else begin
+    let e = (i - 1) / subs and sub = (i - 1) mod subs in
+    let base = Float.ldexp 1.0 e in
+    let width = base /. float_of_int subs in
+    base +. (width *. (float_of_int sub +. 0.5))
+  end
 
 let add t x =
   t.n <- t.n + 1;
@@ -20,7 +61,8 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x;
-  t.samples <- x :: t.samples
+  let b = bucket_of x in
+  t.hist.(b) <- t.hist.(b) + 1
 
 let count t = t.n
 let sum t = t.total
@@ -33,20 +75,49 @@ let max t = t.hi
 let percentile t p =
   if t.n = 0 then 0.0
   else begin
-    let a = Array.of_list t.samples in
-    Array.sort compare a;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
-    let idx =
-      if rank <= 0 then 0
-      else if rank > t.n then t.n - 1
-      else rank - 1
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r <= 0 then 1 else if r > t.n then t.n else r
     in
-    a.(idx)
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < buckets do
+      seen := !seen + t.hist.(!i);
+      incr i
+    done;
+    let v = bucket_mid (!i - 1) in
+    (* Clamp to the exact extremes: p100 is exactly [max], and a
+       one-sample histogram answers that sample's bucket range. *)
+    Float.min t.hi (Float.max t.lo v)
   end
 
 let median t = percentile t 50.0
 
+(* Bucket-wise addition plus the standard parallel Welford
+   combination — no re-streaming of samples (there are none). *)
 let merge a b =
   let t = create () in
-  List.iter (add t) (List.rev_append a.samples (List.rev b.samples));
+  t.n <- a.n + b.n;
+  t.total <- a.total +. b.total;
+  if t.n > 0 then begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = float_of_int t.n in
+    let delta = b.mean_acc -. a.mean_acc in
+    t.mean_acc <- a.mean_acc +. (delta *. nb /. n);
+    t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n)
+  end;
+  t.lo <- Float.min a.lo b.lo;
+  t.hi <- Float.max a.hi b.hi;
+  Array.iteri (fun i c -> t.hist.(i) <- c + b.hist.(i)) a.hist;
   t
+
+(* Log2 view for ASCII histograms: index [e] counts observations in
+   [2^e, 2^(e+1)); bucket 0's sub-1.0 values fold into index 0. *)
+let log2_counts t =
+  let acc = Array.make octaves 0 in
+  acc.(0) <- t.hist.(0);
+  for i = 1 to buckets - 1 do
+    acc.((i - 1) / subs) <- acc.((i - 1) / subs) + t.hist.(i)
+  done;
+  acc
+
+let log2_buckets = octaves

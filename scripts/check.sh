@@ -1,12 +1,18 @@
 #!/bin/sh
-# Tier-1 gate: the whole build, the whole test suite, and an
+# Tier-1 gate: the whole build, the whole test suite, an
 # observability smoke run (compile + execute a bundled example with
 # tracing, metrics, and the cycle-attribution profile on, then make
-# sure the emitted Chrome trace is non-empty).
+# sure the emitted Chrome trace is non-empty), and the bench
+# regression gates: fabric and attribution experiments are diffed
+# against the committed BENCH_fabric.json / BENCH_attr.json baselines
+# (2% relative tolerance) and the snapshots refreshed on a clean pass.
 #
 #   scripts/check.sh
 #
-# Exits non-zero on the first failure.
+# Exits non-zero on the first failure.  A regression-gate failure
+# names the experiment, metric, baseline, and observed value on
+# stderr; if the change is intentional, commit the refreshed
+# BENCH_*.json alongside it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,16 +32,30 @@ test -s "$trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
 grep -q traceEvents "$trace" || {
   echo "check.sh: trace is not a Chrome trace_event file" >&2; exit 1; }
 
-echo "== bench: fabric batching snapshot (BENCH_fabric.json)"
+echo "== bench: fabric batching gate (BENCH_fabric.json, 2% tolerance)"
 # The fabric section is itself an assertion: it exits non-zero if the
 # batched transport fails to beat per-object requests or if outputs
-# diverge.  The JSON snapshot stays in the tree so successive PRs have
-# comparable perf records.
-dune exec --no-build bench/main.exe -- fabric --json BENCH_fabric.json \
+# diverge.  --compare reads the committed baseline before --json
+# refreshes it, so one run both gates and updates the snapshot.
+dune exec --no-build bench/main.exe -- fabric \
+  --json BENCH_fabric.json --compare BENCH_fabric.json --tolerance 0.02 \
   > /dev/null
 test -s BENCH_fabric.json || {
   echo "check.sh: empty BENCH_fabric.json" >&2; exit 1; }
 grep -q '"batches"' BENCH_fabric.json || {
   echo "check.sh: BENCH_fabric.json has no fabric stats" >&2; exit 1; }
+
+echo "== bench: stall-attribution gate (BENCH_attr.json, 2% tolerance)"
+# The attr section hard-asserts the ledger exactness invariant
+# (sum of per-cause stalls = cycles - compute) on the fig8/fig9
+# workloads, then the gate diffs cycles and fabric counters against
+# the committed baseline.
+dune exec --no-build bench/main.exe -- attr \
+  --json BENCH_attr.json --compare BENCH_attr.json --tolerance 0.02 \
+  > /dev/null
+test -s BENCH_attr.json || {
+  echo "check.sh: empty BENCH_attr.json" >&2; exit 1; }
+grep -q '"experiments"' BENCH_attr.json || {
+  echo "check.sh: BENCH_attr.json has no experiments" >&2; exit 1; }
 
 echo "== check.sh: all green"

@@ -163,8 +163,9 @@ let configs =
 
 (* The batched-fabric matrix: the transport is a timing model only, so
    program outputs must be bit-identical across queue-pair counts and
-   with batching on or off, and the profiler's exactness invariant
-   (compute + Σ wall buckets = now) must survive batch completions. *)
+   with batching on or off, and both exactness invariants — the
+   profiler's (compute + Σ wall buckets = now) and the stall ledger's
+   (Σ causes = now - compute) — must survive batch completions. *)
 let fabric_matrix =
   List.concat_map
     (fun qp ->
@@ -195,8 +196,11 @@ let run_differential seed =
     && List.for_all
          (fun mk ->
            let res, rt = P.run ~fuel compiled (mk ()) in
+           let prof = R.Runtime.profile rt in
            res.output = reference.output
-           && O.Profile.attributed (R.Runtime.profile rt) = R.Runtime.now rt)
+           && O.Profile.attributed prof = R.Runtime.now rt
+           && O.Attribution.total (R.Runtime.attribution rt)
+              = R.Runtime.now rt - O.Profile.compute prof)
          fabric_matrix
     && (let tfm = B.Trackfm.compile_source src in
         let res, _ = B.Trackfm.run ~fuel tfm ~local_bytes:(kb 32) in

@@ -68,6 +68,115 @@ let test_attribution_all_pinned_is_pure_compute_and_alloc () =
       check Alcotest.int "no queueing when pinned" 0 b.O.Profile.p_queue)
     (O.Profile.handles prof)
 
+(* ---------- stall root-cause attribution ---------- *)
+
+let test_stall_attribution_exact () =
+  let res, rt = P.run (Lazy.force chase) pressure_cfg in
+  let prof = R.Runtime.profile rt in
+  let attr = R.Runtime.attribution rt in
+  (* The ledger's exactness invariant: every non-compute cycle lands
+     in exactly one (ds, site, cause) cell. *)
+  check Alcotest.int "Σ causes = total stall cycles"
+    (res.cycles - O.Profile.compute prof)
+    (O.Attribution.total attr);
+  (* cause_totals is a consistent decomposition of the same number. *)
+  let by_cause =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (O.Attribution.cause_totals attr)
+  in
+  check Alcotest.int "cause totals sum to total" (O.Attribution.total attr)
+    by_cause;
+  (* ... and so is the per-structure view. *)
+  let by_ds =
+    List.fold_left
+      (fun acc ds ->
+        List.fold_left
+          (fun acc (_, v) -> acc + v)
+          acc
+          (O.Attribution.ds_cause_totals attr ds))
+      0 (O.Attribution.ds_list attr)
+  in
+  check Alcotest.int "ds totals sum to total" (O.Attribution.total attr) by_ds;
+  (* The run faulted under pressure: protocol, wire and queue causes
+     must all be non-vacuous, and queueing is split per QP. *)
+  let cause_val c = List.assoc c (O.Attribution.cause_totals attr) in
+  check Alcotest.bool "protocol cycles charged" true (cause_val O.Attribution.Proto > 0);
+  check Alcotest.bool "wire cycles charged" true (cause_val O.Attribution.Wire > 0);
+  let queue_total =
+    List.fold_left
+      (fun acc (c, v) ->
+        match c with O.Attribution.Queue _ -> acc + v | _ -> acc)
+      0 (O.Attribution.cause_totals attr)
+  in
+  check Alcotest.bool "queue causes present" true
+    (List.exists
+       (function O.Attribution.Queue _ -> true | _ -> false)
+       (O.Attribution.causes attr));
+  ignore queue_total
+
+let test_stall_attribution_sites_named () =
+  let _, rt = P.run (Lazy.force chase) pressure_cfg in
+  let attr = R.Runtime.attribution rt in
+  let rows = O.Attribution.site_rows attr in
+  check Alcotest.bool "site rows non-empty" true (rows <> []);
+  (* The interpreter threads real access sites: at least one heavy row
+     names a function and basic block, not "(runtime)". *)
+  let named =
+    List.exists
+      (fun (r : O.Attribution.site_row) ->
+        r.O.Attribution.r_site.O.Attribution.s_block >= 0
+        && r.O.Attribution.r_site.O.Attribution.s_fn <> "(runtime)")
+      rows
+  in
+  check Alcotest.bool "an interpreted site is named" true named;
+  (* Rows are sorted heaviest first and their causes are non-zero. *)
+  let rec sorted = function
+    | (a : O.Attribution.site_row) :: (b :: _ as rest) ->
+      a.O.Attribution.r_total >= b.O.Attribution.r_total && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "heaviest first" true (sorted rows);
+  List.iter
+    (fun (r : O.Attribution.site_row) ->
+      check Alcotest.int "row causes sum to row total" r.O.Attribution.r_total
+        (List.fold_left (fun acc (_, v) -> acc + v) 0 r.O.Attribution.r_causes))
+    rows;
+  (* Direct runtime API use (no interpreter) attributes to the unknown
+     site rather than losing cycles. *)
+  check Alcotest.string "unknown site label" "(runtime)"
+    (O.Attribution.site_name O.Attribution.unknown_site)
+
+let test_attribution_qp_matrix () =
+  (* The exactness invariant across queue-pair count and batching —
+     queue splits and batch completions must not leak cycles. *)
+  List.iter
+    (fun qp ->
+      List.iter
+        (fun batching ->
+          let cfg =
+            { pressure_cfg with
+              R.Runtime.fabric_config =
+                { pressure_cfg.R.Runtime.fabric_config with
+                  Cards_net.Fabric.qp_count = qp };
+              batching }
+          in
+          let res, rt = P.run (Lazy.force chase) cfg in
+          let prof = R.Runtime.profile rt in
+          let attr = R.Runtime.attribution rt in
+          check Alcotest.int
+            (Printf.sprintf "qp=%d batching=%b exact" qp batching)
+            (res.cycles - O.Profile.compute prof)
+            (O.Attribution.total attr);
+          (* No Queue cause may name a QP the fabric does not have. *)
+          List.iter
+            (function
+              | O.Attribution.Queue i ->
+                check Alcotest.bool "queue index within qp_count" true
+                  (i >= 0 && i < qp)
+              | _ -> ())
+            (O.Attribution.causes attr))
+        [ true; false ])
+    [ 1; 2; 4 ]
+
 (* ---------- observability does not perturb the simulation ---------- *)
 
 let test_sink_off_bit_identical () =
@@ -248,6 +357,138 @@ let test_prefetch_and_batch_events_roundtrip () =
       check Alcotest.bool "bytes > 0" true (int_field "bytes" j > 0))
     batches
 
+(* QP occupancy rows in the Chrome trace: each inbound queue pair gets
+   its own thread row with duration spans. *)
+let test_chrome_trace_qp_rows () =
+  let obs = full_sink () in
+  let _, rt = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let tr = match O.Sink.trace obs with Some t -> t | None -> assert false in
+  let s = O.Export.chrome_trace_string ~names:(R.Runtime.ds_name rt) tr in
+  let j = J.parse s in
+  let events =
+    match Option.bind (J.member "traceEvents" j) J.to_list_opt with
+    | Some l -> l
+    | None -> []
+  in
+  let qp_spans =
+    List.filter
+      (fun e ->
+        match (J.member "name" e, J.member "ph" e) with
+        | (Some (J.Str "qp_busy"), Some (J.Str "X")) -> true
+        | _ -> false)
+      events
+  in
+  check Alcotest.bool "qp_busy spans present" true (qp_spans <> []);
+  List.iter
+    (fun e ->
+      match J.member "tid" e with
+      | Some (J.Int tid) ->
+        check Alcotest.bool "qp span on a qp thread row" true (tid >= 100_000)
+      | _ -> Alcotest.fail "qp span missing tid")
+    qp_spans;
+  (* And those rows are labelled. *)
+  let labelled =
+    List.exists
+      (fun e ->
+        match (J.member "name" e, J.member "ph" e, J.member "args" e) with
+        | (Some (J.Str "thread_name"), Some (J.Str "M"), Some args) -> (
+          match J.member "name" args with
+          | Some (J.Str n) ->
+            String.length n >= 2 && String.sub n 0 2 = "qp"
+          | _ -> false)
+        | _ -> false)
+      events
+  in
+  check Alcotest.bool "qp thread row named" true labelled
+
+(* Exporters must behave on a run that produced no events and no
+   latencies at all (e.g. a pure-compute program). *)
+let test_exporters_on_zero_event_run () =
+  let tr = O.Trace.create ~capacity:16 in
+  let s = O.Export.chrome_trace_string tr in
+  let j = J.parse s in
+  (match Option.bind (J.member "traceEvents" j) J.to_list_opt with
+   | Some evs ->
+     (* Only the process-name metadata record. *)
+     check Alcotest.bool "only metadata" true (List.length evs <= 1)
+   | None -> Alcotest.fail "no traceEvents");
+  check Alcotest.string "empty jsonl" "" (O.Export.events_jsonl tr);
+  let prof = O.Profile.create () in
+  let names _ = "x" in
+  ignore (Cards_util.Table.render (O.Export.latency_table prof));
+  ignore (Cards_util.Table.render (O.Export.latency_percentiles_table ~names prof));
+  let attr = O.Attribution.create () in
+  check Alcotest.int "empty ledger total" 0 (O.Attribution.total attr);
+  ignore (Cards_util.Table.render (O.Export.attribution_table ~names attr));
+  ignore (Cards_util.Table.render (O.Export.attribution_sites_table ~names attr));
+  ignore (Cards_util.Table.render (O.Export.profile_table ~names ~total:0 prof))
+
+(* ---------- the bench regression gate ---------- *)
+
+let snapshot cycles fetches =
+  J.Obj
+    [ ("experiments",
+       J.List
+         [ J.Obj
+             [ ("tag", J.Str "pc-list-batched");
+               ("cycles", J.Int cycles);
+               ("fabric",
+                J.Obj
+                  [ ("fetches", J.Int fetches);
+                    ("qp_queue_cycles", J.List [ J.Int 10; J.Int 20 ]) ]) ] ]) ]
+
+let test_regress_clean_and_perturbed () =
+  let base = snapshot 1_000_000 500 in
+  (* Identical tree: zero violations even at zero tolerance. *)
+  check Alcotest.int "unchanged snapshot passes" 0
+    (List.length
+       (O.Regress.compare_snapshots ~tolerance:0.0 ~baseline:base
+          ~current:base ()));
+  (* A 5% cycle regression breaks a 2% gate and names the metric. *)
+  let worse = snapshot 1_050_000 500 in
+  (match
+     O.Regress.compare_snapshots ~tolerance:0.02 ~baseline:base ~current:worse ()
+   with
+   | [ v ] ->
+     check Alcotest.string "experiment named" "pc-list-batched"
+       v.O.Regress.v_experiment;
+     check Alcotest.string "metric named" "cycles" v.O.Regress.v_metric;
+     check (Alcotest.float 1e-9) "baseline value" 1_000_000.0
+       v.O.Regress.v_baseline;
+     (match v.O.Regress.v_observed with
+      | Some obs -> check (Alcotest.float 1e-9) "observed value" 1_050_000.0 obs
+      | None -> Alcotest.fail "observed missing");
+     let msg = O.Regress.format_violation v in
+     let has sub =
+       let n = String.length msg and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "message names experiment" true (has "pc-list-batched");
+     check Alcotest.bool "message names metric" true (has "cycles");
+     check Alcotest.bool "message has baseline" true (has "1000000");
+     check Alcotest.bool "message has observed" true (has "1050000")
+   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  (* The same 5% drift passes a 10% tolerance. *)
+  check Alcotest.int "loose tolerance passes" 0
+    (List.length
+       (O.Regress.compare_snapshots ~tolerance:0.10 ~baseline:base
+          ~current:worse ()));
+  (* Fabric counters are gated too, including per-QP arrays. *)
+  let fewer = snapshot 1_000_000 400 in
+  (match
+     O.Regress.compare_snapshots ~tolerance:0.02 ~baseline:base ~current:fewer ()
+   with
+   | [ v ] -> check Alcotest.string "fabric metric" "fabric.fetches" v.O.Regress.v_metric
+   | vs -> Alcotest.failf "expected 1 fabric violation, got %d" (List.length vs));
+  (* A vanished experiment is a violation, not a silent pass. *)
+  let empty = J.Obj [ ("experiments", J.List []) ] in
+  (match
+     O.Regress.compare_snapshots ~tolerance:0.02 ~baseline:base ~current:empty ()
+   with
+   | [ v ] -> check Alcotest.bool "missing reported" true (v.O.Regress.v_observed = None)
+   | vs -> Alcotest.failf "expected 1 missing violation, got %d" (List.length vs))
+
 (* ---------- epoch metrics ---------- *)
 
 let test_metrics_sampled () =
@@ -312,6 +553,15 @@ let suite =
       test_attribution_sums_to_total;
     Alcotest.test_case "attribution balances when pinned" `Quick
       test_attribution_all_pinned_is_pure_compute_and_alloc;
+    Alcotest.test_case "stall ledger exact" `Quick test_stall_attribution_exact;
+    Alcotest.test_case "stall sites named" `Quick
+      test_stall_attribution_sites_named;
+    Alcotest.test_case "stall ledger exact across qp matrix" `Quick
+      test_attribution_qp_matrix;
+    Alcotest.test_case "chrome trace qp rows" `Quick test_chrome_trace_qp_rows;
+    Alcotest.test_case "exporters on zero-event run" `Quick
+      test_exporters_on_zero_event_run;
+    Alcotest.test_case "regression gate" `Quick test_regress_clean_and_perturbed;
     Alcotest.test_case "full sink is cycle-identical" `Quick
       test_sink_off_bit_identical;
     Alcotest.test_case "ring keeps newest" `Quick test_ring_keeps_newest;

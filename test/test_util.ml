@@ -97,22 +97,79 @@ let test_stats_empty () =
   check (Alcotest.float 1e-9) "mean of empty" 0.0 (U.Stats.mean s);
   check (Alcotest.float 1e-9) "median of empty" 0.0 (U.Stats.median s)
 
+(* The histogram's contract: percentiles within one sub-bucket
+   (1/32 ≈ 3.2% relative) of the exact nearest-rank answer for
+   observations >= 1; p100 exactly max (clamped). *)
+let hist_tol = 1.0 /. 32.0
+
+let check_approx name expected got =
+  let err = Float.abs (got -. expected) /. Float.max expected 1.0 in
+  if err > hist_tol then
+    Alcotest.failf "%s: expected ~%g, got %g (err %.4f > %.4f)" name expected
+      got err hist_tol
+
 let test_stats_median () =
   let s = U.Stats.create () in
   List.iter (U.Stats.add s) [ 5.0; 1.0; 3.0 ];
-  check (Alcotest.float 1e-9) "odd median" 3.0 (U.Stats.median s);
+  check_approx "odd median" 3.0 (U.Stats.median s);
   U.Stats.add s 100.0;
   (* nearest-rank median of 4 = 2nd smallest *)
-  check (Alcotest.float 1e-9) "even median (nearest-rank)" 3.0 (U.Stats.median s)
+  check_approx "even median (nearest-rank)" 3.0 (U.Stats.median s)
 
 let test_stats_percentile () =
   let s = U.Stats.create () in
   for i = 1 to 100 do
     U.Stats.add s (float_of_int i)
   done;
-  check (Alcotest.float 1e-9) "p50" 50.0 (U.Stats.percentile s 50.0);
-  check (Alcotest.float 1e-9) "p99" 99.0 (U.Stats.percentile s 99.0);
+  check_approx "p50" 50.0 (U.Stats.percentile s 50.0);
+  check_approx "p99" 99.0 (U.Stats.percentile s 99.0);
+  (* clamped to the exact max *)
   check (Alcotest.float 1e-9) "p100" 100.0 (U.Stats.percentile s 100.0)
+
+(* Naive nearest-rank reference over the retained sorted sample. *)
+let naive_percentile xs p =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let r = Stdlib.max 1 (Stdlib.min n r) in
+  a.(r - 1)
+
+let prop_stats_percentile_matches_naive =
+  QCheck.Test.make
+    ~name:"histogram percentile within 1 sub-bucket of naive sort" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (float_range 1.0 1_000_000.0))
+        (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let s = U.Stats.create () in
+      List.iter (U.Stats.add s) xs;
+      let exact = naive_percentile xs p in
+      let approx = U.Stats.percentile s p in
+      Float.abs (approx -. exact) /. Float.max exact 1.0 <= hist_tol)
+
+let prop_stats_merge_matches_combined =
+  QCheck.Test.make ~name:"merge = adding both streams to one" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 100) (float_range 1.0 100_000.0))
+        (list_of_size Gen.(int_range 0 100) (float_range 1.0 100_000.0)))
+    (fun (xs, ys) ->
+      let a = U.Stats.create () and b = U.Stats.create () in
+      List.iter (U.Stats.add a) xs;
+      List.iter (U.Stats.add b) ys;
+      let m = U.Stats.merge a b in
+      let c = U.Stats.create () in
+      List.iter (U.Stats.add c) (xs @ ys);
+      U.Stats.count m = U.Stats.count c
+      && Float.abs (U.Stats.mean m -. U.Stats.mean c) < 1e-6
+      && Float.abs (U.Stats.variance m -. U.Stats.variance c)
+         < 1e-6 *. (1.0 +. U.Stats.variance c)
+      && U.Stats.min m = U.Stats.min c
+      && U.Stats.max m = U.Stats.max c
+      && (U.Stats.count m = 0
+          || U.Stats.percentile m 90.0 = U.Stats.percentile c 90.0))
 
 let prop_stats_variance_matches_naive =
   QCheck.Test.make ~name:"Welford variance = naive variance" ~count:200
@@ -321,6 +378,8 @@ let suite =
     qcheck prop_shuffle_is_permutation;
     qcheck prop_zipf_bounds;
     qcheck prop_stats_variance_matches_naive;
+    qcheck prop_stats_percentile_matches_naive;
+    qcheck prop_stats_merge_matches_combined;
     qcheck prop_uf_equivalence;
     qcheck prop_uf_count_matches_classes;
     qcheck prop_bitset_model;
