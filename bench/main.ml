@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- fig8 fig9 # selected experiments
 
    Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 fabric profile attr
-   ablations bechamel
+   faults ablations bechamel
 
    `--json FILE` additionally records every experiment the chosen
    sections register (tag, total cycles, fabric counters) as a JSON
@@ -19,8 +19,8 @@
    `--compare BASELINE.json [--tolerance F]` diffs the experiments this
    invocation registers against a committed snapshot (relative
    tolerance, default 2%) and exits non-zero on any deviation — the
-   regression gate scripts/check.sh runs against BENCH_fabric.json and
-   BENCH_attr.json.  The baseline is read before `--json` rewrites it,
+   regression gate scripts/check.sh runs against BENCH_fabric.json,
+   BENCH_attr.json and BENCH_faults.json.  The baseline is read before `--json` rewrites it,
    so `--json X --compare X` gates and refreshes in one run. *)
 
 module R = Cards_runtime
@@ -55,7 +55,13 @@ let fabric_json (fs : Cards_net.Fabric.stats) =
       ("queue_in_cycles", J.Int fs.queue_in_cycles);
       ("queue_out_cycles", J.Int fs.queue_out_cycles);
       ("qp_queue_cycles",
-       J.List (Array.to_list (Array.map (fun c -> J.Int c) fs.qp_queue_cycles))) ]
+       J.List (Array.to_list (Array.map (fun c -> J.Int c) fs.qp_queue_cycles)));
+      ("faults_transient", J.Int fs.faults_transient);
+      ("faults_late", J.Int fs.faults_late);
+      ("faults_dup", J.Int fs.faults_dup);
+      ("failed_fetches", J.Int fs.failed_fetches);
+      ("reliable_fetches", J.Int fs.reliable_fetches);
+      ("wb_faults", J.Int fs.wb_faults) ]
 
 let record_experiment ~tag ~cycles rt =
   experiments :=
@@ -529,6 +535,140 @@ let attr_section () =
      total matching (cycles - compute) above is a hard assertion."
 
 (* ---------------------------------------------------------------- *)
+(* Faults: injected fabric faults, retry/backoff, degradation.      *)
+(* ---------------------------------------------------------------- *)
+
+(* The resilience suite: the fig9 list chase under increasing injected
+   fault rates.  Four hard assertions per rate —
+
+     1. program outputs are bit-identical to the fault-free run
+        (faults perturb timing only, never data);
+     2. the profiler stays exact under retries
+        (Profile.attributed = cycles);
+     3. the stall ledger stays exact and, at any nonzero rate, charges
+        a nonzero Retry bucket (Attribution.total = cycles - compute);
+     4. graceful degradation keeps the slowdown bounded
+        (cycles <= FAULT_SLOWDOWN_BOUND x the fault-free run, even at a
+        50% fault rate).
+
+   A second run at rate 0.2 with the same seed must reproduce the
+   cycle count exactly (the injection schedule is PRNG-driven, not
+   wall-clock-driven).  Every run is recorded, so BENCH_faults.json
+   gates the fault-path timing across PRs. *)
+
+let fault_slowdown_bound = 8
+
+let faults_section () =
+  header "Faults: retry/backoff and graceful degradation (pc-list, 50% local)";
+  let src = W.Pointer_chase.source ~variant:"list" ~scale:16384 ~passes:2 in
+  let compiled = P.compile_source src in
+  let wss = wss_of compiled in
+  let local = wss / 2 in
+  let remot = local / 4 in
+  let cfg_at rate =
+    let base = cards_cfg ~k:1.0 ~local ~remot () in
+    { base with
+      R.Runtime.fabric_config =
+        { base.R.Runtime.fabric_config with
+          Cards_net.Fabric.faults =
+            { Cards_net.Fabric.no_faults with
+              Cards_net.Fabric.fault_rate = rate; fault_seed = 7 } } }
+  in
+  let run_at rate = P.run compiled (cfg_at rate) in
+  let base_res, base_rt = run_at 0.0 in
+  record_experiment ~tag:"faults-pc-list-r0" ~cycles:base_res.cycles base_rt;
+  let t =
+    T.create
+      ~title:(Printf.sprintf
+                "pc-list, seed 7 — fault-free run %s Mc (bound %dx)"
+                (mcycles base_res.cycles) fault_slowdown_bound)
+      ~header:[ "fault rate"; "Mcycles"; "vs clean"; "injected"; "retries";
+                "timeouts"; "escalations"; "retry stall"; "degrade steps" ]
+  in
+  List.iter
+    (fun (tag, rate) ->
+      let res, rt = run_at rate in
+      (* 1. Faults never corrupt data: only completion times move. *)
+      if res.output <> base_res.output then begin
+        Printf.eprintf "FAULTS: outputs diverge at rate %.2f\n" rate;
+        exit 1
+      end;
+      let prof = R.Runtime.profile rt in
+      let attr = R.Runtime.attribution rt in
+      (* 2. Profiler exactness survives retries and backoff waits. *)
+      if O.Profile.attributed prof <> res.cycles then begin
+        Printf.eprintf "FAULTS: profile attributed %d <> cycles %d at rate %.2f\n"
+          (O.Profile.attributed prof) res.cycles rate;
+        exit 1
+      end;
+      (* 3. Ledger exactness, with the retry cost visible as Retry. *)
+      let stall = res.cycles - O.Profile.compute prof in
+      if O.Attribution.total attr <> stall then begin
+        Printf.eprintf "FAULTS: ledger total %d <> stall %d at rate %.2f\n"
+          (O.Attribution.total attr) stall rate;
+        exit 1
+      end;
+      let retry_stall =
+        List.fold_left
+          (fun acc (c, v) -> if c = O.Attribution.Retry then acc + v else acc)
+          0 (O.Attribution.cause_totals attr)
+      in
+      if rate > 0.0 && retry_stall = 0 then begin
+        Printf.eprintf "FAULTS: no Retry stall charged at rate %.2f\n" rate;
+        exit 1
+      end;
+      (* 4. Degradation keeps the fault tax bounded. *)
+      if res.cycles > fault_slowdown_bound * base_res.cycles then begin
+        Printf.eprintf "FAULTS: %d cycles > %dx fault-free %d at rate %.2f\n"
+          res.cycles fault_slowdown_bound base_res.cycles rate;
+        exit 1
+      end;
+      record_experiment ~tag ~cycles:res.cycles rt;
+      let fs : Cards_net.Fabric.stats = R.Runtime.fabric_stats rt in
+      let s = R.Runtime.stats rt in
+      T.add_row t
+        [ Printf.sprintf "%.2f" rate; mcycles res.cycles;
+          Printf.sprintf "%.2fx"
+            (float_of_int res.cycles /. float_of_int base_res.cycles);
+          string_of_int (Cards_net.Fabric.faults_injected fs);
+          string_of_int (R.Rt_stats.retries s);
+          string_of_int (R.Rt_stats.timeouts s);
+          string_of_int (R.Rt_stats.escalations s);
+          mcycles retry_stall ^ " Mc";
+          Printf.sprintf "%d/%d" (R.Rt_stats.degrade_steps s)
+            (R.Rt_stats.recover_steps s) ])
+    [ ("faults-pc-list-r5", 0.05); ("faults-pc-list-r20", 0.2);
+      ("faults-pc-list-r50", 0.5) ];
+  T.print t;
+  (* Same seed, same schedule: the whole fault path is deterministic. *)
+  let again, _ = run_at 0.2 in
+  let once =
+    List.find_map
+      (fun e ->
+        match e with
+        | J.Obj fields
+          when List.assoc_opt "tag" fields = Some (J.Str "faults-pc-list-r20")
+          -> (match List.assoc_opt "cycles" fields with
+              | Some (J.Int c) -> Some c
+              | _ -> None)
+        | _ -> None)
+      !experiments
+  in
+  (match once with
+   | Some c when c <> again.cycles ->
+     Printf.eprintf "FAULTS: rate 0.2 not deterministic (%d then %d)\n" c
+       again.cycles;
+     exit 1
+   | Some _ -> ()
+   | None ->
+     Printf.eprintf "FAULTS: determinism check lost its first run\n";
+     exit 1);
+  print_endline
+    "Outputs bit-identical to the fault-free run at every rate; the\n\
+     profiler and stall ledger stay exact (Retry bucket included); the\n\
+     slowdown bound and same-seed determinism are hard assertions."
+
+(* ---------------------------------------------------------------- *)
 (* Ablations: which CaRDS mechanism buys what.                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -715,7 +855,7 @@ let sections =
   [ ("table1", table1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fabric", fabric_section); ("profile", profile_section);
-    ("attr", attr_section);
+    ("attr", attr_section); ("faults", faults_section);
     ("ablations", ablations); ("bechamel", bechamel) ]
 
 let () =

@@ -182,6 +182,62 @@ let no_batching_arg =
                  writebacks go out one object at a time, each paying the \
                  full protocol cost (cards system).")
 
+(* ---------- fault-injection flags ---------- *)
+
+let fault_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-rate" ] ~docv:"P"
+           ~doc:"Per-transfer fault probability in [0,1] (cards system). \
+                 The runtime retries with exponential backoff, escalates \
+                 to a reliable channel when retries run out, and narrows \
+                 prefetching while the observed rate stays high.  Faults \
+                 perturb timing only: program output is unchanged.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the deterministic fault schedule: same seed, \
+                 same faults, same cycle count.")
+
+let retry_max_arg =
+  Arg.(value & opt int R.Runtime.default_config.retry_max
+       & info [ "retry-max" ] ~docv:"N"
+           ~doc:"Demand-fetch retries before escalating to the reliable \
+                 channel.")
+
+let fault_kinds_conv =
+  let parse s =
+    let kind_of = function
+      | "transient" -> Ok Cards_net.Fabric.Transient
+      | "late" -> Ok Cards_net.Fabric.Late
+      | "duplicate" -> Ok Cards_net.Fabric.Duplicate
+      | other ->
+        Error (`Msg (other ^ ": unknown fault kind (transient|late|duplicate)"))
+    in
+    String.split_on_char ',' s
+    |> List.fold_left
+         (fun acc part ->
+           match (acc, kind_of (String.trim part)) with
+           | (Error _ as e), _ -> e
+           | _, (Error _ as e) -> e
+           | Ok ks, Ok k -> Ok (ks @ [ k ]))
+         (Ok [])
+  in
+  let print fmt ks =
+    Format.fprintf fmt "%s"
+      (String.concat "," (List.map Cards_net.Fabric.fault_kind_name ks))
+  in
+  Arg.conv (parse, print)
+
+let fault_kinds_arg =
+  Arg.(value
+       & opt fault_kinds_conv Cards_net.Fabric.no_faults.Cards_net.Fabric.fault_kinds
+       & info [ "fault-kinds" ] ~docv:"KINDS"
+           ~doc:"Comma-separated fault kinds to inject: $(b,transient) \
+                 (NACKed transfer), $(b,late) (congested completion), \
+                 $(b,duplicate) (duplicated completion).  Default: all \
+                 three.")
+
 (* ---------- observability flags ---------- *)
 
 let trace_arg =
@@ -295,6 +351,7 @@ let print_report rt =
 
 let run_cmd =
   let run file system policy k local remotable prefetch report qp no_batching
+      fault_rate fault_seed retry_max fault_kinds
       trace events trace_cap metrics metrics_interval profile =
     with_errors (fun () ->
         let src = read_source file in
@@ -309,8 +366,12 @@ let run_cmd =
                 prefetch_mode = prefetch;
                 fabric_config =
                   { R.Runtime.default_config.fabric_config with
-                    Cards_net.Fabric.qp_count = qp };
-                batching = not no_batching }
+                    Cards_net.Fabric.qp_count = qp;
+                    faults =
+                      { Cards_net.Fabric.fault_rate; fault_seed;
+                        fault_kinds } };
+                batching = not no_batching;
+                retry_max }
           | `Trackfm ->
             let compiled = B.Trackfm.compile_source src in
             B.Trackfm.run ?obs compiled ~local_bytes:local
@@ -330,6 +391,27 @@ let run_cmd =
           (T.fmt_cycles (float_of_int res.cycles))
           res.instructions tot.guards tot.guard_hits tot.remote_faults
           (T.fmt_bytes (float_of_int fs.fetched_bytes));
+        if fault_rate > 0.0 then begin
+          let st = R.Runtime.stats rt in
+          Printf.eprintf
+            "-- faults: %d injected (%d transient, %d late, %d duplicate), \
+             %d retries, %d timeouts, %d escalations, degrade level %d\n"
+            (Cards_net.Fabric.faults_injected fs)
+            fs.faults_transient fs.faults_late fs.faults_dup
+            (R.Rt_stats.retries st) (R.Rt_stats.timeouts st)
+            (R.Rt_stats.escalations st) (R.Runtime.degrade_level rt);
+          if profile then
+            T.print
+              (O.Export.resilience_table
+                 ~retries:(R.Rt_stats.retries st)
+                 ~timeouts:(R.Rt_stats.timeouts st)
+                 ~escalations:(R.Rt_stats.escalations st)
+                 ~pf_failed:(R.Rt_stats.pf_failed st)
+                 ~pf_suppressed:(R.Rt_stats.pf_suppressed st)
+                 ~degrade_steps:(R.Rt_stats.degrade_steps st)
+                 ~recover_steps:(R.Rt_stats.recover_steps st)
+                 ~degrade_level:(R.Runtime.degrade_level rt) ())
+        end;
         if report then print_report rt;
         if profile then print_profile rt res.cycles;
         export_obs rt obs ~trace ~events ~metrics)
@@ -338,6 +420,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
     Term.(const run $ file_arg $ system_arg $ policy_arg $ k_arg $ local_arg
           $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
+          $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
           $ metrics_interval_arg $ profile_arg)
 

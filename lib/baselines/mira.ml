@@ -59,7 +59,8 @@ let pinned_set p ~pinned_budget =
   pinned
 
 let run_config ~pinned ~local_bytes ~remotable_bytes =
-  { R.Runtime.policy = R.Policy.Explicit pinned;
+  { R.Runtime.default_config with
+    policy = R.Policy.Explicit pinned;
     k = 1.0;
     local_bytes;
     remotable_bytes;

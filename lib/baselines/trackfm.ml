@@ -7,7 +7,8 @@ let compile m = P.compile ~options m
 let compile_source src = P.compile_source ~options src
 
 let run_config ~local_bytes ~remotable_bytes =
-  { R.Runtime.policy = R.Policy.All_remotable;
+  { R.Runtime.default_config with
+    policy = R.Policy.All_remotable;
     k = 0.0;
     local_bytes;
     remotable_bytes;

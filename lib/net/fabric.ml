@@ -1,7 +1,26 @@
+module Rng = Cards_util.Rng
+
+type fault_kind = Transient | Late | Duplicate
+
+let fault_kind_name = function
+  | Transient -> "transient"
+  | Late -> "late"
+  | Duplicate -> "duplicate"
+
+type fault_config = {
+  fault_rate : float;
+  fault_seed : int;
+  fault_kinds : fault_kind list;
+}
+
+let no_faults =
+  { fault_rate = 0.0; fault_seed = 1; fault_kinds = [ Transient; Late; Duplicate ] }
+
 type config = {
   proto_cycles : int;
   bytes_per_cycle : float;
   qp_count : int;
+  faults : fault_config;
 }
 
 (* 25 Gb/s / 8 bits / 2.4 GHz = 1.302 bytes per cycle. *)
@@ -9,13 +28,15 @@ let link_bytes_per_cycle = 25.0e9 /. 8.0 /. 2.4e9
 
 (* 59 K total - 4096 B / 1.302 B/c (≈ 3146) ≈ 55.8 K protocol cycles. *)
 let default_config =
-  { proto_cycles = 55_800; bytes_per_cycle = link_bytes_per_cycle; qp_count = 1 }
+  { proto_cycles = 55_800; bytes_per_cycle = link_bytes_per_cycle;
+    qp_count = 1; faults = no_faults }
 
 (* TrackFM's swap-in path is leaner (no per-DS bookkeeping):
    46 K - 3146 ≈ 42.8 K.  It is also per-object and single-queue — the
    leaner-but-unbatched contrast Fig. 8 depends on. *)
 let trackfm_config =
-  { proto_cycles = 42_800; bytes_per_cycle = link_bytes_per_cycle; qp_count = 1 }
+  { proto_cycles = 42_800; bytes_per_cycle = link_bytes_per_cycle;
+    qp_count = 1; faults = no_faults }
 
 type stats = {
   fetches : int;
@@ -28,6 +49,12 @@ type stats = {
   queue_in_cycles : int;
   queue_out_cycles : int;
   qp_queue_cycles : int array;
+  faults_transient : int;
+  faults_late : int;
+  faults_dup : int;
+  failed_fetches : int;
+  reliable_fetches : int;
+  wb_faults : int;
 }
 
 type transfer = {
@@ -37,13 +64,24 @@ type transfer = {
   t_qp : int;
   t_proto : int;
   t_ser : int;
+  t_fault : fault_kind option;
+}
+
+type failure = {
+  f_start : int;
+  f_fail : int;
+  f_qp : int;
 }
 
 type t = {
   cfg : config;
+  rng : Rng.t;
+  mutable fault_rate : float;     (* live rate; starts at cfg.faults *)
   in_busy_until : int array;      (* one inbound queue pair per slot *)
   qp_queue_cycles : int array;
   mutable out_busy_until : int;
+  mutable last_in_now : int;      (* monotonicity guards per direction *)
+  mutable last_out_now : int;
   mutable fetches : int;
   mutable fetched_bytes : int;
   mutable batches : int;
@@ -53,18 +91,75 @@ type t = {
   mutable wb_batches : int;
   mutable queue_in_cycles : int;
   mutable queue_out_cycles : int;
+  mutable faults_transient : int;
+  mutable faults_late : int;
+  mutable faults_dup : int;
+  mutable failed_fetches : int;
+  mutable reliable_fetches : int;
+  mutable wb_faults : int;
 }
 
 let create cfg =
   if cfg.qp_count < 1 then
     invalid_arg "Fabric.create: qp_count must be at least 1";
+  if cfg.faults.fault_rate < 0.0 || cfg.faults.fault_rate > 1.0 then
+    invalid_arg "Fabric.create: fault_rate must be within [0, 1]";
   { cfg;
+    rng = Rng.create cfg.faults.fault_seed;
+    fault_rate = cfg.faults.fault_rate;
     in_busy_until = Array.make cfg.qp_count 0;
     qp_queue_cycles = Array.make cfg.qp_count 0;
     out_busy_until = 0;
+    last_in_now = 0; last_out_now = 0;
     fetches = 0; fetched_bytes = 0; batches = 0; batched_objects = 0;
     writebacks = 0; written_bytes = 0; wb_batches = 0;
-    queue_in_cycles = 0; queue_out_cycles = 0 }
+    queue_in_cycles = 0; queue_out_cycles = 0;
+    faults_transient = 0; faults_late = 0; faults_dup = 0;
+    failed_fetches = 0; reliable_fetches = 0; wb_faults = 0 }
+
+let set_fault_rate t rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Fabric.set_fault_rate: rate must be within [0, 1]";
+  t.fault_rate <- rate
+
+let faults_configured t = t.cfg.faults.fault_rate > 0.0
+
+(* Retried transfers re-enter the fabric at a later [now] than the
+   attempt they replace; a caller that rewinds the clock between calls
+   would instead let a transfer start before the queue state it
+   observes existed, silently corrupting busy-until accounting.  Fail
+   loudly instead. *)
+let check_in_now t now =
+  if now < t.last_in_now then
+    invalid_arg
+      (Printf.sprintf "Fabric: inbound now moved backwards (%d < %d)" now
+         t.last_in_now);
+  t.last_in_now <- now
+
+let check_out_now t now =
+  if now < t.last_out_now then
+    invalid_arg
+      (Printf.sprintf "Fabric: outbound now moved backwards (%d < %d)" now
+         t.last_out_now);
+  t.last_out_now <- now
+
+(* One decision per transfer attempt, drawn from the fabric's own
+   seeded PRNG: the schedule is a pure function of the seed and the
+   attempt sequence, so the whole simulation stays deterministic.  At
+   rate 0 the PRNG is never consulted — the fault-free path is
+   bit-identical to a fabric without fault injection. *)
+let draw_fault t =
+  let fc = t.cfg.faults in
+  if t.fault_rate <= 0.0 || fc.fault_kinds = [] then None
+  else if Rng.float t.rng 1.0 < t.fault_rate then
+    Some (List.nth fc.fault_kinds (Rng.int t.rng (List.length fc.fault_kinds)))
+  else None
+
+(* Congestion delay for a late completion: 1-3x the protocol cost, so
+   some late transfers sit inside a sane timeout budget and some blow
+   past it (exercising both the wait-it-out and abandon-and-retry
+   paths in the runtime). *)
+let late_extra t = t.cfg.proto_cycles * (1 + Rng.int t.rng 3)
 
 let serialization cfg bytes =
   int_of_float (ceil (float_of_int bytes /. cfg.bytes_per_cycle))
@@ -81,6 +176,7 @@ let pick_qp t =
   !best
 
 let fetch_info t ~now ~bytes =
+  check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
@@ -96,13 +192,75 @@ let fetch_info t ~now ~bytes =
   t.fetched_bytes <- t.fetched_bytes + bytes;
   { t_start = start; t_queued = queued;
     t_complete = start + t.cfg.proto_cycles + ser; t_qp = qp;
-    t_proto = t.cfg.proto_cycles; t_ser = ser }
+    t_proto = t.cfg.proto_cycles; t_ser = ser; t_fault = None }
 
 let fetch t ~now ~bytes = (fetch_info t ~now ~bytes).t_complete
+
+(* A transient failure crosses the wire and comes back as a NACK: the
+   queue pair is held for the protocol turnaround, nothing lands, and
+   the caller decides whether to retry. *)
+let transient_failure t ~now =
+  check_in_now t now;
+  let qp = pick_qp t in
+  let start = max now t.in_busy_until.(qp) in
+  let queued = start - now in
+  t.queue_in_cycles <- t.queue_in_cycles + queued;
+  t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
+  let fail = start + t.cfg.proto_cycles in
+  t.in_busy_until.(qp) <- fail;
+  t.faults_transient <- t.faults_transient + 1;
+  t.failed_fetches <- t.failed_fetches + 1;
+  { f_start = start; f_fail = fail; f_qp = qp }
+
+let fetch_attempt t ~now ~bytes =
+  match draw_fault t with
+  | None -> Ok (fetch_info t ~now ~bytes)
+  | Some Transient -> Error (transient_failure t ~now)
+  | Some Late ->
+    let tr = fetch_info t ~now ~bytes in
+    let extra = late_extra t in
+    t.faults_late <- t.faults_late + 1;
+    (* Congestion: the response crawls, and the queue pair stays tied
+       up until the late completion.  The delay rides in [t_ser] so
+       [t_queued + t_proto + t_ser = t_complete - now] still holds for
+       callers that wait the transfer out. *)
+    t.in_busy_until.(tr.t_qp) <- tr.t_complete + extra;
+    Ok { tr with t_complete = tr.t_complete + extra;
+                 t_ser = tr.t_ser + extra; t_fault = Some Late }
+  | Some Duplicate ->
+    let tr = fetch_info t ~now ~bytes in
+    t.faults_dup <- t.faults_dup + 1;
+    (* The data lands on time, but a duplicated completion occupies the
+       queue pair for another protocol turn — timing-only: the caller
+       deduplicates by construction (the object is marked resident
+       exactly once). *)
+    t.in_busy_until.(tr.t_qp) <- tr.t_complete + t.cfg.proto_cycles;
+    Ok { tr with t_fault = Some Duplicate }
+
+(* Escalation path after retries are exhausted: a heavyweight reliable
+   channel (think RC send with end-to-end acknowledgement instead of
+   one-sided reads) that pays the protocol cost twice and never
+   faults.  Guarantees forward progress at any fault rate. *)
+let fetch_reliable t ~now ~bytes =
+  check_in_now t now;
+  let qp = pick_qp t in
+  let start = max now t.in_busy_until.(qp) in
+  let queued = start - now in
+  t.queue_in_cycles <- t.queue_in_cycles + queued;
+  t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
+  let ser = serialization t.cfg bytes in
+  let proto = 2 * t.cfg.proto_cycles in
+  t.in_busy_until.(qp) <- start + proto + ser;
+  t.fetches <- t.fetches + 1;
+  t.fetched_bytes <- t.fetched_bytes + bytes;
+  t.reliable_fetches <- t.reliable_fetches + 1;
+  { t_start = start; t_queued = queued; t_complete = start + proto + ser;
+    t_qp = qp; t_proto = proto; t_ser = ser; t_fault = None }
 
 let fetch_many t ~now ~sizes =
   let n = Array.length sizes in
   if n = 0 then invalid_arg "Fabric.fetch_many: empty batch";
+  check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
@@ -129,25 +287,67 @@ let fetch_many t ~now ~sizes =
   t.batched_objects <- t.batched_objects + n;
   ({ t_start = start; t_queued = queued;
      t_complete = completions.(n - 1); t_qp = qp;
-     t_proto = t.cfg.proto_cycles; t_ser = !cum },
+     t_proto = t.cfg.proto_cycles; t_ser = !cum; t_fault = None },
    completions)
+
+let fetch_many_attempt t ~now ~sizes =
+  match draw_fault t with
+  | None -> Ok (fetch_many t ~now ~sizes)
+  | Some Transient ->
+    if Array.length sizes = 0 then
+      invalid_arg "Fabric.fetch_many_attempt: empty batch";
+    Error (transient_failure t ~now)
+  | Some Late ->
+    let tr, completions = fetch_many t ~now ~sizes in
+    let extra = late_extra t in
+    t.faults_late <- t.faults_late + 1;
+    (* The whole response stream is delayed behind the congested
+       request: every object in the batch lands [extra] cycles late. *)
+    Array.iteri (fun i c -> completions.(i) <- c + extra) completions;
+    t.in_busy_until.(tr.t_qp) <- tr.t_complete + extra;
+    Ok ({ tr with t_complete = tr.t_complete + extra;
+                  t_ser = tr.t_ser + extra; t_fault = Some Late },
+        completions)
+  | Some Duplicate ->
+    let tr, completions = fetch_many t ~now ~sizes in
+    t.faults_dup <- t.faults_dup + 1;
+    t.in_busy_until.(tr.t_qp) <- tr.t_complete + t.cfg.proto_cycles;
+    Ok ({ tr with t_fault = Some Duplicate }, completions)
+
+(* Writeback faults never reach the caller: posted writes are
+   asynchronous, so the fabric absorbs the fault by re-posting (or
+   draining the duplicate) itself — the outbound direction is simply
+   occupied longer, which future evictions queue behind. *)
+let wb_fault_extra t =
+  match draw_fault t with
+  | None -> 0
+  | Some k ->
+    t.wb_faults <- t.wb_faults + 1;
+    (match k with
+     | Transient -> t.cfg.proto_cycles (* NACKed posting, re-posted *)
+     | Late -> late_extra t
+     | Duplicate -> t.cfg.proto_cycles (* duplicate ack drained *))
 
 (* Writebacks are posted writes: the CPU never waits for them, but the
    request still crosses the wire, so the outbound direction is
    occupied for the full protocol + serialization time — the same cost
    structure as a fetch, just asynchronous (DESIGN.md §fabric). *)
 let writeback t ~now ~bytes =
+  check_out_now t now;
   let start = max now t.out_busy_until in
   t.queue_out_cycles <- t.queue_out_cycles + (start - now);
-  t.out_busy_until <- start + t.cfg.proto_cycles + serialization t.cfg bytes;
+  t.out_busy_until <-
+    start + t.cfg.proto_cycles + serialization t.cfg bytes + wb_fault_extra t;
   t.writebacks <- t.writebacks + 1;
   t.written_bytes <- t.written_bytes + bytes
 
 let writeback_many t ~now ~count ~bytes =
   if count < 1 then invalid_arg "Fabric.writeback_many: empty batch";
+  check_out_now t now;
   let start = max now t.out_busy_until in
   t.queue_out_cycles <- t.queue_out_cycles + (start - now);
-  t.out_busy_until <- start + t.cfg.proto_cycles + serialization t.cfg bytes;
+  t.out_busy_until <-
+    start + t.cfg.proto_cycles + serialization t.cfg bytes + wb_fault_extra t;
   t.writebacks <- t.writebacks + count;
   t.written_bytes <- t.written_bytes + bytes;
   t.wb_batches <- t.wb_batches + 1
@@ -164,12 +364,23 @@ let stats t =
     wb_batches = t.wb_batches;
     queue_in_cycles = t.queue_in_cycles;
     queue_out_cycles = t.queue_out_cycles;
-    qp_queue_cycles = Array.copy t.qp_queue_cycles }
+    qp_queue_cycles = Array.copy t.qp_queue_cycles;
+    faults_transient = t.faults_transient;
+    faults_late = t.faults_late;
+    faults_dup = t.faults_dup;
+    failed_fetches = t.failed_fetches;
+    reliable_fetches = t.reliable_fetches;
+    wb_faults = t.wb_faults }
+
+let faults_injected (s : stats) =
+  s.faults_transient + s.faults_late + s.faults_dup
 
 let reset t =
   Array.fill t.in_busy_until 0 (Array.length t.in_busy_until) 0;
   Array.fill t.qp_queue_cycles 0 (Array.length t.qp_queue_cycles) 0;
   t.out_busy_until <- 0;
+  t.last_in_now <- 0;
+  t.last_out_now <- 0;
   t.fetches <- 0;
   t.fetched_bytes <- 0;
   t.batches <- 0;
@@ -178,4 +389,10 @@ let reset t =
   t.written_bytes <- 0;
   t.wb_batches <- 0;
   t.queue_in_cycles <- 0;
-  t.queue_out_cycles <- 0
+  t.queue_out_cycles <- 0;
+  t.faults_transient <- 0;
+  t.faults_late <- 0;
+  t.faults_dup <- 0;
+  t.failed_fetches <- 0;
+  t.reliable_fetches <- 0;
+  t.wb_faults <- 0

@@ -19,34 +19,81 @@
       the RPC-aggregation effect that makes prefetching amortize
       anything at all;
     - posted writebacks: evictions occupy the outbound direction for
-      the full protocol + serialization time but never block the CPU. *)
+      the full protocol + serialization time but never block the CPU;
+    - deterministic fault injection (off by default): a seeded PRNG
+      fails, delays, or duplicates transfer completions at a
+      configurable per-transfer rate, so the runtime's retry/backoff
+      and degradation machinery can be exercised and tested.  Faults
+      perturb {e timing only} — object payloads always arrive intact —
+      so program outputs are invariant under any fault rate. *)
+
+type fault_kind =
+  | Transient   (** the transfer fails outright: the queue pair is held
+                    for the protocol turnaround (request + NACK) and
+                    nothing lands; the caller may retry *)
+  | Late        (** congestion: the completion is delayed by 1-3x the
+                    protocol cost, and the queue pair stays occupied
+                    until the late completion *)
+  | Duplicate   (** the data lands on time but a duplicated completion
+                    occupies the queue pair for one extra protocol turn;
+                    callers deduplicate by construction *)
+
+val fault_kind_name : fault_kind -> string
+(** ["transient"] / ["late"] / ["duplicate"]. *)
+
+type fault_config = {
+  fault_rate : float;           (** per-transfer fault probability, [0, 1] *)
+  fault_seed : int;             (** PRNG seed: same seed, same schedule *)
+  fault_kinds : fault_kind list; (** kinds to draw from, uniformly *)
+}
+
+val no_faults : fault_config
+(** Rate 0: fault injection fully off.  The PRNG is never consulted,
+    so a fabric with [no_faults] is bit-identical to one that predates
+    fault injection. *)
 
 type config = {
   proto_cycles : int;      (** fixed request/response overhead per transfer *)
   bytes_per_cycle : float; (** link bandwidth in bytes per CPU cycle *)
   qp_count : int;          (** inbound queue pairs (>= 1) *)
+  faults : fault_config;   (** fault injection; defaults to {!no_faults} *)
 }
 
 val default_config : config
 (** 25 Gb/s at 2.4 GHz (≈ 1.30 bytes/cycle) with a protocol cost
     calibrated so a 4 KiB demand fetch costs ≈ 59 K cycles end to end
-    (paper Table 1, CaRDS remote fault).  Single QP: the runtime
-    chooses its own QP count ({!Cards_runtime.Runtime.default_config}). *)
+    (paper Table 1, CaRDS remote fault).  Single QP, faults off: the
+    runtime chooses its own QP count
+    ({!Cards_runtime.Runtime.default_config}). *)
 
 val trackfm_config : config
 (** Same link, lighter protocol path, calibrated to TrackFM's ≈ 46 K
-    cycles per remote guard miss (Table 1).  Single QP, and TrackFM
-    never batches — its leaner-but-unbatched path is part of the
-    Fig. 8 contrast. *)
+    cycles per remote guard miss (Table 1).  Single QP, faults off,
+    and TrackFM never batches — its leaner-but-unbatched path is part
+    of the Fig. 8 contrast. *)
 
 type t
 
 val create : config -> t
-(** @raise Invalid_argument when [qp_count < 1]. *)
+(** @raise Invalid_argument when [qp_count < 1] or [fault_rate] is
+    outside [0, 1]. *)
+
+val set_fault_rate : t -> float -> unit
+(** Override the live fault rate (the configured kinds and seed keep
+    going).  Lets tests and operators model a fabric that degrades and
+    then recovers mid-run — the runtime's window tracker re-widens its
+    prefetching when the observed rate drops.
+    @raise Invalid_argument when the rate is outside [0, 1]. *)
+
+val faults_configured : t -> bool
+(** True when the fabric was created with a non-zero fault rate. *)
 
 val fetch : t -> now:int -> bytes:int -> int
 (** Schedule an inbound transfer starting at [now]; returns its
-    completion time (≥ [now + proto + serialization]). *)
+    completion time (≥ [now + proto + serialization]).  Never faulted
+    (fault injection applies to the [_attempt] entry points).
+    @raise Invalid_argument when [now] precedes an earlier inbound
+    call's [now] (clock moved backwards; see {!fetch_attempt}). *)
 
 type transfer = {
   t_start : int;     (** when a queue pair picked the transfer up *)
@@ -54,7 +101,18 @@ type transfer = {
   t_complete : int;  (** completion time (of the last object for batches) *)
   t_qp : int;        (** the queue pair that carried it *)
   t_proto : int;     (** per-request protocol cycles this transfer paid *)
-  t_ser : int;       (** serialization cycles (summed over a batch) *)
+  t_ser : int;       (** serialization cycles (summed over a batch; a
+                         late fault's congestion delay rides here so the
+                         queued/proto/ser split still covers the stall) *)
+  t_fault : fault_kind option;
+      (** the fault injected into this (completed) transfer, if any *)
+}
+
+type failure = {
+  f_start : int;  (** when the queue pair picked the doomed attempt up *)
+  f_fail : int;   (** when the NACK came back ([f_start + proto]); the
+                      QP is occupied until then *)
+  f_qp : int;     (** the queue pair it burned *)
 }
 
 val fetch_info : t -> now:int -> bytes:int -> transfer
@@ -64,14 +122,41 @@ val fetch_info : t -> now:int -> bytes:int -> transfer
     ledger) can decompose stall cycles into root causes instead of
     reporting one opaque fetch cost. *)
 
+val fetch_attempt : t -> now:int -> bytes:int -> (transfer, failure) result
+(** {!fetch_info} through the fault injector: one fault decision is
+    drawn per attempt.  [Error] is a transient failure (retry at a
+    later [now] if desired); [Ok] transfers may still carry a [Late]
+    or [Duplicate] fault in [t_fault].  With the rate at 0 this is
+    exactly [Ok (fetch_info ...)] and consults no randomness.
+
+    Retried attempts MUST re-enter at a non-decreasing [now]: the
+    fabric raises [Invalid_argument] when the inbound clock moves
+    backwards rather than corrupting queue state. *)
+
 val fetch_many : t -> now:int -> sizes:int array -> transfer * int array
 (** Coalesce a batch of objects into one request on the least-loaded
     queue pair.  The protocol cost is paid once; object [i] completes
     at [start + proto + Σ serialization sizes.(0..i)] (returned in the
     array, index-aligned with [sizes]), and the QP stays busy for the
     summed serialization only.  Counts one batch and [n] fetches in
-    {!stats}.
+    {!stats}.  Never faulted; raises on a backwards [now] like
+    {!fetch_info}.
     @raise Invalid_argument on an empty batch. *)
+
+val fetch_many_attempt :
+  t -> now:int -> sizes:int array -> (transfer * int array, failure) result
+(** {!fetch_many} through the fault injector: one decision for the
+    whole request (it is one request on the wire).  A transient fault
+    NACKs the entire batch; a late fault delays every completion in it
+    by the same congestion term.
+    @raise Invalid_argument on an empty batch or a backwards [now]. *)
+
+val fetch_reliable : t -> now:int -> bytes:int -> transfer
+(** The escalation path for a fetch whose retries are exhausted: a
+    heavyweight reliable channel (send with end-to-end acknowledgement
+    rather than a one-sided read) paying [2 * proto_cycles] plus
+    serialization.  Never faulted — guarantees forward progress at any
+    fault rate.  Counted in {!stats} [reliable_fetches]. *)
 
 val nominal_fetch_cycles : t -> bytes:int -> int
 (** Uncontended end-to-end fetch cost ([proto + serialization]) —
@@ -82,13 +167,18 @@ val writeback : t -> now:int -> bytes:int -> unit
 (** Schedule an outbound (eviction) transfer as a posted write: the
     CPU does not block, but the outbound direction is occupied for the
     full [proto + serialization] time — writes cross the same wire as
-    reads (DESIGN.md §fabric). *)
+    reads (DESIGN.md §fabric).  Writeback faults are absorbed by the
+    fabric itself (the post is NACKed and re-posted, or the duplicate
+    drained): the outbound direction is occupied longer and the fault
+    is counted, but the caller never sees it.
+    @raise Invalid_argument when [now] precedes an earlier outbound
+    call's [now]. *)
 
 val writeback_many : t -> now:int -> count:int -> bytes:int -> unit
 (** Coalesced writeback of [count] dirty objects totalling [bytes]:
     one posted request paying [proto_cycles] once.  Counts [count]
-    writebacks and one wb-batch in {!stats}.
-    @raise Invalid_argument when [count < 1]. *)
+    writebacks and one wb-batch in {!stats}.  Faults as {!writeback}.
+    @raise Invalid_argument when [count < 1] or [now] moved backwards. *)
 
 val inbound_busy_until : t -> int
 (** When the earliest inbound queue pair frees up (for tests). *)
@@ -110,8 +200,19 @@ type stats = {
       (** cycles outbound transfers (writebacks) spent queued *)
   qp_queue_cycles : int array;
       (** inbound queue cycles per queue pair (length [qp_count]) *)
+  faults_transient : int;  (** inbound transfers NACKed *)
+  faults_late : int;       (** inbound completions delayed by congestion *)
+  faults_dup : int;        (** duplicated inbound completions *)
+  failed_fetches : int;    (** failed fetch attempts (= transient faults) *)
+  reliable_fetches : int;  (** escalations over the reliable channel *)
+  wb_faults : int;         (** outbound faults absorbed by the fabric *)
 }
 
 val stats : t -> stats
 
+val faults_injected : stats -> int
+(** [faults_transient + faults_late + faults_dup] (inbound only). *)
+
 val reset : t -> unit
+(** Zero the counters, free both directions, and clear the
+    backwards-[now] guards.  The fault PRNG keeps its state. *)

@@ -20,6 +20,7 @@ type cause =
   | Wire
   | Queue of int
   | Pf_wait
+  | Retry
   | Guard_exec
   | Trap
   | Bookkeeping
@@ -29,6 +30,7 @@ let cause_name = function
   | Wire -> "wire serialization"
   | Queue qp -> Printf.sprintf "qp%d queueing" qp
   | Pf_wait -> "late-prefetch wait"
+  | Retry -> "retry/backoff"
   | Guard_exec -> "guard execution"
   | Trap -> "clean-fault trap"
   | Bookkeeping -> "alloc bookkeeping"
@@ -54,6 +56,7 @@ type cell = {
   mutable cl_wire : int;
   mutable cl_queue : int array;
   mutable cl_pf_wait : int;
+  mutable cl_retry : int;
   mutable cl_guard : int;
   mutable cl_trap : int;
   mutable cl_book : int;
@@ -73,7 +76,8 @@ let create () = { cells = Hashtbl.create 64; last = None; qp_max = -1 }
 
 let make_cell ds site =
   { cl_ds = ds; cl_site = site; cl_proto = 0; cl_wire = 0;
-    cl_queue = [||]; cl_pf_wait = 0; cl_guard = 0; cl_trap = 0; cl_book = 0 }
+    cl_queue = [||]; cl_pf_wait = 0; cl_retry = 0; cl_guard = 0;
+    cl_trap = 0; cl_book = 0 }
 
 let cell t ~ds ~fn ~block ~instr =
   match t.last with
@@ -113,6 +117,7 @@ let charge t ~ds ~fn ~block ~instr cause cycles =
       if qp > t.qp_max then t.qp_max <- qp;
       c.cl_queue.(qp) <- c.cl_queue.(qp) + cycles
     | Pf_wait -> c.cl_pf_wait <- c.cl_pf_wait + cycles
+    | Retry -> c.cl_retry <- c.cl_retry + cycles
     | Guard_exec -> c.cl_guard <- c.cl_guard + cycles
     | Trap -> c.cl_trap <- c.cl_trap + cycles
     | Bookkeeping -> c.cl_book <- c.cl_book + cycles
@@ -121,8 +126,8 @@ let charge t ~ds ~fn ~block ~instr cause cycles =
 let cell_queue_total c = Array.fold_left ( + ) 0 c.cl_queue
 
 let cell_total c =
-  c.cl_proto + c.cl_wire + cell_queue_total c + c.cl_pf_wait + c.cl_guard
-  + c.cl_trap + c.cl_book
+  c.cl_proto + c.cl_wire + cell_queue_total c + c.cl_pf_wait + c.cl_retry
+  + c.cl_guard + c.cl_trap + c.cl_book
 
 let total t = Hashtbl.fold (fun _ c acc -> acc + cell_total c) t.cells 0
 
@@ -130,13 +135,14 @@ let causes t =
   let qps = t.qp_max + 1 in
   [ Proto; Wire ]
   @ List.init qps (fun i -> Queue i)
-  @ [ Pf_wait; Guard_exec; Trap; Bookkeeping ]
+  @ [ Pf_wait; Retry; Guard_exec; Trap; Bookkeeping ]
 
 let cell_cause c = function
   | Proto -> c.cl_proto
   | Wire -> c.cl_wire
   | Queue qp -> if qp < Array.length c.cl_queue then c.cl_queue.(qp) else 0
   | Pf_wait -> c.cl_pf_wait
+  | Retry -> c.cl_retry
   | Guard_exec -> c.cl_guard
   | Trap -> c.cl_trap
   | Bookkeeping -> c.cl_book

@@ -11,6 +11,9 @@
       earlier transfers on queue pair [qp] (e.g. a demand fault stuck
       behind a streaming prefetch window);
     - {!Pf_wait}: stalls on late (in-flight) prefetches;
+    - {!Retry}: cycles burned on failed fetch attempts, backoff
+      waits, and the reliable-channel escalation under fault
+      injection — zero on a healthy fabric;
     - {!Guard_exec}: custody checks and local guard hit/miss cost;
     - {!Trap}: clean-fault trap overhead on unguarded paths;
     - {!Bookkeeping}: [ds_init] / [dsalloc] / loop-version checks —
@@ -32,6 +35,7 @@ type cause =
   | Wire         (** serialization cycles on the link *)
   | Queue of int (** inbound queueing behind this queue pair *)
   | Pf_wait      (** stall waiting on a late (in-flight) prefetch *)
+  | Retry        (** failed attempts, backoff waits, escalations *)
   | Guard_exec   (** custody checks + local guard hit/miss cost *)
   | Trap         (** clean-fault trap overhead *)
   | Bookkeeping  (** ds_init / dsalloc / loop-version checks *)
@@ -69,7 +73,7 @@ val total : t -> int
 
 val causes : t -> cause list
 (** Display order: protocol, wire, one [Queue] entry per queue pair
-    ever charged, late-prefetch, guard, trap, bookkeeping. *)
+    ever charged, late-prefetch, retry, guard, trap, bookkeeping. *)
 
 val cause_totals : t -> (cause * int) list
 (** Per-cause totals over all structures and sites, in {!causes}

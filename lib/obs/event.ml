@@ -8,6 +8,10 @@ type kind =
   | Prefetch_use of { timely : bool }
   | Prefetch_late of { wait : int }
   | Qp_busy of { qp : int; busy : int }
+  | Fault_inject of { kind : string }
+  | Retry_backoff of { attempt : int; wait : int }
+  | Fetch_timeout of { budget : int }
+  | Degrade of { level : int; observed_pct : int }
   | Evict of { dirty : bool }
   | Writeback of { bytes : int }
   | Policy_switch of { from_pf : string; to_pf : string }
@@ -36,6 +40,10 @@ let kind_name = function
   | Prefetch_use _ -> "prefetch_use"
   | Prefetch_late _ -> "prefetch_late"
   | Qp_busy _ -> "qp_busy"
+  | Fault_inject _ -> "fault_inject"
+  | Retry_backoff _ -> "retry_backoff"
+  | Fetch_timeout _ -> "fetch_timeout"
+  | Degrade _ -> "degrade"
   | Evict _ -> "evict"
   | Writeback _ -> "writeback"
   | Policy_switch _ -> "policy_switch"
@@ -49,9 +57,9 @@ let category = function
   | Remote_fault _ | Clean_fault _ -> "fault"
   | Prefetch_issue _ | Batch_fetch _ | Prefetch_use _ | Prefetch_late _ ->
     "prefetch"
-  | Qp_busy _ -> "fabric"
+  | Qp_busy _ | Fault_inject _ | Retry_backoff _ | Fetch_timeout _ -> "fabric"
   | Evict _ | Writeback _ -> "cache"
-  | Policy_switch _ | Epoch_mark -> "policy"
+  | Policy_switch _ | Epoch_mark | Degrade _ -> "policy"
   | Loop_version _ -> "versioning"
   | Call_enter _ | Call_exit _ -> "interp"
 
@@ -62,4 +70,6 @@ let duration = function
   | Clean_fault { stall } -> Some stall
   | Prefetch_late { wait } -> Some wait
   | Qp_busy { busy; _ } -> Some busy
+  | Retry_backoff { wait; _ } -> Some wait
+  | Fetch_timeout { budget } -> Some budget
   | _ -> None

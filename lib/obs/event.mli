@@ -33,6 +33,20 @@ type kind =
           QP picked the transfer up, [ev_ds] the structure whose
           access put it on the wire.  Rendered as its own thread row
           so queue contention is visible next to the fault spans. *)
+  | Fault_inject of { kind : string }
+      (** the fabric injected a fault ({!Cards_net.Fabric.fault_kind}
+          name) into this structure's transfer *)
+  | Retry_backoff of { attempt : int; wait : int }
+      (** retry number [attempt] backing off for [wait] cycles after a
+          failed or timed-out fetch attempt *)
+  | Fetch_timeout of { budget : int }
+      (** a late completion blew the per-fetch timeout [budget] and
+          the fetch was re-issued *)
+  | Degrade of { level : int; observed_pct : int }
+      (** graceful-degradation step: the prefetch window narrowed (or
+          re-widened) to level [level] (0 = full width) because the
+          observed fault rate over the sliding window hit
+          [observed_pct] percent *)
   | Evict of { dirty : bool }
   | Writeback of { bytes : int }
   | Policy_switch of { from_pf : string; to_pf : string }

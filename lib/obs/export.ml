@@ -16,6 +16,12 @@ let kind_args (k : Event.kind) : (string * Json.t) list =
   | Prefetch_use { timely } -> [ ("timely", Json.Bool timely) ]
   | Prefetch_late { wait } -> [ ("wait", Json.Int wait) ]
   | Qp_busy { qp; busy } -> [ ("qp", Json.Int qp); ("busy", Json.Int busy) ]
+  | Fault_inject { kind } -> [ ("kind", Json.Str kind) ]
+  | Retry_backoff { attempt; wait } ->
+    [ ("attempt", Json.Int attempt); ("wait", Json.Int wait) ]
+  | Fetch_timeout { budget } -> [ ("budget", Json.Int budget) ]
+  | Degrade { level; observed_pct } ->
+    [ ("level", Json.Int level); ("observed_pct", Json.Int observed_pct) ]
   | Evict { dirty } -> [ ("dirty", Json.Bool dirty) ]
   | Writeback { bytes } -> [ ("bytes", Json.Int bytes) ]
   | Policy_switch { from_pf; to_pf } ->
@@ -184,7 +190,7 @@ let profile_table ?(title = "Cycle attribution (per data structure)")
   let t =
     Table.create ~title
       ~header:[ "structure"; "guard"; "demand stall"; "queueing"; "pf stall";
-                "trap"; "alloc"; "total"; "share"; "pf hidden" ]
+                "retry"; "trap"; "alloc"; "total"; "share"; "pf hidden" ]
   in
   let cyc c = Table.fmt_cycles (float_of_int c) in
   List.iter
@@ -194,18 +200,19 @@ let profile_table ?(title = "Cycle attribution (per data structure)")
       Table.add_row t
         [ names h; cyc b.Profile.p_guard; cyc b.Profile.p_demand;
           cyc b.Profile.p_queue; cyc b.Profile.p_pf_stall;
-          cyc b.Profile.p_trap; cyc b.Profile.p_alloc; cyc wall;
-          pct wall total; cyc b.Profile.p_hidden ])
+          cyc b.Profile.p_retry; cyc b.Profile.p_trap; cyc b.Profile.p_alloc;
+          cyc wall; pct wall total; cyc b.Profile.p_hidden ])
     (Profile.handles prof);
   let comp = Profile.compute prof in
   Table.add_row t
-    [ "(compute)"; ""; ""; ""; ""; ""; ""; cyc comp; pct comp total; "" ];
+    [ "(compute)"; ""; ""; ""; ""; ""; ""; ""; cyc comp; pct comp total; "" ];
   let attributed = Profile.attributed prof in
   if attributed <> total then
     Table.add_row t
-      [ "(unattributed)"; ""; ""; ""; ""; ""; "";
+      [ "(unattributed)"; ""; ""; ""; ""; ""; ""; "";
         cyc (total - attributed); pct (total - attributed) total; "" ];
-  Table.add_row t [ "TOTAL"; ""; ""; ""; ""; ""; ""; cyc total; "100.0%"; "" ];
+  Table.add_row t
+    [ "TOTAL"; ""; ""; ""; ""; ""; ""; ""; cyc total; "100.0%"; "" ];
   t
 
 let percentile_points = [ ("p50", 50.0); ("p90", 90.0); ("p99", 99.0); ("p999", 99.9) ]
@@ -334,9 +341,32 @@ let fabric_table ?(title = "Fabric") ?over_budget
   Array.iteri
     (fun qp cycles -> c (Printf.sprintf "  qp%d queueing" qp) cycles)
     fs.qp_queue_cycles;
+  (* Fault-injection counters only clutter the table when faults are
+     actually configured, so show them only when nonzero. *)
+  let nz name v = if v > 0 then i name v in
+  nz "faults: transient" fs.faults_transient;
+  nz "faults: late" fs.faults_late;
+  nz "faults: duplicate" fs.faults_dup;
+  nz "failed fetch attempts" fs.failed_fetches;
+  nz "reliable-channel fetches" fs.reliable_fetches;
+  nz "writeback faults absorbed" fs.wb_faults;
   (match over_budget with
    | Some n -> i "over-budget evictions" n
    | None -> ());
+  t
+
+let resilience_table ?(title = "Resilience") ~retries ~timeouts ~escalations
+    ~pf_failed ~pf_suppressed ~degrade_steps ~recover_steps ~degrade_level () =
+  let t = Table.create ~title ~header:[ "counter"; "value" ] in
+  let i name v = Table.add_row t [ name; string_of_int v ] in
+  i "demand-fetch retries" retries;
+  i "fetch timeouts" timeouts;
+  i "reliable-channel escalations" escalations;
+  i "prefetch attempts failed" pf_failed;
+  i "prefetches suppressed (degraded)" pf_suppressed;
+  i "degradation steps" degrade_steps;
+  i "recovery steps" recover_steps;
+  i "final degradation level" degrade_level;
   t
 
 let metrics_table ?(title = "Epoch metrics") metrics =

@@ -69,8 +69,26 @@ val fabric_table :
   Cards_util.Table.t
 (** Fabric transport counters: objects fetched/written, batching
     (coalesced requests and the objects they carried, both directions),
-    queueing split per inbound queue pair, and — when given — the
-    runtime's over-budget eviction count. *)
+    queueing split per inbound queue pair, fault-injection counters
+    (shown only when nonzero), and — when given — the runtime's
+    over-budget eviction count. *)
+
+val resilience_table :
+  ?title:string ->
+  retries:int ->
+  timeouts:int ->
+  escalations:int ->
+  pf_failed:int ->
+  pf_suppressed:int ->
+  degrade_steps:int ->
+  recover_steps:int ->
+  degrade_level:int ->
+  unit ->
+  Cards_util.Table.t
+(** The runtime's fault-survival counters ({!Cards_runtime.Rt_stats}
+    feeds these): retries, timeouts, reliable-channel escalations,
+    prefetch attempts dropped or suppressed, and the graceful-
+    degradation step counts with the final window level. *)
 
 val metrics_table : ?title:string -> Metrics.t -> Cards_util.Table.t
 (** Per-interval deltas (faults, prefetch accuracy) per structure —

@@ -7,6 +7,7 @@ type buckets = {
   mutable p_demand : int;
   mutable p_queue : int;
   mutable p_pf_stall : int;
+  mutable p_retry : int;
   mutable p_trap : int;
   mutable p_alloc : int;
   mutable p_hidden : int;
@@ -14,8 +15,8 @@ type buckets = {
 }
 
 let make_buckets () =
-  { p_guard = 0; p_demand = 0; p_queue = 0; p_pf_stall = 0; p_trap = 0;
-    p_alloc = 0; p_hidden = 0; lat = Stats.create () }
+  { p_guard = 0; p_demand = 0; p_queue = 0; p_pf_stall = 0; p_retry = 0;
+    p_trap = 0; p_alloc = 0; p_hidden = 0; lat = Stats.create () }
 
 type t = {
   per : (int, buckets) Hashtbl.t;
@@ -37,7 +38,8 @@ let add_compute t c = t.p_compute <- t.p_compute + c
 let compute t = t.p_compute
 
 let wall b =
-  b.p_guard + b.p_demand + b.p_queue + b.p_pf_stall + b.p_trap + b.p_alloc
+  b.p_guard + b.p_demand + b.p_queue + b.p_pf_stall + b.p_retry + b.p_trap
+  + b.p_alloc
 
 let attributed t =
   Hashtbl.fold (fun _ b acc -> acc + wall b) t.per t.p_compute

@@ -28,6 +28,9 @@ type buckets = {
       (** demand-fetch cycles spent queued behind other transfers *)
   mutable p_pf_stall : int;
       (** stalls waiting on late (in-flight) prefetches *)
+  mutable p_retry : int;
+      (** failed fetch attempts, backoff waits, and reliable-channel
+          escalations under fault injection (zero when faults are off) *)
   mutable p_trap : int;
       (** clean-fault trap penalties on unguarded paths *)
   mutable p_alloc : int;

@@ -21,13 +21,40 @@ type t = {
   per_ds : (int, ds) Hashtbl.t;
   unmanaged : ds;
   mutable over_budget : int;
+  (* Resilience counters (fault injection): global, not per structure —
+     retry/degradation policy is a runtime-wide response to fabric
+     health, not a property of any one structure. *)
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable escalations : int;
+  mutable pf_failed : int;
+  mutable pf_suppressed : int;
+  mutable degrade_steps : int;
+  mutable recover_steps : int;
 }
 
 let create () =
-  { per_ds = Hashtbl.create 32; unmanaged = make_ds (); over_budget = 0 }
+  { per_ds = Hashtbl.create 32; unmanaged = make_ds (); over_budget = 0;
+    retries = 0; timeouts = 0; escalations = 0; pf_failed = 0;
+    pf_suppressed = 0; degrade_steps = 0; recover_steps = 0 }
 
 let note_over_budget t = t.over_budget <- t.over_budget + 1
 let over_budget t = t.over_budget
+
+let note_retry t = t.retries <- t.retries + 1
+let retries t = t.retries
+let note_timeout t = t.timeouts <- t.timeouts + 1
+let timeouts t = t.timeouts
+let note_escalation t = t.escalations <- t.escalations + 1
+let escalations t = t.escalations
+let note_pf_failed t = t.pf_failed <- t.pf_failed + 1
+let pf_failed t = t.pf_failed
+let note_pf_suppressed t n = t.pf_suppressed <- t.pf_suppressed + n
+let pf_suppressed t = t.pf_suppressed
+let note_degrade_step t = t.degrade_steps <- t.degrade_steps + 1
+let degrade_steps t = t.degrade_steps
+let note_recover_step t = t.recover_steps <- t.recover_steps + 1
+let recover_steps t = t.recover_steps
 
 let ds_stats t h =
   match Hashtbl.find_opt t.per_ds h with

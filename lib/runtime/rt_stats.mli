@@ -51,4 +51,43 @@ val over_budget : t -> int
     from deep in-flight prefetch windows, surfaced instead of silently
     ignored. *)
 
+(** {2 Resilience counters}
+
+    Runtime-wide (not per structure): retry/degradation policy is a
+    global response to fabric health.  All stay zero when fault
+    injection is off. *)
+
+val note_retry : t -> unit
+val retries : t -> int
+(** Demand-fetch attempts re-issued after a transient failure or a
+    timeout. *)
+
+val note_timeout : t -> unit
+val timeouts : t -> int
+(** Late completions that blew the per-fetch timeout budget. *)
+
+val note_escalation : t -> unit
+val escalations : t -> int
+(** Fetches that exhausted their retries and fell back to the
+    reliable channel ({!Cards_net.Fabric.fetch_reliable}). *)
+
+val note_pf_failed : t -> unit
+val pf_failed : t -> int
+(** Prefetch requests NACKed by the fabric and dropped (prefetches
+    are speculative; the demand path re-fetches if needed). *)
+
+val note_pf_suppressed : t -> int -> unit
+val pf_suppressed : t -> int
+(** Prefetch targets not issued because graceful degradation narrowed
+    the window. *)
+
+val note_degrade_step : t -> unit
+val degrade_steps : t -> int
+(** Times the observed fault rate pushed the prefetch window one step
+    narrower. *)
+
+val note_recover_step : t -> unit
+val recover_steps : t -> int
+(** Times a recovered fabric let the window re-widen one step. *)
+
 val handles : t -> int list

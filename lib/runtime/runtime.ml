@@ -18,6 +18,14 @@ type config = {
   prefetch_mode : prefetch_mode;
   prefetch_depth : int;
   batching : bool;
+  (* Fault survival (only exercised when the fabric injects faults):
+     a demand fetch is retried after a transient failure or a
+     timed-out late completion, waiting an exponentially growing
+     backoff between attempts; once [retry_max] retries are spent, it
+     escalates to the fabric's reliable channel, which cannot fault. *)
+  retry_max : int;
+  retry_backoff_cycles : int;     (* first backoff; doubles per retry *)
+  fetch_timeout_cycles : int;     (* per-attempt budget for late completions *)
 }
 
 let default_config =
@@ -31,7 +39,12 @@ let default_config =
     fabric_config = { Fabric.default_config with qp_count = 2 };
     prefetch_mode = Pf_per_class;
     prefetch_depth = 4;
-    batching = true }
+    batching = true;
+    retry_max = 4;
+    retry_backoff_cycles = 4_096;
+    (* ~2.7x a nominal 4 KiB fetch: legitimate queueing never trips it
+       (the timeout only ever engages on late-faulted completions). *)
+    fetch_timeout_cycles = 150_000 }
 
 exception Runtime_error of string
 
@@ -96,6 +109,20 @@ type t = {
   mutable pinned_used : int;
   mutable remotable_used : int;
   clockq : (int * int) Queue.t;   (* CLOCK over remotable residents *)
+  (* Graceful degradation: a sliding window of recent transfer
+     outcomes (1 byte each: did the attempt fault?).  When the
+     observed fault rate over the window crosses the degrade
+     threshold, the prefetch window narrows one step (effective depth
+     halves); when the fabric recovers it re-widens.  All dormant —
+     zero cost and zero behaviour change — unless the fabric was
+     created with a nonzero fault rate ([fault_accounting]). *)
+  fault_accounting : bool;
+  fw : Bytes.t;                   (* outcome ring, [fault_window] slots *)
+  mutable fw_len : int;
+  mutable fw_pos : int;
+  mutable fw_faults : int;
+  mutable degrade : int;          (* 0 = full prefetch width *)
+  mutable degrade_cooldown : int; (* outcomes to wait between steps *)
   stats : Rt_stats.t;
   obs : Sink.t;
   prof : Profile.t;
@@ -114,6 +141,17 @@ let log2_exact x =
   let rec go p n = if 1 lsl p >= n then p else go (p + 1) n in
   go 3 x
 
+(* Degradation window: judged over the last [fault_window] transfer
+   attempts once at least [fault_window_min] are in hand.  Integer
+   ratios keep the policy exact and branch-cheap: degrade one step
+   above 1/8 observed faults (12.5%), re-widen below 1/32 (3.1%), and
+   wait [degrade_cooldown_len] further outcomes between steps so one
+   burst cannot slam the window shut and open again. *)
+let fault_window = 64
+let fault_window_min = 32
+let degrade_max = 6
+let degrade_cooldown_len = 32
+
 let create ?(obs = Sink.null) cfg infos =
   if cfg.remotable_bytes > cfg.local_bytes then
     fail "remotable region (%d) exceeds local memory (%d)" cfg.remotable_bytes
@@ -123,10 +161,11 @@ let create ?(obs = Sink.null) cfg infos =
       if inf.sid <> i then fail "static descriptor %d out of order" inf.sid)
     infos;
   let prof = Profile.create () in
+  let fabric = Fabric.create cfg.fabric_config in
   { cfg;
     pinned_budget = cfg.local_bytes - cfg.remotable_bytes;
     clock = 0;
-    fabric = Fabric.create cfg.fabric_config;
+    fabric;
     infos;
     pref = Policy.pinned_preference cfg.policy ~infos ~k:cfg.k;
     dss = Vec.create ();
@@ -135,6 +174,13 @@ let create ?(obs = Sink.null) cfg infos =
     pinned_used = 0;
     remotable_used = 0;
     clockq = Queue.create ();
+    fault_accounting = Fabric.faults_configured fabric;
+    fw = Bytes.make fault_window '\000';
+    fw_len = 0;
+    fw_pos = 0;
+    fw_faults = 0;
+    degrade = 0;
+    degrade_cooldown = 0;
     stats = Rt_stats.create ();
     obs;
     prof;
@@ -522,13 +568,74 @@ let emit_qp_busy t ~ds ~obj (tr : Fabric.transfer) =
             { qp = tr.Fabric.t_qp;
               busy = tr.Fabric.t_proto + tr.Fabric.t_ser }))
 
+(* ---------- fault-rate tracking and graceful degradation ---------- *)
+
+let emit_fault_inject t ~ds ~obj kind =
+  if Sink.tracing t.obs then
+    Sink.emit t.obs
+      (Event.make ~cycle:t.clock ~ds ~obj
+         (Event.Fault_inject { kind = Fabric.fault_kind_name kind }))
+
+(* Record one transfer-attempt outcome in the sliding window and move
+   the degradation level when the observed rate has crossed a
+   threshold.  Pure bookkeeping: never touches the clock, so the
+   attribution invariants are untouched by construction. *)
+let note_fault_outcome t faulted =
+  if t.fault_accounting then begin
+    let old = Bytes.get_uint8 t.fw t.fw_pos in
+    let v = if faulted then 1 else 0 in
+    if t.fw_len = fault_window then t.fw_faults <- t.fw_faults - old
+    else t.fw_len <- t.fw_len + 1;
+    Bytes.set_uint8 t.fw t.fw_pos v;
+    t.fw_faults <- t.fw_faults + v;
+    t.fw_pos <- (t.fw_pos + 1) mod fault_window;
+    if t.degrade_cooldown > 0 then
+      t.degrade_cooldown <- t.degrade_cooldown - 1
+    else if t.fw_len >= fault_window_min then begin
+      let step delta note =
+        t.degrade <- t.degrade + delta;
+        t.degrade_cooldown <- degrade_cooldown_len;
+        note t.stats;
+        if Sink.tracing t.obs then
+          Sink.emit t.obs
+            (Event.make ~cycle:t.clock ~ds:0 ~obj:0
+               (Event.Degrade
+                  { level = t.degrade;
+                    observed_pct = 100 * t.fw_faults / t.fw_len }))
+      in
+      if t.fw_faults * 8 > t.fw_len && t.degrade < degrade_max then
+        step 1 Rt_stats.note_degrade_step
+      else if t.fw_faults * 32 < t.fw_len && t.degrade > 0 then
+        step (-1) Rt_stats.note_recover_step
+    end
+  end
+
+(* Effective prefetch fan-out after degradation: each step halves the
+   configured depth; at zero the runtime is demand-only until the
+   window recovers. *)
+let effective_prefetch_limit t =
+  if t.degrade = 0 then max_int else t.cfg.prefetch_depth asr t.degrade
+
 let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
   match prefetch_viable t tg d with
   | None -> ()
-  | Some (td, o) ->
-    let tr = Fabric.fetch_info t.fabric ~now:t.clock ~bytes:(obj_size td) in
-    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
-    mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
+  | Some (td, o) -> (
+    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:(obj_size td) with
+    | Error _ ->
+      (* Prefetches are speculative: a NACKed one is simply dropped —
+         the demand path re-fetches the object if it is ever needed.
+         The CPU never waited, so no cycles are spent or attributed. *)
+      Rt_stats.note_pf_failed t.stats;
+      note_fault_outcome t true;
+      emit_fault_inject t ~ds:td.handle ~obj:o Fabric.Transient
+    | Ok tr ->
+      (match tr.Fabric.t_fault with
+       | Some k ->
+         note_fault_outcome t true;
+         emit_fault_inject t ~ds:td.handle ~obj:o k
+       | None -> note_fault_outcome t false);
+      emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
+      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete)
 
 (* Batched issue: everything one prefetcher call produced — expanded
    runs and cross-structure fanout alike — goes to the fabric as a
@@ -548,23 +655,45 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
   in
   match viable with
   | [] -> ()
-  | [ (td, o) ] ->
-    let tr = Fabric.fetch_info t.fabric ~now:t.clock ~bytes:(obj_size td) in
-    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
-    mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
-  | items ->
+  | [ (td, o) ] -> (
+    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:(obj_size td) with
+    | Error _ ->
+      Rt_stats.note_pf_failed t.stats;
+      note_fault_outcome t true;
+      emit_fault_inject t ~ds:td.handle ~obj:o Fabric.Transient
+    | Ok tr ->
+      (match tr.Fabric.t_fault with
+       | Some k ->
+         note_fault_outcome t true;
+         emit_fault_inject t ~ds:td.handle ~obj:o k
+       | None -> note_fault_outcome t false);
+      emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
+      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete)
+  | items -> (
     let sizes = Array.of_list (List.map (fun (td, _) -> obj_size td) items) in
-    let tr, completions = Fabric.fetch_many t.fabric ~now:t.clock ~sizes in
-    emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
-    if Sink.tracing t.obs then
-      Sink.emit t.obs
-        (Event.make ~cycle:t.clock ~ds:d.handle ~obj:origin_obj
-           (Event.Batch_fetch
-              { count = Array.length sizes;
-                bytes = Array.fold_left ( + ) 0 sizes }));
-    List.iteri
-      (fun i (td, o) -> mark_prefetched t d ~origin_obj td o ~completion:completions.(i))
-      items
+    match Fabric.fetch_many_attempt t.fabric ~now:t.clock ~sizes with
+    | Error _ ->
+      (* The whole coalesced request was NACKed: every target dropped. *)
+      Rt_stats.note_pf_failed t.stats;
+      note_fault_outcome t true;
+      emit_fault_inject t ~ds:d.handle ~obj:origin_obj Fabric.Transient
+    | Ok (tr, completions) ->
+      (match tr.Fabric.t_fault with
+       | Some k ->
+         note_fault_outcome t true;
+         emit_fault_inject t ~ds:d.handle ~obj:origin_obj k
+       | None -> note_fault_outcome t false);
+      emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
+      if Sink.tracing t.obs then
+        Sink.emit t.obs
+          (Event.make ~cycle:t.clock ~ds:d.handle ~obj:origin_obj
+             (Event.Batch_fetch
+                { count = Array.length sizes;
+                  bytes = Array.fold_left ( + ) 0 sizes }));
+      List.iteri
+        (fun i (td, o) ->
+          mark_prefetched t d ~origin_obj td o ~completion:completions.(i))
+        items)
 
 let epoch_len = 1024
 let epoch_min_issued = 64
@@ -654,6 +783,22 @@ let run_prefetcher t (d : ds) ~obj ~missed =
            scan_object_pointers t d obj)
      in
      let targets = expand_targets targets in
+     (* Graceful degradation: under a faulty fabric each degradation
+        step halves the prefetch fan-out per access, down to
+        demand-only at the floor — fewer speculative transfers on a
+        link that is failing them.  Recovery re-widens the window. *)
+     let targets =
+       if t.fault_accounting && t.degrade > 0 then begin
+         let limit = effective_prefetch_limit t in
+         let n = List.length targets in
+         if n > limit then begin
+           Rt_stats.note_pf_suppressed t.stats (n - limit);
+           List.filteri (fun i _ -> i < limit) targets
+         end
+         else targets
+       end
+       else targets
+     in
      if t.cfg.batching then issue_prefetch_batch t d ~origin_obj:obj targets
      else List.iter (issue_prefetch t d ~origin_obj:obj) targets);
   if t.cfg.prefetch_mode = Pf_adaptive then adapt_prefetcher t d
@@ -694,29 +839,101 @@ let settle_inflight t (d : ds) o =
 
 let demand_fetch t (d : ds) o =
   let start = t.clock in
-  let tr = Fabric.fetch_info t.fabric ~now:start ~bytes:(obj_size d) in
-  t.clock <- tr.Fabric.t_complete + t.cfg.cost.deref_map;
-  let stall = t.clock - start in
-  let queued = tr.Fabric.t_queued in
-  d.prof.Profile.p_queue <- d.prof.Profile.p_queue + queued;
-  d.prof.Profile.p_demand <- d.prof.Profile.p_demand + (stall - queued);
-  (* The root-cause split of the same stall: queued + proto + ser
-     account for the fabric's [t_complete - start]; address-to-object
-     mapping rides with the protocol overhead. *)
-  attr_charge t ~ds:d.handle (Attribution.Queue tr.Fabric.t_qp) queued;
-  attr_charge t ~ds:d.handle Attribution.Proto
-    (tr.Fabric.t_proto + t.cfg.cost.deref_map);
-  attr_charge t ~ds:d.handle Attribution.Wire tr.Fabric.t_ser;
-  Profile.record_latency d.prof stall;
-  d.objs.(o) <- d.objs.(o) lor b_resident;
-  d.st.remote_faults <- d.st.remote_faults + 1;
-  d.epoch_faults <- d.epoch_faults + 1;
-  if Sink.tracing t.obs then
-    Sink.emit t.obs
-      (Event.make ~cycle:start ~ds:d.handle ~obj:o
-         (Event.Remote_fault { queued; stall }));
-  emit_qp_busy t ~ds:d.handle ~obj:o tr;
-  clock_insert t d o
+  let osz = obj_size d in
+  (* Cycles burned off the happy path — NACK turnarounds, abandoned
+     late completions, backoff waits — are real CPU stall and land in
+     their own profiler bucket and ledger cause, so the exactness
+     invariants keep holding under any fault rate. *)
+  let retry_spend c =
+    if c > 0 then begin
+      spend t c;
+      d.prof.Profile.p_retry <- d.prof.Profile.p_retry + c;
+      attr_charge t ~ds:d.handle Attribution.Retry c
+    end
+  in
+  (* The attempt that delivered the data: its queued + proto + ser
+     (+ mapping) decomposition accounts for this clock advance exactly,
+     as in the fault-free path. *)
+  let finish (tr : Fabric.transfer) =
+    let anow = t.clock in
+    t.clock <- tr.Fabric.t_complete + t.cfg.cost.deref_map;
+    let attempt_stall = t.clock - anow in
+    let queued = tr.Fabric.t_queued in
+    d.prof.Profile.p_queue <- d.prof.Profile.p_queue + queued;
+    d.prof.Profile.p_demand <- d.prof.Profile.p_demand + (attempt_stall - queued);
+    (* The root-cause split of the same stall: queued + proto + ser
+       account for the fabric's [t_complete - anow]; address-to-object
+       mapping rides with the protocol overhead. *)
+    attr_charge t ~ds:d.handle (Attribution.Queue tr.Fabric.t_qp) queued;
+    attr_charge t ~ds:d.handle Attribution.Proto
+      (tr.Fabric.t_proto + t.cfg.cost.deref_map);
+    attr_charge t ~ds:d.handle Attribution.Wire tr.Fabric.t_ser;
+    (* Latency is end-to-end: failed attempts and backoffs included. *)
+    let stall = t.clock - start in
+    Profile.record_latency d.prof stall;
+    d.objs.(o) <- d.objs.(o) lor b_resident;
+    d.st.remote_faults <- d.st.remote_faults + 1;
+    d.epoch_faults <- d.epoch_faults + 1;
+    if Sink.tracing t.obs then
+      Sink.emit t.obs
+        (Event.make ~cycle:start ~ds:d.handle ~obj:o
+           (Event.Remote_fault { queued; stall }));
+    emit_qp_busy t ~ds:d.handle ~obj:o tr;
+    clock_insert t d o
+  in
+  let rec attempt n =
+    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:osz with
+    | Error f ->
+      (* The CPU waited for the NACK: queueing + protocol turnaround. *)
+      retry_spend (f.Fabric.f_fail - t.clock);
+      note_fault_outcome t true;
+      emit_fault_inject t ~ds:d.handle ~obj:o Fabric.Transient;
+      backoff n
+    | Ok tr -> (
+      match tr.Fabric.t_fault with
+      | Some Fabric.Late
+        when n < t.cfg.retry_max
+             && tr.Fabric.t_complete - t.clock > t.cfg.fetch_timeout_cycles ->
+        (* The congested completion blew the per-fetch budget: give up
+           on it after [fetch_timeout_cycles] and re-issue.  Only
+           late-faulted attempts can time out — legitimate queueing
+           never trips this, so a healthy loaded fabric cannot start a
+           retry storm. *)
+        note_fault_outcome t true;
+        Rt_stats.note_timeout t.stats;
+        emit_fault_inject t ~ds:d.handle ~obj:o Fabric.Late;
+        if Sink.tracing t.obs then
+          Sink.emit t.obs
+            (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
+               (Event.Fetch_timeout { budget = t.cfg.fetch_timeout_cycles }));
+        retry_spend t.cfg.fetch_timeout_cycles;
+        backoff n
+      | fault ->
+        (match fault with
+         | Some k ->
+           note_fault_outcome t true;
+           emit_fault_inject t ~ds:d.handle ~obj:o k
+         | None -> note_fault_outcome t false);
+        finish tr)
+  and backoff n =
+    if n >= t.cfg.retry_max then begin
+      (* Retries exhausted: the reliable channel cannot fault, so
+         forward progress is guaranteed at any fault rate. *)
+      Rt_stats.note_escalation t.stats;
+      finish (Fabric.fetch_reliable t.fabric ~now:t.clock ~bytes:osz)
+    end
+    else begin
+      let wait = t.cfg.retry_backoff_cycles lsl min n 6 in
+      Rt_stats.note_retry t.stats;
+      if Sink.tracing t.obs then
+        Sink.emit t.obs
+          (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
+             (Event.Retry_backoff { attempt = n + 1; wait }));
+      retry_spend wait;
+      attempt (n + 1)
+    end
+  in
+  attempt 0
 
 let note_prefetch_hit t (d : ds) o ~timely =
   let st = d.objs.(o) in
@@ -924,6 +1141,8 @@ let report t =
 
 let stats t = t.stats
 let fabric_stats t = Fabric.stats t.fabric
+let degrade_level t = t.degrade
+let set_fault_rate t rate = Fabric.set_fault_rate t.fabric rate
 let pinned_bytes t = t.pinned_used
 let remotable_resident_bytes t = t.remotable_used
 let pinned_preference t = Array.copy t.pref

@@ -43,12 +43,24 @@ type config = {
       (** coalesce each prefetcher call's targets into one fabric
           request ({!Cards_net.Fabric.fetch_many}) and eviction-burst
           writebacks into posted batches; [false] issues per object *)
+  retry_max : int;
+      (** demand-fetch retries before escalating to the fabric's
+          reliable channel (only reachable under fault injection) *)
+  retry_backoff_cycles : int;
+      (** backoff before the first retry; doubles per retry (capped at
+          64x) *)
+  fetch_timeout_cycles : int;
+      (** per-attempt budget: a {e late-faulted} completion exceeding
+          it is abandoned and the fetch re-issued.  Legitimate
+          queueing never trips it, so a healthy loaded fabric cannot
+          start a retry storm. *)
 }
 
 val default_config : config
 (** CaRDS defaults: linear policy, k = 1, 64 MiB local / 8 MiB
     remotable, CaRDS costs, per-class prefetch, depth 4, batching on
-    over two inbound queue pairs. *)
+    over two inbound queue pairs; 4 retries, 4 Ki-cycle initial
+    backoff, 150 K-cycle fetch timeout. *)
 
 type t
 
@@ -121,6 +133,19 @@ val report : t -> ds_report list
 
 val stats : t -> Rt_stats.t
 val fabric_stats : t -> Cards_net.Fabric.stats
+
+val degrade_level : t -> int
+(** Current graceful-degradation level: 0 = full prefetch width; each
+    step halves the effective prefetch fan-out (demand-only at the
+    floor).  Driven by the observed fault rate over a sliding window
+    of transfer outcomes; always 0 when fault injection is off. *)
+
+val set_fault_rate : t -> float -> unit
+(** Override the fabric's live fault rate mid-run (for tests and
+    recovery experiments — degrade under a faulty fabric, then drop
+    the rate and watch the window re-widen).
+    @raise Invalid_argument outside [0, 1]. *)
+
 val pinned_bytes : t -> int
 val remotable_resident_bytes : t -> int
 val pinned_preference : t -> bool array
@@ -141,8 +166,8 @@ val attribution : t -> Cards_obs.Attribution.t
     [Cards_obs.Attribution.total] of it equals
     [now t - Cards_obs.Profile.compute (profile t)] — every
     non-compute cycle decomposed into protocol / wire / per-QP
-    queueing / late-prefetch / guard / trap / bookkeeping, keyed by
-    structure and access site. *)
+    queueing / late-prefetch / retry / guard / trap / bookkeeping,
+    keyed by structure and access site. *)
 
 val set_site : t -> fn:string -> block:int -> instr:int -> unit
 (** Stamp the current access site (function, basic block, instruction

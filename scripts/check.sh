@@ -3,9 +3,10 @@
 # observability smoke run (compile + execute a bundled example with
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
-# regression gates: fabric and attribution experiments are diffed
-# against the committed BENCH_fabric.json / BENCH_attr.json baselines
-# (2% relative tolerance) and the snapshots refreshed on a clean pass.
+# regression gates: fabric, attribution and fault-injection
+# experiments are diffed against the committed BENCH_fabric.json /
+# BENCH_attr.json / BENCH_faults.json baselines (2% relative
+# tolerance) and the snapshots refreshed on a clean pass.
 #
 #   scripts/check.sh
 #
@@ -21,6 +22,16 @@ dune build
 
 echo "== dune runtest"
 dune runtest
+
+echo "== per-suite test counts"
+dune exec --no-build test/test_main.exe -- list --color=never 2>/dev/null \
+  | awk '$2 ~ /^[0-9]+$/ { n[$1]++ } END { for (s in n) printf "  %-14s %d\n", s, n[s] }' \
+  | sort
+
+echo "== differential oracle (qp x batching x fault rate, incl. slow)"
+# The fault-injection differential suite, with its full-matrix pinned
+# seeds (registered `Slow`, so plain runtest skips them) forced on.
+dune exec --no-build test/test_main.exe -- test differential -e > /dev/null
 
 echo "== smoke: cards run with --trace/--metrics/--profile"
 trace=$(mktemp /tmp/cards-trace.XXXXXX.json)
@@ -57,5 +68,18 @@ test -s BENCH_attr.json || {
   echo "check.sh: empty BENCH_attr.json" >&2; exit 1; }
 grep -q '"experiments"' BENCH_attr.json || {
   echo "check.sh: BENCH_attr.json has no experiments" >&2; exit 1; }
+
+echo "== bench: fault-injection gate (BENCH_faults.json, 2% tolerance)"
+# The faults section hard-asserts output invariance vs the fault-free
+# run, profiler/ledger exactness (Retry bucket included), a bounded
+# slowdown under degradation, and same-seed determinism; the gate
+# then diffs cycles and fabric/fault counters against the baseline.
+dune exec --no-build bench/main.exe -- faults \
+  --json BENCH_faults.json --compare BENCH_faults.json --tolerance 0.02 \
+  > /dev/null
+test -s BENCH_faults.json || {
+  echo "check.sh: empty BENCH_faults.json" >&2; exit 1; }
+grep -q '"faults_transient"' BENCH_faults.json || {
+  echo "check.sh: BENCH_faults.json has no fault counters" >&2; exit 1; }
 
 echo "== check.sh: all green"

@@ -228,6 +228,42 @@ let test_pinned_seeds () =
         (run_differential seed))
     [ 1; 7; 42; 1337; 98765 ]
 
+(* Fault injection is PRNG-scheduled, never wall-clock-scheduled: the
+   same program under the same fault seed must reproduce the cycle
+   count exactly, retries, backoff waits and escalations included —
+   and a different fault seed must (at a 20% rate on a fetch-heavy
+   config) actually move the clock, proving the schedule is live. *)
+let test_fault_seed_determinism () =
+  let faulty_cfg fault_seed =
+    { R.Runtime.default_config with
+      policy = R.Policy.All_remotable; k = 0.0;
+      local_bytes = kb 8; remotable_bytes = kb 4;
+      fabric_config =
+        { R.Runtime.default_config.fabric_config with
+          Cards_net.Fabric.faults =
+            { Cards_net.Fabric.no_faults with
+              Cards_net.Fabric.fault_rate = 0.2; fault_seed } } }
+  in
+  List.iter
+    (fun seed ->
+      let compiled = P.compile_source (gen_program seed) in
+      let a, _ = P.run ~fuel compiled (faulty_cfg 5) in
+      let b, _ = P.run ~fuel compiled (faulty_cfg 5) in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: same fault seed, same cycles" seed)
+        a.cycles b.cycles;
+      check Alcotest.(list string)
+        (Printf.sprintf "seed %d: same fault seed, same output" seed)
+        a.output b.output)
+    [ 7; 42; 1337 ];
+  let compiled = P.compile_source (gen_program 7) in
+  let a, _ = P.run ~fuel compiled (faulty_cfg 5) in
+  let c, _ = P.run ~fuel compiled (faulty_cfg 6) in
+  check Alcotest.(list string) "different fault seed, same output" a.output
+    c.output;
+  check Alcotest.bool "different fault seed, different schedule" true
+    (a.cycles <> c.cycles)
+
 let test_generator_is_deterministic () =
   check Alcotest.string "same seed, same program" (gen_program 11) (gen_program 11);
   check Alcotest.bool "different seeds differ" true
@@ -236,4 +272,5 @@ let test_generator_is_deterministic () =
 let suite =
   [ ("generator deterministic", `Quick, test_generator_is_deterministic);
     ("pinned seeds", `Quick, test_pinned_seeds);
+    ("fault seed determinism", `Quick, test_fault_seed_determinism);
     qcheck prop_differential ]

@@ -15,4 +15,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("differential", Test_differential.suite);
       ("simplify", Test_simplify.suite) ]

@@ -739,6 +739,424 @@ let test_rt_config_validation () =
   | _ -> Alcotest.fail "expected config rejection"
   | exception R.Runtime.Runtime_error _ -> ()
 
+(* ---------- Fault injection (fabric) ---------- *)
+
+let all_kinds = [ N.Fabric.Transient; N.Fabric.Late; N.Fabric.Duplicate ]
+
+let fault_fabric ?(rate = 1.0) ?(seed = 3) kinds =
+  N.Fabric.create
+    { N.Fabric.default_config with
+      faults =
+        { N.Fabric.fault_rate = rate; fault_seed = seed; fault_kinds = kinds } }
+
+let proto = 55_800 (* default_config.proto_cycles *)
+
+let test_fabric_fault_transient () =
+  let f = fault_fabric [ N.Fabric.Transient ] in
+  (match N.Fabric.fetch_attempt f ~now:0 ~bytes:4096 with
+   | Ok _ -> Alcotest.fail "rate-1 transient must NACK"
+   | Error fl ->
+     (* The NACK comes back a protocol round-trip after the QP picked
+        the attempt up; the failed attempt still burned the QP. *)
+     check Alcotest.int "picked up immediately" 0 fl.N.Fabric.f_start;
+     check Alcotest.int "NACK after proto" proto fl.N.Fabric.f_fail);
+  let st = N.Fabric.stats f in
+  check Alcotest.int "transient counted" 1 st.faults_transient;
+  check Alcotest.int "failed fetch counted" 1 st.failed_fetches;
+  check Alcotest.int "no fetch completed" 0 st.fetches
+
+let test_fabric_fault_late () =
+  let clean = N.Fabric.create N.Fabric.default_config in
+  let nominal = N.Fabric.fetch clean ~now:0 ~bytes:4096 in
+  let f = fault_fabric [ N.Fabric.Late ] in
+  (match N.Fabric.fetch_attempt f ~now:0 ~bytes:4096 with
+   | Error _ -> Alcotest.fail "a late transfer still completes"
+   | Ok tr ->
+     check Alcotest.bool "tagged late" true
+       (tr.N.Fabric.t_fault = Some N.Fabric.Late);
+     check Alcotest.bool "completes after nominal" true
+       (tr.N.Fabric.t_complete > nominal);
+     (* The congestion delay rides in the queued/proto/ser split, so
+        attribution still decomposes the whole stall. *)
+     check Alcotest.int "split covers the stall" tr.N.Fabric.t_complete
+       (tr.N.Fabric.t_queued + tr.N.Fabric.t_proto + tr.N.Fabric.t_ser));
+  check Alcotest.int "late counted" 1 (N.Fabric.stats f).faults_late
+
+let test_fabric_fault_duplicate () =
+  let clean = N.Fabric.create N.Fabric.default_config in
+  let nominal = N.Fabric.fetch clean ~now:0 ~bytes:4096 in
+  let f = fault_fabric [ N.Fabric.Duplicate ] in
+  (match N.Fabric.fetch_attempt f ~now:0 ~bytes:4096 with
+   | Error _ -> Alcotest.fail "a duplicated transfer still completes"
+   | Ok tr ->
+     (* The data arrives on time; only the QP pays for draining the
+        spurious second completion. *)
+     check Alcotest.int "data on time" nominal tr.N.Fabric.t_complete;
+     check Alcotest.bool "QP held draining the duplicate" true
+       (N.Fabric.inbound_busy_until f > tr.N.Fabric.t_complete));
+  check Alcotest.int "duplicate counted" 1 (N.Fabric.stats f).faults_dup
+
+let test_fabric_attempt_rate0_identity () =
+  (* With faults off, fetch_attempt is exactly fetch_info: same
+     schedule, no randomness consumed, Ok always. *)
+  let a = N.Fabric.create N.Fabric.default_config in
+  let b = N.Fabric.create N.Fabric.default_config in
+  for i = 0 to 9 do
+    let ti = N.Fabric.fetch_info a ~now:(i * 10_000) ~bytes:4096 in
+    match N.Fabric.fetch_attempt b ~now:(i * 10_000) ~bytes:4096 with
+    | Ok tb -> check Alcotest.bool "identical transfer" true (ti = tb)
+    | Error _ -> Alcotest.fail "rate 0 cannot fail"
+  done
+
+let test_fabric_reliable_never_faults () =
+  let f = fault_fabric all_kinds in
+  let tr = N.Fabric.fetch_reliable f ~now:0 ~bytes:4096 in
+  check Alcotest.bool "no fault on the reliable channel" true
+    (tr.N.Fabric.t_fault = None);
+  (* Send + end-to-end ack: one extra protocol round on top of the
+     nominal one-sided fetch. *)
+  check Alcotest.int "costs 2x proto + ser"
+    (N.Fabric.nominal_fetch_cycles f ~bytes:4096 + proto)
+    tr.N.Fabric.t_complete;
+  check Alcotest.int "escalation counted" 1
+    (N.Fabric.stats f).reliable_fetches
+
+let test_fabric_wb_fault_absorbed () =
+  let clean = N.Fabric.create N.Fabric.default_config in
+  N.Fabric.writeback clean ~now:0 ~bytes:4096;
+  let clean_busy = N.Fabric.outbound_busy_until clean in
+  let f = fault_fabric all_kinds in
+  N.Fabric.writeback f ~now:0 ~bytes:4096;
+  (* Posted writes: the caller never sees the fault, the outbound
+     direction just stays occupied longer. *)
+  check Alcotest.bool "outbound held longer" true
+    (N.Fabric.outbound_busy_until f > clean_busy);
+  let st = N.Fabric.stats f in
+  check Alcotest.bool "wb fault counted" true (st.wb_faults >= 1);
+  check Alcotest.int "writeback still counted" 1 st.writebacks
+
+let test_fabric_now_backwards_rejected () =
+  let f = N.Fabric.create N.Fabric.default_config in
+  ignore (N.Fabric.fetch_many f ~now:1000 ~sizes:[| 4096 |]);
+  (* Re-entering at the same now is fine (retries re-issue "now"). *)
+  ignore (N.Fabric.fetch_many f ~now:1000 ~sizes:[| 4096 |]);
+  (try
+     ignore (N.Fabric.fetch_many f ~now:999 ~sizes:[| 4096 |]);
+     Alcotest.fail "inbound clock moved backwards undetected"
+   with Invalid_argument _ -> ());
+  N.Fabric.writeback_many f ~now:2000 ~count:1 ~bytes:4096;
+  (try
+     N.Fabric.writeback_many f ~now:1999 ~count:1 ~bytes:4096;
+     Alcotest.fail "outbound clock moved backwards undetected"
+   with Invalid_argument _ -> ());
+  (* The directions guard independently, and reset clears both. *)
+  N.Fabric.reset f;
+  ignore (N.Fabric.fetch_many f ~now:0 ~sizes:[| 64 |]);
+  N.Fabric.writeback_many f ~now:0 ~count:1 ~bytes:64
+
+let test_fabric_fault_schedule_deterministic () =
+  let run seed =
+    let f = fault_fabric ~rate:0.5 ~seed all_kinds in
+    List.init 32 (fun i ->
+        match N.Fabric.fetch_attempt f ~now:(i * 100_000) ~bytes:4096 with
+        | Ok tr -> (true, tr.N.Fabric.t_complete, tr.N.Fabric.t_fault)
+        | Error fl -> (false, fl.N.Fabric.f_fail, None))
+  in
+  check Alcotest.bool "same seed, same schedule" true (run 3 = run 3);
+  check Alcotest.bool "different seed, different schedule" true
+    (run 3 <> run 4)
+
+let test_fabric_set_fault_rate () =
+  let f = fault_fabric [ N.Fabric.Transient ] in
+  (match N.Fabric.fetch_attempt f ~now:0 ~bytes:64 with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "rate 1 must fault");
+  N.Fabric.set_fault_rate f 0.0;
+  (match N.Fabric.fetch_attempt f ~now:1_000_000 ~bytes:64 with
+   | Ok tr ->
+     check Alcotest.bool "rate 0 is clean" true (tr.N.Fabric.t_fault = None)
+   | Error _ -> Alcotest.fail "rate 0 cannot fail");
+  (try
+     N.Fabric.set_fault_rate f 1.5;
+     Alcotest.fail "rate outside [0,1] accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (N.Fabric.create
+         { N.Fabric.default_config with
+           faults = { N.Fabric.no_faults with fault_rate = -0.1 } });
+    Alcotest.fail "negative rate accepted at create"
+  with Invalid_argument _ -> ()
+
+(* ---------- Fault injection (runtime) ---------- *)
+
+let fault_rt ?(rate = 1.0) ?(kinds = all_kinds) ?(prefetch = R.Runtime.Pf_none)
+    ?(local = 8192) ?(remot = 4096) ?(infos = 1) () =
+  R.Runtime.create
+    { R.Runtime.default_config with
+      policy = R.Policy.All_remotable; k = 0.0;
+      local_bytes = local; remotable_bytes = remot;
+      prefetch_mode = prefetch;
+      fabric_config =
+        { R.Runtime.default_config.fabric_config with
+          N.Fabric.faults =
+            { N.Fabric.fault_rate = rate; fault_seed = 11;
+              fault_kinds = kinds } } }
+    (Array.init infos (fun sid -> R.Static_info.default ~sid))
+
+let check_exact rt =
+  let prof = R.Runtime.profile rt in
+  check Alcotest.int "profiler exact" (R.Runtime.now rt)
+    (Cards_obs.Profile.attributed prof);
+  check Alcotest.int "ledger exact"
+    (R.Runtime.now rt - Cards_obs.Profile.compute prof)
+    (Cards_obs.Attribution.total (R.Runtime.attribution rt))
+
+let retry_cycles rt =
+  List.fold_left
+    (fun acc (c, v) ->
+      if c = Cards_obs.Attribution.Retry then acc + v else acc)
+    0
+    (Cards_obs.Attribution.cause_totals (R.Runtime.attribution rt))
+
+let test_rt_retries_then_escalates () =
+  (* Every attempt NACKs: a demand fetch must burn retry_max retries,
+     escalate to the reliable channel, and still deliver the data. *)
+  let rt = fault_rt ~kinds:[ N.Fabric.Transient ] () in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  R.Runtime.guard rt ~write:true a;
+  R.Runtime.write_i64 rt a 31337;
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  (* a is evicted; this guard is the faulted demand fetch. *)
+  R.Runtime.guard rt ~write:false a;
+  check Alcotest.int "data survives the escalated fetch" 31337
+    (R.Runtime.read_i64 rt a);
+  let s = R.Runtime.stats rt in
+  let rmax = R.Runtime.default_config.retry_max in
+  check Alcotest.int "retry_max retries" rmax (R.Rt_stats.retries s);
+  check Alcotest.int "one escalation" 1 (R.Rt_stats.escalations s);
+  let fs = R.Runtime.fabric_stats rt in
+  check Alcotest.int "all attempts NACKed" (rmax + 1) fs.failed_fetches;
+  check Alcotest.int "one reliable fetch" 1 fs.reliable_fetches;
+  check Alcotest.bool "retry stall charged" true (retry_cycles rt > 0);
+  check_exact rt
+
+let test_rt_timeout_refetches_late () =
+  (* Late-only faults: completions whose congestion delay blows the
+     fetch budget are abandoned and re-issued; nothing escalates
+     (late data always arrives eventually). *)
+  let rt = fault_rt ~kinds:[ N.Fabric.Late ] () in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  let b = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+  R.Runtime.guard rt ~write:true a;
+  R.Runtime.write_i64 rt a 42;
+  (* Ping-pong between two objects in a one-object cache: every guard
+     is a fresh faulted demand fetch. *)
+  for _ = 1 to 12 do
+    R.Runtime.guard rt ~write:false b;
+    R.Runtime.guard rt ~write:false a
+  done;
+  check Alcotest.int "data survives timed-out fetches" 42
+    (R.Runtime.read_i64 rt a);
+  let s = R.Runtime.stats rt in
+  check Alcotest.bool "timeouts fired" true (R.Rt_stats.timeouts s >= 1);
+  check Alcotest.bool "each timeout is a retry" true
+    (R.Rt_stats.retries s >= R.Rt_stats.timeouts s);
+  check Alcotest.int "late never escalates" 0 (R.Rt_stats.escalations s);
+  check Alcotest.bool "retry stall charged" true (retry_cycles rt > 0);
+  check_exact rt
+
+let test_rt_degrades_and_recovers () =
+  (* A half-broken fabric must narrow the prefetch window; dropping the
+     fault rate back to zero must re-widen it. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with
+         prefetch = R.Static_info.Stride } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 18; remotable_bytes = 1 lsl 17;
+        prefetch_mode = R.Runtime.Pf_per_class;
+        fabric_config =
+          { R.Runtime.default_config.fabric_config with
+            N.Fabric.faults =
+              { N.Fabric.fault_rate = 0.5; fault_seed = 11;
+                fault_kinds = all_kinds } } }
+      infos
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 21) in
+  let sweep () =
+    for i = 0 to 511 do
+      R.Runtime.guard rt ~write:false (a + (i * 4096));
+      ignore (R.Runtime.read_i64 rt (a + (i * 4096)))
+    done
+  in
+  sweep ();
+  let s = R.Runtime.stats rt in
+  let degraded = R.Runtime.degrade_level rt in
+  check Alcotest.bool "degraded under 50% faults" true (degraded > 0);
+  check Alcotest.bool "degrade steps counted" true
+    (R.Rt_stats.degrade_steps s >= 1);
+  (* Fabric heals: the observed-fault window drains and the prefetch
+     width steps back up. *)
+  R.Runtime.set_fault_rate rt 0.0;
+  sweep ();
+  sweep ();
+  check Alcotest.bool "recovered at least one step" true
+    (R.Runtime.degrade_level rt < degraded);
+  check Alcotest.bool "recovery counted" true
+    (R.Rt_stats.recover_steps s >= 1);
+  check_exact rt
+
+let test_rt_prefetch_fault_not_retried () =
+  (* Speculative fetches are dropped on a NACK, not retried: with
+     transient-only faults at rate 1 and prefetching on, pf failures
+     are counted but no retry/escalation machinery engages for them
+     beyond the demand path's own. *)
+  let infos =
+    [| { (R.Static_info.default ~sid:0) with
+         prefetch = R.Static_info.Stride } |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 18; remotable_bytes = 1 lsl 17;
+        prefetch_mode = R.Runtime.Pf_per_class;
+        fabric_config =
+          { R.Runtime.default_config.fabric_config with
+            N.Fabric.faults =
+              { N.Fabric.fault_rate = 1.0; fault_seed = 11;
+                fault_kinds = [ N.Fabric.Transient ] } } }
+      infos
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 19) in
+  for i = 0 to 127 do
+    R.Runtime.guard rt ~write:false (a + (i * 4096))
+  done;
+  let s = R.Runtime.stats rt in
+  check Alcotest.bool "prefetch failures counted" true
+    (R.Rt_stats.pf_failed s >= 1);
+  check_exact rt
+
+(* ---------- Policy threshold edges ---------- *)
+
+let test_policy_k_clamped () =
+  let infos = infos_n 6 in
+  check Alcotest.int "k < 0 clamps to none" 0
+    (count_true (R.Policy.pinned_preference R.Policy.Linear ~infos ~k:(-0.5)));
+  check Alcotest.int "k > 1 clamps to all" 6
+    (count_true (R.Policy.pinned_preference R.Policy.Linear ~infos ~k:1.5));
+  check Alcotest.int "k = 0 pins none" 0
+    (count_true (R.Policy.pinned_preference R.Policy.Max_use ~infos ~k:0.0))
+
+let test_policy_quota_thresholds () =
+  (* ceil quota: any nonzero k pins at least one structure, and the
+     quota steps exactly at the 1/n boundaries. *)
+  let infos = infos_n 10 in
+  let quota k =
+    count_true (R.Policy.pinned_preference R.Policy.Linear ~infos ~k)
+  in
+  check Alcotest.int "k=0.01 pins one" 1 (quota 0.01);
+  check Alcotest.int "k=0.10 pins one" 1 (quota 0.10);
+  check Alcotest.int "k=0.11 pins two" 2 (quota 0.11);
+  check Alcotest.int "k=0.99 pins all" 10 (quota 0.99)
+
+let test_policy_score_ties_program_order () =
+  (* Equal scores: program order (ascending sid) breaks the tie, so
+     the pinned set is stable run to run. *)
+  let infos =
+    Array.init 4 (fun sid ->
+        { (R.Static_info.default ~sid) with score_use = 5; score_reach = 5 })
+  in
+  let p = R.Policy.pinned_preference R.Policy.Max_use ~infos ~k:0.5 in
+  check Alcotest.bool "lowest sids win ties" true
+    (p.(0) && p.(1) && (not p.(2)) && not p.(3));
+  let q = R.Policy.pinned_preference R.Policy.Max_reach ~infos ~k:0.5 in
+  check Alcotest.bool "same for max-reach" true
+    (q.(0) && q.(1) && (not q.(2)) && not q.(3))
+
+(* ---------- Prefetcher edges ---------- *)
+
+let test_prefetcher_degenerate_structures () =
+  (* A single repeatedly-touched object (delta 0) must never trigger a
+     stride lock, and an empty scan (a leaf / empty structure) must
+     never make the greedy or jump prefetchers emit. *)
+  let st = R.Prefetcher.stride ~depth:4 in
+  for _ = 1 to 10 do
+    check (Alcotest.list Alcotest.int) "repeated object: silent" []
+      (objs_of (R.Prefetcher.on_access st ~obj:5 ~missed:true ~scan:no_scan))
+  done;
+  check Alcotest.int "calls observed" 10 (R.Prefetcher.calls st);
+  check Alcotest.int "nothing emitted" 0 (R.Prefetcher.targets_emitted st);
+  let g = R.Prefetcher.greedy ~fanout:4 in
+  check (Alcotest.list Alcotest.int) "greedy on empty scan: silent" []
+    (objs_of (R.Prefetcher.on_access g ~obj:0 ~missed:true ~scan:no_scan));
+  let j = R.Prefetcher.jump ~jump:4 ~depth:2 in
+  check (Alcotest.list Alcotest.int) "jump first touch: silent" []
+    (objs_of (R.Prefetcher.on_access j ~obj:0 ~missed:true ~scan:no_scan))
+
+let test_stride_reversal_mid_run () =
+  (* Ascend long enough to lock stride +1, then walk back down: the
+     majority vote must flip the direction, predictions must follow the
+     new direction, and no target may ever go negative. *)
+  let p = R.Prefetcher.stride ~depth:3 in
+  for o = 0 to 9 do
+    ignore (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan)
+  done;
+  let saw_down = ref false and saw_neg = ref false in
+  for o = 9 downto 0 do
+    let out =
+      objs_of (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan)
+    in
+    if List.exists (fun t -> t < o) out then saw_down := true;
+    if List.exists (fun t -> t < 0) out then saw_neg := true
+  done;
+  check Alcotest.bool "reversal predicts downward" true !saw_down;
+  check Alcotest.bool "no negative targets" false !saw_neg
+
+let test_stride_frontier_snapback () =
+  (* Run the frontier far ahead on a first pass, then seek back to the
+     start: without the snap-back the stranded frontier would suppress
+     every prefetch on the re-traversal. *)
+  let p = R.Prefetcher.stride ~depth:3 in
+  for o = 0 to 99 do
+    ignore (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan)
+  done;
+  let second = ref [] in
+  for o = 0 to 9 do
+    second :=
+      !second
+      @ objs_of (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan)
+  done;
+  check Alcotest.bool "re-traversal prefetches again" true
+    (List.mem 3 !second && List.mem 5 !second)
+
+let test_stride_hysteresis () =
+  (* One window top-up per ~depth accesses: after an emission, accesses
+     still inside the issued window stay silent until the frontier
+     comes within depth of the access point. *)
+  let p = R.Prefetcher.stride ~depth:4 in
+  let at o = objs_of (R.Prefetcher.on_access p ~obj:o ~missed:false ~scan:no_scan) in
+  for o = 0 to 3 do ignore (at o) done;
+  (* The lock engages at obj 4 and emits the initial window. *)
+  check Alcotest.bool "window issued at lock" true (at 4 <> []);
+  check (Alcotest.list Alcotest.int) "inside the window: silent" [] (at 5);
+  check (Alcotest.list Alcotest.int) "still silent" [] (at 6);
+  check (Alcotest.list Alcotest.int) "still silent" [] (at 7);
+  check (Alcotest.list Alcotest.int) "still silent" [] (at 8);
+  let topup = at 9 in
+  check Alcotest.bool "tops up as the frontier nears" true (topup <> []);
+  check Alcotest.bool "top-up is fresh objects only" true
+    (List.for_all (fun t -> t >= 13) topup)
+
 let suite =
   [ ("addr basics", `Quick, test_addr_basics);
     ("addr ranges", `Quick, test_addr_ranges);
@@ -786,6 +1204,28 @@ let suite =
     ("adaptive drops useless prefetcher", `Quick, test_adaptive_drops_useless_prefetcher);
     ("adaptive keeps good prefetcher", `Quick, test_adaptive_keeps_good_prefetcher);
     ("rt config validation", `Quick, test_rt_config_validation);
+    ("fabric fault transient", `Quick, test_fabric_fault_transient);
+    ("fabric fault late", `Quick, test_fabric_fault_late);
+    ("fabric fault duplicate", `Quick, test_fabric_fault_duplicate);
+    ("fabric attempt rate-0 identity", `Quick, test_fabric_attempt_rate0_identity);
+    ("fabric reliable channel", `Quick, test_fabric_reliable_never_faults);
+    ("fabric wb fault absorbed", `Quick, test_fabric_wb_fault_absorbed);
+    ("fabric backwards now rejected", `Quick, test_fabric_now_backwards_rejected);
+    ("fabric fault schedule deterministic", `Quick,
+     test_fabric_fault_schedule_deterministic);
+    ("fabric set_fault_rate", `Quick, test_fabric_set_fault_rate);
+    ("rt retries then escalates", `Quick, test_rt_retries_then_escalates);
+    ("rt timeout refetches late", `Quick, test_rt_timeout_refetches_late);
+    ("rt degrades and recovers", `Quick, test_rt_degrades_and_recovers);
+    ("rt prefetch fault not retried", `Quick, test_rt_prefetch_fault_not_retried);
+    ("policy k clamped", `Quick, test_policy_k_clamped);
+    ("policy quota thresholds", `Quick, test_policy_quota_thresholds);
+    ("policy score ties", `Quick, test_policy_score_ties_program_order);
+    ("prefetcher degenerate structures", `Quick,
+     test_prefetcher_degenerate_structures);
+    ("stride reversal mid-run", `Quick, test_stride_reversal_mid_run);
+    ("stride frontier snap-back", `Quick, test_stride_frontier_snapback);
+    ("stride hysteresis", `Quick, test_stride_hysteresis);
     qcheck prop_fabric_completion_monotone;
     qcheck prop_addr_roundtrip;
     qcheck prop_addr_arith_stays_in_ds;
