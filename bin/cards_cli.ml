@@ -168,6 +168,18 @@ let system_arg =
 let report_arg =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-structure report.")
 
+let engine_arg =
+  Arg.(value
+       & opt (enum [ ("decoded", Cards_interp.Machine.Decoded);
+                     ("ref", Cards_interp.Machine.Reference) ])
+           Cards_interp.Machine.Decoded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,decoded) (default; functions \
+                 pre-compiled to closure arrays at load time) or $(b,ref) \
+                 (the reference tree-walking interpreter).  Both are \
+                 bit-identical in output, cycles, and statistics; only \
+                 wall-clock speed differs.")
+
 let qp_arg =
   Arg.(value & opt int
          R.Runtime.default_config.fabric_config.Cards_net.Fabric.qp_count
@@ -350,8 +362,8 @@ let print_report rt =
   T.print t
 
 let run_cmd =
-  let run file system policy k local remotable prefetch report qp no_batching
-      fault_rate fault_seed retry_max fault_kinds
+  let run file system engine policy k local remotable prefetch report qp
+      no_batching fault_rate fault_seed retry_max fault_kinds
       trace events trace_cap metrics metrics_interval profile =
     with_errors (fun () ->
         let src = read_source file in
@@ -360,7 +372,7 @@ let run_cmd =
           match system with
           | `Cards ->
             let compiled = P.compile_source src in
-            P.run ?obs compiled
+            P.run ~engine ?obs compiled
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
                 prefetch_mode = prefetch;
@@ -374,13 +386,14 @@ let run_cmd =
                 retry_max }
           | `Trackfm ->
             let compiled = B.Trackfm.compile_source src in
-            B.Trackfm.run ?obs compiled ~local_bytes:local
+            B.Trackfm.run ~engine ?obs compiled ~local_bytes:local
           | `Mira ->
             let compiled = P.compile_source src in
-            B.Mira.run ?obs compiled ~local_bytes:local ~remotable_bytes:remotable
+            B.Mira.run ~engine ?obs compiled ~local_bytes:local
+              ~remotable_bytes:remotable
           | `Plain ->
             let compiled = P.compile_source src in
-            B.Noguard.run ?obs compiled
+            B.Noguard.run ~engine ?obs compiled
         in
         List.iter print_endline res.output;
         let tot = R.Rt_stats.total (R.Runtime.stats rt) in
@@ -418,7 +431,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
-    Term.(const run $ file_arg $ system_arg $ policy_arg $ k_arg $ local_arg
+    Term.(const run $ file_arg $ system_arg $ engine_arg $ policy_arg
+          $ k_arg $ local_arg
           $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
           $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg

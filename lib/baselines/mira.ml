@@ -72,9 +72,10 @@ let run_config ~pinned ~local_bytes ~remotable_bytes =
     prefetch_depth = 4;
     batching = true }
 
-let run ?fuel ?obs compiled ~local_bytes ~remotable_bytes =
+let run ?fuel ?engine ?obs compiled ~local_bytes ~remotable_bytes =
   let p = profile ?fuel compiled in
   let pinned = pinned_set p ~pinned_budget:(local_bytes - remotable_bytes) in
   (* Only the measured run is observed; the profiling pass stays dark
      so its events do not pollute the trace. *)
-  P.run ?fuel ?obs compiled (run_config ~pinned ~local_bytes ~remotable_bytes)
+  P.run ?fuel ?engine ?obs compiled
+    (run_config ~pinned ~local_bytes ~remotable_bytes)

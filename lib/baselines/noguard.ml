@@ -8,4 +8,5 @@ let run_config () =
     local_bytes = max_int / 2;
     remotable_bytes = 0 }
 
-let run ?fuel ?obs compiled = P.run_plain ?fuel ?obs compiled (run_config ())
+let run ?fuel ?engine ?obs compiled =
+  P.run_plain ?fuel ?engine ?obs compiled (run_config ())

@@ -8,6 +8,7 @@ val run_config : unit -> Cards_runtime.Runtime.config
 
 val run :
   ?fuel:int ->
+  ?engine:Cards_interp.Machine.engine ->
   ?obs:Cards_obs.Sink.t ->
   Cards.Pipeline.compiled ->
   Cards_interp.Machine.result * Cards_runtime.Runtime.t

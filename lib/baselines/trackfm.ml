@@ -21,5 +21,6 @@ let run_config ~local_bytes ~remotable_bytes =
        Fig. 8 contrast against CaRDS's batched fabric. *)
     batching = false }
 
-let run ?fuel ?obs compiled ~local_bytes =
-  P.run ?fuel ?obs compiled (run_config ~local_bytes ~remotable_bytes:local_bytes)
+let run ?fuel ?engine ?obs compiled ~local_bytes =
+  P.run ?fuel ?engine ?obs compiled
+    (run_config ~local_bytes ~remotable_bytes:local_bytes)

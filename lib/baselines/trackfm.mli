@@ -21,6 +21,7 @@ val run_config :
 
 val run :
   ?fuel:int ->
+  ?engine:Cards_interp.Machine.engine ->
   ?obs:Cards_obs.Sink.t ->
   Cards.Pipeline.compiled ->
   local_bytes:int ->

@@ -79,12 +79,12 @@ let compile ?(options = cards_options) (m : Irmod.t) =
 
 let compile_source ?options src = compile ?options (Cards_ir.Minic.compile src)
 
-let run ?fuel ?obs c (cfg : R.Runtime.config) =
+let run ?fuel ?engine ?obs c (cfg : R.Runtime.config) =
   let rt = R.Runtime.create ?obs cfg c.infos in
-  let res = Cards_interp.Machine.run ?fuel c.instrumented rt in
+  let res = Cards_interp.Machine.run ?fuel ?engine c.instrumented rt in
   (res, rt)
 
-let run_plain ?fuel ?obs c (cfg : R.Runtime.config) =
+let run_plain ?fuel ?engine ?obs c (cfg : R.Runtime.config) =
   let rt = R.Runtime.create ?obs cfg c.infos in
-  let res = Cards_interp.Machine.run ?fuel c.plain rt in
+  let res = Cards_interp.Machine.run ?fuel ?engine c.plain rt in
   (res, rt)

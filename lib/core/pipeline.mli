@@ -48,6 +48,7 @@ val compile_source : ?options:options -> string -> compiled
 
 val run :
   ?fuel:int ->
+  ?engine:Cards_interp.Machine.engine ->
   ?obs:Cards_obs.Sink.t ->
   compiled ->
   Cards_runtime.Runtime.config ->
@@ -55,10 +56,13 @@ val run :
 (** Instantiate a runtime with the compiled descriptor table and
     execute the instrumented module.  [obs] forwards to
     {!Cards_runtime.Runtime.create}: attach a sink to collect traces
-    and epoch metrics without perturbing simulated time. *)
+    and epoch metrics without perturbing simulated time.  [engine]
+    selects the execution engine (default
+    {!Cards_interp.Machine.Decoded}); both are bit-identical. *)
 
 val run_plain :
   ?fuel:int ->
+  ?engine:Cards_interp.Machine.engine ->
   ?obs:Cards_obs.Sink.t ->
   compiled ->
   Cards_runtime.Runtime.config ->

@@ -3,7 +3,6 @@ module Func = Cards_ir.Func
 module Types = Cards_ir.Types
 module Irmod = Cards_ir.Irmod
 module Runtime = Cards_runtime.Runtime
-module Cost = Cards_runtime.Cost
 module Sink = Cards_obs.Sink
 module Event = Cards_obs.Event
 
@@ -14,34 +13,18 @@ type result = {
   output : string list;
 }
 
-exception Trap of string
+exception Trap = Sem.Trap
 
-let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+open Sem
 
-type argv = AI of int | AF of float
+type engine = Reference | Decoded
 
-type state = {
-  rt : Runtime.t;
-  cost : Cost.t;
-  funcs : (string, Func.t) Hashtbl.t;
-  globals : (string, int) Hashtbl.t;  (* name -> unmanaged address *)
-  mutable executed : int;
-  fuel : int;
-  out : Buffer.t;
-  obs : Sink.t;   (* the runtime's sink, cached for call-stack events *)
-}
+(* ---------- frame-level evaluation (reference engine) ---------- *)
 
-let global_addr st g =
-  match Hashtbl.find_opt st.globals g with
-  | Some a -> a
-  | None -> trap "unknown global @%s" g
-
-let is_float_reg (f : Func.t) r =
-  match f.reg_tys.(r) with Types.F64 -> true | _ -> false
-
-(* ---------- frame-level evaluation ---------- *)
-
-type frame = { f : Func.t; ints : int array; floats : float array }
+(* [fl] is the function's register float-ness bitmap, resolved once per
+   frame ({!Sem.float_regs} memoizes per function): float-ness is
+   static in [reg_tys], so it is never re-derived per access. *)
+type frame = { f : Func.t; fl : bool array; ints : int array; floats : float array }
 
 let ival st fr = function
   | Instr.Reg r -> fr.ints.(r)
@@ -52,7 +35,7 @@ let ival st fr = function
 
 let fval st fr = function
   | Instr.Reg r ->
-    if is_float_reg fr.f r then fr.floats.(r) else float_of_int fr.ints.(r)
+    if fr.fl.(r) then fr.floats.(r) else float_of_int fr.ints.(r)
   | Instr.Fimm x -> x
   | Instr.Imm i -> Int64.to_float i
   | Instr.Null -> 0.0
@@ -60,52 +43,15 @@ let fval st fr = function
 
 let value_is_floaty fr = function
   | Instr.Fimm _ -> true
-  | Instr.Reg r -> is_float_reg fr.f r
+  | Instr.Reg r -> fr.fl.(r)
   | Instr.Imm _ | Instr.Null | Instr.GlobalAddr _ -> false
-
-let exec_ibin op a b =
-  match (op : Instr.binop) with
-  | Add -> a + b
-  | Sub -> a - b
-  | Mul -> a * b
-  | Div -> if b = 0 then trap "division by zero" else a / b
-  | Rem -> if b = 0 then trap "remainder by zero" else a mod b
-  | And -> a land b
-  | Or -> a lor b
-  | Xor -> a lxor b
-  | Shl -> a lsl (b land 63)
-  | Shr -> a asr (b land 63)
-  | Fadd | Fsub | Fmul | Fdiv -> trap "float op in integer context"
-
-let exec_fbin op a b =
-  match (op : Instr.binop) with
-  | Fadd -> a +. b
-  | Fsub -> a -. b
-  | Fmul -> a *. b
-  | Fdiv -> a /. b
-  | _ -> trap "integer op in float context"
-
-let exec_icmp op a b =
-  let r =
-    match (op : Instr.cmpop) with
-    | Eq -> a = b | Ne -> a <> b | Lt -> a < b
-    | Le -> a <= b | Gt -> a > b | Ge -> a >= b
-  in
-  if r then 1 else 0
-
-let exec_fcmp op (a : float) b =
-  let r =
-    match (op : Instr.cmpop) with
-    | Eq -> a = b | Ne -> a <> b | Lt -> a < b
-    | Le -> a <= b | Gt -> a > b | Ge -> a >= b
-  in
-  if r then 1 else 0
 
 (* ---------- the main loop ---------- *)
 
 let rec exec_function st (f : Func.t) (args : argv list) : argv =
   let fr =
     { f;
+      fl = float_regs st f;
       ints = Array.make (Func.nregs f) 0;
       floats = Array.make (Func.nregs f) 0.0 }
   in
@@ -174,23 +120,23 @@ and exec_instr st fr ins =
   | Instr.Bin (r, op, a, b) ->
     if Instr.is_float_binop op then begin
       Runtime.charge rt cost.alu;
-      fr.floats.(r) <- exec_fbin op (fval st fr a) (fval st fr b)
+      fr.floats.(r) <- Sem.exec_fbin op (fval st fr a) (fval st fr b)
     end
     else begin
       (match op with
        | Instr.Mul | Instr.Div | Instr.Rem -> Runtime.charge rt cost.mul_div
        | _ -> Runtime.charge rt cost.alu);
-      fr.ints.(r) <- exec_ibin op (ival st fr a) (ival st fr b)
+      fr.ints.(r) <- Sem.exec_ibin op (ival st fr a) (ival st fr b)
     end
   | Instr.Cmp (r, op, a, b) ->
     Runtime.charge rt cost.alu;
     fr.ints.(r) <-
       (if value_is_floaty fr a || value_is_floaty fr b then
-         exec_fcmp op (fval st fr a) (fval st fr b)
-       else exec_icmp op (ival st fr a) (ival st fr b))
+         Sem.exec_fcmp op (fval st fr a) (fval st fr b)
+       else Sem.exec_icmp op (ival st fr a) (ival st fr b))
   | Instr.Mov (r, v) ->
     Runtime.charge rt cost.alu;
-    if is_float_reg fr.f r then fr.floats.(r) <- fval st fr v
+    if fr.fl.(r) then fr.floats.(r) <- fval st fr v
     else fr.ints.(r) <- ival st fr v
   | Instr.I2f (r, v) ->
     Runtime.charge rt cost.alu;
@@ -262,36 +208,16 @@ and exec_call st fr ropt name args =
        | Some r -> begin
          match res with
          | AF x ->
-           if is_float_reg fr.f r then fr.floats.(r) <- x
+           if fr.fl.(r) then fr.floats.(r) <- x
            else fr.ints.(r) <- int_of_float x
          | AI x ->
-           if is_float_reg fr.f r then fr.floats.(r) <- float_of_int x
+           if fr.fl.(r) then fr.floats.(r) <- float_of_int x
            else fr.ints.(r) <- x
        end
        | None -> ())
   end
 
-(* ---------- setup ---------- *)
-
-let setup ?(fuel = max_int) (m : Irmod.t) rt =
-  let funcs = Hashtbl.create 16 in
-  List.iter (fun (f : Func.t) -> Hashtbl.replace funcs f.name f) m.funcs;
-  let globals = Hashtbl.create 16 in
-  let st =
-    { rt; cost = Cost.cards; funcs; globals; executed = 0; fuel;
-      out = Buffer.create 256; obs = Runtime.sink rt }
-  in
-  List.iter
-    (fun (g : Irmod.global) ->
-      let addr = Runtime.alloc_unmanaged rt ~size:(Types.size_of g.gty) in
-      Hashtbl.replace globals g.gname addr;
-      match g.ginit with
-      | Instr.Imm i -> Runtime.write_i64 rt addr (Int64.to_int i)
-      | Instr.Fimm x -> Runtime.write_f64 rt addr x
-      | Instr.Null -> Runtime.write_i64 rt addr 0
-      | Instr.Reg _ | Instr.GlobalAddr _ -> trap "bad global initializer")
-    m.globals;
-  st
+(* ---------- entry points ---------- *)
 
 let lines_of buf =
   String.split_on_char '\n' (Buffer.contents buf)
@@ -303,14 +229,21 @@ let finish st res =
     instructions = st.executed;
     output = lines_of st.out }
 
-let run ?fuel (m : Irmod.t) rt =
-  let st = setup ?fuel m rt in
-  match Hashtbl.find_opt st.funcs "main" with
-  | None -> trap "module has no main"
-  | Some main -> finish st (exec_function st main [])
+let run ?fuel ?(engine = Decoded) (m : Irmod.t) rt =
+  let st = Sem.setup ?fuel m rt in
+  match engine with
+  | Decoded -> finish st (Decode.run_main (Decode.prepare st m))
+  | Reference -> (
+    match Hashtbl.find_opt st.funcs "main" with
+    | None -> trap "module has no main"
+    | Some main -> finish st (exec_function st main []))
 
-let run_function ?fuel (m : Irmod.t) rt name args =
-  let st = setup ?fuel m rt in
-  match Hashtbl.find_opt st.funcs name with
-  | None -> trap "no function %s" name
-  | Some f -> finish st (exec_function st f (List.map (fun x -> AI x) args))
+let run_function ?fuel ?(engine = Decoded) (m : Irmod.t) rt name args =
+  let st = Sem.setup ?fuel m rt in
+  let argv = List.map (fun x -> AI x) args in
+  match engine with
+  | Decoded -> finish st (Decode.run_function (Decode.prepare st m) name argv)
+  | Reference -> (
+    match Hashtbl.find_opt st.funcs name with
+    | None -> trap "no function %s" name
+    | Some f -> finish st (exec_function st f argv))

@@ -6,6 +6,21 @@
     charges guard, fault, and network costs), and the result carries
     the final cycle count every experiment reports.
 
+    Two execution engines produce that result:
+
+    - {!Decoded} (the default): the pre-decoded engine in {!Decode} —
+      each function is compiled at load time into flat arrays of
+      specialized closures (static decisions taken once: operand
+      float-ness, cost constants, immediate conversion, direct callee
+      references with pre-built argument movers) and heap accesses take
+      the runtime's translation-cache fast path.
+    - {!Reference}: the straightforward tree-walking interpreter kept
+      as the oracle.
+
+    Both engines are bit-identical — same output, traps, simulated
+    cycles, runtime stats, and stall attribution — which the
+    differential suite asserts across the fuzz matrix.
+
     Integer and pointer registers are native ints (tagged pointers fit
     in 63 bits); float registers live in an unboxed [float array].
 
@@ -23,13 +38,21 @@ type result = {
 exception Trap of string
 (** Division by zero, [abort], unknown function, fuel exhausted… *)
 
+type engine = Reference | Decoded
+
 val run :
-  ?fuel:int -> Cards_ir.Irmod.t -> Cards_runtime.Runtime.t -> result
+  ?fuel:int ->
+  ?engine:engine ->
+  Cards_ir.Irmod.t ->
+  Cards_runtime.Runtime.t ->
+  result
 (** Execute [main].  [fuel] bounds the executed instruction count
-    (default: unlimited). *)
+    (default: unlimited); [engine] selects the execution engine
+    (default {!Decoded}). *)
 
 val run_function :
   ?fuel:int ->
+  ?engine:engine ->
   Cards_ir.Irmod.t ->
   Cards_runtime.Runtime.t ->
   string ->

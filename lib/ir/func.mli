@@ -38,6 +38,12 @@ val successors : t -> int -> int list
 val predecessors : t -> int list array
 (** For each block id, the list of predecessor block ids. *)
 
+val float_regs : t -> bool array
+(** Per-register float-ness ([reg_tys] folded to a flat bitmap).
+    Decode-time metadata for the interpreters: operand float-ness is
+    static, so both execution engines resolve it once per function
+    instead of per access. *)
+
 val map_blocks : t -> (block -> block) -> t
 
 val with_reg_tys : t -> Types.t array -> t

@@ -104,6 +104,12 @@ type t = {
   infos : Static_info.t array;
   pref : bool array;              (* per sid: pinned preference *)
   dss : ds Vec.t;                 (* handle h lives at index h-1 *)
+  tc : ds option array;           (* direct-mapped handle -> ds translation
+                                     cache for the guarded-access fast path.
+                                     Never invalidated: handles are stable
+                                     and structure records are never
+                                     replaced, so an entry can only be
+                                     missing, not stale. *)
   mutable unmanaged_data : Bytes.t;
   mutable unmanaged_used : int;
   mutable pinned_used : int;
@@ -152,6 +158,9 @@ let fault_window_min = 32
 let degrade_max = 6
 let degrade_cooldown_len = 32
 
+let tc_slots = 64
+let tc_mask = tc_slots - 1
+
 let create ?(obs = Sink.null) cfg infos =
   if cfg.remotable_bytes > cfg.local_bytes then
     fail "remotable region (%d) exceeds local memory (%d)" cfg.remotable_bytes
@@ -169,6 +178,7 @@ let create ?(obs = Sink.null) cfg infos =
     infos;
     pref = Policy.pinned_preference cfg.policy ~infos ~k:cfg.k;
     dss = Vec.create ();
+    tc = Array.make tc_slots None;
     unmanaged_data = Bytes.create 4096;
     unmanaged_used = 0;
     pinned_used = 0;
@@ -1103,6 +1113,91 @@ let read_f64 t addr =
 let write_f64 t addr v =
   let data, off = resolve t addr ~write:true in
   Bytes.set_int64_le data off (Int64.bits_of_float v)
+
+(* ---------- the decoded engine's access fast path ---------- *)
+
+(* The CaRDS idea applied to the simulator itself: [resolve] re-does
+   per access work whose answer cannot change — the handle -> structure
+   mapping.  The fast path answers it from a small direct-mapped
+   translation cache and inlines the one dynamic decision that remains,
+   the residency check; a resident local hit then costs one probe, one
+   flag check and the same accounting as [resolve]'s happy case.
+   Anything else — non-resident, in flight, beyond the pool, a wild
+   unmanaged offset — falls back to the canonical path *before touching
+   any counter or the clock*, so cycles, stats and attribution are
+   bit-identical by construction whichever path an access takes.
+
+   Cache safety: handles are dense and stable, structure records are
+   created once and never replaced, and a pool only grows — so a cached
+   entry can be missing but never stale, and residency/in-flight state
+   is read fresh from [objs] on every access. *)
+
+let tc_find t h =
+  let slot = h land tc_mask in
+  match t.tc.(slot) with
+  | Some d when d.handle = h -> Some d
+  | _ ->
+    if h >= 1 && h <= Vec.length t.dss then begin
+      let d = Vec.get t.dss (h - 1) in
+      t.tc.(slot) <- Some d;
+      Some d
+    end
+    else None
+
+(* Returns the backing bytes and offset for a local hit; [None] means
+   "take the slow path", with no observable action performed yet. *)
+let resolve_fast t addr ~write =
+  if Addr.is_managed addr then
+    match tc_find t (Addr.ds_of addr) with
+    | None -> None
+    | Some d ->
+      let off = Addr.offset_of addr in
+      if off >= d.pool_used then None
+      else begin
+        let o = off lsr d.obj_shift in
+        let st = d.objs.(o) in
+        if st land (b_resident lor b_inflight) = b_resident then begin
+          d.st.plain_accesses <- d.st.plain_accesses + 1;
+          charge t t.cfg.cost.mem_access;
+          d.objs.(o) <-
+            st lor (if write then b_ref lor b_dirty else b_ref);
+          maybe_sample t;
+          Some (d.data, off)
+        end
+        else None
+      end
+  else begin
+    let off = Addr.offset_of addr in
+    if off + 8 > t.unmanaged_used then None
+    else begin
+      Rt_stats.(
+        let u = unmanaged_bucket t.stats in
+        u.plain_accesses <- u.plain_accesses + 1);
+      charge t t.cfg.cost.mem_access;
+      maybe_sample t;
+      Some (t.unmanaged_data, off)
+    end
+  end
+
+let read_i64_fast t addr =
+  match resolve_fast t addr ~write:false with
+  | Some (data, off) -> Int64.to_int (Bytes.get_int64_le data off)
+  | None -> read_i64 t addr
+
+let write_i64_fast t addr v =
+  match resolve_fast t addr ~write:true with
+  | Some (data, off) -> Bytes.set_int64_le data off (Int64.of_int v)
+  | None -> write_i64 t addr v
+
+let read_f64_fast t addr =
+  match resolve_fast t addr ~write:false with
+  | Some (data, off) -> Int64.float_of_bits (Bytes.get_int64_le data off)
+  | None -> read_f64 t addr
+
+let write_f64_fast t addr v =
+  match resolve_fast t addr ~write:true with
+  | Some (data, off) -> Bytes.set_int64_le data off (Int64.bits_of_float v)
+  | None -> write_f64 t addr v
 
 (* ---------- introspection ---------- *)
 

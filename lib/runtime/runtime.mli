@@ -109,6 +109,18 @@ val write_i64 : t -> int -> int -> unit
 val read_f64 : t -> int -> float
 val write_f64 : t -> int -> float -> unit
 
+val read_i64_fast : t -> int -> int
+val write_i64_fast : t -> int -> int -> unit
+val read_f64_fast : t -> int -> float
+val write_f64_fast : t -> int -> float -> unit
+(** Accounting-identical fast-path variants used by the pre-decoded
+    execution engine.  A resident local access resolves its structure
+    through a small direct-mapped handle translation cache and costs
+    one probe plus one residency flag check; any other case —
+    non-resident, in flight, wild — falls back to the canonical
+    functions above before touching any counter, so simulated cycles,
+    stats and attribution are bit-identical whichever path is taken. *)
+
 val alloc_unmanaged : t -> size:int -> int
 (** Reserve unmanaged storage (globals segment). *)
 

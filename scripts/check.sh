@@ -3,10 +3,15 @@
 # observability smoke run (compile + execute a bundled example with
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
-# regression gates: fabric, attribution and fault-injection
-# experiments are diffed against the committed BENCH_fabric.json /
-# BENCH_attr.json / BENCH_faults.json baselines (2% relative
-# tolerance) and the snapshots refreshed on a clean pass.
+# regression gates: fabric, attribution, fault-injection and
+# execution-engine experiments are diffed against the committed
+# BENCH_fabric.json / BENCH_attr.json / BENCH_faults.json /
+# BENCH_host.json baselines (2% relative tolerance) and the snapshots
+# refreshed on a clean pass.  The bench gates run from a release
+# build: the host gate asserts a wall-clock speedup of the pre-decoded
+# engine over the reference interpreter, which only means anything
+# with optimizations on (the cycle gates are deterministic and
+# profile-independent, so sharing the binary costs nothing).
 #
 #   scripts/check.sh
 #
@@ -43,12 +48,16 @@ test -s "$trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
 grep -q traceEvents "$trace" || {
   echo "check.sh: trace is not a Chrome trace_event file" >&2; exit 1; }
 
+echo "== dune build (release, for the bench gates)"
+dune build --profile release bench/main.exe
+BENCH=_build/default/bench/main.exe
+
 echo "== bench: fabric batching gate (BENCH_fabric.json, 2% tolerance)"
 # The fabric section is itself an assertion: it exits non-zero if the
 # batched transport fails to beat per-object requests or if outputs
 # diverge.  --compare reads the committed baseline before --json
 # refreshes it, so one run both gates and updates the snapshot.
-dune exec --no-build bench/main.exe -- fabric \
+"$BENCH" fabric \
   --json BENCH_fabric.json --compare BENCH_fabric.json --tolerance 0.02 \
   > /dev/null
 test -s BENCH_fabric.json || {
@@ -61,7 +70,7 @@ echo "== bench: stall-attribution gate (BENCH_attr.json, 2% tolerance)"
 # (sum of per-cause stalls = cycles - compute) on the fig8/fig9
 # workloads, then the gate diffs cycles and fabric counters against
 # the committed baseline.
-dune exec --no-build bench/main.exe -- attr \
+"$BENCH" attr \
   --json BENCH_attr.json --compare BENCH_attr.json --tolerance 0.02 \
   > /dev/null
 test -s BENCH_attr.json || {
@@ -74,12 +83,27 @@ echo "== bench: fault-injection gate (BENCH_faults.json, 2% tolerance)"
 # run, profiler/ledger exactness (Retry bucket included), a bounded
 # slowdown under degradation, and same-seed determinism; the gate
 # then diffs cycles and fabric/fault counters against the baseline.
-dune exec --no-build bench/main.exe -- faults \
+"$BENCH" faults \
   --json BENCH_faults.json --compare BENCH_faults.json --tolerance 0.02 \
   > /dev/null
 test -s BENCH_faults.json || {
   echo "check.sh: empty BENCH_faults.json" >&2; exit 1; }
 grep -q '"faults_transient"' BENCH_faults.json || {
   echo "check.sh: BENCH_faults.json has no fault counters" >&2; exit 1; }
+
+echo "== bench: engine speedup gate (BENCH_host.json, 2% tolerance)"
+# The host section hard-asserts that the pre-decoded engine is
+# bit-identical to the reference interpreter (arithmetic and pc-list
+# workloads, whole result records) and at least 2x faster in
+# instructions per host second; the gate then diffs the simulated
+# cycles of both workloads against the baseline.  The wall-clock
+# ratio itself is asserted in-process, never gated from JSON.
+"$BENCH" host \
+  --json BENCH_host.json --compare BENCH_host.json --tolerance 0.02 \
+  > /dev/null
+test -s BENCH_host.json || {
+  echo "check.sh: empty BENCH_host.json" >&2; exit 1; }
+grep -q '"host-arith"' BENCH_host.json || {
+  echo "check.sh: BENCH_host.json has no engine experiments" >&2; exit 1; }
 
 echo "== check.sh: all green"

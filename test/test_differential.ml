@@ -1,4 +1,5 @@
-(* The differential test oracle for fault injection.
+(* The differential test oracle for fault injection and for the
+   pre-decoded execution engine.
 
    Fuzz-generated MiniC programs (the Test_fuzz generator) run through
    the plain guard-free interpreter and through the full CaRDS runtime
@@ -13,17 +14,27 @@
      Profile.attributed = Runtime.now
      Attribution.total  = Runtime.now - Profile.compute
 
+   Each cell additionally runs under BOTH execution engines — the
+   pre-decoded engine (with its runtime fast path) and the reference
+   tree-walking interpreter — and the two must agree bit for bit on
+   output, return value, simulated cycles, instruction count, the full
+   runtime stats record, and the stall ledger's cause decomposition.
+   The decoded engine takes different code paths by design (closure
+   arrays, translation-cache accesses); this is what proves they are
+   observationally the same machine.
+
    A wrong answer anywhere in the matrix is a retry bug (dropped or
    double-applied fetch), a degradation bug (prefetch suppression
-   changing semantics), or an accounting leak.  Rate 0 cells double as
-   the control group: they prove the fault plumbing itself is inert
-   when disabled. *)
+   changing semantics), an accounting leak, or an engine divergence.
+   Rate 0 cells double as the control group: they prove the fault
+   plumbing itself is inert when disabled. *)
 
 module R = Cards_runtime
 module P = Cards.Pipeline
 module B = Cards_baselines
 module O = Cards_obs
 module F = Cards_net.Fabric
+module M = Cards_interp.Machine
 
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
@@ -62,9 +73,8 @@ let run_oracle seed =
           (fun batching ->
             List.for_all
               (fun rate ->
-                let res, rt =
-                  P.run ~fuel compiled (cell_config ~qp ~batching ~rate)
-                in
+                let cfg = cell_config ~qp ~batching ~rate in
+                let res, rt = P.run ~fuel ~engine:M.Decoded compiled cfg in
                 let prof = R.Runtime.profile rt in
                 let ok =
                   res.output = reference.output
@@ -85,7 +95,37 @@ let run_oracle seed =
                     (O.Profile.attributed prof) (R.Runtime.now rt)
                     (O.Attribution.total (R.Runtime.attribution rt))
                     (O.Profile.compute prof) src;
-                ok)
+                (* Engine identity: the same cell through the reference
+                   tree-walking interpreter must be bit-identical in
+                   every observable — result record (output, return
+                   value, cycles, instructions), runtime stat counters,
+                   and the stall ledger's cause decomposition. *)
+                let res_r, rt_r =
+                  P.run ~fuel ~engine:M.Reference compiled cfg
+                in
+                let engines_ok =
+                  res = res_r
+                  && R.Rt_stats.total (R.Runtime.stats rt)
+                     = R.Rt_stats.total (R.Runtime.stats rt_r)
+                  && O.Attribution.cause_totals (R.Runtime.attribution rt)
+                     = O.Attribution.cause_totals (R.Runtime.attribution rt_r)
+                  && O.Profile.compute prof
+                     = O.Profile.compute (R.Runtime.profile rt_r)
+                in
+                if not engines_ok then
+                  QCheck.Test.fail_reportf
+                    "seed %d: engines diverged at %s\n\
+                     decoded: %d cycles, %d instrs, ret %d, output %S\n\
+                     reference: %d cycles, %d instrs, ret %d, output %S\n\
+                     program:\n%s"
+                    seed
+                    (cell_name ~qp ~batching ~rate)
+                    res.cycles res.instructions res.ret
+                    (String.concat "|" res.output)
+                    res_r.cycles res_r.instructions res_r.ret
+                    (String.concat "|" res_r.output)
+                    src;
+                ok && engines_ok)
               rates)
           batchings)
       qps
@@ -120,16 +160,28 @@ let test_pointer_chase_worst_cell () =
          ~passes:2)
   in
   let reference, _ = B.Noguard.run ~fuel compiled in
-  let res, rt =
-    P.run ~fuel compiled (cell_config ~qp:1 ~batching:false ~rate:0.2)
-  in
+  let cfg = cell_config ~qp:1 ~batching:false ~rate:0.2 in
+  let res, rt = P.run ~fuel ~engine:M.Decoded compiled cfg in
   check Alcotest.(list string) "output" reference.output res.output;
   let prof = R.Runtime.profile rt in
   check Alcotest.int "profiler exact" (R.Runtime.now rt)
     (O.Profile.attributed prof);
   check Alcotest.int "ledger exact"
     (R.Runtime.now rt - O.Profile.compute prof)
-    (O.Attribution.total (R.Runtime.attribution rt))
+    (O.Attribution.total (R.Runtime.attribution rt));
+  (* Both engines, bit for bit, on a real guard-heavy workload in the
+     nastiest cell (single queue, no batching, 20% faults). *)
+  let res_r, rt_r = P.run ~fuel ~engine:M.Reference compiled cfg in
+  check Alcotest.int "engine cycles" res_r.cycles res.cycles;
+  check Alcotest.int "engine instructions" res_r.instructions
+    res.instructions;
+  check Alcotest.(list string) "engine output" res_r.output res.output;
+  check Alcotest.bool "engine stats" true
+    (R.Rt_stats.total (R.Runtime.stats rt)
+     = R.Rt_stats.total (R.Runtime.stats rt_r));
+  check Alcotest.bool "engine stall causes" true
+    (O.Attribution.cause_totals (R.Runtime.attribution rt)
+     = O.Attribution.cause_totals (R.Runtime.attribution rt_r))
 
 let suite =
   [ ("pinned seeds, full matrix", `Slow, test_pinned_seeds);

@@ -1,10 +1,15 @@
-(* Tests for the IR interpreter: semantics, traps, costs, fuel. *)
+(* Tests for the IR interpreter: semantics, traps, costs, fuel.
+   Trap and semantics tests run under BOTH execution engines — the
+   pre-decoded default and the reference tree-walker — and assert the
+   same behaviour, message for message. *)
 
 module I = Cards_ir
 module R = Cards_runtime
 module M = Cards_interp.Machine
 
 let check = Alcotest.check
+
+let engines = [ ("ref", M.Reference); ("decoded", M.Decoded) ]
 
 let permissive_rt () =
   R.Runtime.create
@@ -14,11 +19,29 @@ let permissive_rt () =
       remotable_bytes = 0 }
     [||]
 
-let run ?fuel src =
+let run ?fuel ?engine src =
   let m = I.Minic.compile src in
-  M.run ?fuel m (permissive_rt ())
+  M.run ?fuel ?engine m (permissive_rt ())
 
 let output ?fuel src = (run ?fuel src).output
+
+(* The trap message a module produces under one engine, or [None] when
+   it finishes cleanly. *)
+let trap_of ?fuel ~engine m =
+  match M.run ?fuel ~engine m (permissive_rt ()) with
+  | (_ : M.result) -> None
+  | exception M.Trap msg -> Some msg
+
+(* Assert both engines trap with exactly the same message. *)
+let check_trap_both ?fuel m expected =
+  List.iter
+    (fun (ename, engine) ->
+      check Alcotest.(option string) ename (Some expected)
+        (trap_of ?fuel ~engine m))
+    engines
+
+let check_trap_both_src ?fuel src expected =
+  check_trap_both ?fuel (I.Minic.compile src) expected
 
 (* ---------- arithmetic semantics ---------- *)
 
@@ -54,27 +77,62 @@ let test_f2i_truncates () =
          }|})
 
 let test_division_by_zero_traps () =
-  match run "void main() { int z = 0; print_int(1 / z); }" with
-  | _ -> Alcotest.fail "expected trap"
-  | exception M.Trap msg -> check Alcotest.string "message" "division by zero" msg
+  check_trap_both_src "void main() { int z = 0; print_int(1 / z); }"
+    "division by zero"
 
 let test_rem_by_zero_traps () =
-  match run "void main() { int z = 0; print_int(1 % z); }" with
-  | _ -> Alcotest.fail "expected trap"
-  | exception M.Trap _ -> ()
+  check_trap_both_src "void main() { int z = 0; print_int(1 % z); }"
+    "remainder by zero"
 
 let test_abort_traps () =
-  match run "void main() { abort(); }" with
-  | _ -> Alcotest.fail "expected trap"
-  | exception M.Trap msg -> check Alcotest.string "message" "abort() called" msg
+  check_trap_both_src "void main() { abort(); }" "abort() called"
+
+(* ---------- shift semantics ---------- *)
+
+(* MiniC defines shifts with the count taken mod 64; values are 63-bit
+   native ints, so a masked count of 63 (unspecified for OCaml's own
+   [lsl]/[asr]) is defined to shift every magnitude bit out: [shl] by
+   63 gives 0, [shr] by 63 gives the sign.  The frontend has no shift
+   surface syntax, so the boundary counts — 0, 62, 63, and 64 (which
+   masks back to 0) — are driven through hand-built IR, under both
+   engines. *)
+let shift_module cases =
+  let b = I.Builder.create ~name:"main" ~params:[] ~ret:I.Types.Void in
+  List.iter
+    (fun (op, a, s) ->
+      let r =
+        I.Builder.bin b op (I.Instr.Imm (Int64.of_int a))
+          (I.Instr.Imm (Int64.of_int s))
+      in
+      I.Builder.call_void b "print_int" [ r ])
+    cases;
+  I.Builder.ret b None;
+  I.Irmod.add_func I.Irmod.empty (I.Builder.finish b)
+
+let shift_cases =
+  [ (I.Instr.Shl, 5, 0); (I.Instr.Shl, 5, 62); (I.Instr.Shl, 5, 63);
+    (I.Instr.Shl, 5, 64); (I.Instr.Shl, -5, 62); (I.Instr.Shl, -5, 63);
+    (I.Instr.Shr, 5, 0); (I.Instr.Shr, 5, 62); (I.Instr.Shr, 5, 63);
+    (I.Instr.Shr, 5, 64); (I.Instr.Shr, -5, 62); (I.Instr.Shr, -5, 63);
+    (I.Instr.Shr, -5, 64) ]
+
+let shift_expected =
+  [ "5"; "-4611686018427387904"; "0"; "5"; "-4611686018427387904"; "0";
+    "5"; "0"; "0"; "5"; "-1"; "-1"; "-5" ]
+
+let test_shift_boundaries () =
+  let m = shift_module shift_cases in
+  List.iter
+    (fun (ename, engine) ->
+      let res = M.run ~engine m (permissive_rt ()) in
+      check Alcotest.(list string) ename shift_expected res.output)
+    engines
 
 (* ---------- fuel ---------- *)
 
 let test_fuel_stops_infinite_loop () =
-  match run ~fuel:10_000 "void main() { while (1) { } }" with
-  | _ -> Alcotest.fail "expected fuel trap"
-  | exception M.Trap msg ->
-    check Alcotest.string "message" "fuel exhausted (10000 instructions)" msg
+  check_trap_both_src ~fuel:10_000 "void main() { while (1) { } }"
+    "fuel exhausted (10000 instructions)"
 
 let test_fuel_enough () =
   check (Alcotest.list Alcotest.string) "completes under fuel" [ "42" ]
@@ -118,9 +176,89 @@ let test_run_function_entry () =
 
 let test_unknown_function_traps () =
   let m = I.Minic.compile "void main() { }" in
-  match M.run_function m (permissive_rt ()) "nope" [] with
-  | _ -> Alcotest.fail "expected trap"
-  | exception M.Trap _ -> ()
+  List.iter
+    (fun (ename, engine) ->
+      match M.run_function ~engine m (permissive_rt ()) "nope" [] with
+      | _ -> Alcotest.fail (ename ^ ": expected trap")
+      | exception M.Trap msg ->
+        check Alcotest.string ename "no function nope" msg)
+    engines
+
+(* ---------- trap-path parity on hand-built IR ----------
+
+   The frontend cannot produce these shapes (it rejects unknown
+   callees, wrong arities, and has no unreachable statement), but the
+   interpreters must still handle them — at execution time, with the
+   same message under both engines.  Decode in particular must not
+   reject them at load time: dead bad code stays inert. *)
+
+let func ~name ~params ~ret ~reg_tys blocks : I.Func.t =
+  { name; params; ret; reg_tys; blocks = Array.of_list blocks }
+
+let block bid instrs term : I.Func.block =
+  { bid; instrs = Array.of_list instrs; term }
+
+let mod_of funcs =
+  List.fold_left I.Irmod.add_func I.Irmod.empty funcs
+
+let test_unknown_callee_traps () =
+  let m =
+    mod_of
+      [ func ~name:"main" ~params:[] ~ret:I.Types.Void ~reg_tys:[||]
+          [ block 0 [ I.Instr.Call (None, "nope", []) ] (I.Instr.Ret None) ] ]
+  in
+  check_trap_both m "call to unknown function nope"
+
+let test_arity_mismatch_traps () =
+  let m =
+    mod_of
+      [ func ~name:"id" ~params:[ (0, I.Types.I64) ] ~ret:I.Types.I64
+          ~reg_tys:[| I.Types.I64 |]
+          [ block 0 [] (I.Instr.Ret (Some (I.Instr.Reg 0))) ];
+        func ~name:"main" ~params:[] ~ret:I.Types.Void ~reg_tys:[||]
+          [ block 0 [ I.Instr.Call (None, "id", []) ] (I.Instr.Ret None) ] ]
+  in
+  check_trap_both m "arity mismatch calling id"
+
+let test_unreachable_traps () =
+  let m =
+    mod_of
+      [ func ~name:"main" ~params:[] ~ret:I.Types.Void ~reg_tys:[||]
+          [ block 0 [] I.Instr.Unreachable ] ]
+  in
+  check_trap_both m "reached unreachable in main:L0"
+
+(* Bad code behind a never-taken branch must run cleanly under both
+   engines — traps happen at execution, never at decode. *)
+let test_dead_bad_code_is_inert () =
+  let b = I.Builder.create ~name:"main" ~params:[] ~ret:I.Types.Void in
+  let dead = I.Builder.new_block b in
+  let live = I.Builder.new_block b in
+  I.Builder.cbr b (I.Instr.Imm 0L) dead live;
+  I.Builder.set_block b dead;
+  I.Builder.call_void b "nope" [ I.Instr.Fimm 1.0 ];
+  I.Builder.br b live;
+  I.Builder.set_block b live;
+  I.Builder.call_void b "print_int" [ I.Instr.Imm 7L ];
+  I.Builder.ret b None;
+  let m = I.Irmod.add_func I.Irmod.empty (I.Builder.finish b) in
+  List.iter
+    (fun (ename, engine) ->
+      let res = M.run ~engine m (permissive_rt ()) in
+      check Alcotest.(list string) ename [ "7" ] res.output)
+    engines
+
+(* ---------- engine identity on plain semantics ---------- *)
+
+let test_engines_identical_on_workload () =
+  let src = Cards_workloads.Bfs.source ~nodes:400 ~edges:1600 ~sources:2 in
+  let m = I.Minic.compile src in
+  let d = M.run ~engine:M.Decoded m (permissive_rt ()) in
+  let r = M.run ~engine:M.Reference m (permissive_rt ()) in
+  check Alcotest.int "cycles" r.cycles d.cycles;
+  check Alcotest.int "instructions" r.instructions d.instructions;
+  check Alcotest.int "ret" r.ret d.ret;
+  check Alcotest.(list string) "output" r.output d.output
 
 let test_output_order () =
   check (Alcotest.list Alcotest.string) "print interleaving"
@@ -139,6 +277,7 @@ let suite =
     ("div by zero traps", `Quick, test_division_by_zero_traps);
     ("rem by zero traps", `Quick, test_rem_by_zero_traps);
     ("abort traps", `Quick, test_abort_traps);
+    ("shift boundaries", `Quick, test_shift_boundaries);
     ("fuel stops runaway", `Quick, test_fuel_stops_infinite_loop);
     ("fuel generous", `Quick, test_fuel_enough);
     ("cycles monotone", `Quick, test_cycles_monotone_in_work);
@@ -146,4 +285,9 @@ let suite =
     ("determinism", `Quick, test_determinism);
     ("run_function", `Quick, test_run_function_entry);
     ("unknown function traps", `Quick, test_unknown_function_traps);
+    ("unknown callee traps", `Quick, test_unknown_callee_traps);
+    ("arity mismatch traps", `Quick, test_arity_mismatch_traps);
+    ("unreachable traps", `Quick, test_unreachable_traps);
+    ("dead bad code inert", `Quick, test_dead_bad_code_is_inert);
+    ("engines identical on workload", `Quick, test_engines_identical_on_workload);
     ("output order", `Quick, test_output_order) ]
