@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- fig8 fig9 # selected experiments
 
    Sections: table1 fig4 fig5 fig6 fig7 fig8 fig9 fabric profile attr
-   faults ablations bechamel host
+   faults spans ablations bechamel host
 
    `--json FILE` additionally records every experiment the chosen
    sections register (tag, total cycles, fabric counters) as a JSON
@@ -20,7 +20,8 @@
    invocation registers against a committed snapshot (relative
    tolerance, default 2%) and exits non-zero on any deviation — the
    regression gate scripts/check.sh runs against BENCH_fabric.json,
-   BENCH_attr.json, BENCH_faults.json and BENCH_host.json.  The
+   BENCH_attr.json, BENCH_faults.json, BENCH_spans.json and
+   BENCH_host.json.  The
    baseline is read before `--json` rewrites it, so `--json X
    --compare X` gates and refreshes in one run. *)
 
@@ -670,6 +671,165 @@ let faults_section () =
      slowdown bound and same-seed determinism are hard assertions."
 
 (* ---------------------------------------------------------------- *)
+(* Spans: causal tracing reconciliation + critical path.            *)
+(* ---------------------------------------------------------------- *)
+
+(* The causal-tracing suite: the fig9 list chase (clean and at a 20%
+   fault rate) and the fig8 analytics workload, each run twice — bare,
+   then with span recording at rate 1.0.  Hard assertions per cell —
+
+     1. recording is read-only: the traced run's whole result record,
+        aggregate stats and ledger cause totals are bit-identical to
+        the bare run's;
+     2. the span graph is well formed (unique ids, parent edges
+        strictly backwards — the acyclicity the critical-path pass
+        needs);
+     3. reconciliation at rate 1.0 is exact: summing each phase over
+        the recorded spans reproduces the stall ledger's Proto / Wire /
+        per-QP Queue / Pf_wait / Retry / Trap totals to the cycle;
+     4. the critical path is non-trivial: the analyzer finds a chain
+        with nonzero stall.
+
+   Both the run's cycles and its critical-path length enter the JSON
+   snapshot, so BENCH_spans.json gates them across PRs. *)
+
+let spans_section () =
+  header "Spans: causal tracing, ledger reconciliation, critical path";
+  let t =
+    T.create
+      ~title:"span recording at rate 1.0 (bare run vs traced run identical)"
+      ~header:[ "workload"; "Mcycles"; "spans"; "chain spans"; "chain stall";
+                "dominant phase" ]
+  in
+  let run_one tag compiled cfg =
+    let bare_res, bare_rt = P.run compiled cfg in
+    let obs = O.Sink.create ~span_rate:1.0 () in
+    let res, rt = P.run ~obs compiled cfg in
+    (* 1. Tracing never writes the clock or the program. *)
+    if res <> bare_res then begin
+      Printf.eprintf "SPANS: traced run diverges from bare run on %s\n" tag;
+      exit 1
+    end;
+    if R.Runtime.stats rt <> R.Runtime.stats bare_rt then begin
+      Printf.eprintf "SPANS: traced stats diverge from bare stats on %s\n" tag;
+      exit 1
+    end;
+    let attr = R.Runtime.attribution rt in
+    if
+      O.Attribution.cause_totals attr
+      <> O.Attribution.cause_totals (R.Runtime.attribution bare_rt)
+    then begin
+      Printf.eprintf "SPANS: traced ledger diverges from bare ledger on %s\n"
+        tag;
+      exit 1
+    end;
+    let col =
+      match O.Sink.spans obs with
+      | Some c -> c
+      | None ->
+        Printf.eprintf "SPANS: sink built without a collector on %s\n" tag;
+        exit 1
+    in
+    (* 2. Acyclicity and id discipline. *)
+    if not (O.Span.well_formed col) then begin
+      Printf.eprintf "SPANS: span graph not well formed on %s\n" tag;
+      exit 1
+    end;
+    (* 3. Exact reconciliation against the stall ledger at rate 1.0. *)
+    let tot = O.Span.cpu_totals col in
+    let ledger cause =
+      List.fold_left
+        (fun acc (c, v) -> if c = cause then acc + v else acc)
+        0 (O.Attribution.cause_totals attr)
+    in
+    let check what spans ledger_v =
+      if spans <> ledger_v then begin
+        Printf.eprintf "SPANS: %s: span %s %d <> ledger %d\n" tag what spans
+          ledger_v;
+        exit 1
+      end
+    in
+    check "proto" tot.O.Span.tot_proto (ledger O.Attribution.Proto);
+    check "wire" tot.O.Span.tot_wire (ledger O.Attribution.Wire);
+    check "retry" tot.O.Span.tot_retry (ledger O.Attribution.Retry);
+    check "pf_wait" tot.O.Span.tot_pf_wait (ledger O.Attribution.Pf_wait);
+    check "trap" tot.O.Span.tot_trap (ledger O.Attribution.Trap);
+    Array.iteri
+      (fun qp v ->
+        check (Printf.sprintf "queue[%d]" qp) v (ledger (O.Attribution.Queue qp)))
+      tot.O.Span.tot_queue;
+    List.iter
+      (fun (c, v) ->
+        match c with
+        | O.Attribution.Queue qp when qp >= Array.length tot.O.Span.tot_queue ->
+          check (Printf.sprintf "queue[%d]" qp) 0 v
+        | _ -> ())
+      (O.Attribution.cause_totals attr);
+    (* 4. The analyzer finds a real chain at bench scale. *)
+    let rep =
+      match O.Critical_path.analyze col with
+      | Some r when r.O.Critical_path.r_chain_stall > 0 -> r
+      | Some _ ->
+        Printf.eprintf "SPANS: critical path has zero stall on %s\n" tag;
+        exit 1
+      | None ->
+        Printf.eprintf "SPANS: no spans recorded on %s\n" tag;
+        exit 1
+    in
+    record_experiment ~tag ~cycles:res.cycles rt;
+    record_experiment ~tag:(tag ^ "-critical-path")
+      ~cycles:rep.O.Critical_path.r_chain_stall rt;
+    let ph = rep.O.Critical_path.r_phases in
+    let dominant =
+      List.fold_left
+        (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+        ("-", 0)
+        [ ("queued", ph.O.Critical_path.cp_queued);
+          ("proto", ph.O.Critical_path.cp_proto);
+          ("wire", ph.O.Critical_path.cp_wire);
+          ("retry", ph.O.Critical_path.cp_retry);
+          ("pf-wait", ph.O.Critical_path.cp_pf_wait);
+          ("trap", ph.O.Critical_path.cp_trap) ]
+      |> fst
+    in
+    T.add_row t
+      [ tag; mcycles res.cycles; string_of_int (O.Span.length col);
+        string_of_int (List.length rep.O.Critical_path.r_chain);
+        T.fmt_cycles (float_of_int rep.O.Critical_path.r_chain_stall);
+        dominant ]
+  in
+  let pc =
+    P.compile_source (W.Pointer_chase.source ~variant:"list" ~scale:16384 ~passes:2)
+  in
+  let wss = wss_of pc in
+  let local = wss / 2 in
+  let remot = local / 4 in
+  run_one "spans-pc-list" pc (cards_cfg ~k:1.0 ~local ~remot ());
+  let faulty =
+    let base = cards_cfg ~k:1.0 ~local ~remot () in
+    { base with
+      R.Runtime.fabric_config =
+        { base.R.Runtime.fabric_config with
+          Cards_net.Fabric.faults =
+            { Cards_net.Fabric.no_faults with
+              Cards_net.Fabric.fault_rate = 0.2; fault_seed = 7 } } }
+  in
+  run_one "spans-pc-list-r20" pc faulty;
+  let analytics =
+    P.compile_source (W.Analytics.source ~trips:50000 ~query_passes:2)
+  in
+  let wss = wss_of analytics in
+  let remot = kb 256 in
+  let local = (wss / 2) + remot in
+  run_one "spans-analytics" analytics
+    (cards_cfg ~policy:R.Policy.Max_use ~k:1.0 ~local ~remot ());
+  T.print t;
+  print_endline
+    "Tracing is read-only (traced runs bit-identical to bare runs); at\n\
+     rate 1.0 every span phase reconciles with the stall ledger to the\n\
+     cycle; the critical-path chain is non-empty.  All hard assertions."
+
+(* ---------------------------------------------------------------- *)
 (* Ablations: which CaRDS mechanism buys what.                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -970,7 +1130,8 @@ let sections =
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fabric", fabric_section); ("profile", profile_section);
     ("attr", attr_section); ("faults", faults_section);
-    ("ablations", ablations); ("bechamel", bechamel); ("host", host) ]
+    ("spans", spans_section); ("ablations", ablations);
+    ("bechamel", bechamel); ("host", host) ]
 
 let () =
   let rec strip acc = function

@@ -294,17 +294,59 @@ let profile_arg =
                  causes summing to total stall), and the fetch-latency \
                  histogram with p50/p90/p99/p999 percentiles.")
 
-let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval =
-  if trace = None && events = None && not metrics then None
+let spans_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spans" ] ~docv:"FILE"
+           ~doc:"Record causal spans (one per fabric transfer, with \
+                 parent edges: prefetch to the access it satisfied, \
+                 retry to its demand fetch, batch to its members, trap \
+                 to the fetch it forced) and write them to $(docv) — \
+                 JSON-lines if the name ends in $(b,.jsonl), otherwise \
+                 a Chrome trace_event file with flow arrows along every \
+                 edge.  Also prints the critical-path table (the \
+                 heaviest causal chain).")
+
+let span_rate_arg =
+  Arg.(value & opt float 1.0
+       & info [ "span-rate" ] ~docv:"RATE"
+           ~doc:"Span sampling rate in [0,1] (deterministic, not \
+                 random): 1.0 records every fetch; 0.1 records one \
+                 occasion in ten.  At 1.0 the recorded spans' phase \
+                 cycles reconcile exactly with the stall-attribution \
+                 ledger.")
+
+let postmortem_arg =
+  Arg.(value & flag
+       & info [ "postmortem" ]
+           ~doc:"Keep a bounded flight recorder of recent spans \
+                 (retried/escalated/trapped chains retained in full) \
+                 and dump a human-readable post-mortem to stderr if \
+                 the program traps or a fetch escalates to the \
+                 reliable channel.  Implies span recording.")
+
+(* All the CLI's human-readable summaries flow through one reporter —
+   the same one the sink carries, so library-side reports (the fault
+   post-mortem) and driver-side summaries cannot interleave with
+   machine-readable stdout or with each other mid-line. *)
+let reporter = O.Reporter.stderr_reporter
+
+let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval ~spans
+    ~span_rate ~postmortem =
+  if
+    trace = None && events = None && (not metrics) && spans = None
+    && not postmortem
+  then None
   else
     Some
       (O.Sink.create
          ?trace_capacity:
            (if trace <> None || events <> None then Some trace_cap else None)
          ?metrics_interval:(if metrics then Some metrics_interval else None)
-         ())
+         ?span_rate:
+           (if spans <> None || postmortem then Some span_rate else None)
+         ~postmortem ~reporter ())
 
-let export_obs rt obs ~trace ~events ~metrics =
+let export_obs rt obs ~trace ~events ~metrics ~spans =
   let names = R.Runtime.ds_name rt in
   Option.iter
     (fun sink ->
@@ -313,12 +355,29 @@ let export_obs rt obs ~trace ~events ~metrics =
          Option.iter
            (fun path ->
              O.Export.write_file path (O.Export.chrome_trace_string ~names tr);
-             Printf.eprintf "-- trace: %d events to %s (%d dropped)\n"
+             O.Reporter.linef reporter "-- trace: %d events to %s (%d dropped)"
                (O.Trace.length tr) path (O.Trace.dropped tr))
            trace;
          Option.iter
            (fun path -> O.Export.write_file path (O.Export.events_jsonl tr))
            events
+       | None -> ());
+      (match O.Sink.spans sink with
+       | Some c ->
+         (match O.Critical_path.analyze c with
+          | Some r -> T.print (O.Export.critical_path_table ~names r)
+          | None -> ());
+         Option.iter
+           (fun path ->
+             let contents =
+               if Filename.check_suffix path ".jsonl" then
+                 O.Export.spans_jsonl c
+               else O.Export.spans_chrome_trace_string ~names c
+             in
+             O.Export.write_file path contents;
+             O.Reporter.linef reporter "-- spans: %d to %s" (O.Span.length c)
+               path)
+           spans
        | None -> ());
       if metrics then
         match O.Sink.metrics sink with
@@ -364,10 +423,14 @@ let print_report rt =
 let run_cmd =
   let run file system engine policy k local remotable prefetch report qp
       no_batching fault_rate fault_seed retry_max fault_kinds
-      trace events trace_cap metrics metrics_interval profile =
+      trace events trace_cap metrics metrics_interval profile
+      spans span_rate postmortem =
     with_errors (fun () ->
         let src = read_source file in
-        let obs = make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval in
+        let obs =
+          make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval
+            ~spans ~span_rate ~postmortem
+        in
         let res, rt =
           match system with
           | `Cards ->
@@ -398,36 +461,41 @@ let run_cmd =
         List.iter print_endline res.output;
         let tot = R.Rt_stats.total (R.Runtime.stats rt) in
         let fs = R.Runtime.fabric_stats rt in
-        Printf.eprintf
+        O.Reporter.linef reporter
           "-- %s cycles, %d instructions, %d guards (%d hits), %d remote \
-           faults, %s over the fabric\n"
+           faults, %s over the fabric"
           (T.fmt_cycles (float_of_int res.cycles))
           res.instructions tot.guards tot.guard_hits tot.remote_faults
           (T.fmt_bytes (float_of_int fs.fetched_bytes));
         if fault_rate > 0.0 then begin
           let st = R.Runtime.stats rt in
-          Printf.eprintf
+          O.Reporter.linef reporter
             "-- faults: %d injected (%d transient, %d late, %d duplicate), \
-             %d retries, %d timeouts, %d escalations, degrade level %d\n"
+             %d retries, %d timeouts, %d escalations, degrade level %d"
             (Cards_net.Fabric.faults_injected fs)
             fs.faults_transient fs.faults_late fs.faults_dup
             (R.Rt_stats.retries st) (R.Rt_stats.timeouts st)
-            (R.Rt_stats.escalations st) (R.Runtime.degrade_level rt);
-          if profile then
-            T.print
-              (O.Export.resilience_table
-                 ~retries:(R.Rt_stats.retries st)
-                 ~timeouts:(R.Rt_stats.timeouts st)
-                 ~escalations:(R.Rt_stats.escalations st)
-                 ~pf_failed:(R.Rt_stats.pf_failed st)
-                 ~pf_suppressed:(R.Rt_stats.pf_suppressed st)
-                 ~degrade_steps:(R.Rt_stats.degrade_steps st)
-                 ~recover_steps:(R.Rt_stats.recover_steps st)
-                 ~degrade_level:(R.Runtime.degrade_level rt) ())
+            (R.Rt_stats.escalations st) (R.Runtime.degrade_level rt)
+        end;
+        (* Under --profile the resilience table renders even with fault
+           injection off — an all-quiet table diffs cleanly against a
+           faulty run's, where a missing table would not. *)
+        if profile then begin
+          let st = R.Runtime.stats rt in
+          T.print
+            (O.Export.resilience_table
+               ~retries:(R.Rt_stats.retries st)
+               ~timeouts:(R.Rt_stats.timeouts st)
+               ~escalations:(R.Rt_stats.escalations st)
+               ~pf_failed:(R.Rt_stats.pf_failed st)
+               ~pf_suppressed:(R.Rt_stats.pf_suppressed st)
+               ~degrade_steps:(R.Rt_stats.degrade_steps st)
+               ~recover_steps:(R.Rt_stats.recover_steps st)
+               ~degrade_level:(R.Runtime.degrade_level rt) ())
         end;
         if report then print_report rt;
         if profile then print_profile rt res.cycles;
-        export_obs rt obs ~trace ~events ~metrics)
+        export_obs rt obs ~trace ~events ~metrics ~spans)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
@@ -436,7 +504,8 @@ let run_cmd =
           $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
           $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
-          $ metrics_interval_arg $ profile_arg)
+          $ metrics_interval_arg $ profile_arg
+          $ spans_arg $ span_rate_arg $ postmortem_arg)
 
 (* ---------- cards workload ---------- *)
 

@@ -229,21 +229,40 @@ let finish st res =
     instructions = st.executed;
     output = lines_of st.out }
 
+(* Shared by both engines: a program that dies — an interpreter trap
+   or a runtime error — triggers the flight recorder's post-mortem
+   (when the sink armed one) before the exception propagates.  The
+   runtime covers the other dump trigger (fault escalation) itself. *)
+let with_postmortem st f =
+  try f () with
+  | (Trap _ | Runtime.Runtime_error _) as e ->
+    let reason =
+      match e with
+      | Trap msg -> "program trapped: " ^ msg
+      | Runtime.Runtime_error msg -> "runtime error: " ^ msg
+      | _ -> "program died"
+    in
+    Runtime.maybe_postmortem st.rt ~reason;
+    raise e
+
 let run ?fuel ?(engine = Decoded) (m : Irmod.t) rt =
   let st = Sem.setup ?fuel m rt in
-  match engine with
-  | Decoded -> finish st (Decode.run_main (Decode.prepare st m))
-  | Reference -> (
-    match Hashtbl.find_opt st.funcs "main" with
-    | None -> trap "module has no main"
-    | Some main -> finish st (exec_function st main []))
+  with_postmortem st (fun () ->
+      match engine with
+      | Decoded -> finish st (Decode.run_main (Decode.prepare st m))
+      | Reference -> (
+        match Hashtbl.find_opt st.funcs "main" with
+        | None -> trap "module has no main"
+        | Some main -> finish st (exec_function st main [])))
 
 let run_function ?fuel ?(engine = Decoded) (m : Irmod.t) rt name args =
   let st = Sem.setup ?fuel m rt in
   let argv = List.map (fun x -> AI x) args in
-  match engine with
-  | Decoded -> finish st (Decode.run_function (Decode.prepare st m) name argv)
-  | Reference -> (
-    match Hashtbl.find_opt st.funcs name with
-    | None -> trap "no function %s" name
-    | Some f -> finish st (exec_function st f argv))
+  with_postmortem st (fun () ->
+      match engine with
+      | Decoded ->
+        finish st (Decode.run_function (Decode.prepare st m) name argv)
+      | Reference -> (
+        match Hashtbl.find_opt st.funcs name with
+        | None -> trap "no function %s" name
+        | Some f -> finish st (exec_function st f argv)))

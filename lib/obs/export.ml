@@ -1,6 +1,10 @@
 module Json = Cards_util.Json
 module Table = Cards_util.Table
 
+let pct part total =
+  if total <= 0 then "0.0%"
+  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int part /. float_of_int total)
+
 (* ---------- JSON-lines ---------- *)
 
 let kind_args (k : Event.kind) : (string * Json.t) list =
@@ -174,16 +178,231 @@ let chrome_trace ?(freq_ghz = 2.4) ?names trace =
 let chrome_trace_string ?freq_ghz ?names trace =
   Json.to_string (chrome_trace ?freq_ghz ?names trace)
 
+(* ---------- causal spans ---------- *)
+
+let span_json (s : Span.t) =
+  Json.Obj
+    ([ ("span", Json.Int s.sp_id);
+       ("kind", Json.Str (Span.kind_name s.sp_kind)) ]
+     @ (if s.sp_parent >= 0 then
+          [ ("parent", Json.Int s.sp_parent);
+            ("edge",
+             Json.Str
+               (match s.sp_edge with
+               | Some e -> Span.edge_name e
+               | None -> "?")) ]
+        else [])
+     @ [ ("ds", Json.Int s.sp_ds);
+         ("obj", Json.Int s.sp_obj);
+         ("site",
+          Json.Str (Printf.sprintf "%s@%d.%d" s.sp_fn s.sp_block s.sp_instr));
+         ("issued", Json.Int s.sp_issued);
+         ("start", Json.Int s.sp_start);
+         ("complete", Json.Int s.sp_complete);
+         ("queued", Json.Int s.sp_queued);
+         ("proto", Json.Int s.sp_proto);
+         ("wire", Json.Int s.sp_wire);
+         ("retry", Json.Int s.sp_retry);
+         ("pf_wait", Json.Int s.sp_pf_wait);
+         ("trap", Json.Int s.sp_trap);
+         ("stall", Json.Int (Span.stall s));
+         ("qp", Json.Int s.sp_qp);
+         ("bytes", Json.Int s.sp_bytes) ]
+     @ match s.sp_fault with
+       | Some f -> [ ("fault", Json.Str f) ]
+       | None -> [])
+
+let spans_jsonl collector =
+  let buf = Buffer.create 4096 in
+  Span.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (span_json s));
+      Buffer.add_char buf '\n')
+    collector;
+  Buffer.contents buf
+
+(* Span rows in the Chrome trace: fabric-carrying spans (demand,
+   escalated, prefetch, batch) sit on their queue pair's row, CPU-side
+   spans (retry, settle, hit, trap) on their structure's row, and each
+   parent edge becomes a flow arrow ("s" at the parent, "f" at the
+   child) so Perfetto draws the causal chain across rows. *)
+
+let span_tid (s : Span.t) =
+  if s.sp_qp >= 0 then qp_tid_base + s.sp_qp else s.sp_ds
+
+let spans_chrome_trace ?(freq_ghz = 2.4) ?names collector =
+  let by_id = Hashtbl.create (Span.length collector) in
+  Span.iter (fun s -> Hashtbl.replace by_id s.Span.sp_id s) collector;
+  let evs = ref [] in
+  let push e = evs := e :: !evs in
+  Span.iter
+    (fun (s : Span.t) ->
+      let ts = us_of_cycles ~freq_ghz s.sp_issued in
+      let dur = us_of_cycles ~freq_ghz (max 0 (s.sp_complete - s.sp_issued)) in
+      push
+        (Json.Obj
+           [ ("name", Json.Str (Span.kind_name s.sp_kind));
+             ("cat", Json.Str "span");
+             ("ph", Json.Str "X");
+             ("ts", Json.Float ts);
+             ("dur", Json.Float dur);
+             ("pid", Json.Int 1);
+             ("tid", Json.Int (span_tid s));
+             ("args",
+              Json.Obj
+                (List.filter
+                   (fun (k, _) ->
+                     not (List.mem k [ "kind"; "issued"; "complete" ]))
+                   (match span_json s with
+                   | Json.Obj fields -> fields
+                   | _ -> []))) ]);
+      if s.sp_parent >= 0 then
+        match Hashtbl.find_opt by_id s.sp_parent with
+        | None -> ()
+        | Some (p : Span.t) ->
+          let name =
+            match s.sp_edge with
+            | Some e -> Span.edge_name e
+            | None -> "edge"
+          in
+          let flow ph bind tid cycle =
+            push
+              (Json.Obj
+                 ([ ("name", Json.Str name);
+                    ("cat", Json.Str "span-flow");
+                    ("ph", Json.Str ph);
+                    ("id", Json.Int s.sp_id);
+                    ("ts", Json.Float (us_of_cycles ~freq_ghz cycle));
+                    ("pid", Json.Int 1);
+                    ("tid", Json.Int tid) ]
+                  @ bind))
+          in
+          flow "s" [] (span_tid p) p.sp_complete;
+          flow "f" [ ("bp", Json.Str "e") ] (span_tid s) s.sp_issued)
+    collector;
+  let tids = Hashtbl.create 8 in
+  Span.iter (fun s -> Hashtbl.replace tids (span_tid s) ()) collector;
+  let thread_name tid =
+    let name =
+      if tid >= qp_tid_base then Printf.sprintf "qp%d spans" (tid - qp_tid_base)
+      else
+        match names with
+        | Some f -> f tid
+        | None -> Printf.sprintf "ds %d" tid
+    in
+    Json.Obj
+      [ ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+  in
+  let metas =
+    Json.Obj
+      [ ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str "CaRDS causal spans") ]) ]
+    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+        |> List.sort compare
+        |> List.map thread_name)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metas @ List.rev !evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData",
+       Json.Obj
+         [ ("tool", Json.Str "cards");
+           ("clock", Json.Str (Printf.sprintf "%.1f GHz simulated" freq_ghz));
+           ("spans", Json.Int (Span.length collector)) ]) ]
+
+let spans_chrome_trace_string ?freq_ghz ?names collector =
+  Json.to_string (spans_chrome_trace ?freq_ghz ?names collector)
+
+let critical_path_table ?(title = "Critical path (longest causal chain)")
+    ~names (r : Critical_path.report) =
+  let t =
+    Table.create ~title
+      ~header:[ "step"; "kind"; "structure"; "obj"; "site"; "issued";
+                "complete"; "stall"; "dominant phase" ]
+  in
+  let cyc c = Table.fmt_cycles (float_of_int c) in
+  List.iteri
+    (fun i (s : Span.t) ->
+      let phases =
+        [ ("queued", s.Span.sp_queued); ("proto", s.sp_proto);
+          ("wire", s.sp_wire); ("retry", s.sp_retry);
+          ("pf-wait", s.sp_pf_wait); ("trap", s.sp_trap) ]
+      in
+      let dom_name, dom =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+          ("-", 0) phases
+      in
+      Table.add_row t
+        [ string_of_int (i + 1);
+          Span.kind_name s.sp_kind
+          ^ (match s.sp_fault with Some f -> " (" ^ f ^ ")" | None -> "");
+          names s.sp_ds; string_of_int s.sp_obj;
+          Printf.sprintf "%s@%d.%d" s.sp_fn s.sp_block s.sp_instr;
+          cyc s.sp_issued; cyc s.sp_complete; cyc (Span.stall s);
+          (if dom = 0 then "-"
+           else Printf.sprintf "%s %s" dom_name (pct dom (Span.stall s))) ])
+    r.Critical_path.r_chain;
+  let p = r.r_phases in
+  let part name v =
+    if v > 0 then Printf.sprintf "%s %s" name (pct v r.r_chain_stall) else ""
+  in
+  let split =
+    [ part "queued" p.cp_queued; part "proto" p.cp_proto;
+      part "wire" p.cp_wire; part "retry" p.cp_retry;
+      part "pf-wait" p.cp_pf_wait; part "trap" p.cp_trap ]
+    |> List.filter (fun s -> s <> "")
+    |> String.concat ", "
+  in
+  Table.add_row t
+    [ "CHAIN"; Printf.sprintf "%d spans" (List.length r.r_chain); ""; ""; "";
+      ""; cyc r.r_end; cyc r.r_chain_stall;
+      (if split = "" then "-" else split) ];
+  let by_ds =
+    r.r_by_ds
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun (ds, v) ->
+           Printf.sprintf "%s %s" (names ds) (pct v r.r_chain_stall))
+    |> String.concat ", "
+  in
+  Table.add_row t
+    [ "ANALYZED"; Printf.sprintf "%d spans" r.r_span_count; ""; ""; ""; "";
+      ""; ""; (if by_ds = "" then "-" else by_ds) ];
+  t
+
+let critical_path_json (r : Critical_path.report) =
+  let p = r.Critical_path.r_phases in
+  Json.Obj
+    [ ("chain", Json.List (List.map span_json r.r_chain));
+      ("chain_stall", Json.Int r.r_chain_stall);
+      ("phases",
+       Json.Obj
+         [ ("queued", Json.Int p.cp_queued);
+           ("proto", Json.Int p.cp_proto);
+           ("wire", Json.Int p.cp_wire);
+           ("retry", Json.Int p.cp_retry);
+           ("pf_wait", Json.Int p.cp_pf_wait);
+           ("trap", Json.Int p.cp_trap) ]);
+      ("by_ds",
+       Json.Obj
+         (List.map
+            (fun (ds, v) -> (string_of_int ds, Json.Int v))
+            r.r_by_ds));
+      ("span_count", Json.Int r.r_span_count);
+      ("end", Json.Int r.r_end) ]
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
   close_out oc
 
 (* ---------- human tables ---------- *)
-
-let pct part total =
-  if total <= 0 then "0.0%"
-  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int part /. float_of_int total)
 
 let profile_table ?(title = "Cycle attribution (per data structure)")
     ~names ~total prof =
@@ -359,6 +578,14 @@ let resilience_table ?(title = "Resilience") ~retries ~timeouts ~escalations
     ~pf_failed ~pf_suppressed ~degrade_steps ~recover_steps ~degrade_level () =
   let t = Table.create ~title ~header:[ "counter"; "value" ] in
   let i name v = Table.add_row t [ name; string_of_int v ] in
+  (* All-zero counters still render every row (stable output for
+     diffing) but get an explicit headline so a fault-free run reads
+     as a statement, not an omission. *)
+  if
+    retries = 0 && timeouts = 0 && escalations = 0 && pf_failed = 0
+    && pf_suppressed = 0 && degrade_steps = 0 && recover_steps = 0
+    && degrade_level = 0
+  then Table.add_row t [ "(no faults observed)"; "-" ];
   i "demand-fetch retries" retries;
   i "fetch timeouts" timeouts;
   i "reliable-channel escalations" escalations;

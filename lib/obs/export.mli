@@ -24,6 +24,35 @@ val chrome_trace :
 val chrome_trace_string :
   ?freq_ghz:float -> ?names:(int -> string) -> Trace.t -> string
 
+val span_json : Span.t -> Cards_util.Json.t
+
+val spans_jsonl : Span.collector -> string
+(** One JSON object per line, completion order. *)
+
+val spans_chrome_trace :
+  ?freq_ghz:float ->
+  ?names:(int -> string) ->
+  Span.collector ->
+  Cards_util.Json.t
+(** Spans as Chrome "X" events — fabric-carrying spans on their queue
+    pair's row, CPU-side spans on their structure's row — with every
+    causal parent edge rendered as a flow arrow ("s"/"f" pair), so
+    Perfetto draws chains across rows. *)
+
+val spans_chrome_trace_string :
+  ?freq_ghz:float -> ?names:(int -> string) -> Span.collector -> string
+
+val critical_path_table :
+  ?title:string ->
+  names:(int -> string) ->
+  Critical_path.report ->
+  Cards_util.Table.t
+(** The dominant causal chain root-first — one row per span with its
+    stall and dominant phase — closed by a CHAIN row (total stall and
+    phase split) and an ANALYZED row (span count, stall by structure). *)
+
+val critical_path_json : Critical_path.report -> Cards_util.Json.t
+
 val write_file : string -> string -> unit
 
 val profile_table :

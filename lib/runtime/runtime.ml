@@ -5,6 +5,9 @@ module Event = Cards_obs.Event
 module Profile = Cards_obs.Profile
 module Metrics = Cards_obs.Metrics
 module Attribution = Cards_obs.Attribution
+module Span = Cards_obs.Span
+module Recorder = Cards_obs.Recorder
+module Reporter = Cards_obs.Reporter
 
 type prefetch_mode = Pf_none | Pf_stride_only | Pf_per_class | Pf_adaptive
 
@@ -141,6 +144,17 @@ type t = {
   mutable site_fn : string;
   mutable site_block : int;
   mutable site_instr : int;
+  (* Causal span layer.  [spans] is the sink's collector, cached so
+     every hook is one [match] on an immutable field — [None] means
+     spans are off and the hook is a no-op costing one branch, which
+     is how tracing off stays the seed fast path.  [cur_span] is the
+     id of the current access's span (demand completion, settle, or
+     timely hit), the [E_trigger] parent for any prefetch the access
+     sets off; -1 between spanned accesses.  Span recording never
+     touches [clock], so spanning on is cycle-identical by
+     construction. *)
+  spans : Span.collector option;
+  mutable cur_span : int;
 }
 
 let log2_exact x =
@@ -198,7 +212,9 @@ let create ?(obs = Sink.null) cfg infos =
     attr = Attribution.create ();
     site_fn = Attribution.unknown_site.Attribution.s_fn;
     site_block = Attribution.unknown_site.Attribution.s_block;
-    site_instr = Attribution.unknown_site.Attribution.s_instr }
+    site_instr = Attribution.unknown_site.Attribution.s_instr;
+    spans = Sink.spans obs;
+    cur_span = -1 }
 
 let now t = t.clock
 
@@ -235,6 +251,35 @@ let n_ds t = Vec.length t.dss
 let get_ds t handle =
   if handle < 1 || handle > Vec.length t.dss then fail "bad handle %d" handle;
   Vec.get t.dss (handle - 1)
+
+let ds_name t handle =
+  if handle >= 1 && handle <= Vec.length t.dss then
+    (Vec.get t.dss (handle - 1)).info.name
+  else "(unmanaged)"
+
+(* Span constructor stamped with the current access site; phase fields
+   default to zero so each emission site names only what it explains. *)
+let mk_span t ~id ~kind ~parent ?edge ~ds ~obj ~issued ~start ~complete
+    ?(queued = 0) ?(proto = 0) ?(wire = 0) ?(retry = 0) ?(pf_wait = 0)
+    ?(trap = 0) ?(qp = -1) ~bytes ?fault () =
+  { Span.sp_id = id; sp_kind = kind; sp_parent = parent; sp_edge = edge;
+    sp_ds = ds; sp_obj = obj; sp_fn = t.site_fn; sp_block = t.site_block;
+    sp_instr = t.site_instr; sp_issued = issued; sp_start = start;
+    sp_complete = complete; sp_queued = queued; sp_proto = proto;
+    sp_wire = wire; sp_retry = retry; sp_pf_wait = pf_wait; sp_trap = trap;
+    sp_qp = qp; sp_bytes = bytes; sp_fault = fault }
+
+(* One-shot post-mortem dump through the sink's reporter; armed by
+   [Sink.create ~postmortem:true], consumed by the first trap or
+   reliable-channel escalation. *)
+let maybe_postmortem t ~reason =
+  if Sink.take_postmortem t.obs then
+    match Sink.recorder t.obs with
+    | Some r ->
+      Reporter.text (Sink.reporter t.obs)
+        (Recorder.postmortem ~reason ~degrade_level:t.degrade
+           ~names:(ds_name t) r)
+    | None -> ()
 
 (* ---------- metrics sampling ---------- *)
 
@@ -552,7 +597,14 @@ let prefetch_viable t (tg : Prefetcher.target) (d : ds) =
   end
   else None
 
-let mark_prefetched t (d : ds) ~origin_obj (td : ds) o ~completion =
+(* [span] is the in-flight object's prefetch span (-1 when the issue
+   occasion was unsampled): the eventual settle or timely hit will
+   claim it as an [E_satisfy] parent. *)
+let mark_prefetched t (d : ds) ~origin_obj (td : ds) o ~completion ~span =
+  (match t.spans with
+  | Some c when span >= 0 ->
+    Span.note_inflight c ~ds:td.handle ~obj:o ~span
+  | _ -> ());
   td.objs.(o) <- td.objs.(o) lor b_inflight lor b_prefetched lor b_resident;
   td.arrivals.(o) <- completion;
   td.st.prefetch_issued <- td.st.prefetch_issued + 1;
@@ -626,6 +678,25 @@ let note_fault_outcome t faulted =
 let effective_prefetch_limit t =
   if t.degrade = 0 then max_int else t.cfg.prefetch_depth asr t.degrade
 
+(* A prefetch transfer's span carries the fabric occupancy split
+   (queued/proto/wire on its QP) for the timeline, but none of it is
+   CPU stall — the clock never waited — so prefetch/batch spans are
+   excluded from the span/ledger reconciliation (Span.cpu_totals). *)
+let prefetch_span t (td : ds) o (tr : Fabric.transfer) =
+  match t.spans with
+  | Some c when Span.sampled c ->
+    let id = Span.fresh c in
+    Span.add c
+      (mk_span t ~id ~kind:Span.Prefetch ~parent:t.cur_span
+         ?edge:(if t.cur_span >= 0 then Some Span.E_trigger else None)
+         ~ds:td.handle ~obj:o ~issued:t.clock ~start:tr.Fabric.t_start
+         ~complete:tr.Fabric.t_complete ~queued:tr.Fabric.t_queued
+         ~proto:tr.Fabric.t_proto ~wire:tr.Fabric.t_ser ~qp:tr.Fabric.t_qp
+         ~bytes:(obj_size td)
+         ?fault:(Option.map Fabric.fault_kind_name tr.Fabric.t_fault) ());
+    id
+  | _ -> -1
+
 let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
   match prefetch_viable t tg d with
   | None -> ()
@@ -645,7 +716,9 @@ let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
          emit_fault_inject t ~ds:td.handle ~obj:o k
        | None -> note_fault_outcome t false);
       emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
-      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete)
+      let span = prefetch_span t td o tr in
+      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
+        ~span)
 
 (* Batched issue: everything one prefetcher call produced — expanded
    runs and cross-structure fanout alike — goes to the fabric as a
@@ -678,7 +751,9 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
          emit_fault_inject t ~ds:td.handle ~obj:o k
        | None -> note_fault_outcome t false);
       emit_qp_busy t ~ds:d.handle ~obj:origin_obj tr;
-      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete)
+      let span = prefetch_span t td o tr in
+      mark_prefetched t d ~origin_obj td o ~completion:tr.Fabric.t_complete
+        ~span)
   | items -> (
     let sizes = Array.of_list (List.map (fun (td, _) -> obj_size td) items) in
     match Fabric.fetch_many_attempt t.fabric ~now:t.clock ~sizes with
@@ -700,9 +775,44 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
              (Event.Batch_fetch
                 { count = Array.length sizes;
                   bytes = Array.fold_left ( + ) 0 sizes }));
+      (* One batch span carrying the request's fabric occupancy, then
+         one zero-phase member span per object (the batch already
+         accounts for the wire; members exist for the causal chain and
+         per-object completion times).  Batch id precedes member ids,
+         preserving parent < child. *)
+      let batch_sp, sc =
+        match t.spans with
+        | Some c when Span.sampled c ->
+          let id = Span.fresh c in
+          Span.add c
+            (mk_span t ~id ~kind:Span.Batch ~parent:t.cur_span
+               ?edge:(if t.cur_span >= 0 then Some Span.E_trigger else None)
+               ~ds:d.handle ~obj:origin_obj ~issued:t.clock
+               ~start:tr.Fabric.t_start ~complete:tr.Fabric.t_complete
+               ~queued:tr.Fabric.t_queued ~proto:tr.Fabric.t_proto
+               ~wire:tr.Fabric.t_ser ~qp:tr.Fabric.t_qp
+               ~bytes:(Array.fold_left ( + ) 0 sizes)
+               ?fault:(Option.map Fabric.fault_kind_name tr.Fabric.t_fault)
+               ());
+          (id, Some c)
+        | _ -> (-1, None)
+      in
       List.iteri
         (fun i (td, o) ->
-          mark_prefetched t d ~origin_obj td o ~completion:completions.(i))
+          let span =
+            match sc with
+            | Some c ->
+              let id = Span.fresh c in
+              Span.add c
+                (mk_span t ~id ~kind:Span.Prefetch ~parent:batch_sp
+                   ~edge:Span.E_member ~ds:td.handle ~obj:o ~issued:t.clock
+                   ~start:tr.Fabric.t_start ~complete:completions.(i)
+                   ~qp:tr.Fabric.t_qp ~bytes:(obj_size td) ());
+              id
+            | None -> -1
+          in
+          mark_prefetched t d ~origin_obj td o ~completion:completions.(i)
+            ~span)
         items)
 
 let epoch_len = 1024
@@ -841,15 +951,44 @@ let settle_inflight t (d : ds) o =
         Sink.emit t.obs
           (Event.make ~cycle:start ~ds:d.handle ~obj:o
              (Event.Prefetch_late { wait }));
+      (* The late-settle span owns the whole Pf_wait charge and claims
+         the in-flight prefetch span as its [E_satisfy] parent. *)
+      (match t.spans with
+      | Some c when Span.sampled c ->
+        let parent = Span.take_inflight c ~ds:d.handle ~obj:o in
+        let id = Span.fresh c in
+        Span.add c
+          (mk_span t ~id ~kind:Span.Pf_settle ~parent
+             ?edge:(if parent >= 0 then Some Span.E_satisfy else None)
+             ~ds:d.handle ~obj:o ~issued:start ~start ~complete:t.clock
+             ~pf_wait:wait ~bytes:(obj_size d) ());
+        t.cur_span <- id
+      | _ -> ());
       false
     end
     else true
   end
   else true
 
-let demand_fetch t (d : ds) o =
+(* [span_parent >= 0] names the trap span whose handler issued this
+   fetch (the clean-fault path); the completion span then carries an
+   [E_trap] edge. *)
+let demand_fetch ?(span_parent = -1) t (d : ds) o =
   let start = t.clock in
   let osz = obj_size d in
+  (* One sampling decision covers the whole occasion — the completion
+     span and every retry child — so chains are never half-recorded.
+     The root id is allocated up front: retry spans complete (and are
+     added) before the fetch they delayed, but must point forward at
+     it, and parent < child keeps the edge relation acyclic. *)
+  let sc =
+    match t.spans with Some c when Span.sampled c -> Some c | _ -> None
+  in
+  let root = match sc with Some c -> Span.fresh c | None -> -1 in
+  let att_start = ref start in
+  let att_retry = ref 0 in
+  let att_fault = ref None in
+  let escalated = ref false in
   (* Cycles burned off the happy path — NACK turnarounds, abandoned
      late completions, backoff waits — are real CPU stall and land in
      their own profiler bucket and ledger cause, so the exactness
@@ -858,8 +997,26 @@ let demand_fetch t (d : ds) o =
     if c > 0 then begin
       spend t c;
       d.prof.Profile.p_retry <- d.prof.Profile.p_retry + c;
-      attr_charge t ~ds:d.handle Attribution.Retry c
+      attr_charge t ~ds:d.handle Attribution.Retry c;
+      att_retry := !att_retry + c
     end
+  in
+  (* Close one failed attempt as a Retry span: every cycle
+     [retry_spend] charged since the previous flush, which is exactly
+     the ledger's Retry charges — the reconciliation is per-cycle. *)
+  let flush_retry () =
+    (match sc with
+    | Some c when !att_retry > 0 ->
+      let id = Span.fresh c in
+      Span.add c
+        (mk_span t ~id ~kind:Span.Retry ~parent:root ~edge:Span.E_retry
+           ~ds:d.handle ~obj:o ~issued:!att_start ~start:!att_start
+           ~complete:t.clock ~retry:!att_retry ~bytes:osz ?fault:!att_fault
+           ())
+    | _ -> ());
+    att_retry := 0;
+    att_fault := None;
+    att_start := t.clock
   in
   (* The attempt that delivered the data: its queued + proto + ser
      (+ mapping) decomposition accounts for this clock advance exactly,
@@ -889,6 +1046,23 @@ let demand_fetch t (d : ds) o =
         (Event.make ~cycle:start ~ds:d.handle ~obj:o
            (Event.Remote_fault { queued; stall }));
     emit_qp_busy t ~ds:d.handle ~obj:o tr;
+    (* The completion span mirrors the three ledger charges above
+       field for field: queued -> Queue t_qp, proto + mapping ->
+       Proto, ser -> Wire. *)
+    (match sc with
+    | Some c ->
+      Span.add c
+        (mk_span t ~id:root
+           ~kind:(if !escalated then Span.Escalated else Span.Demand)
+           ~parent:span_parent
+           ?edge:(if span_parent >= 0 then Some Span.E_trap else None)
+           ~ds:d.handle ~obj:o ~issued:start ~start:tr.Fabric.t_start
+           ~complete:t.clock ~queued
+           ~proto:(tr.Fabric.t_proto + t.cfg.cost.deref_map)
+           ~wire:tr.Fabric.t_ser ~qp:tr.Fabric.t_qp ~bytes:osz
+           ?fault:(Option.map Fabric.fault_kind_name tr.Fabric.t_fault) ());
+      t.cur_span <- root
+    | None -> ());
     clock_insert t d o
   in
   let rec attempt n =
@@ -896,6 +1070,7 @@ let demand_fetch t (d : ds) o =
     | Error f ->
       (* The CPU waited for the NACK: queueing + protocol turnaround. *)
       retry_spend (f.Fabric.f_fail - t.clock);
+      if sc <> None then att_fault := Some "transient";
       note_fault_outcome t true;
       emit_fault_inject t ~ds:d.handle ~obj:o Fabric.Transient;
       backoff n
@@ -917,6 +1092,7 @@ let demand_fetch t (d : ds) o =
             (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
                (Event.Fetch_timeout { budget = t.cfg.fetch_timeout_cycles }));
         retry_spend t.cfg.fetch_timeout_cycles;
+        if sc <> None then att_fault := Some "late";
         backoff n
       | fault ->
         (match fault with
@@ -930,6 +1106,8 @@ let demand_fetch t (d : ds) o =
       (* Retries exhausted: the reliable channel cannot fault, so
          forward progress is guaranteed at any fault rate. *)
       Rt_stats.note_escalation t.stats;
+      flush_retry ();
+      escalated := true;
       finish (Fabric.fetch_reliable t.fabric ~now:t.clock ~bytes:osz)
     end
     else begin
@@ -940,10 +1118,13 @@ let demand_fetch t (d : ds) o =
           (Event.make ~cycle:t.clock ~ds:d.handle ~obj:o
              (Event.Retry_backoff { attempt = n + 1; wait }));
       retry_spend wait;
+      flush_retry ();
       attempt (n + 1)
     end
   in
-  attempt 0
+  attempt 0;
+  if !escalated then
+    maybe_postmortem t ~reason:"demand fetch escalated to the reliable channel"
 
 let note_prefetch_hit t (d : ds) o ~timely =
   let st = d.objs.(o) in
@@ -962,7 +1143,21 @@ let note_prefetch_hit t (d : ds) o ~timely =
       d.prof.Profile.p_hidden <-
         d.prof.Profile.p_hidden
         + Fabric.nominal_fetch_cycles t.fabric ~bytes:(obj_size d)
-        + t.cfg.cost.deref_map
+        + t.cfg.cost.deref_map;
+      (* Zero-stall use: recorded purely for the causal chain (the
+         prefetch paid off).  A *late* use settles above instead and
+         its mapping was already consumed there. *)
+      match t.spans with
+      | Some c when Span.sampled c ->
+        let parent = Span.take_inflight c ~ds:d.handle ~obj:o in
+        let id = Span.fresh c in
+        Span.add c
+          (mk_span t ~id ~kind:Span.Pf_hit ~parent
+             ?edge:(if parent >= 0 then Some Span.E_satisfy else None)
+             ~ds:d.handle ~obj:o ~issued:t.clock ~start:t.clock
+             ~complete:t.clock ~bytes:(obj_size d) ());
+        t.cur_span <- id
+      | _ -> ()
     end;
     if Sink.tracing t.obs then
       Sink.emit t.obs
@@ -993,6 +1188,10 @@ let guard t ~write addr =
   else begin
     let d, o = locate t addr in
     d.st.guards <- d.st.guards + 1;
+    (* Each access starts a fresh causal context: [cur_span] is set by
+       the demand/settle/hit span this access produces (if any) and
+       read by [run_prefetcher] as the E_trigger parent below. *)
+    (match t.spans with Some _ -> t.cur_span <- -1 | None -> ());
     let local_cost =
       if write then t.cfg.cost.guard_local_write else t.cfg.cost.guard_local_read
     in
@@ -1059,8 +1258,23 @@ let clean_fault t (d : ds) o ~write =
   spend t c;
   d.prof.Profile.p_trap <- d.prof.Profile.p_trap + c;
   attr_charge t ~ds:d.handle Attribution.Trap c;
+  (* The trap span owns exactly the Trap charge above; the nested
+     demand fetch (if any) becomes its child via [E_trap], with the
+     trap id allocated first so parent < child holds. *)
+  let trap_sp =
+    match t.spans with
+    | Some col when Span.sampled col ->
+      let id = Span.fresh col in
+      Span.add col
+        (mk_span t ~id ~kind:Span.Trap ~parent:(-1) ~ds:d.handle ~obj:o
+           ~issued:start ~start ~complete:t.clock ~trap:c ~bytes:(obj_size d)
+           ());
+      id
+    | _ -> -1
+  in
   ignore (settle_inflight t d o);
-  if d.objs.(o) land b_resident = 0 then demand_fetch t d o;
+  if d.objs.(o) land b_resident = 0 then
+    demand_fetch ~span_parent:trap_sp t d o;
   d.st.clean_faults <- d.st.clean_faults + 1;
   (* The span covers trap + settle + fetch; a nested [Remote_fault]
      span appears inside it when the object had to be demand-fetched. *)
@@ -1244,7 +1458,3 @@ let pinned_preference t = Array.copy t.pref
 let sink t = t.obs
 let profile t = t.prof
 let attribution t = t.attr
-let ds_name t handle =
-  if handle >= 1 && handle <= Vec.length t.dss then
-    (Vec.get t.dss (handle - 1)).info.name
-  else "(unmanaged)"

@@ -191,3 +191,10 @@ val set_site : t -> fn:string -> block:int -> instr:int -> unit
 val ds_name : t -> int -> string
 (** Static name for a handle (["(unmanaged)"] for handle 0 or unknown)
     — the [names] labeller exporters take. *)
+
+val maybe_postmortem : t -> reason:string -> unit
+(** Dump the flight recorder's post-mortem through the sink's
+    reporter if the sink was created with [~postmortem:true] and the
+    one-shot latch is still armed; a no-op otherwise.  The runtime
+    fires this itself on a reliable-channel escalation; the
+    interpreter fires it when a program traps. *)

@@ -3,17 +3,21 @@
 # observability smoke run (compile + execute a bundled example with
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
-# regression gates: fabric, attribution, fault-injection and
-# execution-engine experiments are diffed against the committed
+# regression gates: fabric, attribution, fault-injection, causal-span
+# and execution-engine experiments are diffed against the committed
 # BENCH_fabric.json / BENCH_attr.json / BENCH_faults.json /
-# BENCH_host.json baselines (2% relative tolerance) and the snapshots
-# refreshed on a clean pass.  The bench gates run from a release
-# build: the host gate asserts a wall-clock speedup of the pre-decoded
-# engine over the reference interpreter, which only means anything
-# with optimizations on (the cycle gates are deterministic and
-# profile-independent, so sharing the binary costs nothing).
+# BENCH_spans.json / BENCH_host.json baselines (2% relative
+# tolerance) and the snapshots refreshed on a clean pass.  The bench
+# gates run from a release build: the host gate asserts a wall-clock
+# speedup of the pre-decoded engine over the reference interpreter,
+# which only means anything with optimizations on (the cycle gates
+# are deterministic and profile-independent, so sharing the binary
+# costs nothing).
 #
-#   scripts/check.sh
+#   scripts/check.sh           # everything
+#   scripts/check.sh --quick   # build + tests + smoke only: skips the
+#                              # release build and the bench regression
+#                              # gates (the slow half) for inner-loop use
 #
 # Exits non-zero on the first failure.  A regression-gate failure
 # names the experiment, metric, baseline, and observed value on
@@ -21,6 +25,13 @@
 # BENCH_*.json alongside it.
 set -eu
 cd "$(dirname "$0")/.."
+
+quick=no
+case "${1:-}" in
+  --quick) quick=yes ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+esac
 
 echo "== dune build"
 dune build
@@ -47,6 +58,11 @@ dune exec --no-build bin/cards_cli.exe -- run examples/minic/listing1.mc \
 test -s "$trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
 grep -q traceEvents "$trace" || {
   echo "check.sh: trace is not a Chrome trace_event file" >&2; exit 1; }
+
+if [ "$quick" = yes ]; then
+  echo "== check.sh: quick pass green (bench gates skipped)"
+  exit 0
+fi
 
 echo "== dune build (release, for the bench gates)"
 dune build --profile release bench/main.exe
@@ -90,6 +106,22 @@ test -s BENCH_faults.json || {
   echo "check.sh: empty BENCH_faults.json" >&2; exit 1; }
 grep -q '"faults_transient"' BENCH_faults.json || {
   echo "check.sh: BENCH_faults.json has no fault counters" >&2; exit 1; }
+
+echo "== bench: causal-span gate (BENCH_spans.json, 2% tolerance)"
+# The spans section hard-asserts that span recording is read-only
+# (traced runs bit-identical to bare runs), that the span graph is
+# acyclic, that at rate 1.0 every span phase reconciles exactly with
+# the stall ledger, and that the critical-path analyzer finds a
+# nonzero chain; the gate then diffs each run's cycles and its
+# critical-path length against the baseline.
+"$BENCH" spans \
+  --json BENCH_spans.json --compare BENCH_spans.json --tolerance 0.02 \
+  > /dev/null
+test -s BENCH_spans.json || {
+  echo "check.sh: empty BENCH_spans.json" >&2; exit 1; }
+grep -q '"spans-pc-list-critical-path"' BENCH_spans.json || {
+  echo "check.sh: BENCH_spans.json has no critical-path experiments" >&2
+  exit 1; }
 
 echo "== bench: engine speedup gate (BENCH_host.json, 2% tolerance)"
 # The host section hard-asserts that the pre-decoded engine is

@@ -183,7 +183,108 @@ let test_pointer_chase_worst_cell () =
     (O.Attribution.cause_totals (R.Runtime.attribution rt)
      = O.Attribution.cause_totals (R.Runtime.attribution rt_r))
 
+(* ---------- span reconciliation oracle ---------- *)
+
+(* Causal tracing differentially, against the same matrix: each cell
+   runs bare, then with span recording at rate 1.0, then at rate 0.5.
+
+     1. recording is read-only: the traced result record, stats and
+        ledger are bit-identical to the bare run's;
+     2. the span graph is well formed (ids unique, parent edges
+        strictly backwards — acyclic);
+     3. at rate 1.0 the per-phase span sums equal the ledger's cause
+        totals exactly (Proto / Wire / Queue qp / Pf_wait / Retry /
+        Trap);
+     4. at any rate they never exceed them (sampling only drops
+        occasions, it never invents cycles). *)
+
+let ledger_cause attr cause =
+  List.fold_left
+    (fun acc (c, v) -> if c = cause then acc + v else acc)
+    0 (O.Attribution.cause_totals attr)
+
+let check_reconciles ~cell ~exact col attr =
+  let name what = Printf.sprintf "%s: %s %s" cell what
+      (if exact then "exact" else "bounded") in
+  let cmp what spans ledger =
+    if exact then check Alcotest.int (name what) ledger spans
+    else
+      check Alcotest.bool (name what) true
+        (spans <= ledger
+         ||
+         (Printf.eprintf "%s: span %s %d > ledger %d\n" cell what spans ledger;
+          false))
+  in
+  check Alcotest.bool (cell ^ ": well formed") true (O.Span.well_formed col);
+  let tot = O.Span.cpu_totals col in
+  cmp "proto" tot.O.Span.tot_proto (ledger_cause attr O.Attribution.Proto);
+  cmp "wire" tot.O.Span.tot_wire (ledger_cause attr O.Attribution.Wire);
+  cmp "retry" tot.O.Span.tot_retry (ledger_cause attr O.Attribution.Retry);
+  cmp "pf_wait" tot.O.Span.tot_pf_wait
+    (ledger_cause attr O.Attribution.Pf_wait);
+  cmp "trap" tot.O.Span.tot_trap (ledger_cause attr O.Attribution.Trap);
+  Array.iteri
+    (fun qp v ->
+      cmp (Printf.sprintf "queue[%d]" qp) v
+        (ledger_cause attr (O.Attribution.Queue qp)))
+    tot.O.Span.tot_queue
+
+let span_cell compiled ~engine ~qp ~batching ~rate =
+  let cfg = cell_config ~qp ~batching ~rate in
+  let cell =
+    Printf.sprintf "%s %s" (cell_name ~qp ~batching ~rate)
+      (match engine with M.Decoded -> "decoded" | M.Reference -> "ref")
+  in
+  let bare_res, bare_rt = P.run ~fuel ~engine compiled cfg in
+  List.iter
+    (fun (span_rate, exact) ->
+      let obs = O.Sink.create ~span_rate () in
+      let res, rt = P.run ~fuel ~engine ~obs compiled cfg in
+      check Alcotest.bool (cell ^ ": traced run identical") true
+        (res = bare_res
+         && R.Rt_stats.total (R.Runtime.stats rt)
+            = R.Rt_stats.total (R.Runtime.stats bare_rt)
+         && O.Attribution.cause_totals (R.Runtime.attribution rt)
+            = O.Attribution.cause_totals (R.Runtime.attribution bare_rt));
+      let col = Option.get (O.Sink.spans obs) in
+      check_reconciles ~cell ~exact col (R.Runtime.attribution rt))
+    [ (1.0, true); (0.5, false) ]
+
+(* The full matrix, both engines, on a real pointer chase (registered
+   Slow; check.sh forces it on). *)
+let test_span_matrix () =
+  let compiled =
+    P.compile_source
+      (Cards_workloads.Pointer_chase.source ~variant:"list" ~scale:512
+         ~passes:2)
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun qp ->
+          List.iter
+            (fun batching ->
+              List.iter
+                (fun rate -> span_cell compiled ~engine ~qp ~batching ~rate)
+                rates)
+            batchings)
+        qps)
+    [ M.Decoded; M.Reference ]
+
+(* One nasty cell stays in the quick tier: single queue, no batching,
+   20% faults — retries, escalations and trap-forced fetches all land
+   in the span graph and must still reconcile. *)
+let test_span_worst_cell () =
+  let compiled =
+    P.compile_source
+      (Cards_workloads.Pointer_chase.source ~variant:"list" ~scale:512
+         ~passes:2)
+  in
+  span_cell compiled ~engine:M.Decoded ~qp:1 ~batching:false ~rate:0.2
+
 let suite =
   [ ("pinned seeds, full matrix", `Slow, test_pinned_seeds);
     ("pc-list worst cell", `Quick, test_pointer_chase_worst_cell);
+    ("span reconciliation, full matrix", `Slow, test_span_matrix);
+    ("span reconciliation, worst cell", `Quick, test_span_worst_cell);
     qcheck prop_oracle ]

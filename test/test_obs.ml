@@ -548,6 +548,260 @@ let test_json_rejects_garbage () =
       | _ -> Alcotest.fail ("accepted garbage: " ^ s))
     [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
 
+(* ---------- causal spans, critical path, flight recorder ---------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+(* Hand-built spans: the collector only checks id discipline, so unit
+   tests can assemble precise graphs without a runtime behind them. *)
+let mk_span col ?(kind = O.Span.Demand) ?(parent = -1) ?edge ?(ds = 1)
+    ?(queued = 0) ?(proto = 0) ?(wire = 0) ?(retry = 0) ?(pf_wait = 0)
+    ?(trap = 0) ?(issued = 0) ?complete ?fault () =
+  let id = O.Span.fresh col in
+  let stall = queued + proto + wire + retry + pf_wait + trap in
+  let s =
+    { O.Span.sp_id = id; sp_kind = kind; sp_parent = parent; sp_edge = edge;
+      sp_ds = ds; sp_obj = id; sp_fn = "t"; sp_block = 0; sp_instr = 0;
+      sp_issued = issued; sp_start = issued;
+      sp_complete = (match complete with Some c -> c | None -> issued + stall);
+      sp_queued = queued; sp_proto = proto; sp_wire = wire; sp_retry = retry;
+      sp_pf_wait = pf_wait; sp_trap = trap; sp_qp = 0; sp_bytes = 64;
+      sp_fault = fault }
+  in
+  O.Span.add col s;
+  s
+
+let test_span_sampling_deterministic () =
+  (* Rate 1.0: every occasion; rate 0.5: exactly every other one, via
+     the accumulator — no RNG, so the pattern is the same every run. *)
+  let all = O.Span.create ~rate:1.0 () in
+  for _ = 1 to 10 do
+    check Alcotest.bool "rate 1.0 always samples" true (O.Span.sampled all)
+  done;
+  let none = O.Span.create ~rate:0.0 () in
+  for _ = 1 to 10 do
+    check Alcotest.bool "rate 0.0 never samples" false (O.Span.sampled none)
+  done;
+  let half = O.Span.create ~rate:0.5 () in
+  let picks = List.init 8 (fun _ -> O.Span.sampled half) in
+  check Alcotest.int "rate 0.5 samples half" 4
+    (List.length (List.filter Fun.id picks));
+  check (Alcotest.list Alcotest.bool) "alternating pattern"
+    [ false; true; false; true; false; true; false; true ] picks
+
+let test_span_inflight_registry () =
+  let col = O.Span.create () in
+  O.Span.note_inflight col ~ds:3 ~obj:17 ~span:42;
+  check Alcotest.int "take returns the span" 42
+    (O.Span.take_inflight col ~ds:3 ~obj:17);
+  check Alcotest.int "take consumes" (-1)
+    (O.Span.take_inflight col ~ds:3 ~obj:17);
+  check Alcotest.int "absent key" (-1) (O.Span.take_inflight col ~ds:9 ~obj:9)
+
+let test_span_well_formed_rejects_forward_edge () =
+  let col = O.Span.create () in
+  let a = mk_span col ~proto:10 () in
+  let _b =
+    mk_span col ~kind:O.Span.Retry ~parent:a.O.Span.sp_id
+      ~edge:O.Span.E_retry ~retry:5 ()
+  in
+  check Alcotest.bool "backward edge ok" true (O.Span.well_formed col);
+  (* A parent id at or above the child's is a graph bug. *)
+  let bad = O.Span.create () in
+  let c = mk_span bad ~proto:1 () in
+  O.Span.add bad
+    { c with O.Span.sp_id = c.O.Span.sp_id; sp_parent = c.O.Span.sp_id };
+  check Alcotest.bool "self edge rejected" false (O.Span.well_formed bad)
+
+let test_critical_path_synthetic_chain () =
+  let col = O.Span.create () in
+  (* Chain A: demand (100 proto) <- settle (50 pf-wait) = 150.
+     Chain B: lone demand, 120 queued.  A must win. *)
+  let a = mk_span col ~kind:O.Span.Prefetch ~proto:100 () in
+  let s =
+    mk_span col ~kind:O.Span.Pf_settle ~parent:a.O.Span.sp_id
+      ~edge:O.Span.E_satisfy ~pf_wait:50 ~issued:100 ()
+  in
+  let _b = mk_span col ~queued:120 () in
+  match O.Critical_path.analyze col with
+  | None -> Alcotest.fail "no report"
+  | Some r ->
+    check Alcotest.int "chain stall" 150 r.O.Critical_path.r_chain_stall;
+    check (Alcotest.list Alcotest.int) "chain ids root-first"
+      [ a.O.Span.sp_id; s.O.Span.sp_id ]
+      (List.map (fun sp -> sp.O.Span.sp_id) r.O.Critical_path.r_chain);
+    check Alcotest.int "proto share" 100
+      r.O.Critical_path.r_phases.O.Critical_path.cp_proto;
+    check Alcotest.int "pf-wait share" 50
+      r.O.Critical_path.r_phases.O.Critical_path.cp_pf_wait;
+    check Alcotest.int "span count" 3 r.O.Critical_path.r_span_count;
+    check Alcotest.int "last completion" 150 r.O.Critical_path.r_end
+
+let test_recorder_ring_bound () =
+  let rec_ = O.Recorder.create ~capacity:8 () in
+  let col = O.Span.create () in
+  O.Span.set_listener col (O.Recorder.add rec_);
+  for _ = 1 to 100 do
+    ignore (mk_span col ~proto:1 ())
+  done;
+  check Alcotest.int "ring bounded" 8 (O.Recorder.ring_length rec_);
+  check Alcotest.int "nothing flagged" 0 (O.Recorder.flagged rec_);
+  check Alcotest.int "nothing pinned" 0 (O.Recorder.pinned_count rec_)
+
+let test_recorder_retains_flagged_chain () =
+  let rec_ = O.Recorder.create ~capacity:4 () in
+  let col = O.Span.create () in
+  O.Span.set_listener col (O.Recorder.add rec_);
+  (* Runtime order: the root id is allocated first but its span is
+     added last (retries complete before the fetch they delayed), so
+     the recorder must pin the retry now and the root on arrival. *)
+  let root_id = O.Span.fresh col in
+  let retry =
+    mk_span col ~kind:O.Span.Retry ~parent:root_id ~edge:O.Span.E_retry
+      ~retry:40 ~fault:"transient" ()
+  in
+  let root =
+    { retry with
+      O.Span.sp_id = root_id; sp_kind = O.Span.Escalated; sp_parent = -1;
+      sp_edge = None; sp_retry = 0; sp_proto = 90; sp_fault = None }
+  in
+  O.Span.add col root;
+  (* Flood the ring far past capacity: the flagged chain must survive. *)
+  for _ = 1 to 50 do
+    ignore (mk_span col ~proto:1 ())
+  done;
+  check Alcotest.int "ring still bounded" 4 (O.Recorder.ring_length rec_);
+  check Alcotest.int "both flagged" 2 (O.Recorder.flagged rec_);
+  check Alcotest.bool "chain retained in full" true
+    (O.Recorder.chain_of rec_ retry = [ root; retry ]);
+  (match O.Recorder.last_flagged rec_ with
+   | Some s ->
+     check Alcotest.int "last flagged is the escalation" root_id
+       s.O.Span.sp_id
+   | None -> Alcotest.fail "no flagged span");
+  let report =
+    O.Recorder.postmortem ~reason:"test escalation" ~degrade_level:3
+      ~names:(fun _ -> "mylist") rec_
+  in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("postmortem mentions " ^ needle) true
+        (contains report needle))
+    [ "test escalation"; "escalated"; "retry"; "transient"; "mylist";
+      "level 3" ]
+
+let test_sink_postmortem_one_shot () =
+  let sink = O.Sink.create ~postmortem:true () in
+  check Alcotest.bool "recorder present" true (O.Sink.recorder sink <> None);
+  check Alcotest.bool "collector implied" true (O.Sink.spans sink <> None);
+  check Alcotest.bool "armed once" true (O.Sink.take_postmortem sink);
+  check Alcotest.bool "latch consumed" false (O.Sink.take_postmortem sink);
+  let plain = O.Sink.create ~span_rate:1.0 () in
+  check Alcotest.bool "not armed without --postmortem" false
+    (O.Sink.take_postmortem plain)
+
+let test_resilience_table_quiet_row () =
+  let all_zero =
+    O.Export.resilience_table ~retries:0 ~timeouts:0 ~escalations:0
+      ~pf_failed:0 ~pf_suppressed:0 ~degrade_steps:0 ~recover_steps:0
+      ~degrade_level:0 ()
+  in
+  let s = Cards_util.Table.render all_zero in
+  check Alcotest.bool "quiet run says so" true
+    (contains s "(no faults observed)");
+  let busy =
+    O.Export.resilience_table ~retries:3 ~timeouts:0 ~escalations:0
+      ~pf_failed:0 ~pf_suppressed:0 ~degrade_steps:0 ~recover_steps:0
+      ~degrade_level:0 ()
+  in
+  let s = Cards_util.Table.render busy in
+  check Alcotest.bool "busy run does not" false
+    (contains s "(no faults observed)")
+
+let test_span_chrome_export_flow_events () =
+  let col = O.Span.create () in
+  let a = mk_span col ~kind:O.Span.Prefetch ~proto:10 () in
+  ignore
+    (mk_span col ~kind:O.Span.Pf_settle ~parent:a.O.Span.sp_id
+       ~edge:O.Span.E_satisfy ~pf_wait:5 ~issued:10 ());
+  let s = O.Export.spans_chrome_trace_string ~names:(fun _ -> "ds") col in
+  let j = J.parse s in
+  let events =
+    match J.member "traceEvents" j with
+    | Some v -> (match J.to_list_opt v with Some l -> l | None -> [])
+    | None -> []
+  in
+  let phases ph =
+    List.filter (fun e -> J.member "ph" e = Some (J.Str ph)) events
+  in
+  check Alcotest.int "one X per span" 2 (List.length (phases "X"));
+  check Alcotest.int "flow start per edge" 1 (List.length (phases "s"));
+  check Alcotest.int "flow finish per edge" 1 (List.length (phases "f"))
+
+(* The zero-cost-off claim, measured: with no collector installed the
+   guard paths must not allocate a single extra word.  Each loop is
+   timed as the delta between N and 2N iterations, which cancels
+   whatever boxing the measurement harness itself does. *)
+let minor_words_per_iter f n =
+  let delta k =
+    let w0 = Gc.minor_words () in
+    for _ = 1 to k do f () done;
+    Gc.minor_words () -. w0
+  in
+  ignore (delta n);
+  (* warm every lazy path first *)
+  let d1 = delta n in
+  let d2 = delta (2 * n) in
+  (d2 -. d1) /. float_of_int n
+
+let test_spans_off_allocation_free () =
+  let mk_rt obs =
+    let rt =
+      R.Runtime.create ?obs
+        { R.Runtime.default_config with
+          policy = R.Policy.All_remotable; k = 0.0;
+          local_bytes = 1024 * 1024; remotable_bytes = 512 * 1024;
+          prefetch_mode = R.Runtime.Pf_none }
+        [| R.Static_info.default ~sid:0 |]
+    in
+    let h = R.Runtime.ds_init rt ~sid:0 in
+    let a = R.Runtime.ds_alloc rt ~handle:h ~size:4096 in
+    R.Runtime.guard rt ~write:false a;
+    (rt, a)
+  in
+  let n = 10_000 in
+  (* [Gc.minor_words] itself boxes a float per probe; the N-vs-2N
+     delta cancels it up to sub-word float noise, hence the epsilon. *)
+  let eps = 0.01 in
+  (* Unmanaged custody checks allocate nothing at all. *)
+  let null_rt, _ = mk_rt None in
+  let unmanaged =
+    minor_words_per_iter (fun () -> R.Runtime.guard null_rt ~write:false 64) n
+  in
+  check Alcotest.bool "unmanaged guard allocates nothing" true
+    (Float.abs unmanaged < eps);
+  (* Managed guard hits: whatever the resident path allocates today, a
+     sink without a span collector must add nothing to it. *)
+  let base_rt, base_a = mk_rt None in
+  let base =
+    minor_words_per_iter
+      (fun () -> R.Runtime.guard base_rt ~write:false base_a) n
+  in
+  let off_rt, off_a = mk_rt (Some (O.Sink.create ())) in
+  let off =
+    minor_words_per_iter
+      (fun () -> R.Runtime.guard off_rt ~write:false off_a) n
+  in
+  check Alcotest.bool "span-less sink adds no allocation" true
+    (Float.abs (off -. base) < eps);
+  check Alcotest.bool "hit path near allocation-free" true (base <= 3.0)
+
 let suite =
   [ Alcotest.test_case "attribution sums to total" `Quick
       test_attribution_sums_to_total;
@@ -576,4 +830,23 @@ let suite =
     Alcotest.test_case "metrics sampled" `Quick test_metrics_sampled;
     Alcotest.test_case "metrics jsonl parses" `Quick test_metrics_jsonl_parses;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
-    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage ]
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "span sampling deterministic" `Quick
+      test_span_sampling_deterministic;
+    Alcotest.test_case "span inflight registry" `Quick
+      test_span_inflight_registry;
+    Alcotest.test_case "span well-formedness" `Quick
+      test_span_well_formed_rejects_forward_edge;
+    Alcotest.test_case "critical path on a synthetic chain" `Quick
+      test_critical_path_synthetic_chain;
+    Alcotest.test_case "recorder ring bounded" `Quick test_recorder_ring_bound;
+    Alcotest.test_case "recorder retains flagged chain" `Quick
+      test_recorder_retains_flagged_chain;
+    Alcotest.test_case "postmortem latch one-shot" `Quick
+      test_sink_postmortem_one_shot;
+    Alcotest.test_case "resilience table quiet row" `Quick
+      test_resilience_table_quiet_row;
+    Alcotest.test_case "span chrome export flow events" `Quick
+      test_span_chrome_export_flow_events;
+    Alcotest.test_case "spans off allocation-free" `Quick
+      test_spans_off_allocation_free ]
