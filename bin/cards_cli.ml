@@ -76,14 +76,31 @@ let show_table =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
 
+let factorize_arg =
+  Arg.(value & flag
+       & info [ "factorize" ]
+           ~doc:"Run the layout-factorization pass: split rarely-read \
+                 fields of recursive structures into a compiled side \
+                 pool (the hot node shrinks to its frequently-accessed \
+                 fields plus an index) and rewrite eligible row-major \
+                 record arrays to column-major (AoS to SoA).  Program \
+                 output is unchanged; fetched bytes shrink when the \
+                 access pattern is skewed.")
+
 let compile_cmd =
-  let run file dump table =
+  let run file dump table factorize =
     with_errors (fun () ->
-        let compiled = P.compile_source (read_source file) in
+        let options = { P.cards_options with factorize } in
+        let compiled = P.compile_source ~options (read_source file) in
         Printf.printf
           "%d data structures, %d guards (after removing %d), %d loops versioned\n"
           (Array.length compiled.infos) compiled.static_guards
           compiled.guards_removed compiled.versioned_loops;
+        if factorize then
+          Printf.printf
+            "layout factorization: %d hot/cold splits, %d AoS-to-SoA rewrites\n"
+            (Cards_transform.Factorize.splits_last_run ())
+            (Cards_transform.Factorize.soa_last_run ());
         if table then print_static_table compiled.infos;
         match dump with
         | Some `Source ->
@@ -95,7 +112,7 @@ let compile_cmd =
         | None -> ())
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a MiniC file with the CaRDS pipeline")
-    Term.(const run $ file_arg $ dump_stage $ show_table)
+    Term.(const run $ file_arg $ dump_stage $ show_table $ factorize_arg)
 
 (* ---------- cards run ---------- *)
 
@@ -394,22 +411,31 @@ let print_profile rt total =
   T.print (O.Export.attribution_sites_table ~names attr);
   T.print (O.Export.latency_table prof);
   T.print (O.Export.latency_percentiles_table ~names prof);
+  let per_ds =
+    List.map
+      (fun (r : R.Runtime.ds_report) ->
+        (r.r_name, r.r_stats.R.Rt_stats.fetched_bytes))
+      (R.Runtime.report rt)
+  in
   T.print
     (O.Export.fabric_table
        ~over_budget:(R.Rt_stats.over_budget (R.Runtime.stats rt))
+       ~per_ds
        (R.Runtime.fabric_stats rt))
 
 let print_report rt =
   let t =
     T.create ~title:"Per-structure report"
-      ~header:[ "structure"; "pinned"; "bytes"; "guards"; "hits"; "faults";
-                "clean faults"; "pf issued"; "pf used"; "evictions" ]
+      ~header:[ "structure"; "pinned"; "bytes"; "fetched"; "guards"; "hits";
+                "faults"; "clean faults"; "pf issued"; "pf used";
+                "evictions" ]
   in
   List.iter
     (fun (r : R.Runtime.ds_report) ->
       T.add_row t
         [ r.r_name; (if r.r_pinned then "yes" else "no");
           T.fmt_bytes (float_of_int r.r_bytes);
+          T.fmt_bytes (float_of_int r.r_stats.fetched_bytes);
           string_of_int r.r_stats.guards;
           string_of_int r.r_stats.guard_hits;
           string_of_int r.r_stats.remote_faults;
@@ -420,21 +446,38 @@ let print_report rt =
     (R.Runtime.report rt);
   T.print t
 
+(* Probability-valued flags are validated up front: a typo'd
+   [--fault-rate 1.5] must die with a usage error, not silently clamp
+   or corrupt the deterministic fault schedule. *)
+let check_unit_interval flag v =
+  if Float.is_nan v || v < 0.0 || v > 1.0 then
+    failwith (Printf.sprintf "--%s %g: expected a probability in [0,1]" flag v)
+
 let run_cmd =
   let run file system engine policy k local remotable prefetch report qp
       no_batching fault_rate fault_seed retry_max fault_kinds
       trace events trace_cap metrics metrics_interval profile
-      spans span_rate postmortem =
+      spans span_rate postmortem factorize =
     with_errors (fun () ->
+        check_unit_interval "fault-rate" fault_rate;
+        check_unit_interval "span-rate" span_rate;
+        (* A sampling rate without a span consumer is almost always a
+           forgotten --spans; warn rather than fail so scripted sweeps
+           that toggle --spans independently keep working. *)
+        if span_rate <> 1.0 && spans = None && not postmortem then
+          O.Reporter.linef reporter
+            "-- warning: --span-rate %g has no effect without --spans or \
+             --postmortem" span_rate;
         let src = read_source file in
         let obs =
           make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval
             ~spans ~span_rate ~postmortem
         in
+        let options = { P.cards_options with factorize } in
         let res, rt =
           match system with
           | `Cards ->
-            let compiled = P.compile_source src in
+            let compiled = P.compile_source ~options src in
             P.run ~engine ?obs compiled
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
@@ -451,11 +494,11 @@ let run_cmd =
             let compiled = B.Trackfm.compile_source src in
             B.Trackfm.run ~engine ?obs compiled ~local_bytes:local
           | `Mira ->
-            let compiled = P.compile_source src in
+            let compiled = P.compile_source ~options src in
             B.Mira.run ~engine ?obs compiled ~local_bytes:local
               ~remotable_bytes:remotable
           | `Plain ->
-            let compiled = P.compile_source src in
+            let compiled = P.compile_source ~options src in
             B.Noguard.run ~engine ?obs compiled
         in
         List.iter print_endline res.output;
@@ -505,7 +548,7 @@ let run_cmd =
           $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
           $ metrics_interval_arg $ profile_arg
-          $ spans_arg $ span_rate_arg $ postmortem_arg)
+          $ spans_arg $ span_rate_arg $ postmortem_arg $ factorize_arg)
 
 (* ---------- cards workload ---------- *)
 

@@ -1,0 +1,79 @@
+module Irmod = Cards_ir.Irmod
+module Func = Cards_ir.Func
+module Instr = Cards_ir.Instr
+module Bitset = Cards_util.Bitset
+
+type t = { counts : (int * int, float ref) Hashtbl.t }
+
+let bump t desc off w =
+  match Hashtbl.find_opt t.counts (desc, off) with
+  | Some r -> r := !r +. w
+  | None -> Hashtbl.replace t.counts (desc, off) (ref w)
+
+(* Static frequency estimate for a block: 10 per loop level, the
+   standard "a loop runs about ten times" guess.  Capped so a
+   six-deep nest cannot overflow anything downstream. *)
+let weight_of_depth d = 10.0 ** float_of_int (Stdlib.min d 6)
+
+let compute (m : Irmod.t) dsa =
+  let t = { counts = Hashtbl.create 64 } in
+  List.iter
+    (fun (f : Func.t) ->
+      let fname = f.name in
+      let cfg = Cfg.of_func f in
+      let dom = Dominators.compute cfg in
+      let loops = Loops.compute cfg dom in
+      let ls = Loops.loops loops in
+      let depth_of bid =
+        Array.fold_left
+          (fun acc (loop : Loops.loop) ->
+            if Bitset.mem loop.body bid then acc + 1 else acc)
+          0 ls
+      in
+      (* The lowering materializes a field address as its own
+         constant-offset gep right before the access, so a simple
+         whole-function reg -> offset table recovers every field. *)
+      let gep_off = Hashtbl.create 32 in
+      Func.iter_instrs f (fun _bid _idx ins ->
+          match ins with
+          | Instr.Gep (r, _, Instr.Imm off, 1) ->
+            Hashtbl.replace gep_off r (Int64.to_int off)
+          | _ -> ());
+      let off_of_addr = function
+        | Instr.Reg r ->
+          (match Hashtbl.find_opt gep_off r with Some o -> o | None -> 0)
+        | _ -> 0
+      in
+      Func.iter_instrs f (fun bid idx ins ->
+          let addr =
+            match ins with
+            | Instr.Load (_, _, a) -> Some a
+            | Instr.Store (_, a, _) -> Some a
+            | _ -> None
+          in
+          match addr with
+          | None -> ()
+          | Some a ->
+            let descs = Dsa.access_instances dsa ~fname ~bid ~idx in
+            if descs <> [] then begin
+              let w = weight_of_depth (depth_of bid) in
+              let off = off_of_addr a in
+              List.iter (fun d -> bump t d off w)
+                (List.sort_uniq compare descs)
+            end))
+    m.funcs;
+  t
+
+let count t ~desc ~off =
+  match Hashtbl.find_opt t.counts (desc, off) with
+  | Some r -> !r
+  | None -> 0.0
+
+let offsets t ~desc =
+  Hashtbl.fold
+    (fun (d, off) r acc -> if d = desc then (off, !r) :: acc else acc)
+    t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total t ~desc =
+  List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (offsets t ~desc)

@@ -1,0 +1,27 @@
+(** Per-field access-count approximation on top of DSA.
+
+    For every heap descriptor, estimate how often each byte offset
+    inside one element is loaded or stored.  Offsets come from the
+    lowering's constant-offset geps ([Gep (r, base, Imm off, 1)] is
+    how [p->field] arrives from MiniC); an access whose address is not
+    such a gep (a raw element pointer, a scaled index) counts against
+    offset 0.  Counts are static-frequency estimates, not profiles:
+    each access site contributes [10^depth] where [depth] is its loop
+    nesting depth, the classic static heuristic — enough to rank
+    fields hot vs cold, which is all {!Cards_transform.Factorize}
+    needs. *)
+
+type t
+
+val compute : Cards_ir.Irmod.t -> Dsa.t -> t
+
+val count : t -> desc:int -> off:int -> float
+(** Estimated accesses to byte offset [off] of descriptor [desc];
+    0 when the pair was never seen. *)
+
+val offsets : t -> desc:int -> (int * float) list
+(** All offsets seen for [desc] with their counts, ascending by
+    offset.  Empty when the descriptor was never accessed. *)
+
+val total : t -> desc:int -> float
+(** Sum of {!count} over every offset of [desc]. *)

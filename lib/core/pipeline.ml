@@ -7,15 +7,16 @@ type options = {
   guard_elim_level : T.Guard_elim.level;
   versioning : bool;
   presimplify : bool;
+  factorize : bool;
 }
 
 let cards_options =
   { guard_elim_level = T.Guard_elim.Lcards; versioning = true;
-    presimplify = false }
+    presimplify = false; factorize = false }
 
 let trackfm_options =
   { guard_elim_level = T.Guard_elim.Ltrackfm; versioning = false;
-    presimplify = false }
+    presimplify = false; factorize = false }
 
 type compiled = {
   source : Irmod.t;
@@ -53,6 +54,11 @@ let static_table m dsa =
 let compile ?(options = cards_options) (m : Irmod.t) =
   Cards_ir.Verify.check_exn m;
   let m = if options.presimplify then T.Simplify.run m else m in
+  (* Layout factorization runs first: the re-analysis below then sizes
+     descriptors, pools and prefetch classes from the new layouts. *)
+  let m =
+    if options.factorize then T.Factorize.run m (A.Dsa.analyze m) else m
+  in
   let dsa1 = A.Dsa.analyze m in
   let infos = static_table m dsa1 in
   let pooled = T.Pool_alloc.run m dsa1 in

@@ -21,6 +21,11 @@ type options = {
       (** run {!Cards_transform.Simplify} (constant folding / copy
           propagation / DCE) before the CaRDS passes; off by default so
           measured instruction mixes stay comparable across options *)
+  factorize : bool;
+      (** run {!Cards_transform.Factorize} (hot/cold splitting,
+          AoS→SoA) before everything else, so descriptors, pools and
+          prefetch classes are derived from the transformed layouts;
+          off by default *)
 }
 
 val cards_options : options

@@ -542,7 +542,7 @@ let attribution_sites_table ?(title = "Stall by access site (heaviest first)")
     (Attribution.site_rows ~limit attr);
   t
 
-let fabric_table ?(title = "Fabric") ?over_budget
+let fabric_table ?(title = "Fabric") ?over_budget ?(per_ds = [])
     (fs : Cards_net.Fabric.stats) =
   let t = Table.create ~title ~header:[ "counter"; "value" ] in
   let i name v = Table.add_row t [ name; string_of_int v ] in
@@ -550,6 +550,12 @@ let fabric_table ?(title = "Fabric") ?over_budget
   let c name v = Table.add_row t [ name; Table.fmt_cycles (float_of_int v) ] in
   i "objects fetched" fs.fetches;
   b "fetched bytes" fs.fetched_bytes;
+  (* Per-structure split of the line above; structures that never
+     faulted remotely are omitted rather than shown as zero. *)
+  List.iter
+    (fun (name, bytes) ->
+      if bytes > 0 then b (Printf.sprintf "  %s" name) bytes)
+    per_ds;
   i "batched requests" fs.batches;
   i "objects in batches" fs.batched_objects;
   i "objects written back" fs.writebacks;

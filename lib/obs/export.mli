@@ -94,13 +94,17 @@ val attribution_sites_table :
 val fabric_table :
   ?title:string ->
   ?over_budget:int ->
+  ?per_ds:(string * int) list ->
   Cards_net.Fabric.stats ->
   Cards_util.Table.t
 (** Fabric transport counters: objects fetched/written, batching
     (coalesced requests and the objects they carried, both directions),
     queueing split per inbound queue pair, fault-injection counters
     (shown only when nonzero), and — when given — the runtime's
-    over-budget eviction count. *)
+    over-budget eviction count.  [per_ds] adds one indented
+    [(structure name, bytes)] row under "fetched bytes" for each
+    structure that actually pulled bytes over the fabric — the
+    layout-factorization pass's before/after evidence. *)
 
 val resilience_table :
   ?title:string ->

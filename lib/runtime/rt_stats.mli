@@ -17,6 +17,13 @@ type ds = {
   mutable evictions : int;
   mutable alloc_bytes : int;
   mutable demotions : int;       (** runtime overrides of a pinned hint *)
+  mutable fetched_bytes : int;
+      (** bytes this structure pulled over the fabric — demand
+          fetches, prefetches and retries alike.  Summed over every
+          handle it equals {!Cards_net.Fabric.stats.fetched_bytes}
+          exactly (the fabric counts a transfer's bytes whenever it
+          completes [Ok], including late completions the runtime
+          abandoned; the runtime mirrors that rule per handle). *)
 }
 
 val make_ds : unit -> ds

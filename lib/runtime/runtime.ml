@@ -710,6 +710,7 @@ let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
       note_fault_outcome t true;
       emit_fault_inject t ~ds:td.handle ~obj:o Fabric.Transient
     | Ok tr ->
+      td.st.fetched_bytes <- td.st.fetched_bytes + obj_size td;
       (match tr.Fabric.t_fault with
        | Some k ->
          note_fault_outcome t true;
@@ -745,6 +746,7 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
       note_fault_outcome t true;
       emit_fault_inject t ~ds:td.handle ~obj:o Fabric.Transient
     | Ok tr ->
+      td.st.fetched_bytes <- td.st.fetched_bytes + obj_size td;
       (match tr.Fabric.t_fault with
        | Some k ->
          note_fault_outcome t true;
@@ -763,6 +765,10 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
       note_fault_outcome t true;
       emit_fault_inject t ~ds:d.handle ~obj:origin_obj Fabric.Transient
     | Ok (tr, completions) ->
+      List.iter
+        (fun ((td : ds), _) ->
+          td.st.fetched_bytes <- td.st.fetched_bytes + obj_size td)
+        items;
       (match tr.Fabric.t_fault with
        | Some k ->
          note_fault_outcome t true;
@@ -1075,6 +1081,11 @@ let demand_fetch ?(span_parent = -1) t (d : ds) o =
       emit_fault_inject t ~ds:d.handle ~obj:o Fabric.Transient;
       backoff n
     | Ok tr -> (
+      (* The fabric counted this transfer's bytes the moment it
+         completed [Ok] — even a late completion we abandon below
+         still crossed the wire — so the per-structure mirror bumps
+         here, not in [finish]. *)
+      d.st.fetched_bytes <- d.st.fetched_bytes + osz;
       match tr.Fabric.t_fault with
       | Some Fabric.Late
         when n < t.cfg.retry_max
@@ -1108,6 +1119,7 @@ let demand_fetch ?(span_parent = -1) t (d : ds) o =
       Rt_stats.note_escalation t.stats;
       flush_retry ();
       escalated := true;
+      d.st.fetched_bytes <- d.st.fetched_bytes + osz;
       finish (Fabric.fetch_reliable t.fabric ~now:t.clock ~bytes:osz)
     end
     else begin

@@ -73,7 +73,14 @@ let min t = t.lo
 let max t = t.hi
 
 let percentile t p =
+  (* NaN p used to slip through the rank arithmetic (int_of_float nan
+     = 0, clamped to rank 1) and out-of-range p silently clamped; both
+     are caller bugs, so reject them loudly. *)
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %g not in [0,100]" p);
   if t.n = 0 then 0.0
+  else if p = 0.0 then t.lo
+  else if p = 100.0 then t.hi
   else begin
     let rank =
       let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
@@ -92,9 +99,20 @@ let percentile t p =
 
 let median t = percentile t 50.0
 
+let copy a =
+  { a with hist = Array.copy a.hist }
+
 (* Bucket-wise addition plus the standard parallel Welford
-   combination — no re-streaming of samples (there are none). *)
+   combination — no re-streaming of samples (there are none).  An
+   empty side short-circuits to a copy of the other: the general path
+   happens to be algebraically right for n = 0 too (delta * 0 / n
+   vanishes, min/max absorb the infinities), but only by accident of
+   the sentinel values — the guard makes the contract explicit and
+   keeps it true if the sentinels ever change. *)
 let merge a b =
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else begin
   let t = create () in
   t.n <- a.n + b.n;
   t.total <- a.total +. b.total;
@@ -109,6 +127,7 @@ let merge a b =
   t.hi <- Float.max a.hi b.hi;
   Array.iteri (fun i c -> t.hist.(i) <- c + b.hist.(i)) a.hist;
   t
+  end
 
 (* Log2 view for ASCII histograms: index [e] counts observations in
    [2^e, 2^(e+1)); bucket 0's sub-1.0 values fold into index 0. *)

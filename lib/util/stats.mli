@@ -42,15 +42,21 @@ val max : t -> float
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]: nearest-rank over the
     histogram, answering the matching bucket's midpoint clamped to the
-    exact [\[min, max\]]; 0 when empty.  Relative error ≤ 1/32 of the
-    true value for observations ≥ 1. *)
+    exact [\[min, max\]].  Relative error ≤ 1/32 of the true value for
+    observations ≥ 1.  Edge cases are defined, not accidental: an
+    empty accumulator answers 0.0 for every valid [p]; [p = 0] answers
+    the exact {!min} and [p = 100] the exact {!max} (no bucket math);
+    a NaN or out-of-range [p] raises [Invalid_argument]. *)
 
 val median : t -> float
 
 val merge : t -> t -> t
 (** Combine two accumulators into a fresh one: bucket-wise histogram
     addition plus the parallel Welford combination — O(buckets), no
-    sample re-streaming. *)
+    sample re-streaming.  When either side is empty the result is a
+    copy of the other (so min/max/mean never see the empty side's
+    sentinel values); merging two empty accumulators yields an empty
+    one. *)
 
 val log2_counts : t -> int array
 (** Octave view for ASCII histograms: index [e] counts observations in

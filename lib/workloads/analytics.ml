@@ -237,3 +237,242 @@ void main() {
 }
 |}
     trips query_passes n_zones n_hours
+
+(* The same trip table and query battery, but laid out row-wise: one
+   array of 88-byte Trip records instead of eleven columns.  Each
+   query still touches only a few fields, so without layout help every
+   pass drags whole interleaved records across the fabric; with
+   --factorize the compiler rewrites the array column-major (AoS→SoA)
+   and the fetched bytes collapse to the columns actually read.
+   Printed outputs match [source]'s bit for bit: same RNG, same
+   queries, same arithmetic order. *)
+let source_aos ~trips ~query_passes =
+  Printf.sprintf
+    {|
+// NYC-taxi-style analytics over a row-oriented trip table.
+int N = %d;          // trips
+int PASSES = %d;     // query battery repetitions
+int ZONES = %d;
+int HOURS = %d;
+
+struct Trip {
+  int hour;
+  int month;
+  int pick_zone;
+  int drop_zone;
+  double dist;
+  double fare;
+  double tip;
+  int passengers;
+  int payment;
+  int duration;
+  int vendor;
+}
+
+int rng_state = 424242;
+
+int rnd(int bound) {
+  rng_state = rng_state * 2862933555777941757 + 3037000493;
+  int x = rng_state / 65536;
+  if (x < 0) { x = 0 - x; }
+  return x %% bound;
+}
+
+int zipf_zone() {
+  int z = rnd(ZONES);
+  int coin = rnd(4);
+  if (coin > 0) { z = z / 2; }
+  if (coin > 2) { z = z / 4; }
+  return z;
+}
+
+int skewed_hour() {
+  int coin = rnd(10);
+  if (coin < 3) { return 7 + rnd(3); }
+  if (coin < 6) { return 16 + rnd(4); }
+  return rnd(HOURS);
+}
+
+void fhist_reset(double *sum, int *cnt, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    sum[i] = 0.0;
+    cnt[i] = 0;
+  }
+}
+
+void fhist_add(double *sum, int *cnt, int slot, double x) {
+  sum[slot] = sum[slot] + x;
+  cnt[slot] = cnt[slot] + 1;
+}
+
+double fhist_avg_total(double *sum, int *cnt, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (cnt[i] > 0) {
+      acc = acc + sum[i] / (1.0 * cnt[i]);
+    }
+  }
+  return acc;
+}
+
+void generate(struct Trip *trips) {
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    t->hour = skewed_hour();
+    t->month = rnd(12);
+    t->pick_zone = zipf_zone();
+    t->drop_zone = zipf_zone();
+    double d = 0.5 + 0.01 * rnd(3000);
+    t->dist = d;
+    t->fare = 2.5 + 1.8 * d + 0.01 * rnd(200);
+    int card = rnd(10);
+    if (card < 6) { t->payment = 1; } else { t->payment = 0; }
+    if (t->payment == 1) { t->tip = t->fare * 0.01 * (10 + rnd(15)); }
+    else { t->tip = 0.0; }
+    t->passengers = 1 + rnd(5);
+    t->duration = 3 + rnd(60);
+    t->vendor = rnd(2);
+  }
+}
+
+double q_fare_by_hour(struct Trip *trips, double *sum, int *cnt) {
+  fhist_reset(sum, cnt, HOURS);
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    fhist_add(sum, cnt, t->hour, t->fare);
+  }
+  return fhist_avg_total(sum, cnt, HOURS);
+}
+
+double q_top_zones(struct Trip *trips, int *zone_cnt, double *top_val, int *top_idx) {
+  for (int z = 0; z < ZONES; z = z + 1) { zone_cnt[z] = 0; }
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    zone_cnt[t->pick_zone] = zone_cnt[t->pick_zone] + 1;
+  }
+  for (int t = 0; t < 10; t = t + 1) {
+    top_val[t] = 0.0;
+    top_idx[t] = -1;
+  }
+  for (int z = 0; z < ZONES; z = z + 1) {
+    double v = 1.0 * zone_cnt[z];
+    int slot = -1;
+    for (int t = 9; t >= 0; t = t - 1) {
+      if (v > top_val[t]) { slot = t; }
+    }
+    if (slot >= 0) {
+      for (int t = 9; t > slot; t = t - 1) {
+        top_val[t] = top_val[t - 1];
+        top_idx[t] = top_idx[t - 1];
+      }
+      top_val[slot] = v;
+      top_idx[slot] = z;
+    }
+  }
+  double acc = 0.0;
+  for (int t = 0; t < 10; t = t + 1) { acc = acc + 1.0 * top_idx[t]; }
+  return acc;
+}
+
+double q_long_trips(struct Trip *trips) {
+  double long_tip = 0.0;
+  double long_fare = 0.0;
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    if (t->dist > 10.0 && t->payment == 1) {
+      long_tip = long_tip + t->tip;
+      long_fare = long_fare + t->fare;
+    }
+  }
+  return long_tip + 0.001 * long_fare;
+}
+
+double q_monthly_revenue(struct Trip *trips, double *rev) {
+  for (int m = 0; m < 12; m = m + 1) { rev[m] = 0.0; }
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    rev[t->month] = rev[t->month] + t->fare + t->tip;
+  }
+  double acc = 0.0;
+  for (int m = 0; m < 12; m = m + 1) { acc = acc + 0.000001 * rev[m]; }
+  return acc;
+}
+
+double q_payment_split(struct Trip *trips, int *pay_matrix) {
+  for (int h = 0; h < HOURS * 2; h = h + 1) { pay_matrix[h] = 0; }
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    int cell = t->hour * 2 + t->payment;
+    pay_matrix[cell] = pay_matrix[cell] + 1;
+  }
+  double acc = 0.0;
+  for (int h = 0; h < HOURS; h = h + 1) {
+    int tot = pay_matrix[h * 2] + pay_matrix[h * 2 + 1];
+    if (tot > 0) { acc = acc + 1.0 * pay_matrix[h * 2 + 1] / (1.0 * tot); }
+  }
+  return acc;
+}
+
+double q_speed(struct Trip *trips, double *sum, int *cnt) {
+  fhist_reset(sum, cnt, HOURS);
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    double mph = t->dist * 60.0 / (1.0 * t->duration);
+    fhist_add(sum, cnt, t->hour, mph);
+  }
+  return fhist_avg_total(sum, cnt, HOURS);
+}
+
+double q_zone_distance(struct Trip *trips, double *sum, int *cnt) {
+  fhist_reset(sum, cnt, ZONES);
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    fhist_add(sum, cnt, t->pick_zone, t->dist);
+  }
+  return fhist_avg_total(sum, cnt, ZONES);
+}
+
+int q_odd_vendor(struct Trip *trips) {
+  int odd = 0;
+  for (int i = 0; i < N; i = i + 1) {
+    struct Trip *t = trips + i;
+    if (t->vendor == 1 && t->passengers > 4) { odd = odd + 1; }
+  }
+  return odd;
+}
+
+void main() {
+  struct Trip *trips = malloc(N * sizeof(struct Trip));
+
+  // ---- aggregation tables ----
+  double *fare_sum_by_hour = malloc(HOURS * 8);
+  int *cnt_by_hour = malloc(HOURS * 8);
+  int *zone_cnt = malloc(ZONES * 8);
+  double *rev_by_month = malloc(12 * 8);
+  int *pay_matrix = malloc(HOURS * 2 * 8);
+  double *speed_sum = malloc(HOURS * 8);
+  int *speed_cnt = malloc(HOURS * 8);
+  double *top_val = malloc(10 * 8);
+  int *top_idx = malloc(10 * 8);
+  double *zone_dist_sum = malloc(ZONES * 8);
+  int *zone_dist_cnt = malloc(ZONES * 8);
+
+  generate(trips);
+
+  double grand_total = 0.0;
+  for (int p = 0; p < PASSES; p = p + 1) {
+    grand_total = grand_total
+      + q_fare_by_hour(trips, fare_sum_by_hour, cnt_by_hour)
+      + q_top_zones(trips, zone_cnt, top_val, top_idx)
+      + q_long_trips(trips)
+      + q_monthly_revenue(trips, rev_by_month)
+      + q_payment_split(trips, pay_matrix)
+      + q_speed(trips, speed_sum, speed_cnt)
+      + q_zone_distance(trips, zone_dist_sum, zone_dist_cnt);
+  }
+  int odd_vendor = q_odd_vendor(trips);
+  print_float(grand_total);
+  print_int(odd_vendor);
+}
+|}
+    trips query_passes n_zones n_hours

@@ -23,3 +23,11 @@ val n_hours : int
 val source : trips:int -> query_passes:int -> string
 (** MiniC source.  [trips] = row count; [query_passes] = how many
     times the query battery runs (hot/cold contrast grows with it). *)
+
+val source_aos : trips:int -> query_passes:int -> string
+(** The same trip table and query battery laid out row-wise: one array
+    of 88-byte [struct Trip] records instead of eleven columns — the
+    layout-factorization pass's AoS→SoA target.  Printed outputs match
+    [source]'s bit for bit (same RNG stream, same query arithmetic),
+    so the two compile-side layouts are differential oracles for each
+    other. *)

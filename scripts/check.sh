@@ -3,26 +3,33 @@
 # observability smoke run (compile + execute a bundled example with
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
-# regression gates: fabric, attribution, fault-injection, causal-span
-# and execution-engine experiments are diffed against the committed
-# BENCH_fabric.json / BENCH_attr.json / BENCH_faults.json /
-# BENCH_spans.json / BENCH_host.json baselines (2% relative
-# tolerance) and the snapshots refreshed on a clean pass.  The bench
-# gates run from a release build: the host gate asserts a wall-clock
-# speedup of the pre-decoded engine over the reference interpreter,
-# which only means anything with optimizations on (the cycle gates
-# are deterministic and profile-independent, so sharing the binary
-# costs nothing).
+# regression gates: fabric, attribution, fault-injection, causal-span,
+# execution-engine and layout-factorization experiments are diffed
+# against the committed BENCH_fabric.json / BENCH_attr.json /
+# BENCH_faults.json / BENCH_spans.json / BENCH_host.json /
+# BENCH_layout.json baselines (2% relative tolerance) and the
+# snapshots refreshed on a clean pass.  The bench gates run from a
+# release build: the host gate asserts a wall-clock speedup of the
+# pre-decoded engine over the reference interpreter, which only means
+# anything with optimizations on (the cycle gates are deterministic
+# and profile-independent, so sharing the binary costs nothing).
+#
+# Snapshot refresh is atomic across the whole run: every gate writes
+# its fresh snapshot to a temp directory while comparing against the
+# committed baseline, and the temps move into place only after ALL
+# gates have passed.  A failure partway — even in the last gate —
+# leaves every committed BENCH_*.json exactly as it was.
 #
 #   scripts/check.sh           # everything
 #   scripts/check.sh --quick   # build + tests + smoke only: skips the
 #                              # release build and the bench regression
-#                              # gates (the slow half) for inner-loop use
+#                              # gates (the slow half) for inner-loop
+#                              # use; never touches any BENCH_*.json
 #
 # Exits non-zero on the first failure.  A regression-gate failure
 # names the experiment, metric, baseline, and observed value on
-# stderr; if the change is intentional, commit the refreshed
-# BENCH_*.json alongside it.
+# stderr; if the change is intentional, delete the stale BENCH_*.json
+# and re-run to regenerate, or commit an intentionally refreshed one.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -49,9 +56,13 @@ echo "== differential oracle (qp x batching x fault rate, incl. slow)"
 # seeds (registered `Slow`, so plain runtest skips them) forced on.
 dune exec --no-build test/test_main.exe -- test differential -e > /dev/null
 
+echo "== slow transform tests (factorize chunk boundaries)"
+dune exec --no-build test/test_main.exe -- test transform -e > /dev/null
+
 echo "== smoke: cards run with --trace/--metrics/--profile"
 trace=$(mktemp /tmp/cards-trace.XXXXXX.json)
-trap 'rm -f "$trace"' EXIT
+tmpdir=$(mktemp -d /tmp/cards-bench.XXXXXX)
+trap 'rm -f "$trace"; rm -rf "$tmpdir"' EXIT
 dune exec --no-build bin/cards_cli.exe -- run examples/minic/listing1.mc \
   --policy all-remotable --local 1M --remotable 256K \
   --trace "$trace" --metrics --profile > /dev/null
@@ -68,44 +79,44 @@ echo "== dune build (release, for the bench gates)"
 dune build --profile release bench/main.exe
 BENCH=_build/default/bench/main.exe
 
+# gate SECTION BASELINE PATTERN — run one bench section, comparing its
+# experiments against the committed BASELINE (which must exist and
+# stays untouched here) and writing the fresh snapshot to the temp
+# directory; PATTERN is a sanity grep proving the snapshot carries the
+# section's counters.  Refreshed snapshots land in $refreshed and move
+# into place only after every gate is green.
+refreshed=""
+gate() {
+  section=$1; base=$2; pattern=$3
+  "$BENCH" "$section" \
+    --json "$tmpdir/$base" --compare "$base" --tolerance 0.02 \
+    > /dev/null
+  test -s "$tmpdir/$base" || {
+    echo "check.sh: empty $base from the $section gate" >&2; exit 1; }
+  grep -q "$pattern" "$tmpdir/$base" || {
+    echo "check.sh: $base has no $pattern entries" >&2; exit 1; }
+  refreshed="$refreshed $base"
+}
+
 echo "== bench: fabric batching gate (BENCH_fabric.json, 2% tolerance)"
 # The fabric section is itself an assertion: it exits non-zero if the
 # batched transport fails to beat per-object requests or if outputs
-# diverge.  --compare reads the committed baseline before --json
-# refreshes it, so one run both gates and updates the snapshot.
-"$BENCH" fabric \
-  --json BENCH_fabric.json --compare BENCH_fabric.json --tolerance 0.02 \
-  > /dev/null
-test -s BENCH_fabric.json || {
-  echo "check.sh: empty BENCH_fabric.json" >&2; exit 1; }
-grep -q '"batches"' BENCH_fabric.json || {
-  echo "check.sh: BENCH_fabric.json has no fabric stats" >&2; exit 1; }
+# diverge.
+gate fabric BENCH_fabric.json '"batches"'
 
 echo "== bench: stall-attribution gate (BENCH_attr.json, 2% tolerance)"
 # The attr section hard-asserts the ledger exactness invariant
 # (sum of per-cause stalls = cycles - compute) on the fig8/fig9
 # workloads, then the gate diffs cycles and fabric counters against
 # the committed baseline.
-"$BENCH" attr \
-  --json BENCH_attr.json --compare BENCH_attr.json --tolerance 0.02 \
-  > /dev/null
-test -s BENCH_attr.json || {
-  echo "check.sh: empty BENCH_attr.json" >&2; exit 1; }
-grep -q '"experiments"' BENCH_attr.json || {
-  echo "check.sh: BENCH_attr.json has no experiments" >&2; exit 1; }
+gate attr BENCH_attr.json '"experiments"'
 
 echo "== bench: fault-injection gate (BENCH_faults.json, 2% tolerance)"
 # The faults section hard-asserts output invariance vs the fault-free
 # run, profiler/ledger exactness (Retry bucket included), a bounded
 # slowdown under degradation, and same-seed determinism; the gate
 # then diffs cycles and fabric/fault counters against the baseline.
-"$BENCH" faults \
-  --json BENCH_faults.json --compare BENCH_faults.json --tolerance 0.02 \
-  > /dev/null
-test -s BENCH_faults.json || {
-  echo "check.sh: empty BENCH_faults.json" >&2; exit 1; }
-grep -q '"faults_transient"' BENCH_faults.json || {
-  echo "check.sh: BENCH_faults.json has no fault counters" >&2; exit 1; }
+gate faults BENCH_faults.json '"faults_transient"'
 
 echo "== bench: causal-span gate (BENCH_spans.json, 2% tolerance)"
 # The spans section hard-asserts that span recording is read-only
@@ -114,14 +125,17 @@ echo "== bench: causal-span gate (BENCH_spans.json, 2% tolerance)"
 # the stall ledger, and that the critical-path analyzer finds a
 # nonzero chain; the gate then diffs each run's cycles and its
 # critical-path length against the baseline.
-"$BENCH" spans \
-  --json BENCH_spans.json --compare BENCH_spans.json --tolerance 0.02 \
-  > /dev/null
-test -s BENCH_spans.json || {
-  echo "check.sh: empty BENCH_spans.json" >&2; exit 1; }
-grep -q '"spans-pc-list-critical-path"' BENCH_spans.json || {
-  echo "check.sh: BENCH_spans.json has no critical-path experiments" >&2
-  exit 1; }
+gate spans BENCH_spans.json '"spans-pc-list-critical-path"'
+
+echo "== bench: layout-factorization gate (BENCH_layout.json, 2% tolerance)"
+# The layout section hard-asserts that --factorize leaves program
+# outputs bit-identical while strictly shrinking both fetched bytes
+# and cycles on the fig9 list chase and the AoS analytics table, that
+# per-structure fetched-bytes counters sum exactly to the fabric's,
+# and that both engines agree across qp x batching x fault rate on
+# the transformed modules; the gate then diffs the before/after
+# cycles and fabric counters against the baseline.
+gate layout BENCH_layout.json '"layout-fig9-list-fact"'
 
 echo "== bench: engine speedup gate (BENCH_host.json, 2% tolerance)"
 # The host section hard-asserts that the pre-decoded engine is
@@ -130,12 +144,11 @@ echo "== bench: engine speedup gate (BENCH_host.json, 2% tolerance)"
 # instructions per host second; the gate then diffs the simulated
 # cycles of both workloads against the baseline.  The wall-clock
 # ratio itself is asserted in-process, never gated from JSON.
-"$BENCH" host \
-  --json BENCH_host.json --compare BENCH_host.json --tolerance 0.02 \
-  > /dev/null
-test -s BENCH_host.json || {
-  echo "check.sh: empty BENCH_host.json" >&2; exit 1; }
-grep -q '"host-arith"' BENCH_host.json || {
-  echo "check.sh: BENCH_host.json has no engine experiments" >&2; exit 1; }
+gate host BENCH_host.json '"host-arith"'
 
-echo "== check.sh: all green"
+# Every gate is green: only now do the fresh snapshots replace the
+# committed ones.
+for base in $refreshed; do
+  mv "$tmpdir/$base" "$base"
+done
+echo "== check.sh: all green (refreshed:$refreshed)"

@@ -366,6 +366,189 @@ let test_classify_list_and_tree () =
   check Alcotest.bool "tree object covers node" true
     (T.Prefetch_hints.object_size tree_d >= 24)
 
+(* ---------- layout factorization ---------- *)
+
+module P = Cards.Pipeline
+module R = Cards_runtime
+module M = Cards_interp.Machine
+
+let fact_options = { P.cards_options with P.factorize = true }
+
+(* Cache well under the working set under an all-remotable policy, so
+   a wrong cold-field round-trip cannot hide behind residency. *)
+let fact_cfg =
+  { R.Runtime.default_config with
+    R.Runtime.policy = R.Policy.All_remotable;
+    local_bytes = 1 lsl 20;
+    remotable_bytes = 768 * 1024 }
+
+(* A shuffled-order chase over nodes carrying cold metadata, at a node
+   count that crosses the side pool's first chunk boundary
+   (Factorize.chunk = 1024 records): allocation takes the
+   chunk-growth path mid-build, and the closing audit reads every
+   cold record back across both chunks.  The hot loop runs under a
+   pass loop so the static frequency estimate ranks the chased fields
+   an order of magnitude above the build/audit-only ones. *)
+let coldlist_src n =
+  Printf.sprintf
+    {|struct Node { double val; struct Node *next; int seq; int tag; int zone; }
+      int N = %d;
+      int rng_state = 42;
+      int rnd(int bound) {
+        rng_state = rng_state * 2862933555777941757 + 3037000493;
+        int x = rng_state / 65536;
+        if (x < 0) { x = 0 - x; }
+        return x %% bound;
+      }
+      void main() {
+        struct Node **slots = malloc(N * 8);
+        for (int i = 0; i < N; i = i + 1) {
+          struct Node *nd = malloc(sizeof(struct Node));
+          nd->val = 1.0 * i;
+          nd->next = null;
+          nd->seq = i;
+          nd->tag = rnd(16);
+          nd->zone = rnd(256);
+          slots[i] = nd;
+        }
+        for (int i = 0; i + 1 < N; i = i + 1) {
+          struct Node *c = slots[i];
+          c->next = slots[i + 1];
+        }
+        struct Node *head = slots[0];
+        double s = 0.0;
+        for (int p = 0; p < 2; p = p + 1) {
+          struct Node *q = head;
+          while (q != null) {
+            s = s + q->val;
+            q = q->next;
+          }
+        }
+        int audit = 0;
+        struct Node *q = head;
+        while (q != null) {
+          audit = audit + q->seq + q->tag + q->zone;
+          q = q->next;
+        }
+        print_float(s);
+        print_int(audit);
+      }|}
+    n
+
+(* A row-major record table allocated once in main: the AoS->SoA
+   target.  24-byte element, no pointer fields, per-field geps with
+   constant offsets off a scaled element pointer. *)
+let aos_src =
+  {|struct Rec { int id; double x; int tag; }
+    int N = 2000;
+    void main() {
+      struct Rec *rs = malloc(N * sizeof(struct Rec));
+      for (int i = 0; i < N; i = i + 1) {
+        struct Rec *r = rs + i;
+        r->id = i;
+        r->x = 0.5 * i;
+        r->tag = i % 7;
+      }
+      double s = 0.0;
+      int t = 0;
+      for (int p = 0; p < 3; p = p + 1) {
+        for (int i = 0; i < N; i = i + 1) {
+          struct Rec *r = rs + i;
+          s = s + r->x;
+          t = t + r->tag;
+        }
+      }
+      print_float(s);
+      print_int(t);
+    }|}
+
+let run_both src =
+  let plain = P.compile_source src in
+  let pres, _ = P.run plain fact_cfg in
+  let fact = P.compile_source ~options:fact_options src in
+  let fres, _ = P.run fact fact_cfg in
+  (pres, fres)
+
+let test_factorize_split_roundtrip () =
+  let pres, fres = run_both (coldlist_src 1500) in
+  check Alcotest.int "one hot/cold split" 1 (T.Factorize.splits_last_run ());
+  check (Alcotest.list Alcotest.string) "outputs round-trip" pres.M.output
+    fres.M.output
+
+(* Exactly at, one under, and one over the chunk boundary: the growth
+   branch fires a different number of times in each case and the
+   index math (dir slot = idx lsr bits, slot = idx land (chunk - 1))
+   must agree with the audit sum every time. *)
+let test_factorize_chunk_boundaries () =
+  List.iter
+    (fun n ->
+      let pres, fres = run_both (coldlist_src n) in
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "N = %d round-trips" n)
+        pres.M.output fres.M.output)
+    [ T.Factorize.chunk - 1; T.Factorize.chunk; T.Factorize.chunk + 1 ]
+
+let test_factorize_soa () =
+  let pres, fres = run_both aos_src in
+  check Alcotest.int "one AoS->SoA rewrite" 1 (T.Factorize.soa_last_run ());
+  check (Alcotest.list Alcotest.string) "outputs identical" pres.M.output
+    fres.M.output
+
+(* Factorize runs before pool allocation, so its output must satisfy
+   the same module invariants the frontend's does — and survive a
+   fresh DSA pass (the downstream pipeline re-analyzes it). *)
+let test_factorize_verifies () =
+  List.iter
+    (fun src ->
+      let m = I.Minic.compile src in
+      let dsa = A.Dsa.analyze m in
+      let m' = T.Factorize.run m dsa in
+      I.Verify.check_exn m';
+      ignore (A.Dsa.analyze m'))
+    [ coldlist_src 300; aos_src ]
+
+(* Both engines execute the transformed module identically — the
+   rewrite introduces no instruction either engine decodes
+   differently. *)
+let test_factorize_engines_agree () =
+  let fact = P.compile_source ~options:fact_options (coldlist_src 1100) in
+  let d, _ = P.run ~engine:M.Decoded fact fact_cfg in
+  let r, _ = P.run ~engine:M.Reference fact fact_cfg in
+  check Alcotest.bool "whole result records equal" true (d = r)
+
+(* A node type chased uniformly (every field read in the hot loop) has
+   no cold half; the pass must leave it alone rather than split and
+   lose on the index indirection. *)
+let test_factorize_bails_without_cold_fields () =
+  let src =
+    {|struct N { double a; double b; struct N *next; }
+      int COUNT = 400;
+      void main() {
+        struct N *h = null;
+        for (int i = 0; i < COUNT; i = i + 1) {
+          struct N *n = malloc(sizeof(struct N));
+          n->a = 1.0 * i;
+          n->b = 2.0 * i;
+          n->next = h;
+          h = n;
+        }
+        double s = 0.0;
+        for (int p = 0; p < 2; p = p + 1) {
+          struct N *q = h;
+          while (q != null) {
+            s = s + q->a + q->b;
+            q = q->next;
+          }
+        }
+        print_float(s);
+      }|}
+  in
+  let pres, fres = run_both src in
+  check Alcotest.int "no split" 0 (T.Factorize.splits_last_run ());
+  check Alcotest.int "no soa" 0 (T.Factorize.soa_last_run ());
+  check (Alcotest.list Alcotest.string) "outputs identical" pres.M.output
+    fres.M.output
+
 let suite =
   [ ("pool: mallocs become dsalloc", `Quick, test_pool_alloc_rewrites_mallocs);
     ("pool: handle parameter added", `Quick, test_pool_alloc_adds_handle_param);
@@ -387,4 +570,10 @@ let suite =
     ("versioning: verifies", `Quick, test_versioning_verifies);
     ("versioning: allocating loops skipped", `Quick, test_versioning_skips_allocating_loops);
     ("prefetch: stride class", `Quick, test_classify_stride);
-    ("prefetch: list and tree classes", `Quick, test_classify_list_and_tree) ]
+    ("prefetch: list and tree classes", `Quick, test_classify_list_and_tree);
+    ("factorize: hot/cold round-trip", `Quick, test_factorize_split_roundtrip);
+    ("factorize: chunk boundaries", `Slow, test_factorize_chunk_boundaries);
+    ("factorize: AoS to SoA", `Quick, test_factorize_soa);
+    ("factorize: verifier-clean", `Quick, test_factorize_verifies);
+    ("factorize: engines agree", `Quick, test_factorize_engines_agree);
+    ("factorize: all-hot bails", `Quick, test_factorize_bails_without_cold_fields) ]

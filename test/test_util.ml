@@ -192,6 +192,63 @@ let test_stats_merge () =
   check Alcotest.int "merged count" 4 (U.Stats.count m);
   check (Alcotest.float 1e-9) "merged mean" 2.5 (U.Stats.mean m)
 
+(* The percentile contract at its edges: empty histograms answer 0.0
+   (not NaN, not a scan off the end of the bucket array), p = 0 and
+   p = 100 are the *exact* extremes rather than bucket midpoints, and
+   out-of-range or NaN p is a caller bug rejected loudly. *)
+let test_stats_percentile_edges () =
+  let s = U.Stats.create () in
+  check (Alcotest.float 1e-9) "empty p0" 0.0 (U.Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "empty p50" 0.0 (U.Stats.percentile s 50.0);
+  check (Alcotest.float 1e-9) "empty p100" 0.0 (U.Stats.percentile s 100.0);
+  List.iter (U.Stats.add s) [ 7.25; 3.5; 19.0 ];
+  check (Alcotest.float 1e-9) "p0 = exact min" 3.5 (U.Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "p100 = exact max" 19.0
+    (U.Stats.percentile s 100.0);
+  let rejects p =
+    match U.Stats.percentile s p with
+    | _ -> Alcotest.failf "percentile %g should raise Invalid_argument" p
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (-1.0);
+  rejects 100.5;
+  rejects Float.nan
+
+(* With exactly one sample, min = max = the sample, so the clamp makes
+   every percentile exact — no sub-bucket error at all. *)
+let prop_stats_single_sample =
+  QCheck.Test.make ~name:"single-sample percentile is that sample exactly"
+    ~count:200
+    QCheck.(pair (float_range 1.0 1e9) (float_range 0.0 100.0))
+    (fun (x, p) ->
+      let s = U.Stats.create () in
+      U.Stats.add s x;
+      U.Stats.percentile s p = x)
+
+let prop_stats_merge_empty_side =
+  QCheck.Test.make
+    ~name:"merge with an empty side copies the other (and shares no state)"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_range 1.0 1e6))
+    (fun xs ->
+      let a = U.Stats.create () and e = U.Stats.create () in
+      List.iter (U.Stats.add a) xs;
+      let m1 = U.Stats.merge a e and m2 = U.Stats.merge e a in
+      let same m =
+        U.Stats.count m = U.Stats.count a
+        && U.Stats.sum m = U.Stats.sum a
+        && U.Stats.mean m = U.Stats.mean a
+        && U.Stats.min m = U.Stats.min a
+        && U.Stats.max m = U.Stats.max a
+        && (U.Stats.count a = 0 || U.Stats.median m = U.Stats.median a)
+      in
+      let ok = same m1 && same m2 in
+      (* The copy must be deep: growing the merge result cannot bleed
+         back into the source's histogram. *)
+      U.Stats.add m1 42.0;
+      ok && U.Stats.count a = List.length xs
+      && (xs = [] || U.Stats.median a = U.Stats.median m2))
+
 (* ---------- Union_find ---------- *)
 
 let test_uf_basic () =
@@ -364,6 +421,7 @@ let suite =
     ("stats median", `Quick, test_stats_median);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats merge", `Quick, test_stats_merge);
+    ("stats percentile edges", `Quick, test_stats_percentile_edges);
     ("union-find basic", `Quick, test_uf_basic);
     ("bitset ops", `Quick, test_bitset_ops);
     ("bitset set_all", `Quick, test_bitset_set_all);
@@ -380,6 +438,8 @@ let suite =
     qcheck prop_stats_variance_matches_naive;
     qcheck prop_stats_percentile_matches_naive;
     qcheck prop_stats_merge_matches_combined;
+    qcheck prop_stats_single_sample;
+    qcheck prop_stats_merge_empty_side;
     qcheck prop_uf_equivalence;
     qcheck prop_uf_count_matches_classes;
     qcheck prop_bitset_model;
