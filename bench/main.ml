@@ -1262,6 +1262,146 @@ let layout_section () =
      fault-rate differential matrix are all hard assertions."
 
 (* ---------------------------------------------------------------- *)
+(* What-if: virtual speedups over the span graph, each prediction    *)
+(* validated by deterministically re-executing the program with the  *)
+(* corresponding runtime knob actually changed.                      *)
+(* ---------------------------------------------------------------- *)
+
+(* Hard assertions per workload x scenario —
+
+     1. the identity scenario (all factors x1.0) predicts the measured
+        run to the cycle, and its predicted chain stall equals the
+        critical-path analyzer's — the replay is anchored, not fitted;
+     2. every re-executed scenario's program output is bit-identical
+        to the baseline's (what-if knobs perturb timing only), and the
+        identity re-run reproduces the whole result record exactly;
+     3. directional agreement: when the replay predicts a scenario
+        saves more than 1% it must actually measure faster;
+     4. the prediction lands within WHATIF_REL_ERROR of the measured
+        re-run.
+
+   Both measured and predicted cycles of every scenario enter the JSON
+   snapshot, so BENCH_whatif.json gates the predictor itself — not
+   just the runs — across PRs. *)
+
+let whatif_rel_error = 0.15
+
+let whatif_section () =
+  header "What-if: virtual speedups (span-graph replay vs re-execution)";
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "WHATIF: %s\n" m; exit 1) fmt in
+  let run_one wl compiled cfg =
+    let obs = O.Sink.create ~span_rate:1.0 () in
+    let res, rt = P.run ~obs compiled cfg in
+    let col =
+      match O.Sink.spans obs with
+      | Some c -> c
+      | None -> fail "sink built without a collector on %s" wl
+    in
+    let names = R.Runtime.ds_name rt in
+    let ranked =
+      O.Whatif.rank ~total:res.M.cycles col (O.Whatif.catalog ~names col)
+    in
+    (* 1. Identity exactness: prediction and critical path to the cycle. *)
+    let ident =
+      match
+        List.find_opt
+          (fun (p : O.Whatif.prediction) ->
+            p.p_scenario.O.Whatif.sc_id = "identity")
+          ranked
+      with
+      | Some p -> p
+      | None -> fail "catalog lost the identity scenario on %s" wl
+    in
+    if ident.O.Whatif.p_cycles <> res.M.cycles then
+      fail "identity predicts %d <> measured %d on %s" ident.O.Whatif.p_cycles
+        res.M.cycles wl;
+    (match O.Critical_path.analyze col with
+     | Some r ->
+       if ident.O.Whatif.p_chain_stall <> r.O.Critical_path.r_chain_stall then
+         fail "identity chain stall %d <> critical path %d on %s"
+           ident.O.Whatif.p_chain_stall r.O.Critical_path.r_chain_stall wl
+     | None -> fail "no spans recorded on %s" wl);
+    record_experiment ~tag:("whatif-" ^ wl ^ "-baseline") ~cycles:res.M.cycles
+      rt;
+    let rows =
+      List.map
+        (fun (p : O.Whatif.prediction) ->
+          let sc = p.p_scenario in
+          let measured =
+            match R.Runtime.whatif_config cfg sc.O.Whatif.sc_exec with
+            | None -> None
+            | Some cfg' ->
+              let res', rt' = P.run compiled cfg' in
+              (* 2. Timing-only perturbation; identity fully identical. *)
+              if res'.M.output <> res.M.output then
+                fail "%s/%s: perturbed run diverged in output" wl
+                  sc.O.Whatif.sc_id;
+              if sc.O.Whatif.sc_id = "identity" && res' <> res then
+                fail "%s: identity re-run not bit-identical (%d vs %d cycles)"
+                  wl res'.M.cycles res.M.cycles;
+              (* 3. Directional agreement (1% guard band). *)
+              if
+                float_of_int p.p_cycles < 0.99 *. float_of_int res.M.cycles
+                && res'.M.cycles >= res.M.cycles
+              then
+                fail "%s/%s: predicted %d < baseline %d but measured %d is \
+                      not faster"
+                  wl sc.O.Whatif.sc_id p.p_cycles res.M.cycles res'.M.cycles;
+              (* 4. Error bound. *)
+              let err =
+                if res'.M.cycles = 0 then 0.0
+                else
+                  abs_float (float_of_int (p.p_cycles - res'.M.cycles))
+                  /. float_of_int res'.M.cycles
+              in
+              if err > whatif_rel_error then
+                fail "%s/%s: predicted %d vs measured %d (%.1f%% > %.0f%%)" wl
+                  sc.O.Whatif.sc_id p.p_cycles res'.M.cycles (100.0 *. err)
+                  (100.0 *. whatif_rel_error);
+              record_experiment
+                ~tag:("whatif-" ^ wl ^ "-" ^ sc.O.Whatif.sc_id)
+                ~cycles:res'.M.cycles rt';
+              record_experiment
+                ~tag:("whatif-" ^ wl ^ "-" ^ sc.O.Whatif.sc_id ^ "-pred")
+                ~cycles:p.p_cycles rt';
+              Some res'.M.cycles
+          in
+          (p, measured))
+        ranked
+    in
+    T.print
+      (O.Export.whatif_table
+         ~title:(wl ^ ": what should we optimize next? (predicted vs measured)")
+         rows)
+  in
+  (* The layout suite's fig9 list chase: all-remotable, cache < WSS. *)
+  let fig9 = P.compile_source (read_file "examples/minic/fig9_list.mc") in
+  run_one "fig9-list" fig9
+    (cards_cfg ~policy:R.Policy.All_remotable ~k:0.0 ~local:(kb 1024)
+       ~remot:(kb 768) ());
+  (* The spans suite's analytics workload at 50% local. *)
+  let analytics =
+    P.compile_source (W.Analytics.source ~trips:50000 ~query_passes:2)
+  in
+  let wss = wss_of analytics in
+  let remot = kb 256 in
+  let local = (wss / 2) + remot in
+  run_one "analytics" analytics
+    (cards_cfg ~policy:R.Policy.Max_use ~k:1.0 ~local ~remot ());
+  print_endline
+    "The identity scenario reproduces the measured run and the critical\n\
+     path to the cycle; every other scenario is re-executed for real \n\
+     with bit-identical outputs, directional agreement, and predictions\n\
+     within the error bound.  All hard assertions."
+
+(* ---------------------------------------------------------------- *)
 
 let sections =
   [ ("table1", table1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
@@ -1269,7 +1409,7 @@ let sections =
     ("fabric", fabric_section); ("profile", profile_section);
     ("attr", attr_section); ("faults", faults_section);
     ("spans", spans_section); ("layout", layout_section);
-    ("ablations", ablations);
+    ("whatif", whatif_section); ("ablations", ablations);
     ("bechamel", bechamel); ("host", host) ]
 
 let () =
@@ -1297,6 +1437,21 @@ let () =
     | "--tolerance" :: [] ->
       Printf.eprintf "--tolerance needs a FLOAT argument\n";
       exit 1
+    | "--only" :: name :: rest ->
+      (* Synonym for the positional form, but validated up front so a
+         scripted `--only typo` dies before running anything. *)
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "--only %S: unknown section; available: %s\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1
+      end;
+      strip (name :: acc) rest
+    | "--only" :: [] ->
+      Printf.eprintf "--only needs a SECTION argument\n";
+      exit 1
+    | "--list" :: _ ->
+      List.iter (fun (n, _) -> print_endline n) sections;
+      exit 0
     | arg :: rest -> strip (arg :: acc) rest
   in
   let args = strip [] (List.tl (Array.to_list Sys.argv)) in

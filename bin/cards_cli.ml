@@ -341,6 +341,34 @@ let postmortem_arg =
                  the program traps or a fetch escalates to the \
                  reliable channel.  Implies span recording.")
 
+let whatif_arg =
+  Arg.(value & flag
+       & info [ "whatif" ]
+           ~doc:"Causal what-if profile: record causal spans, replay \
+                 them under a catalog of virtual optimizations (protocol \
+                 cost halved, serialization free, infinite queue pairs, \
+                 perfect prefetch, fault-free fabric, per-structure \
+                 variants) and print the scenarios ranked by predicted \
+                 cycles saved — the \"what should we optimize next?\" \
+                 report.  Implies span recording at rate 1.0.")
+
+let whatif_validate_arg =
+  Arg.(value & flag
+       & info [ "whatif-validate" ]
+           ~doc:"Validate the $(b,--whatif) predictions: re-execute the \
+                 program once per scenario with the corresponding runtime \
+                 knob actually changed (deterministically, program output \
+                 bit-identical) and add measured cycles and relative \
+                 error columns to the report.  Implies $(b,--whatif); \
+                 cards system only.")
+
+let metrics_csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-csv" ] ~docv:"FILE"
+           ~doc:"Write the per-structure metric samples as CSV (header \
+                 plus one row per sample).  Implies metric sampling at \
+                 $(b,--metrics-interval) without the printed table.")
+
 (* All the CLI's human-readable summaries flow through one reporter —
    the same one the sink carries, so library-side reports (the fault
    post-mortem) and driver-side summaries cannot interleave with
@@ -348,10 +376,10 @@ let postmortem_arg =
 let reporter = O.Reporter.stderr_reporter
 
 let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval ~spans
-    ~span_rate ~postmortem =
+    ~span_rate ~postmortem ~whatif =
   if
     trace = None && events = None && (not metrics) && spans = None
-    && not postmortem
+    && (not postmortem) && not whatif
   then None
   else
     Some
@@ -360,10 +388,11 @@ let make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval ~spans
            (if trace <> None || events <> None then Some trace_cap else None)
          ?metrics_interval:(if metrics then Some metrics_interval else None)
          ?span_rate:
-           (if spans <> None || postmortem then Some span_rate else None)
+           (if spans <> None || postmortem || whatif then Some span_rate
+            else None)
          ~postmortem ~reporter ())
 
-let export_obs rt obs ~trace ~events ~metrics ~spans =
+let export_obs rt obs ~trace ~events ~metrics ~metrics_csv ~spans =
   let names = R.Runtime.ds_name rt in
   Option.iter
     (fun sink ->
@@ -389,6 +418,8 @@ let export_obs rt obs ~trace ~events ~metrics ~spans =
              let contents =
                if Filename.check_suffix path ".jsonl" then
                  O.Export.spans_jsonl c
+               else if Filename.check_suffix path ".folded" then
+                 O.Export.spans_folded ~names c
                else O.Export.spans_chrome_trace_string ~names c
              in
              O.Export.write_file path contents;
@@ -396,10 +427,16 @@ let export_obs rt obs ~trace ~events ~metrics ~spans =
                path)
            spans
        | None -> ());
-      if metrics then
-        match O.Sink.metrics sink with
-        | Some m -> T.print (O.Export.metrics_table m)
-        | None -> ())
+      (match O.Sink.metrics sink with
+       | Some m ->
+         if metrics then T.print (O.Export.metrics_table m);
+         Option.iter
+           (fun path ->
+             O.Export.write_file path (O.Export.metrics_csv m);
+             O.Reporter.linef reporter "-- metrics: %d samples to %s"
+               (O.Metrics.n_samples m) path)
+           metrics_csv
+       | None -> ()))
     obs
 
 let print_profile rt total =
@@ -456,29 +493,43 @@ let check_unit_interval flag v =
 let run_cmd =
   let run file system engine policy k local remotable prefetch report qp
       no_batching fault_rate fault_seed retry_max fault_kinds
-      trace events trace_cap metrics metrics_interval profile
-      spans span_rate postmortem factorize =
+      trace events trace_cap metrics metrics_interval metrics_csv profile
+      spans span_rate postmortem whatif whatif_validate factorize =
     with_errors (fun () ->
         check_unit_interval "fault-rate" fault_rate;
         check_unit_interval "span-rate" span_rate;
+        let whatif = whatif || whatif_validate in
         (* A sampling rate without a span consumer is almost always a
            forgotten --spans; warn rather than fail so scripted sweeps
            that toggle --spans independently keep working. *)
-        if span_rate <> 1.0 && spans = None && not postmortem then
+        if span_rate <> 1.0 && spans = None && (not postmortem) && not whatif
+        then
           O.Reporter.linef reporter
             "-- warning: --span-rate %g has no effect without --spans or \
              --postmortem" span_rate;
+        (* The what-if replay's exactness contract (identity predicts the
+           measured run to the cycle) needs every occasion recorded. *)
+        let span_rate =
+          if whatif && span_rate <> 1.0 then begin
+            O.Reporter.linef reporter
+              "-- warning: --whatif forces --span-rate 1.0 (was %g)"
+              span_rate;
+            1.0
+          end
+          else span_rate
+        in
         let src = read_source file in
         let obs =
-          make_sink ~trace ~events ~trace_cap ~metrics ~metrics_interval
-            ~spans ~span_rate ~postmortem
+          make_sink ~trace ~events ~trace_cap
+            ~metrics:(metrics || metrics_csv <> None)
+            ~metrics_interval ~spans ~span_rate ~postmortem ~whatif
         in
         let options = { P.cards_options with factorize } in
-        let res, rt =
+        let res, rt, whatif_rerun =
           match system with
           | `Cards ->
             let compiled = P.compile_source ~options src in
-            P.run ~engine ?obs compiled
+            let cfg =
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
                 prefetch_mode = prefetch;
@@ -490,16 +541,38 @@ let run_cmd =
                         fault_kinds } };
                 batching = not no_batching;
                 retry_max }
+            in
+            let res, rt = P.run ~engine ?obs compiled cfg in
+            (* Validation re-runs carry no sink: the baseline run owns
+               the one-shot post-mortem latch and all reporter output, so
+               a re-executed scenario can never interleave with (or
+               re-fire) the baseline's reports mid-table. *)
+            let rerun exec =
+              match R.Runtime.whatif_config cfg exec with
+              | None -> None
+              | Some cfg' ->
+                let res', _ = P.run ~engine compiled cfg' in
+                if res'.Cards_interp.Machine.output <> res.output then
+                  failwith
+                    "what-if validation: perturbed run diverged in output";
+                Some res'.Cards_interp.Machine.cycles
+            in
+            (res, rt, Some rerun)
           | `Trackfm ->
             let compiled = B.Trackfm.compile_source src in
-            B.Trackfm.run ~engine ?obs compiled ~local_bytes:local
+            let res, rt = B.Trackfm.run ~engine ?obs compiled ~local_bytes:local in
+            (res, rt, None)
           | `Mira ->
             let compiled = P.compile_source ~options src in
-            B.Mira.run ~engine ?obs compiled ~local_bytes:local
-              ~remotable_bytes:remotable
+            let res, rt =
+              B.Mira.run ~engine ?obs compiled ~local_bytes:local
+                ~remotable_bytes:remotable
+            in
+            (res, rt, None)
           | `Plain ->
             let compiled = P.compile_source ~options src in
-            B.Noguard.run ~engine ?obs compiled
+            let res, rt = B.Noguard.run ~engine ?obs compiled in
+            (res, rt, None)
         in
         List.iter print_endline res.output;
         let tot = R.Rt_stats.total (R.Runtime.stats rt) in
@@ -522,23 +595,52 @@ let run_cmd =
         end;
         (* Under --profile the resilience table renders even with fault
            injection off — an all-quiet table diffs cleanly against a
-           faulty run's, where a missing table would not. *)
+           faulty run's, where a missing table would not.  Like the
+           fault summary above and the what-if report below it goes
+           through the reporter (one Sink-gated stderr path), so none
+           of the three can interleave with the other mid-table. *)
         if profile then begin
           let st = R.Runtime.stats rt in
-          T.print
-            (O.Export.resilience_table
-               ~retries:(R.Rt_stats.retries st)
-               ~timeouts:(R.Rt_stats.timeouts st)
-               ~escalations:(R.Rt_stats.escalations st)
-               ~pf_failed:(R.Rt_stats.pf_failed st)
-               ~pf_suppressed:(R.Rt_stats.pf_suppressed st)
-               ~degrade_steps:(R.Rt_stats.degrade_steps st)
-               ~recover_steps:(R.Rt_stats.recover_steps st)
-               ~degrade_level:(R.Runtime.degrade_level rt) ())
+          O.Reporter.text reporter
+            (T.render
+               (O.Export.resilience_table
+                  ~retries:(R.Rt_stats.retries st)
+                  ~timeouts:(R.Rt_stats.timeouts st)
+                  ~escalations:(R.Rt_stats.escalations st)
+                  ~pf_failed:(R.Rt_stats.pf_failed st)
+                  ~pf_suppressed:(R.Rt_stats.pf_suppressed st)
+                  ~degrade_steps:(R.Rt_stats.degrade_steps st)
+                  ~recover_steps:(R.Rt_stats.recover_steps st)
+                  ~degrade_level:(R.Runtime.degrade_level rt) ()))
         end;
         if report then print_report rt;
         if profile then print_profile rt res.cycles;
-        export_obs rt obs ~trace ~events ~metrics ~spans)
+        export_obs rt obs ~trace ~events ~metrics ~metrics_csv ~spans;
+        if whatif then begin
+          match Option.bind obs O.Sink.spans with
+          | None -> ()
+          | Some col ->
+            let names = R.Runtime.ds_name rt in
+            let scenarios = O.Whatif.catalog ~names col in
+            let ranked = O.Whatif.rank ~total:res.cycles col scenarios in
+            (if whatif_validate && whatif_rerun = None then
+               O.Reporter.line reporter
+                 "-- warning: --whatif-validate needs --system cards; \
+                  printing predictions only");
+            let rows =
+              List.map
+                (fun (p : O.Whatif.prediction) ->
+                  let measured =
+                    if whatif_validate then
+                      Option.bind whatif_rerun (fun f ->
+                          f p.p_scenario.O.Whatif.sc_exec)
+                    else None
+                  in
+                  (p, measured))
+                ranked
+            in
+            O.Reporter.text reporter (T.render (O.Export.whatif_table rows))
+        end)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
@@ -547,8 +649,9 @@ let run_cmd =
           $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
           $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
-          $ metrics_interval_arg $ profile_arg
-          $ spans_arg $ span_rate_arg $ postmortem_arg $ factorize_arg)
+          $ metrics_interval_arg $ metrics_csv_arg $ profile_arg
+          $ spans_arg $ span_rate_arg $ postmortem_arg $ whatif_arg
+          $ whatif_validate_arg $ factorize_arg)
 
 (* ---------- cards workload ---------- *)
 

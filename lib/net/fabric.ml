@@ -57,6 +57,18 @@ type stats = {
   wb_faults : int;
 }
 
+type scale = { s_proto : float; s_wire : float }
+
+let unit_scale = { s_proto = 1.0; s_wire = 1.0 }
+
+(* Factor 1.0 short-circuits to the untouched integer: a unit-scaled
+   call must be bit-identical to an unscaled one (the whatif identity
+   scenario re-executes the baseline through this path and asserts
+   equality to the cycle). *)
+let scale_cycles f c =
+  if f = 1.0 || c = 0 then c
+  else max 0 (int_of_float ((float_of_int c *. f) +. 0.5))
+
 type transfer = {
   t_start : int;
   t_queued : int;
@@ -158,8 +170,11 @@ let draw_fault t =
 (* Congestion delay for a late completion: 1-3x the protocol cost, so
    some late transfers sit inside a sane timeout budget and some blow
    past it (exercising both the wait-it-out and abandon-and-retry
-   paths in the runtime). *)
-let late_extra t = t.cfg.proto_cycles * (1 + Rng.int t.rng 3)
+   paths in the runtime).  The RNG is drawn before scaling so a scaled
+   run consumes the exact same fault schedule as the baseline; the
+   delay rides in the wire term (t_ser), so it scales with s_wire. *)
+let late_extra t ~scale =
+  scale_cycles scale.s_wire (t.cfg.proto_cycles * (1 + Rng.int t.rng 3))
 
 let serialization cfg bytes =
   int_of_float (ceil (float_of_int bytes /. cfg.bytes_per_cycle))
@@ -175,50 +190,51 @@ let pick_qp t =
   done;
   !best
 
-let fetch_info t ~now ~bytes =
+let fetch_info ?(scale = unit_scale) t ~now ~bytes =
   check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
   t.queue_in_cycles <- t.queue_in_cycles + queued;
   t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
-  let ser = serialization t.cfg bytes in
+  let proto = scale_cycles scale.s_proto t.cfg.proto_cycles in
+  let ser = scale_cycles scale.s_wire (serialization t.cfg bytes) in
   (* The protocol cost is per-request work (doorbells, completion
      polling, bookkeeping) that occupies the queue pair, not just
      latency: back-to-back requests serialize behind it.  This is what
      batching amortizes. *)
-  t.in_busy_until.(qp) <- start + t.cfg.proto_cycles + ser;
+  t.in_busy_until.(qp) <- start + proto + ser;
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
   { t_start = start; t_queued = queued;
-    t_complete = start + t.cfg.proto_cycles + ser; t_qp = qp;
-    t_proto = t.cfg.proto_cycles; t_ser = ser; t_fault = None }
+    t_complete = start + proto + ser; t_qp = qp;
+    t_proto = proto; t_ser = ser; t_fault = None }
 
-let fetch t ~now ~bytes = (fetch_info t ~now ~bytes).t_complete
+let fetch ?scale t ~now ~bytes = (fetch_info ?scale t ~now ~bytes).t_complete
 
 (* A transient failure crosses the wire and comes back as a NACK: the
    queue pair is held for the protocol turnaround, nothing lands, and
    the caller decides whether to retry. *)
-let transient_failure t ~now =
+let transient_failure t ~scale ~now =
   check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
   t.queue_in_cycles <- t.queue_in_cycles + queued;
   t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
-  let fail = start + t.cfg.proto_cycles in
+  let fail = start + scale_cycles scale.s_proto t.cfg.proto_cycles in
   t.in_busy_until.(qp) <- fail;
   t.faults_transient <- t.faults_transient + 1;
   t.failed_fetches <- t.failed_fetches + 1;
   { f_start = start; f_fail = fail; f_qp = qp }
 
-let fetch_attempt t ~now ~bytes =
+let fetch_attempt ?(scale = unit_scale) t ~now ~bytes =
   match draw_fault t with
-  | None -> Ok (fetch_info t ~now ~bytes)
-  | Some Transient -> Error (transient_failure t ~now)
+  | None -> Ok (fetch_info ~scale t ~now ~bytes)
+  | Some Transient -> Error (transient_failure t ~scale ~now)
   | Some Late ->
-    let tr = fetch_info t ~now ~bytes in
-    let extra = late_extra t in
+    let tr = fetch_info ~scale t ~now ~bytes in
+    let extra = late_extra t ~scale in
     t.faults_late <- t.faults_late + 1;
     (* Congestion: the response crawls, and the queue pair stays tied
        up until the late completion.  The delay rides in [t_ser] so
@@ -228,28 +244,29 @@ let fetch_attempt t ~now ~bytes =
     Ok { tr with t_complete = tr.t_complete + extra;
                  t_ser = tr.t_ser + extra; t_fault = Some Late }
   | Some Duplicate ->
-    let tr = fetch_info t ~now ~bytes in
+    let tr = fetch_info ~scale t ~now ~bytes in
     t.faults_dup <- t.faults_dup + 1;
     (* The data lands on time, but a duplicated completion occupies the
        queue pair for another protocol turn — timing-only: the caller
        deduplicates by construction (the object is marked resident
        exactly once). *)
-    t.in_busy_until.(tr.t_qp) <- tr.t_complete + t.cfg.proto_cycles;
+    t.in_busy_until.(tr.t_qp)
+      <- tr.t_complete + scale_cycles scale.s_proto t.cfg.proto_cycles;
     Ok { tr with t_fault = Some Duplicate }
 
 (* Escalation path after retries are exhausted: a heavyweight reliable
    channel (think RC send with end-to-end acknowledgement instead of
    one-sided reads) that pays the protocol cost twice and never
    faults.  Guarantees forward progress at any fault rate. *)
-let fetch_reliable t ~now ~bytes =
+let fetch_reliable ?(scale = unit_scale) t ~now ~bytes =
   check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
   let queued = start - now in
   t.queue_in_cycles <- t.queue_in_cycles + queued;
   t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
-  let ser = serialization t.cfg bytes in
-  let proto = 2 * t.cfg.proto_cycles in
+  let ser = scale_cycles scale.s_wire (serialization t.cfg bytes) in
+  let proto = 2 * scale_cycles scale.s_proto t.cfg.proto_cycles in
   t.in_busy_until.(qp) <- start + proto + ser;
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
@@ -257,7 +274,7 @@ let fetch_reliable t ~now ~bytes =
   { t_start = start; t_queued = queued; t_complete = start + proto + ser;
     t_qp = qp; t_proto = proto; t_ser = ser; t_fault = None }
 
-let fetch_many t ~now ~sizes =
+let fetch_many ?(scale = unit_scale) t ~now ~sizes =
   let n = Array.length sizes in
   if n = 0 then invalid_arg "Fabric.fetch_many: empty batch";
   check_in_now t now;
@@ -266,6 +283,7 @@ let fetch_many t ~now ~sizes =
   let queued = start - now in
   t.queue_in_cycles <- t.queue_in_cycles + queued;
   t.qp_queue_cycles.(qp) <- t.qp_queue_cycles.(qp) + queued;
+  let proto = scale_cycles scale.s_proto t.cfg.proto_cycles in
   (* One request/response pair carries the whole batch: the protocol
      overhead is paid once, each object lands as soon as its bytes have
      streamed off the wire behind its predecessors. *)
@@ -273,33 +291,33 @@ let fetch_many t ~now ~sizes =
   let cum = ref 0 in
   let total = ref 0 in
   for i = 0 to n - 1 do
-    cum := !cum + serialization t.cfg sizes.(i);
+    cum := !cum + scale_cycles scale.s_wire (serialization t.cfg sizes.(i));
     total := !total + sizes.(i);
-    completions.(i) <- start + t.cfg.proto_cycles + !cum
+    completions.(i) <- start + proto + !cum
   done;
   (* One request, one protocol cost: the QP is held for proto plus the
      batch's summed serialization — per object, a [1/n] share of the
      overhead that dominates small transfers. *)
-  t.in_busy_until.(qp) <- start + t.cfg.proto_cycles + !cum;
+  t.in_busy_until.(qp) <- start + proto + !cum;
   t.fetches <- t.fetches + n;
   t.fetched_bytes <- t.fetched_bytes + !total;
   t.batches <- t.batches + 1;
   t.batched_objects <- t.batched_objects + n;
   ({ t_start = start; t_queued = queued;
      t_complete = completions.(n - 1); t_qp = qp;
-     t_proto = t.cfg.proto_cycles; t_ser = !cum; t_fault = None },
+     t_proto = proto; t_ser = !cum; t_fault = None },
    completions)
 
-let fetch_many_attempt t ~now ~sizes =
+let fetch_many_attempt ?(scale = unit_scale) t ~now ~sizes =
   match draw_fault t with
-  | None -> Ok (fetch_many t ~now ~sizes)
+  | None -> Ok (fetch_many ~scale t ~now ~sizes)
   | Some Transient ->
     if Array.length sizes = 0 then
       invalid_arg "Fabric.fetch_many_attempt: empty batch";
-    Error (transient_failure t ~now)
+    Error (transient_failure t ~scale ~now)
   | Some Late ->
-    let tr, completions = fetch_many t ~now ~sizes in
-    let extra = late_extra t in
+    let tr, completions = fetch_many ~scale t ~now ~sizes in
+    let extra = late_extra t ~scale in
     t.faults_late <- t.faults_late + 1;
     (* The whole response stream is delayed behind the congested
        request: every object in the batch lands [extra] cycles late. *)
@@ -309,9 +327,10 @@ let fetch_many_attempt t ~now ~sizes =
                   t_ser = tr.t_ser + extra; t_fault = Some Late },
         completions)
   | Some Duplicate ->
-    let tr, completions = fetch_many t ~now ~sizes in
+    let tr, completions = fetch_many ~scale t ~now ~sizes in
     t.faults_dup <- t.faults_dup + 1;
-    t.in_busy_until.(tr.t_qp) <- tr.t_complete + t.cfg.proto_cycles;
+    t.in_busy_until.(tr.t_qp)
+      <- tr.t_complete + scale_cycles scale.s_proto t.cfg.proto_cycles;
     Ok ({ tr with t_fault = Some Duplicate }, completions)
 
 (* Writeback faults never reach the caller: posted writes are
@@ -325,7 +344,7 @@ let wb_fault_extra t =
     t.wb_faults <- t.wb_faults + 1;
     (match k with
      | Transient -> t.cfg.proto_cycles (* NACKed posting, re-posted *)
-     | Late -> late_extra t
+     | Late -> late_extra t ~scale:unit_scale
      | Duplicate -> t.cfg.proto_cycles (* duplicate ack drained *))
 
 (* Writebacks are posted writes: the CPU never waits for them, but the

@@ -72,6 +72,23 @@ val trackfm_config : config
     and TrackFM never batches — its leaner-but-unbatched path is part
     of the Fig. 8 contrast. *)
 
+type scale = {
+  s_proto : float;  (** multiplier on the per-request protocol cost *)
+  s_wire : float;   (** multiplier on serialization (and congestion
+                        delay, which rides in the wire term) *)
+}
+(** Per-call cost multiplier for what-if experiments: a near-cache RPC
+    path is [s_proto = 0.5], an infinitely fast link is [s_wire = 0.0].
+    Factor [1.0] is special-cased to the untouched integer cost, so a
+    unit-scaled call is bit-identical to an unscaled one — the whatif
+    bench gate depends on this.  Scaling applies to inbound fetches
+    only; writebacks are posted (they never block the CPU and never
+    feed back into simulated time), so scaling them would be
+    unobservable. *)
+
+val unit_scale : scale
+(** [{ s_proto = 1.0; s_wire = 1.0 }]: no perturbation. *)
+
 type t
 
 val create : config -> t
@@ -88,10 +105,12 @@ val set_fault_rate : t -> float -> unit
 val faults_configured : t -> bool
 (** True when the fabric was created with a non-zero fault rate. *)
 
-val fetch : t -> now:int -> bytes:int -> int
+val fetch : ?scale:scale -> t -> now:int -> bytes:int -> int
 (** Schedule an inbound transfer starting at [now]; returns its
     completion time (≥ [now + proto + serialization]).  Never faulted
     (fault injection applies to the [_attempt] entry points).
+    [scale] (default {!unit_scale}) multiplies the protocol and wire
+    terms for this call.
     @raise Invalid_argument when [now] precedes an earlier inbound
     call's [now] (clock moved backwards; see {!fetch_attempt}). *)
 
@@ -115,14 +134,15 @@ type failure = {
   f_qp : int;     (** the queue pair it burned *)
 }
 
-val fetch_info : t -> now:int -> bytes:int -> transfer
+val fetch_info : ?scale:scale -> t -> now:int -> bytes:int -> transfer
 (** Like {!fetch}, but exposes the queue/protocol/serialization split
     ([t_queued + t_proto + t_ser = t_complete - now]) so callers (the
     runtime's cycle-attribution profiler and the stall-attribution
     ledger) can decompose stall cycles into root causes instead of
     reporting one opaque fetch cost. *)
 
-val fetch_attempt : t -> now:int -> bytes:int -> (transfer, failure) result
+val fetch_attempt :
+  ?scale:scale -> t -> now:int -> bytes:int -> (transfer, failure) result
 (** {!fetch_info} through the fault injector: one fault decision is
     drawn per attempt.  [Error] is a transient failure (retry at a
     later [now] if desired); [Ok] transfers may still carry a [Late]
@@ -133,7 +153,8 @@ val fetch_attempt : t -> now:int -> bytes:int -> (transfer, failure) result
     fabric raises [Invalid_argument] when the inbound clock moves
     backwards rather than corrupting queue state. *)
 
-val fetch_many : t -> now:int -> sizes:int array -> transfer * int array
+val fetch_many :
+  ?scale:scale -> t -> now:int -> sizes:int array -> transfer * int array
 (** Coalesce a batch of objects into one request on the least-loaded
     queue pair.  The protocol cost is paid once; object [i] completes
     at [start + proto + Σ serialization sizes.(0..i)] (returned in the
@@ -144,14 +165,15 @@ val fetch_many : t -> now:int -> sizes:int array -> transfer * int array
     @raise Invalid_argument on an empty batch. *)
 
 val fetch_many_attempt :
-  t -> now:int -> sizes:int array -> (transfer * int array, failure) result
+  ?scale:scale -> t -> now:int -> sizes:int array ->
+  (transfer * int array, failure) result
 (** {!fetch_many} through the fault injector: one decision for the
     whole request (it is one request on the wire).  A transient fault
     NACKs the entire batch; a late fault delays every completion in it
     by the same congestion term.
     @raise Invalid_argument on an empty batch or a backwards [now]. *)
 
-val fetch_reliable : t -> now:int -> bytes:int -> transfer
+val fetch_reliable : ?scale:scale -> t -> now:int -> bytes:int -> transfer
 (** The escalation path for a fetch whose retries are exhausted: a
     heavyweight reliable channel (send with end-to-end acknowledgement
     rather than a one-sided read) paying [2 * proto_cycles] plus

@@ -65,6 +65,7 @@ let sample_json (s : Metrics.sample) =
       ("pf_used", Json.Int s.m_pf_used);
       ("pf_late", Json.Int s.m_pf_late);
       ("evictions", Json.Int s.m_evictions);
+      ("fetched_bytes", Json.Int s.m_fetched_bytes);
       ("prefetcher", Json.Str s.m_prefetcher);
       ("pf_switches", Json.Int s.m_pf_switches) ]
 
@@ -74,6 +75,23 @@ let metrics_jsonl metrics =
     (fun s ->
       Buffer.add_string buf (Json.to_string (sample_json s));
       Buffer.add_char buf '\n')
+    (Metrics.samples metrics);
+  Buffer.contents buf
+
+let metrics_csv metrics =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "cycle,ds,name,resident_bytes,guards,guard_hits,remote_faults,\
+     clean_faults,pf_issued,pf_used,pf_late,evictions,fetched_bytes,\
+     prefetcher,pf_switches\n";
+  List.iter
+    (fun (s : Metrics.sample) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d\n"
+           s.m_cycle s.m_ds s.m_name s.m_resident_bytes s.m_guards
+           s.m_guard_hits s.m_remote_faults s.m_clean_faults s.m_pf_issued
+           s.m_pf_used s.m_pf_late s.m_evictions s.m_fetched_bytes
+           s.m_prefetcher s.m_pf_switches))
     (Metrics.samples metrics);
   Buffer.contents buf
 
@@ -318,6 +336,62 @@ let spans_chrome_trace ?(freq_ghz = 2.4) ?names collector =
 
 let spans_chrome_trace_string ?freq_ghz ?names collector =
   Json.to_string (spans_chrome_trace ?freq_ghz ?names collector)
+
+(* ---------- folded stacks (flamegraph.pl / speedscope input) ---------- *)
+
+(* One line per distinct causal stack: frames root-to-leaf joined by
+   ';', a space, then the summed stall.  Each stall-carrying span
+   contributes its own stall under the stack of its parent chain, so a
+   retry's cycles nest under the demand fetch it delayed and a settle
+   under the prefetch it consumed — rendering the span DAG the way
+   flamegraph tooling expects.  Frames fold the span's identity into
+   [kind:structure:fn@block.instr]; ';' and whitespace (the format's
+   separators) are sanitized out.  Lines are sorted, so the output is
+   deterministic and diffable. *)
+
+let folded_frame ?names (s : Span.t) =
+  let ds =
+    match names with
+    | Some f -> f s.sp_ds
+    | None -> Printf.sprintf "ds%d" s.sp_ds
+  in
+  let raw =
+    Printf.sprintf "%s:%s:%s@%d.%d"
+      (Span.kind_name s.sp_kind) ds s.sp_fn s.sp_block s.sp_instr
+  in
+  String.map (fun c -> if c = ';' || c = ' ' || c = '\t' then '_' else c) raw
+
+let spans_folded ?names collector =
+  let by_id = Hashtbl.create (max 16 (Span.length collector)) in
+  Span.iter (fun s -> Hashtbl.replace by_id s.Span.sp_id s) collector;
+  let stacks : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Span.iter
+    (fun (s : Span.t) ->
+      let cost = Span.stall s in
+      if cost > 0 then begin
+        (* Root-to-leaf frame list via the parent chain.  Parents are
+           strictly older ids (well-formedness invariant), so the walk
+           terminates; a sampled-out parent just truncates the stack. *)
+        let rec frames (s : Span.t) acc =
+          let acc = folded_frame ?names s :: acc in
+          if s.sp_parent < 0 then acc
+          else
+            match Hashtbl.find_opt by_id s.sp_parent with
+            | Some p -> frames p acc
+            | None -> acc
+        in
+        let stack = String.concat ";" (frames s []) in
+        Hashtbl.replace stacks stack
+          ((match Hashtbl.find_opt stacks stack with
+            | Some v -> v
+            | None -> 0)
+          + cost)
+      end)
+    collector;
+  Hashtbl.fold
+    (fun stack cost acc -> Printf.sprintf "%s %d\n" stack cost :: acc)
+    stacks []
+  |> List.sort compare |> String.concat ""
 
 let critical_path_table ?(title = "Critical path (longest causal chain)")
     ~names (r : Critical_path.report) =
@@ -633,3 +707,64 @@ let metrics_table ?(title = "Epoch metrics") metrics =
           s.m_prefetcher; string_of_int s.m_pf_switches ])
     (Metrics.samples metrics);
   t
+
+(* ---------- what-if causal profile ---------- *)
+
+let whatif_table ?(title = "What-if: virtual speedups (ranked)")
+    (rows : (Whatif.prediction * int option) list) =
+  let t =
+    Table.create ~title
+      ~header:[ "scenario"; "what changes"; "predicted"; "speedup";
+                "measured"; "err" ]
+  in
+  let cyc c = Table.fmt_cycles (float_of_int c) in
+  List.iter
+    (fun ((p : Whatif.prediction), measured) ->
+      let m_str, err_str =
+        match measured with
+        | None -> ("-", "-")
+        | Some m ->
+          let err =
+            if m = 0 then 0.0
+            else
+              abs_float (float_of_int (p.p_cycles - m)) /. float_of_int m
+          in
+          (cyc m, Printf.sprintf "%.1f%%" (100.0 *. err))
+      in
+      Table.add_row t
+        [ p.p_scenario.Whatif.sc_id; p.p_scenario.Whatif.sc_label;
+          cyc p.p_cycles; Table.fmt_speedup p.p_speedup; m_str; err_str ])
+    rows;
+  (match rows with
+   | (p, _) :: _ ->
+     Table.add_row t
+       [ "BASELINE"; "measured run"; cyc p.Whatif.p_baseline;
+         Table.fmt_speedup 1.0; cyc p.Whatif.p_baseline; "-" ]
+   | [] -> ());
+  t
+
+let whatif_json (rows : (Whatif.prediction * int option) list) =
+  let scenario_json ((p : Whatif.prediction), measured) =
+    Json.Obj
+      ([ ("id", Json.Str p.p_scenario.Whatif.sc_id);
+         ("label", Json.Str p.p_scenario.Whatif.sc_label);
+         ("predicted_cycles", Json.Int p.p_cycles);
+         ("saved_cycles", Json.Int p.p_saved);
+         ("speedup", Json.Float p.p_speedup);
+         ("chain_stall", Json.Int p.p_chain_stall) ]
+       @ match measured with
+         | None -> []
+         | Some m ->
+           [ ("measured_cycles", Json.Int m);
+             ("rel_error",
+              Json.Float
+                (if m = 0 then 0.0
+                 else
+                   abs_float (float_of_int (p.p_cycles - m))
+                   /. float_of_int m)) ])
+  in
+  Json.Obj
+    [ ("baseline_cycles",
+       Json.Int
+         (match rows with (p, _) :: _ -> p.Whatif.p_baseline | [] -> 0));
+      ("scenarios", Json.List (List.map scenario_json rows)) ]

@@ -15,6 +15,10 @@ val sample_json : Metrics.sample -> Cards_util.Json.t
 
 val metrics_jsonl : Metrics.t -> string
 
+val metrics_csv : Metrics.t -> string
+(** Header line plus one row per sample, every sample field in order —
+    loads directly into pandas / gnuplot for rate plots. *)
+
 val chrome_trace :
   ?freq_ghz:float -> ?names:(int -> string) -> Trace.t -> Cards_util.Json.t
 (** [freq_ghz] (default 2.4, the paper's Xeon) converts cycle stamps
@@ -41,6 +45,14 @@ val spans_chrome_trace :
 
 val spans_chrome_trace_string :
   ?freq_ghz:float -> ?names:(int -> string) -> Span.collector -> string
+
+val spans_folded : ?names:(int -> string) -> Span.collector -> string
+(** Folded-stack flamegraph lines ([root;child;...;leaf cycles], one
+    per distinct causal stack, sorted): each stall-carrying span's
+    cycles aggregate under its parent chain, so [flamegraph.pl] or
+    speedscope render the span DAG as a flame graph.  Frames are
+    [kind:structure:fn\@block.instr] with the format's separator
+    characters sanitized out. *)
 
 val critical_path_table :
   ?title:string ->
@@ -126,3 +138,18 @@ val resilience_table :
 val metrics_table : ?title:string -> Metrics.t -> Cards_util.Table.t
 (** Per-interval deltas (faults, prefetch accuracy) per structure —
     the adaptive prefetcher's behaviour over time. *)
+
+val whatif_table :
+  ?title:string ->
+  (Whatif.prediction * int option) list ->
+  Cards_util.Table.t
+(** The "what should we optimize next?" report: one row per scenario
+    (keep the {!Whatif.rank} order) with predicted cycles and speedup,
+    plus the measured cycles and relative error when the scenario was
+    validated by re-execution ([None] renders "-"), closed by a
+    BASELINE row. *)
+
+val whatif_json : (Whatif.prediction * int option) list -> Cards_util.Json.t
+(** Machine-readable form of {!whatif_table}: baseline cycles plus one
+    object per scenario (predicted/saved/speedup/chain-stall, and
+    measured + relative error when validated). *)

@@ -13,6 +13,7 @@ type sample = {
   m_pf_used : int;
   m_pf_late : int;
   m_evictions : int;
+  m_fetched_bytes : int;
   m_prefetcher : string;
   m_pf_switches : int;
 }

@@ -20,6 +20,7 @@ type sample = {
   m_pf_used : int;
   m_pf_late : int;
   m_evictions : int;
+  m_fetched_bytes : int;    (** bytes fetched for this structure so far *)
   m_prefetcher : string;    (** active prefetcher ("off" when none) *)
   m_pf_switches : int;      (** adaptive policy switches so far *)
 }

@@ -29,6 +29,15 @@ type config = {
   retry_max : int;
   retry_backoff_cycles : int;     (* first backoff; doubles per retry *)
   fetch_timeout_cycles : int;     (* per-attempt budget for late completions *)
+  (* What-if execution knobs (Whatif.exec -> config via
+     [whatif_config]): scaled fabric costs for inbound fetches,
+     globally and per structure (static name, resolved at ds_init), and
+     instant prefetch arrival.  All timing-only: outputs are invariant
+     under any setting, which is what lets the whatif bench validate
+     predictions against re-executed reality. *)
+  cost_scale : Fabric.scale;
+  ds_cost_scales : (string * Fabric.scale) list;
+  pf_instant : bool;              (* prefetches land at issue time *)
 }
 
 let default_config =
@@ -47,7 +56,33 @@ let default_config =
     retry_backoff_cycles = 4_096;
     (* ~2.7x a nominal 4 KiB fetch: legitimate queueing never trips it
        (the timeout only ever engages on late-faulted completions). *)
-    fetch_timeout_cycles = 150_000 }
+    fetch_timeout_cycles = 150_000;
+    cost_scale = Fabric.unit_scale;
+    ds_cost_scales = [];
+    pf_instant = false }
+
+(* Map an executable what-if scenario onto a perturbed copy of [cfg],
+   so a prediction made from the span graph can be checked by actually
+   re-running the program under the changed parameter.  [None] means
+   the scenario has no runtime knob.  Per-structure scales are keyed
+   by static name and *prepended*, so a scenario overrides any
+   existing entry for the same structure. *)
+let whatif_config cfg (exec : Cards_obs.Whatif.exec) =
+  match exec with
+  | Cards_obs.Whatif.Exec_none -> None
+  | Cards_obs.Whatif.Exec_scale { eds; proto; wire } ->
+    let scale = { Fabric.s_proto = proto; s_wire = wire } in
+    (match eds with
+     | None -> Some { cfg with cost_scale = scale }
+     | Some name ->
+       Some { cfg with ds_cost_scales = (name, scale) :: cfg.ds_cost_scales })
+  | Cards_obs.Whatif.Exec_qp n ->
+    Some { cfg with fabric_config = { cfg.fabric_config with Fabric.qp_count = n } }
+  | Cards_obs.Whatif.Exec_fault_free ->
+    Some
+      { cfg with
+        fabric_config = { cfg.fabric_config with Fabric.faults = Fabric.no_faults } }
+  | Cards_obs.Whatif.Exec_instant_prefetch -> Some { cfg with pf_instant = true }
 
 exception Runtime_error of string
 
@@ -95,6 +130,7 @@ type ds = {
   mutable epoch_used : int;
   mutable epoch_faults : int;
   mutable pf_switches : int;
+  scale : Fabric.scale;           (* what-if cost scale, fixed at init *)
   st : Rt_stats.ds;
   prof : Profile.buckets;         (* cycle-attribution buckets *)
 }
@@ -183,6 +219,15 @@ let create ?(obs = Sink.null) cfg infos =
     (fun i (inf : Static_info.t) ->
       if inf.sid <> i then fail "static descriptor %d out of order" inf.sid)
     infos;
+  let check_scale what (s : Fabric.scale) =
+    let bad f = not (Float.is_finite f) || f < 0.0 in
+    if bad s.Fabric.s_proto || bad s.Fabric.s_wire then
+      fail "%s: cost scale factors must be finite and non-negative" what
+  in
+  check_scale "cost_scale" cfg.cost_scale;
+  List.iter
+    (fun (n, s) -> check_scale ("ds_cost_scales." ^ n) s)
+    cfg.ds_cost_scales;
   let prof = Profile.create () in
   let fabric = Fabric.create cfg.fabric_config in
   { cfg;
@@ -303,6 +348,7 @@ let sample_all t m =
           m_pf_used = d.st.prefetch_used;
           m_pf_late = d.st.prefetch_late;
           m_evictions = d.st.evictions;
+          m_fetched_bytes = d.st.fetched_bytes;
           m_prefetcher = pf_name d;
           m_pf_switches = d.pf_switches })
     t.dss;
@@ -480,6 +526,10 @@ let ds_init t ~sid =
       pf_cooldown = 0;
       epoch_accesses = 0; epoch_issued = 0; epoch_used = 0; epoch_faults = 0;
       pf_switches = 0;
+      scale =
+        (match List.assoc_opt info.name t.cfg.ds_cost_scales with
+         | Some s -> s
+         | None -> t.cfg.cost_scale);
       st = Rt_stats.ds_stats t.stats handle;
       prof }
   in
@@ -605,6 +655,12 @@ let mark_prefetched t (d : ds) ~origin_obj (td : ds) o ~completion ~span =
   | Some c when span >= 0 ->
     Span.note_inflight c ~ds:td.handle ~obj:o ~span
   | _ -> ());
+  (* Perfect-prefetch what-if: the transfer still occupies the fabric
+     exactly as issued (occupancy and counters unchanged), but the
+     data is usable immediately, so settles never wait.  Prefetcher
+     decisions are access-pattern-driven, so the fetch sequence — and
+     therefore the program output — is unchanged. *)
+  let completion = if t.cfg.pf_instant then t.clock else completion in
   td.objs.(o) <- td.objs.(o) lor b_inflight lor b_prefetched lor b_resident;
   td.arrivals.(o) <- completion;
   td.st.prefetch_issued <- td.st.prefetch_issued + 1;
@@ -701,7 +757,7 @@ let issue_prefetch t (d : ds) ~origin_obj (tg : Prefetcher.target) =
   match prefetch_viable t tg d with
   | None -> ()
   | Some (td, o) -> (
-    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:(obj_size td) with
+    match Fabric.fetch_attempt t.fabric ~scale:td.scale ~now:t.clock ~bytes:(obj_size td) with
     | Error _ ->
       (* Prefetches are speculative: a NACKed one is simply dropped —
          the demand path re-fetches the object if it is ever needed.
@@ -740,7 +796,7 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
   match viable with
   | [] -> ()
   | [ (td, o) ] -> (
-    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:(obj_size td) with
+    match Fabric.fetch_attempt t.fabric ~scale:td.scale ~now:t.clock ~bytes:(obj_size td) with
     | Error _ ->
       Rt_stats.note_pf_failed t.stats;
       note_fault_outcome t true;
@@ -758,7 +814,7 @@ let issue_prefetch_batch t (d : ds) ~origin_obj targets =
         ~span)
   | items -> (
     let sizes = Array.of_list (List.map (fun (td, _) -> obj_size td) items) in
-    match Fabric.fetch_many_attempt t.fabric ~now:t.clock ~sizes with
+    match Fabric.fetch_many_attempt t.fabric ~scale:d.scale ~now:t.clock ~sizes with
     | Error _ ->
       (* The whole coalesced request was NACKed: every target dropped. *)
       Rt_stats.note_pf_failed t.stats;
@@ -1072,7 +1128,7 @@ let demand_fetch ?(span_parent = -1) t (d : ds) o =
     clock_insert t d o
   in
   let rec attempt n =
-    match Fabric.fetch_attempt t.fabric ~now:t.clock ~bytes:osz with
+    match Fabric.fetch_attempt t.fabric ~scale:d.scale ~now:t.clock ~bytes:osz with
     | Error f ->
       (* The CPU waited for the NACK: queueing + protocol turnaround. *)
       retry_spend (f.Fabric.f_fail - t.clock);
@@ -1120,7 +1176,7 @@ let demand_fetch ?(span_parent = -1) t (d : ds) o =
       flush_retry ();
       escalated := true;
       d.st.fetched_bytes <- d.st.fetched_bytes + osz;
-      finish (Fabric.fetch_reliable t.fabric ~now:t.clock ~bytes:osz)
+      finish (Fabric.fetch_reliable t.fabric ~scale:d.scale ~now:t.clock ~bytes:osz)
     end
     else begin
       let wait = t.cfg.retry_backoff_cycles lsl min n 6 in

@@ -54,13 +54,34 @@ type config = {
           it is abandoned and the fetch re-issued.  Legitimate
           queueing never trips it, so a healthy loaded fabric cannot
           start a retry storm. *)
+  cost_scale : Cards_net.Fabric.scale;
+      (** what-if cost multiplier applied to every inbound fetch
+          (default {!Cards_net.Fabric.unit_scale}, which is
+          bit-identical to no scaling) *)
+  ds_cost_scales : (string * Cards_net.Fabric.scale) list;
+      (** per-structure overrides of [cost_scale], keyed by static
+          name and resolved once at [ds_init]; first match wins.
+          Batched prefetches are scaled by the {e originating}
+          structure, matching how the what-if predictor scopes batch
+          spans. *)
+  pf_instant : bool;
+      (** perfect-prefetch what-if: prefetched objects become usable
+          at issue time (fabric occupancy and all counters unchanged),
+          so late-prefetch settles never wait.  Timing-only. *)
 }
 
 val default_config : config
 (** CaRDS defaults: linear policy, k = 1, 64 MiB local / 8 MiB
     remotable, CaRDS costs, per-class prefetch, depth 4, batching on
     over two inbound queue pairs; 4 retries, 4 Ki-cycle initial
-    backoff, 150 K-cycle fetch timeout. *)
+    backoff, 150 K-cycle fetch timeout; no what-if perturbation. *)
+
+val whatif_config : config -> Cards_obs.Whatif.exec -> config option
+(** Map an executable what-if scenario onto a perturbed copy of the
+    config for deterministic re-execution ([None] when the scenario
+    carries no runtime knob).  Every perturbation is timing-only:
+    program outputs are bit-identical to the baseline, which the
+    whatif bench and the differential tests assert. *)
 
 type t
 

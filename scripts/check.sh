@@ -4,9 +4,10 @@
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
 # regression gates: fabric, attribution, fault-injection, causal-span,
-# execution-engine and layout-factorization experiments are diffed
-# against the committed BENCH_fabric.json / BENCH_attr.json /
-# BENCH_faults.json / BENCH_spans.json / BENCH_host.json /
+# what-if prediction, execution-engine and layout-factorization
+# experiments are diffed against the committed BENCH_fabric.json /
+# BENCH_attr.json / BENCH_faults.json / BENCH_spans.json /
+# BENCH_whatif.json / BENCH_host.json /
 # BENCH_layout.json baselines (2% relative tolerance) and the
 # snapshots refreshed on a clean pass.  The bench gates run from a
 # release build: the host gate asserts a wall-clock speedup of the
@@ -88,7 +89,7 @@ BENCH=_build/default/bench/main.exe
 refreshed=""
 gate() {
   section=$1; base=$2; pattern=$3
-  "$BENCH" "$section" \
+  "$BENCH" --only "$section" \
     --json "$tmpdir/$base" --compare "$base" --tolerance 0.02 \
     > /dev/null
   test -s "$tmpdir/$base" || {
@@ -126,6 +127,17 @@ echo "== bench: causal-span gate (BENCH_spans.json, 2% tolerance)"
 # nonzero chain; the gate then diffs each run's cycles and its
 # critical-path length against the baseline.
 gate spans BENCH_spans.json '"spans-pc-list-critical-path"'
+
+echo "== bench: what-if prediction gate (BENCH_whatif.json, 2% tolerance)"
+# The whatif section hard-asserts that the span-graph replay's
+# identity scenario reproduces the measured run and the critical-path
+# chain to the cycle, that every catalog scenario re-executed with the
+# real runtime knob keeps program outputs bit-identical, that
+# predicted-faster implies measured-faster, and that predictions land
+# within 15% of the re-run; the gate then diffs both the measured and
+# the predicted cycles of every scenario against the baseline, so the
+# predictor itself is regression-gated.
+gate whatif BENCH_whatif.json '"whatif-fig9-list-identity-pred"'
 
 echo "== bench: layout-factorization gate (BENCH_layout.json, 2% tolerance)"
 # The layout section hard-asserts that --factorize leaves program

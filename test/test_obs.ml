@@ -744,6 +744,198 @@ let test_span_chrome_export_flow_events () =
   check Alcotest.int "flow start per edge" 1 (List.length (phases "s"));
   check Alcotest.int "flow finish per edge" 1 (List.length (phases "f"))
 
+(* ---------- what-if virtual speedups ---------- *)
+
+let wi_predict ~total col sc = O.Whatif.predict ~total col sc
+
+let wi_scenario ?scope factors =
+  O.Whatif.scenario_of_factors ~id:"t" ~label:"test" ?scope factors
+
+let test_whatif_single_chain () =
+  (* One demand span: queued 10, proto 100, wire 50.  The identity
+     replay must reproduce the totals bit-for-bit; halving proto must
+     save exactly 50 cycles. *)
+  let col = O.Span.create () in
+  ignore (mk_span col ~queued:10 ~proto:100 ~wire:50 ());
+  let total = 1000 in
+  let id = wi_predict ~total col O.Whatif.identity in
+  check Alcotest.int "identity predicts baseline" total id.O.Whatif.p_cycles;
+  check Alcotest.int "identity saves nothing" 0 id.O.Whatif.p_saved;
+  check Alcotest.int "identity chain = span stall" 160
+    id.O.Whatif.p_chain_stall;
+  let half =
+    wi_predict ~total col
+      (wi_scenario { O.Whatif.unit_factors with O.Whatif.f_proto = 0.5 })
+  in
+  check Alcotest.int "proto x0.5 saves half the proto" 50
+    half.O.Whatif.p_saved;
+  check Alcotest.int "predicted cycles drop by the saving" (total - 50)
+    half.O.Whatif.p_cycles;
+  (* Scoping: the span is on ds 1, so a ds-2 scope changes nothing. *)
+  let other =
+    wi_predict ~total col
+      (wi_scenario ~scope:(O.Whatif.Ds 2)
+         { O.Whatif.unit_factors with O.Whatif.f_proto = 0.5 })
+  in
+  check Alcotest.int "other-structure scope saves nothing" 0
+    other.O.Whatif.p_saved
+
+let test_whatif_diamond_batch_members () =
+  (* Batch (proto 30, wire 40) fanning into two E_member prefetches
+     completing at cumulative-serialization offsets (50, 70), and a
+     settle at access time 60 waiting 10 cycles for the second member.
+     Free wire pulls the member's landing back to cycle 30, so the
+     settle wait vanishes entirely. *)
+  let col = O.Span.create () in
+  let b = mk_span col ~kind:O.Span.Batch ~proto:30 ~wire:40 () in
+  let _m1 =
+    mk_span col ~kind:O.Span.Prefetch ~parent:b.O.Span.sp_id
+      ~edge:O.Span.E_member ~complete:50 ()
+  in
+  let m2 =
+    mk_span col ~kind:O.Span.Prefetch ~parent:b.O.Span.sp_id
+      ~edge:O.Span.E_member ~complete:70 ()
+  in
+  ignore
+    (mk_span col ~kind:O.Span.Pf_settle ~parent:m2.O.Span.sp_id
+       ~edge:O.Span.E_satisfy ~pf_wait:10 ~issued:60 ());
+  let total = 500 in
+  let id = wi_predict ~total col O.Whatif.identity in
+  check Alcotest.int "identity exact through member completions" total
+    id.O.Whatif.p_cycles;
+  let free_wire =
+    wi_predict ~total col
+      (wi_scenario { O.Whatif.unit_factors with O.Whatif.f_wire = 0.0 })
+  in
+  check Alcotest.int "free wire erases the settle wait" 10
+    free_wire.O.Whatif.p_saved
+
+let test_whatif_retry_chain () =
+  (* Runtime order: the demand root's id is allocated before its retry
+     children, but its span is added after them.  A fault-free fabric
+     (retry x0) must recover exactly the summed retry cycles. *)
+  let col = O.Span.create () in
+  let root_id = O.Span.fresh col in
+  let r1 =
+    mk_span col ~kind:O.Span.Retry ~parent:root_id ~edge:O.Span.E_retry
+      ~retry:40 ~fault:"transient" ()
+  in
+  ignore
+    (mk_span col ~kind:O.Span.Retry ~parent:root_id ~edge:O.Span.E_retry
+       ~retry:40 ~fault:"transient" ());
+  O.Span.add col
+    { r1 with
+      O.Span.sp_id = root_id; sp_parent = -1; sp_edge = None;
+      sp_kind = O.Span.Demand; sp_retry = 0; sp_proto = 100; sp_issued = 80;
+      sp_start = 80; sp_complete = 180; sp_fault = None };
+  let total = 400 in
+  let id = wi_predict ~total col O.Whatif.identity in
+  check Alcotest.int "identity exact across retries" total
+    id.O.Whatif.p_cycles;
+  let no_retry =
+    wi_predict ~total col
+      (wi_scenario { O.Whatif.unit_factors with O.Whatif.f_retry = 0.0 })
+  in
+  check Alcotest.int "retry x0 recovers both backoffs" 80
+    no_retry.O.Whatif.p_saved
+
+(* Property over real runs: for every config in a small matrix, the
+   identity replay of the recorded span graph reproduces both the
+   measured cycle count and the critical-path analyzer's chain cost
+   exactly. *)
+let test_whatif_identity_matches_real_runs () =
+  List.iter
+    (fun (qp, rate) ->
+      let cfg =
+        { pressure_cfg with
+          R.Runtime.fabric_config =
+            { pressure_cfg.R.Runtime.fabric_config with
+              Cards_net.Fabric.qp_count = qp;
+              faults =
+                { Cards_net.Fabric.no_faults with
+                  Cards_net.Fabric.fault_rate = rate; fault_seed = 11 } } }
+      in
+      let obs = O.Sink.create ~span_rate:1.0 () in
+      let res, _ = P.run ~obs (Lazy.force chase) cfg in
+      let col = Option.get (O.Sink.spans obs) in
+      let id = wi_predict ~total:res.cycles col O.Whatif.identity in
+      check Alcotest.int
+        (Printf.sprintf "identity exact (qp %d, rate %.1f)" qp rate)
+        res.cycles id.O.Whatif.p_cycles;
+      match O.Critical_path.analyze col with
+      | Some r ->
+        check Alcotest.int
+          (Printf.sprintf "chain cost matches analyzer (qp %d, rate %.1f)" qp
+             rate)
+          r.O.Critical_path.r_chain_stall id.O.Whatif.p_chain_stall
+      | None -> Alcotest.fail "no spans recorded")
+    [ (1, 0.0); (2, 0.0); (2, 0.2) ]
+
+(* Differential: every executable catalog scenario re-runs the program
+   with the runtime knob actually changed, and the perturbation is
+   timing-only — outputs bit-identical; the identity scenario's re-run
+   reproduces the whole result record. *)
+let test_whatif_validation_runs_bit_identical () =
+  let obs = O.Sink.create ~span_rate:1.0 () in
+  let res, rt = P.run ~obs (Lazy.force chase) pressure_cfg in
+  let col = Option.get (O.Sink.spans obs) in
+  let scenarios = O.Whatif.catalog ~names:(R.Runtime.ds_name rt) col in
+  check Alcotest.bool "catalog has per-structure scenarios" true
+    (List.exists
+       (fun (sc : O.Whatif.scenario) -> sc.sc_scope <> O.Whatif.Global)
+       scenarios);
+  List.iter
+    (fun (sc : O.Whatif.scenario) ->
+      match R.Runtime.whatif_config pressure_cfg sc.sc_exec with
+      | None -> Alcotest.failf "scenario %s is not executable" sc.sc_id
+      | Some cfg' ->
+        let res', _ = P.run (Lazy.force chase) cfg' in
+        check (Alcotest.list Alcotest.string)
+          (sc.sc_id ^ ": outputs bit-identical") res.output res'.output;
+        if sc.sc_id = "identity" then
+          check Alcotest.bool "identity re-run fully identical" true
+            (res' = res))
+    scenarios
+
+let test_spans_folded_lines () =
+  let col = O.Span.create () in
+  let a = mk_span col ~proto:100 () in
+  ignore
+    (mk_span col ~kind:O.Span.Retry ~parent:a.O.Span.sp_id
+       ~edge:O.Span.E_retry ~retry:25 ());
+  ignore
+    (mk_span col ~kind:O.Span.Retry ~parent:a.O.Span.sp_id
+       ~edge:O.Span.E_retry ~retry:25 ());
+  let s = O.Export.spans_folded ~names:(fun _ -> "my list") col in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  (* Two distinct stacks: the demand alone, and the (aggregated) retry
+     frames under it. *)
+  check Alcotest.int "two aggregated stacks" 2 (List.length lines);
+  check Alcotest.bool "demand stack carries its stall" true
+    (List.exists (fun l -> l = "demand:my_list:t@0.0 100") lines);
+  check Alcotest.bool "retries aggregate under the demand" true
+    (List.exists
+       (fun l -> l = "demand:my_list:t@0.0;retry:my_list:t@0.0 50")
+       lines)
+
+let test_metrics_csv_shape () =
+  let obs = full_sink () in
+  ignore (P.run ~obs (Lazy.force chase) pressure_cfg);
+  let m = Option.get (O.Sink.metrics obs) in
+  let csv = O.Export.metrics_csv m in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "header + one row per sample"
+    (O.Metrics.n_samples m + 1)
+    (List.length lines);
+  let cols s = List.length (String.split_on_char ',' s) in
+  let header = List.hd lines in
+  check Alcotest.bool "fetched_bytes column present" true
+    (contains header "fetched_bytes");
+  List.iter
+    (fun l -> check Alcotest.int "row arity matches header" (cols header)
+        (cols l))
+    lines
+
 (* The zero-cost-off claim, measured: with no collector installed the
    guard paths must not allocate a single extra word.  Each loop is
    timed as the delta between N and 2N iterations, which cancels
@@ -848,5 +1040,15 @@ let suite =
       test_resilience_table_quiet_row;
     Alcotest.test_case "span chrome export flow events" `Quick
       test_span_chrome_export_flow_events;
+    Alcotest.test_case "whatif single chain" `Quick test_whatif_single_chain;
+    Alcotest.test_case "whatif diamond batch members" `Quick
+      test_whatif_diamond_batch_members;
+    Alcotest.test_case "whatif retry chain" `Quick test_whatif_retry_chain;
+    Alcotest.test_case "whatif identity matches real runs" `Quick
+      test_whatif_identity_matches_real_runs;
+    Alcotest.test_case "whatif validation bit-identical" `Quick
+      test_whatif_validation_runs_bit_identical;
+    Alcotest.test_case "spans folded lines" `Quick test_spans_folded_lines;
+    Alcotest.test_case "metrics csv shape" `Quick test_metrics_csv_shape;
     Alcotest.test_case "spans off allocation-free" `Quick
       test_spans_off_allocation_free ]
