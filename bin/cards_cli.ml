@@ -653,6 +653,132 @@ let run_cmd =
           $ spans_arg $ span_rate_arg $ postmortem_arg $ whatif_arg
           $ whatif_validate_arg $ factorize_arg)
 
+(* ---------- cards serve ---------- *)
+
+let serve_cmd =
+  let module S = Cards_serve.Serve in
+  let module Stats = Cards_util.Stats in
+  let tenants_arg =
+    Arg.(value & opt int 4
+         & info [ "tenants" ] ~docv:"N" ~doc:"Tenants in the Zipf mix.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 120
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Requests per kv tenant (analytics tenants offer \
+                   proportionally fewer, heavier queries).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Mix seed: tenant arrival streams, request contents \
+                   and fault schedules all derive from it.")
+  in
+  let quantum_arg =
+    Arg.(value & opt int S.default_config.S.quantum
+         & info [ "quantum" ] ~docv:"CYCLES"
+             ~doc:"Deficit-round-robin replenishment per round.")
+  in
+  let gap_arg =
+    Arg.(value & opt float 40_000.0
+         & info [ "gap" ] ~docv:"CYCLES"
+             ~doc:"Mean inter-arrival gap of tenant 0; tenant i offers \
+                   load proportional to 1/(i+1).")
+  in
+  let pin_budget_arg =
+    Arg.(value & opt bytes_conv S.default_config.S.pin_budget
+         & info [ "pin-budget" ] ~docv:"BYTES"
+             ~doc:"Shared pinned-memory budget split across tenants by \
+                   admission control (e.g. 256K).")
+  in
+  let faulty_arg =
+    Arg.(value & opt (some int) None
+         & info [ "faulty" ] ~docv:"TENANT"
+             ~doc:"Give this tenant a faulty fabric slice at \
+                   $(b,--fault-rate).")
+  in
+  let serve_fault_rate_arg =
+    Arg.(value & opt float 0.2
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Per-transfer fault probability for the $(b,--faulty) \
+                   tenant's fabric slice.")
+  in
+  let run tenants requests seed quantum gap pin_budget faulty fault_rate
+      engine =
+    with_errors (fun () ->
+        check_unit_interval "fault-rate" fault_rate;
+        if tenants <= 0 then failwith "--tenants: need at least one";
+        Option.iter
+          (fun i ->
+            if i < 0 || i >= tenants then
+              failwith
+                (Printf.sprintf "--faulty %d: no such tenant (mix has %d)"
+                   i tenants))
+          faulty;
+        let cfg = { S.default_config with S.quantum; pin_budget; engine } in
+        let faulty = Option.map (fun i -> (i, fault_rate)) faulty in
+        let specs =
+          S.zipf_mix ?faulty ~n:tenants ~seed ~requests ~base_gap:gap ()
+        in
+        let r = S.run cfg specs in
+        let t =
+          T.create ~title:"Tenants"
+            ~header:[ "tenant"; "served"; "pinned"; "setup"; "service";
+                      "stall"; "wait"; "degrade"; "deficit" ]
+        in
+        Array.iter
+          (fun (tr : S.tenant_result) ->
+            T.add_row t
+              [ tr.S.tr_name; string_of_int tr.S.tr_served;
+                T.fmt_bytes (float_of_int tr.S.tr_pinned_granted);
+                T.fmt_cycles (float_of_int tr.S.tr_setup_cycles);
+                T.fmt_cycles (float_of_int tr.S.tr_service_cycles);
+                T.fmt_cycles (float_of_int tr.S.tr_stall_cycles);
+                T.fmt_cycles (float_of_int tr.S.tr_wait_cycles);
+                string_of_int tr.S.tr_degrade_level;
+                string_of_int tr.S.tr_deficit_end ])
+          r.S.tenants;
+        T.print t;
+        T.print
+          (O.Export.serve_latency_table
+             (Array.to_list r.S.tenants
+              |> List.map (fun (tr : S.tenant_result) ->
+                     (tr.S.tr_name, tr.S.tr_latency, tr.S.tr_served))));
+        (* The interference matrix: who waited behind whom. *)
+        let steal =
+          T.create ~title:"Interference (cycles victim spent queued behind culprit)"
+            ~header:
+              ("victim \\ culprit"
+               :: (Array.to_list r.S.tenants
+                   |> List.map (fun (tr : S.tenant_result) -> tr.S.tr_name)))
+        in
+        Array.iteri
+          (fun v row ->
+            T.add_row steal
+              (r.S.tenants.(v).S.tr_name
+               :: (Array.to_list row
+                   |> List.map (fun c -> T.fmt_cycles (float_of_int c)))))
+          r.S.stolen;
+        T.print steal;
+        O.Reporter.linef reporter
+          "-- %s cycles total (%s busy, %s idle), %d DRR rounds; \
+           credit: %d granted - %d charged - %d forfeited; \
+           pinned %s of %s admitted"
+          (T.fmt_cycles (float_of_int r.S.total_cycles))
+          (T.fmt_cycles (float_of_int r.S.busy_cycles))
+          (T.fmt_cycles (float_of_int r.S.idle_cycles))
+          r.S.rounds r.S.granted r.S.charged r.S.forfeited
+          (T.fmt_bytes (float_of_int r.S.pin_admitted))
+          (T.fmt_bytes (float_of_int r.S.pin_budget)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a seeded Zipf mix of kv and analytics tenants under \
+             deficit-round-robin fairness")
+    Term.(const run $ tenants_arg $ requests_arg $ seed_arg $ quantum_arg
+          $ gap_arg $ pin_budget_arg $ faulty_arg $ serve_fault_rate_arg
+          $ engine_arg)
+
 (* ---------- cards workload ---------- *)
 
 let workload_cmd =
@@ -693,4 +819,4 @@ let workload_cmd =
 let () =
   let doc = "CaRDS: compiler-aided remote data structures" in
   let info = Cmd.info "cards" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; workload_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; serve_cmd; workload_cmd ]))

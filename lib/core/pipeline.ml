@@ -26,6 +26,7 @@ type compiled = {
   static_guards : int;
   guards_removed : int;
   versioned_loops : int;
+  fn_arg_sids : (string * int list) list;
 }
 
 let to_rt_class = function
@@ -61,6 +62,28 @@ let compile ?(options = cards_options) (m : Irmod.t) =
   in
   let dsa1 = A.Dsa.analyze m in
   let infos = static_table m dsa1 in
+  (* Handle-plan metadata for external callers (the serving layer): a
+     transformed function's appended I64 handle parameters, in order,
+     as the descriptor ids a driver must [ds_init] to call it directly.
+     -1 marks an argnode no descriptor covers (never hit by functions a
+     driver should call). *)
+  let fn_arg_sids =
+    let sid_of = Hashtbl.create 16 in
+    List.iter
+      (fun (d : A.Dsa.desc_info) ->
+        Hashtbl.replace sid_of (A.Dsa.canonical dsa1 d.desc_node) d.desc_id)
+      (A.Dsa.descriptors dsa1);
+    List.map
+      (fun (f : Cards_ir.Func.t) ->
+        ( f.name,
+          List.map
+            (fun n ->
+              match Hashtbl.find_opt sid_of (A.Dsa.canonical dsa1 n) with
+              | Some sid -> sid
+              | None -> -1)
+            (A.Dsa.argnodes dsa1 f.name) ))
+      m.funcs
+  in
   let pooled = T.Pool_alloc.run m dsa1 in
   let dsa2 = A.Dsa.analyze pooled in
   let guarded = T.Guards.run pooled dsa2 in
@@ -81,7 +104,8 @@ let compile ?(options = cards_options) (m : Irmod.t) =
     infos;
     static_guards = T.Guards.count_guards final;
     guards_removed;
-    versioned_loops }
+    versioned_loops;
+    fn_arg_sids }
 
 let compile_source ?options src = compile ?options (Cards_ir.Minic.compile src)
 

@@ -44,6 +44,14 @@ type compiled = {
   static_guards : int;           (** guards remaining after elimination *)
   guards_removed : int;
   versioned_loops : int;
+  fn_arg_sids : (string * int list) list;
+      (** per-function handle plan: the descriptor ids behind the I64
+          handle parameters pool allocation appended to each function,
+          in parameter order.  A driver calling a transformed function
+          directly (e.g. the serving layer dispatching requests into a
+          live session) must [ds_init] each listed sid once and append
+          the returned handles to the call's arguments.  [main] maps to
+          [[]]; an argnode outside every descriptor maps to [-1]. *)
 }
 
 val compile : ?options:options -> Cards_ir.Irmod.t -> compiled

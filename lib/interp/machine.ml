@@ -266,3 +266,49 @@ let run_function ?fuel ?(engine = Decoded) (m : Irmod.t) rt name args =
         match Hashtbl.find_opt st.funcs name with
         | None -> trap "no function %s" name
         | Some f -> finish st (exec_function st f argv)))
+
+(* ---------- sessions (the serving layer) ---------- *)
+
+(* [Sem.setup] allocates and initializes globals, so [run]/[run_function]
+   reset program state on every call.  A session runs setup (and, for
+   the decoded engine, [Decode.prepare]) exactly once; each [call] then
+   executes against the live heap and reports {e deltas} — the cycles,
+   instructions, and output lines that call added. *)
+type session = {
+  st : Sem.state;
+  decoded : Decode.t option; (* None = reference engine *)
+  mutable out_taken : int;   (* chars of st.out already handed out *)
+}
+
+let session ?fuel ?(engine = Decoded) (m : Irmod.t) rt =
+  let st = Sem.setup ?fuel m rt in
+  let decoded =
+    match engine with
+    | Decoded -> Some (Decode.prepare st m)
+    | Reference -> None
+  in
+  { st; decoded; out_taken = 0 }
+
+let call s name args =
+  let st = s.st in
+  let c0 = Runtime.now st.rt and i0 = st.executed in
+  let argv = List.map (fun x -> AI x) args in
+  let res =
+    with_postmortem st (fun () ->
+        match s.decoded with
+        | Some d -> Decode.run_function d name argv
+        | None -> (
+          match Hashtbl.find_opt st.funcs name with
+          | None -> trap "no function %s" name
+          | Some f -> exec_function st f argv))
+  in
+  let output =
+    let len = Buffer.length st.out in
+    let fresh = Buffer.sub st.out s.out_taken (len - s.out_taken) in
+    s.out_taken <- len;
+    String.split_on_char '\n' fresh |> List.filter (fun l -> l <> "")
+  in
+  { ret = (match res with AI x -> x | AF x -> int_of_float x);
+    cycles = Runtime.now st.rt - c0;
+    instructions = st.executed - i0;
+    output }

@@ -60,3 +60,29 @@ val run_function :
   result
 (** Execute an arbitrary function with integer/pointer arguments
     (testing hook). *)
+
+(** {2 Sessions}
+
+    [run]/[run_function] re-run global setup on every invocation, so
+    each call starts from a fresh program state.  A {!session} performs
+    setup (and, for the decoded engine, pre-decoding) once and keeps
+    the heap live across calls — the request-serving model: a tenant's
+    data structures persist while queries arrive one at a time. *)
+
+type session
+
+val session :
+  ?fuel:int ->
+  ?engine:engine ->
+  Cards_ir.Irmod.t ->
+  Cards_runtime.Runtime.t ->
+  session
+(** Allocate and initialize the module's globals against [rt] and bind
+    the execution engine (default {!Decoded}).  [fuel] bounds the total
+    instruction count across {e all} calls on the session. *)
+
+val call : session -> string -> int list -> result
+(** Execute a named function against the session's live heap.  Unlike
+    {!run_function}, the result's [cycles], [instructions], and
+    [output] are {e deltas}: what this call alone added on top of the
+    session's prior history. *)

@@ -391,6 +391,31 @@ let stats t =
     reliable_fetches = t.reliable_fetches;
     wb_faults = t.wb_faults }
 
+let add_stats (a : stats) (b : stats) =
+  let qp =
+    let la = Array.length a.qp_queue_cycles
+    and lb = Array.length b.qp_queue_cycles in
+    Array.init (max la lb) (fun i ->
+        (if i < la then a.qp_queue_cycles.(i) else 0)
+        + (if i < lb then b.qp_queue_cycles.(i) else 0))
+  in
+  { fetches = a.fetches + b.fetches;
+    fetched_bytes = a.fetched_bytes + b.fetched_bytes;
+    batches = a.batches + b.batches;
+    batched_objects = a.batched_objects + b.batched_objects;
+    writebacks = a.writebacks + b.writebacks;
+    written_bytes = a.written_bytes + b.written_bytes;
+    wb_batches = a.wb_batches + b.wb_batches;
+    queue_in_cycles = a.queue_in_cycles + b.queue_in_cycles;
+    queue_out_cycles = a.queue_out_cycles + b.queue_out_cycles;
+    qp_queue_cycles = qp;
+    faults_transient = a.faults_transient + b.faults_transient;
+    faults_late = a.faults_late + b.faults_late;
+    faults_dup = a.faults_dup + b.faults_dup;
+    failed_fetches = a.failed_fetches + b.failed_fetches;
+    reliable_fetches = a.reliable_fetches + b.reliable_fetches;
+    wb_faults = a.wb_faults + b.wb_faults }
+
 let faults_injected (s : stats) =
   s.faults_transient + s.faults_late + s.faults_dup
 

@@ -232,6 +232,12 @@ type stats = {
 
 val stats : t -> stats
 
+val add_stats : stats -> stats -> stats
+(** Field-wise sum, for aggregating per-tenant fabric slices into one
+    global view (the serving layer's Σ-decomposition invariant).
+    [qp_queue_cycles] is summed element-wise, the shorter array
+    zero-padded to the longer length. *)
+
 val faults_injected : stats -> int
 (** [faults_transient + faults_late + faults_dup] (inbound only). *)
 

@@ -565,6 +565,37 @@ let latency_percentiles_table ?(title = "Fetch latency percentiles") ~names prof
   row "ALL" (Profile.merged_latency prof);
   t
 
+(* The serving layer's per-tenant request-latency view: one row per
+   tenant plus an ALL row merged bucket-wise — the merge is exact on
+   the histogram, so ALL equals the histogram of the concatenated
+   samples (the Stats-merge satellite asserts this). *)
+let serve_latency_table ?(title = "Per-tenant request latency") rows =
+  let t =
+    Table.create ~title
+      ~header:[ "tenant"; "served"; "p50"; "p90"; "p99"; "p999"; "max" ]
+  in
+  let row name served lat =
+    if Cards_util.Stats.count lat > 0 then
+      Table.add_row t
+        (name :: string_of_int served
+         :: (List.map
+               (fun (_, p) ->
+                 Table.fmt_cycles (Cards_util.Stats.percentile lat p))
+               percentile_points
+             @ [ Table.fmt_cycles (Cards_util.Stats.max lat) ]))
+  in
+  List.iter (fun (name, lat, served) -> row name served lat) rows;
+  (match rows with
+   | [] | [ _ ] -> ()
+   | (_, first, _) :: rest ->
+     let merged =
+       List.fold_left
+         (fun acc (_, lat, _) -> Cards_util.Stats.merge acc lat)
+         first rest
+     in
+     row "ALL" (List.fold_left (fun a (_, _, s) -> a + s) 0 rows) merged);
+  t
+
 (* ---------- stall attribution tables ---------- *)
 
 let attribution_table ?(title = "Stall root causes (per data structure)")

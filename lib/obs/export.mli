@@ -87,6 +87,15 @@ val latency_percentiles_table :
 (** Per-structure fetch-latency percentiles (p50/p90/p99/p999/max)
     plus an [ALL] row merged over every structure. *)
 
+val serve_latency_table :
+  ?title:string ->
+  (string * Cards_util.Stats.t * int) list ->
+  Cards_util.Table.t
+(** Per-tenant request-latency percentiles for the serving layer:
+    one [(tenant, latency accumulator, served count)] row each, plus
+    an [ALL] row merged bucket-wise over every tenant (exact on the
+    histogram).  Empty accumulators are skipped. *)
+
 val attribution_table :
   ?title:string -> names:(int -> string) -> Attribution.t -> Cards_util.Table.t
 (** Per-structure stall decomposition: one column per root cause

@@ -38,6 +38,14 @@ type config = {
   cost_scale : Fabric.scale;
   ds_cost_scales : (string * Fabric.scale) list;
   pf_instant : bool;              (* prefetches land at issue time *)
+  (* Tenant handle namespace (the serving layer, lib/serve): a
+     non-empty namespace prefixes every structure name this runtime
+     reports ("tenant/name#sid"), so per-tenant stats, attribution
+     rows and exports stay collision-free when a serving driver
+     aggregates many tenant runtimes into one view.  Handles remain
+     runtime-local: a pointer can never cross namespaces because the
+     handle bits only resolve against this runtime's table. *)
+  namespace : string;
 }
 
 let default_config =
@@ -59,7 +67,8 @@ let default_config =
     fetch_timeout_cycles = 150_000;
     cost_scale = Fabric.unit_scale;
     ds_cost_scales = [];
-    pf_instant = false }
+    pf_instant = false;
+    namespace = "" }
 
 (* Map an executable what-if scenario onto a perturbed copy of [cfg],
    so a prediction made from the span graph can be checked by actually
@@ -297,10 +306,15 @@ let get_ds t handle =
   if handle < 1 || handle > Vec.length t.dss then fail "bad handle %d" handle;
   Vec.get t.dss (handle - 1)
 
+let namespace t = t.cfg.namespace
+
 let ds_name t handle =
-  if handle >= 1 && handle <= Vec.length t.dss then
-    (Vec.get t.dss (handle - 1)).info.name
-  else "(unmanaged)"
+  let bare =
+    if handle >= 1 && handle <= Vec.length t.dss then
+      (Vec.get t.dss (handle - 1)).info.name
+    else "(unmanaged)"
+  in
+  if t.cfg.namespace = "" then bare else t.cfg.namespace ^ "/" ^ bare
 
 (* Span constructor stamped with the current access site; phase fields
    default to zero so each emission site names only what it explains. *)

@@ -68,6 +68,16 @@ type config = {
       (** perfect-prefetch what-if: prefetched objects become usable
           at issue time (fabric occupancy and all counters unchanged),
           so late-prefetch settles never wait.  Timing-only. *)
+  namespace : string;
+      (** tenant handle namespace (default [""] = root).  A non-empty
+          namespace prefixes every structure name this runtime reports
+          (["tenant/name#sid"] from {!ds_name}), keeping per-tenant
+          stats and attribution rows collision-free when the serving
+          layer ({!Cards_serve.Serve}) aggregates many tenant runtimes
+          into one view.  Handles stay runtime-local — a tagged
+          pointer can never resolve against another tenant's table —
+          so the namespace is an accounting label, never a sharing
+          mechanism. *)
 }
 
 val default_config : config
@@ -211,7 +221,12 @@ val set_site : t -> fn:string -> block:int -> instr:int -> unit
 
 val ds_name : t -> int -> string
 (** Static name for a handle (["(unmanaged)"] for handle 0 or unknown)
-    — the [names] labeller exporters take. *)
+    — the [names] labeller exporters take.  Prefixed with
+    ["namespace/"] when the runtime was configured with a tenant
+    namespace. *)
+
+val namespace : t -> string
+(** The configured tenant namespace ([""] for the root namespace). *)
 
 val maybe_postmortem : t -> reason:string -> unit
 (** Dump the flight recorder's post-mortem through the sink's

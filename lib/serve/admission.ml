@@ -1,0 +1,22 @@
+type t = { budget : int; mutable admitted : int }
+
+let create ~budget_bytes =
+  if budget_bytes < 0 then invalid_arg "Admission.create: negative budget";
+  { budget = budget_bytes; admitted = 0 }
+
+let budget t = t.budget
+let admitted_bytes t = t.admitted
+let available t = t.budget - t.admitted
+
+let admit t ~bytes =
+  if bytes < 0 then invalid_arg "Admission.admit: negative reservation"
+  else if t.admitted + bytes > t.budget then false
+  else begin
+    t.admitted <- t.admitted + bytes;
+    true
+  end
+
+let release t ~bytes =
+  if bytes < 0 || bytes > t.admitted then
+    invalid_arg "Admission.release: releasing more than admitted";
+  t.admitted <- t.admitted - bytes

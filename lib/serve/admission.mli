@@ -1,0 +1,26 @@
+(** Shared pinned-memory admission control.
+
+    Tenants reserve pinned-memory grants from one shared budget
+    before their runtime is created; a reservation that would
+    overshoot is refused, so the sum of outstanding grants can never
+    exceed the budget (property-tested over random admit/release
+    sequences).  A refused tenant is not rejected outright — its
+    k-budget planner simply pins fewer structures
+    ({!Kbudget.plan} against the remaining headroom). *)
+
+type t
+
+val create : budget_bytes:int -> t
+(** @raise Invalid_argument on a negative budget. *)
+
+val budget : t -> int
+val admitted_bytes : t -> int
+val available : t -> int
+
+val admit : t -> bytes:int -> bool
+(** Reserve: [false] (and no state change) when the grant would push
+    the admitted total past the budget. *)
+
+val release : t -> bytes:int -> unit
+(** Return a grant.  @raise Invalid_argument when releasing more than
+    is currently admitted. *)

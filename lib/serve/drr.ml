@@ -1,0 +1,82 @@
+type t = {
+  n : int;
+  quantum : int;
+  deficit : int array;
+  mutable cursor : int;
+  mutable granted : int;
+  mutable charged : int;
+  mutable forfeited : int;
+  mutable rounds : int;
+}
+
+let create ~quantum n =
+  if n <= 0 then invalid_arg "Drr.create: need at least one tenant";
+  if quantum <= 0 then invalid_arg "Drr.create: quantum must be positive";
+  { n; quantum; deficit = Array.make n 0; cursor = 0;
+    granted = 0; charged = 0; forfeited = 0; rounds = 0 }
+
+let deficit t i = t.deficit.(i)
+let granted t = t.granted
+let charged t = t.charged
+let forfeited t = t.forfeited
+let rounds t = t.rounds
+
+(* One scan position: a pending tenant with credit is selected (cursor
+   stays put, so it keeps its turn until the credit runs out); an idle
+   tenant forfeits any positive credit as the cursor passes — credit
+   is a right to the {e contended} processor, not a bankable asset. *)
+let rec scan t ~pending tries =
+  if tries = 0 then None
+  else begin
+    let i = t.cursor in
+    if pending i && t.deficit.(i) > 0 then Some i
+    else begin
+      if (not (pending i)) && t.deficit.(i) > 0 then begin
+        t.forfeited <- t.forfeited + t.deficit.(i);
+        t.deficit.(i) <- 0
+      end;
+      t.cursor <- (i + 1) mod t.n;
+      scan t ~pending (tries - 1)
+    end
+  end
+
+let any_pending t ~pending =
+  let rec go i = i < t.n && (pending i || go (i + 1)) in
+  go 0
+
+let next t ~pending =
+  match scan t ~pending t.n with
+  | Some i -> Some i
+  | None ->
+    if not (any_pending t ~pending) then None
+    else begin
+      (* Replenish until some pending tenant surfaces: a tenant that
+         overdrew (one request can cost far more than a quantum) sits
+         out [debt / quantum] rounds while the others are served —
+         that sit-out IS the isolation.  Termination: each round adds
+         [quantum] to a fixed non-empty set of pending tenants, so the
+         most solvent one reaches positive credit in finitely many
+         rounds. *)
+      let selected = ref None in
+      while !selected = None do
+        t.rounds <- t.rounds + 1;
+        for i = 0 to t.n - 1 do
+          if pending i then begin
+            t.deficit.(i) <- t.deficit.(i) + t.quantum;
+            t.granted <- t.granted + t.quantum
+          end
+        done;
+        selected := scan t ~pending t.n
+      done;
+      !selected
+    end
+
+let charge t i cost =
+  if cost < 0 then invalid_arg "Drr.charge: negative cost";
+  t.deficit.(i) <- t.deficit.(i) - cost;
+  t.charged <- t.charged + cost
+
+(* granted - charged - forfeited = Σ deficit, maintained by every
+   operation above; the property suite hammers this. *)
+let conserved t =
+  t.granted - t.charged - t.forfeited = Array.fold_left ( + ) 0 t.deficit

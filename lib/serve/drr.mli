@@ -1,0 +1,46 @@
+(** Deficit-round-robin fairness over one serving core.
+
+    Each tenant holds a {e deficit counter} in cycles.  A round grants
+    every pending tenant one [quantum]; serving a request charges its
+    {e actual} measured cost, which may drive the counter far negative
+    (debt) when one request costs more than a quantum — the tenant
+    then sits out [debt / quantum] rounds while the others are served.
+    That debt is the isolation mechanism: a faulty tenant whose
+    requests balloon (retries, backoff, escalation) automatically
+    donates its turns to the healthy tenants.
+
+    Credit is a right to the contended processor, not a bankable
+    asset: a tenant with no pending work forfeits its positive credit
+    as the cursor passes it.
+
+    Conservation invariant (property-tested):
+    [granted - charged - forfeited = Σ deficits].
+
+    Starvation-freedom: every pending tenant gains a quantum per
+    round and rounds are finite, so any tenant's wait is bounded by
+    [n · (max_request_cost / quantum + 2)] selections. *)
+
+type t
+
+val create : quantum:int -> int -> t
+(** [create ~quantum n] for [n] tenants.  @raise Invalid_argument on
+    [n <= 0] or [quantum <= 0]. *)
+
+val next : t -> pending:(int -> bool) -> int option
+(** Select the tenant to serve next; [None] iff no tenant is pending.
+    The selected tenant keeps the cursor (it continues until its
+    credit runs out), and replenishment rounds run automatically when
+    no pending tenant has credit. *)
+
+val charge : t -> int -> int -> unit
+(** [charge t i cost] debits tenant [i] by the measured service cost.
+    @raise Invalid_argument on negative cost. *)
+
+val deficit : t -> int -> int
+val granted : t -> int
+val charged : t -> int
+val forfeited : t -> int
+val rounds : t -> int
+
+val conserved : t -> bool
+(** The conservation invariant, checkable at any point. *)

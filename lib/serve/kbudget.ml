@@ -1,0 +1,29 @@
+module Static_info = Cards_runtime.Static_info
+module Policy = Cards_runtime.Policy
+
+(* Greedy Max-Use knapsack: walk descriptors by descending score_use
+   (ties toward lower sid, matching Policy's tie-break), pin each one
+   whose measured footprint still fits.  Skipping an oversized
+   structure and continuing lets a small hot table slip in under a
+   huge cold column — the shape Max-Use exists for. *)
+let plan ~(infos : Static_info.t array) ~bytes ~budget =
+  let n = Array.length infos in
+  if Array.length bytes <> n then
+    invalid_arg "Kbudget.plan: bytes and infos disagree on structure count";
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match compare infos.(j).Static_info.score_use infos.(i).Static_info.score_use with
+      | 0 -> compare i j
+      | c -> c)
+    order;
+  let pref = Array.make n false in
+  let used = ref 0 in
+  Array.iter
+    (fun sid ->
+      if bytes.(sid) >= 0 && !used + bytes.(sid) <= budget then begin
+        pref.(sid) <- true;
+        used := !used + bytes.(sid)
+      end)
+    order;
+  (Policy.Explicit pref, !used)

@@ -1,0 +1,23 @@
+(** Online per-tenant k-budget planning by Max-Use.
+
+    The offline policy takes [k] as a given fraction; a serving system
+    must {e derive} it per tenant from what admission control actually
+    granted.  [plan] runs the Max-Use ranking (paper Eq. 1 scores from
+    the static descriptor table) as a greedy knapsack against the
+    tenant's measured per-structure footprint — obtained from a probe
+    run of the tenant's [setup()] — and returns the explicit pinned
+    set plus the bytes it consumes (what the tenant then reserves via
+    {!Admission.admit}). *)
+
+val plan :
+  infos:Cards_runtime.Static_info.t array ->
+  bytes:int array ->
+  budget:int ->
+  Cards_runtime.Policy.t * int
+(** [plan ~infos ~bytes ~budget] with [bytes.(sid)] = measured
+    footprint: descriptors by descending [score_use] (ties toward
+    lower sid), pinning each that still fits in [budget]; oversized
+    ones are skipped, not terminal.  Returns
+    ([Policy.Explicit pinned], bytes actually consumed).
+    @raise Invalid_argument when [bytes] and [infos] disagree on the
+    structure count. *)

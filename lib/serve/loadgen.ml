@@ -1,0 +1,32 @@
+module Rng = Cards_util.Rng
+
+type request = { op : int; a : int; b : int }
+
+type arrival = { at : int; req : request }
+
+(* Two decorrelated streams per generator: one for inter-arrival gaps,
+   one for request contents.  Changing the op mix therefore never
+   perturbs arrival times (and vice versa), which keeps the
+   determinism test's failure modes separable. *)
+let arrivals ~seed ~n ~mean_gap ~sample =
+  let master = Rng.create seed in
+  let gaps = Rng.split master in
+  let reqs = Rng.split master in
+  let at = ref 0 in
+  List.init n (fun _ ->
+      at := !at + 1 + int_of_float (Rng.exponential gaps ~mean:mean_gap);
+      { at = !at; req = sample reqs })
+
+(* Memcached-style mix over a Zipf-popular key space: 70% get, 20%
+   put, 10% scan (8 buckets).  Put values derive from the key stream
+   so replies stay deterministic per seed. *)
+let kv_sample ~keys ~nbuckets rng =
+  let key rng = Rng.zipf rng ~n:keys ~s:0.9 in
+  let coin = Rng.int rng 10 in
+  if coin < 7 then { op = 0; a = key rng; b = 0 }
+  else if coin < 9 then { op = 1; a = key rng; b = Rng.int rng 100_000 }
+  else { op = 2; a = Rng.int rng nbuckets; b = 8 }
+
+(* Analytics query mix: Zipf over the 8-query battery, so the hot
+   column queries dominate and the cold op-7 query stays rare. *)
+let analytics_sample rng = { op = Rng.zipf rng ~n:8 ~s:0.8; a = 0; b = 0 }

@@ -1,0 +1,30 @@
+(** Open-loop request load generation.
+
+    Arrivals are generated ahead of time from a seed — an open-loop
+    (arrival-clock-driven) stream, so a slow server grows a backlog
+    instead of silently throttling the offered load.  Everything is a
+    pure function of the seed: the determinism satellite asserts two
+    generations (and two whole serving runs) agree bit for bit. *)
+
+type request = { op : int; a : int; b : int }
+(** One request in the uniform [req(op, a, b)] dispatch vocabulary. *)
+
+type arrival = { at : int; req : request }
+(** [at] is the arrival time on the {e serving} clock (cycles). *)
+
+val arrivals :
+  seed:int ->
+  n:int ->
+  mean_gap:float ->
+  sample:(Cards_util.Rng.t -> request) ->
+  arrival list
+(** [n] arrivals with exponential inter-arrival gaps of mean
+    [mean_gap] cycles (≥ 1 apart), strictly increasing [at].  Gap and
+    request streams are split from the seed independently, so the op
+    mix never perturbs arrival times. *)
+
+val kv_sample : keys:int -> nbuckets:int -> Cards_util.Rng.t -> request
+(** 70% get / 20% put / 10% scan over a Zipf(0.9)-popular key space. *)
+
+val analytics_sample : Cards_util.Rng.t -> request
+(** Zipf(0.8) draw over the 8-query analytics battery. *)

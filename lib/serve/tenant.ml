@@ -1,0 +1,167 @@
+module P = Cards.Pipeline
+module R = Cards_runtime.Runtime
+module M = Cards_interp.Machine
+module F = Cards_net.Fabric
+module Stats = Cards_util.Stats
+module Attribution = Cards_obs.Attribution
+module Profile = Cards_obs.Profile
+
+type spec = {
+  name : string;
+  source : string;
+  seed : int;
+  requests : int;
+  mean_gap : float;
+  sample : Cards_util.Rng.t -> Loadgen.request;
+  fault_rate : float;
+}
+
+type record = { req : Loadgen.request; ret : int; cost : int }
+
+type t = {
+  spec : spec;
+  compiled : P.compiled;
+  rt : R.t;
+  session : M.session;
+  handles : (int, int) Hashtbl.t;
+  arrivals : Loadgen.arrival array;
+  mutable next_ix : int;
+  mutable served : int;
+  mutable setup_cycles : int;
+  mutable service_cycles : int;
+  mutable stall_cycles : int;
+  mutable wait_cycles : int;
+  lat : Stats.t;
+  mutable records_rev : record list;
+  mutable out_rev : string list;
+  pinned_granted : int;
+}
+
+(* A transformed function's appended handle parameters, resolved
+   through the compiler's handle plan: ds_init each sid once per
+   runtime (the driver is main's surrogate — main itself never runs
+   in a session), then reuse the handle for every later call. *)
+let handles_for tbl rt compiled fname =
+  match List.assoc_opt fname compiled.P.fn_arg_sids with
+  | None -> failwith (Printf.sprintf "serving source has no %s()" fname)
+  | Some sids ->
+    List.map
+      (fun sid ->
+        if sid < 0 then
+          failwith
+            (Printf.sprintf "%s: handle plan has an uncovered argnode" fname);
+        match Hashtbl.find_opt tbl sid with
+        | Some h -> h
+        | None ->
+          let h = R.ds_init rt ~sid in
+          Hashtbl.replace tbl sid h;
+          h)
+      sids
+
+(* Footprint probe: run setup() against a scratch all-remotable
+   runtime and read back per-structure allocated bytes — the online
+   measurement the Max-Use knapsack plans against. *)
+let probe_footprint ~(base : R.config) ~engine compiled =
+  let cfg =
+    { base with
+      R.policy = Cards_runtime.Policy.All_remotable;
+      namespace = "";
+      fabric_config = { base.fabric_config with F.faults = F.no_faults } }
+  in
+  let rt = R.create cfg compiled.P.infos in
+  let s = M.session ~engine compiled.P.instrumented rt in
+  let tbl = Hashtbl.create 8 in
+  ignore (M.call s "setup" (handles_for tbl rt compiled "setup"));
+  let bytes = Array.make (Array.length compiled.P.infos) 0 in
+  List.iter
+    (fun (r : R.ds_report) ->
+      if r.r_sid >= 0 && r.r_sid < Array.length bytes then
+        bytes.(r.r_sid) <- bytes.(r.r_sid) + r.r_bytes)
+    (R.report rt);
+  bytes
+
+let create ~(base : R.config) ~engine ~pin_share spec =
+  let compiled = P.compile_source spec.source in
+  let bytes = probe_footprint ~base ~engine compiled in
+  let policy, pinned_granted =
+    Kbudget.plan ~infos:compiled.P.infos ~bytes ~budget:pin_share
+  in
+  let cfg =
+    { base with
+      R.policy;
+      namespace = spec.name;
+      fabric_config =
+        { base.fabric_config with
+          F.faults =
+            { F.no_faults with
+              F.fault_rate = spec.fault_rate;
+              fault_seed = spec.seed lxor 0x5e4e } } }
+  in
+  let rt = R.create cfg compiled.P.infos in
+  let session = M.session ~engine compiled.P.instrumented rt in
+  let handles = Hashtbl.create 8 in
+  let r = M.call session "setup" (handles_for handles rt compiled "setup") in
+  let arrivals =
+    Array.of_list
+      (Loadgen.arrivals ~seed:spec.seed ~n:spec.requests
+         ~mean_gap:spec.mean_gap ~sample:spec.sample)
+  in
+  { spec; compiled; rt; session; handles; arrivals;
+    next_ix = 0; served = 0;
+    setup_cycles = r.M.cycles; service_cycles = 0; stall_cycles = 0;
+    wait_cycles = 0; lat = Stats.create (); records_rev = [];
+    out_rev = []; pinned_granted }
+
+let finished t = t.next_ix >= Array.length t.arrivals
+
+let pending t ~now =
+  t.next_ix < Array.length t.arrivals && t.arrivals.(t.next_ix).Loadgen.at <= now
+
+let next_arrival t =
+  if finished t then None else Some t.arrivals.(t.next_ix).Loadgen.at
+
+(* Serve the oldest pending request.  The caller owns the serving
+   clock; we return the measured service cost so it can advance it
+   and charge the scheduler.  Per-request cost ties to the PR 3
+   ledger exactly: cost = Δcompute + Δattribution, checked on every
+   single request. *)
+let serve_next t ~now =
+  let arr = t.arrivals.(t.next_ix) in
+  let { Loadgen.op; a; b } = arr.Loadgen.req in
+  let att0 = Attribution.total (R.attribution t.rt) in
+  let comp0 = Profile.compute (R.profile t.rt) in
+  let r =
+    M.call t.session "req" ([ op; a; b ] @ handles_for t.handles t.rt t.compiled "req")
+  in
+  let stall = Attribution.total (R.attribution t.rt) - att0 in
+  let compute = Profile.compute (R.profile t.rt) - comp0 in
+  if r.M.cycles <> stall + compute then
+    failwith
+      (Printf.sprintf
+         "%s: request cost %d cycles but the ledger decomposes it as \
+          %d compute + %d stall"
+         t.spec.name r.M.cycles compute stall);
+  let wait = now - arr.Loadgen.at in
+  t.next_ix <- t.next_ix + 1;
+  t.served <- t.served + 1;
+  t.service_cycles <- t.service_cycles + r.M.cycles;
+  t.stall_cycles <- t.stall_cycles + stall;
+  t.wait_cycles <- t.wait_cycles + wait;
+  Stats.add t.lat (float_of_int (wait + r.M.cycles));
+  t.records_rev <- { req = arr.Loadgen.req; ret = r.M.ret; cost = r.M.cycles } :: t.records_rev;
+  t.out_rev <- List.rev_append r.M.output t.out_rev;
+  r.M.cycles
+
+let name t = t.spec.name
+let served t = t.served
+let setup_cycles t = t.setup_cycles
+let service_cycles t = t.service_cycles
+let stall_cycles t = t.stall_cycles
+let wait_cycles t = t.wait_cycles
+let latency t = t.lat
+let pinned_granted t = t.pinned_granted
+let records t = List.rev t.records_rev
+let output t = List.rev t.out_rev
+let fabric_stats t = R.fabric_stats t.rt
+let degrade_level t = R.degrade_level t.rt
+let runtime t = t.rt

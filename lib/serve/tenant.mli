@@ -1,0 +1,75 @@
+(** One tenant of the serving layer.
+
+    A tenant owns a private runtime (namespaced via
+    {!Cards_runtime.Runtime.config.namespace}), a private fabric
+    slice (with its own fault injection), a live interpreter session
+    holding its data structures, and its open-loop arrival stream.
+    Privacy is what makes the isolation oracle hold {e by
+    construction} at the data level: a tagged pointer can never
+    resolve against another tenant's handle table, so the only
+    cross-tenant coupling is the serving clock the scheduler
+    time-multiplexes.
+
+    Creation pipeline: compile the MiniC serving source → probe
+    [setup()]'s per-structure footprint on a scratch all-remotable
+    runtime → plan the pinned set online ({!Kbudget.plan} by Max-Use
+    within the tenant's admitted share) → build the real runtime and
+    run [setup()] for real → pre-generate arrivals.
+
+    Every request's measured cost is checked against the PR 3 ledger:
+    [cost = Δcompute + Δattribution] must hold per request, or
+    serving aborts. *)
+
+type spec = {
+  name : string;                 (** namespace + report label *)
+  source : string;               (** MiniC with [setup()] and [req(op,a,b)] *)
+  seed : int;                    (** arrival stream + fault schedule seed *)
+  requests : int;
+  mean_gap : float;              (** mean inter-arrival gap, cycles *)
+  sample : Cards_util.Rng.t -> Loadgen.request;
+  fault_rate : float;            (** this tenant's fabric fault rate *)
+}
+
+type record = { req : Loadgen.request; ret : int; cost : int }
+(** Per-request service record — what the isolation oracle compares
+    bit for bit between a shared run and a solo run. *)
+
+type t
+
+val create :
+  base:Cards_runtime.Runtime.config ->
+  engine:Cards_interp.Machine.engine ->
+  pin_share:int ->
+  spec ->
+  t
+(** [pin_share] is the pinned-byte budget the k-budget planner may
+    consume (what admission control granted). *)
+
+val finished : t -> bool
+val pending : t -> now:int -> bool
+(** Has an arrived-but-unserved request at serving time [now]. *)
+
+val next_arrival : t -> int option
+(** Arrival time of the oldest unserved request. *)
+
+val serve_next : t -> now:int -> int
+(** Serve the oldest pending request at serving time [now]; returns
+    the measured service cost in cycles.  Records latency
+    ([wait + cost]), the service record, and the printed output.
+    @raise Failure if the per-request ledger decomposition breaks. *)
+
+val name : t -> string
+val served : t -> int
+val setup_cycles : t -> int
+val service_cycles : t -> int
+val stall_cycles : t -> int
+(** Non-compute service cycles, from the attribution ledger. *)
+
+val wait_cycles : t -> int
+val latency : t -> Cards_util.Stats.t
+val pinned_granted : t -> int
+val records : t -> record list
+val output : t -> string list
+val fabric_stats : t -> Cards_net.Fabric.stats
+val degrade_level : t -> int
+val runtime : t -> Cards_runtime.Runtime.t

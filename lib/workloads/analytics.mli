@@ -24,6 +24,15 @@ val source : trips:int -> query_passes:int -> string
 (** MiniC source.  [trips] = row count; [query_passes] = how many
     times the query battery runs (hot/cold contrast grows with it). *)
 
+val source_server : trips:int -> string
+(** The serving variant: the same columns, aggregation tables, and
+    query functions, rooted in a global [struct Db] that [setup()]
+    builds once and [req(op, a, b)] queries per request (ops 0-6 =
+    the float queries, op 7 = the cold integer query; each prints its
+    result).  Query arithmetic matches [source] verbatim, so a battery
+    over ops 0-7 reproduces one [source] pass.  [main] runs exactly
+    that battery standalone. *)
+
 val source_aos : trips:int -> query_passes:int -> string
 (** The same trip table and query battery laid out row-wise: one array
     of 88-byte [struct Trip] records instead of eleven columns — the

@@ -1,0 +1,124 @@
+let source ~keys ~nbuckets =
+  Printf.sprintf
+    {|
+// Chained-hash key-value store served one request at a time: the
+// canonical remote-data-structure serving workload (memcached-style
+// get/put/scan).  [setup] builds and preloads the table; [req] is the
+// dispatcher the serving layer calls per request.  Every structure
+// hangs off the TBL global, so the table survives between requests in
+// a live session and every request-path function sees the same heap.
+int NKEYS = %d;
+int NBUCKETS = %d;
+
+struct Entry {
+  int key;
+  int val;
+  struct Entry *next;
+}
+
+struct Tbl {
+  int nbuckets;
+  struct Entry **buckets;
+  int size;
+}
+
+struct Tbl *TBL;
+
+// Multiplicative hash (Knuth); NBUCKETS need not be a power of two.
+int hash(int k) {
+  int h = k * 2654435761;
+  if (h < 0) { h = 0 - h; }
+  return h %% NBUCKETS;
+}
+
+// op 1: insert or update; returns the previous value (-1 if fresh).
+int kv_put(int key, int val) {
+  struct Entry **b = TBL->buckets;
+  int h = hash(key);
+  struct Entry *e = b[h];
+  while (e != null) {
+    if (e->key == key) {
+      int old = e->val;
+      e->val = val;
+      return old;
+    }
+    e = e->next;
+  }
+  struct Entry *fresh = malloc(sizeof(struct Entry));
+  fresh->key = key;
+  fresh->val = val;
+  fresh->next = b[h];
+  b[h] = fresh;
+  TBL->size = TBL->size + 1;
+  return -1;
+}
+
+// op 0: point lookup; returns the value (-1 on miss).
+int kv_get(int key) {
+  struct Entry **b = TBL->buckets;
+  struct Entry *e = b[hash(key)];
+  while (e != null) {
+    if (e->key == key) { return e->val; }
+    e = e->next;
+  }
+  return -1;
+}
+
+// op 2: range scan over [first, first+count) buckets — walks every
+// chain in the range (the pointer-chase-heavy request).
+int kv_scan(int first, int count) {
+  struct Entry **b = TBL->buckets;
+  int acc = 0;
+  for (int i = 0; i < count; i = i + 1) {
+    int slot = (first + i) %% NBUCKETS;
+    struct Entry *e = b[slot];
+    while (e != null) {
+      acc = acc + e->val;
+      e = e->next;
+    }
+  }
+  return acc;
+}
+
+// Build the table and preload NKEYS entries (deterministic values so
+// any two sessions with the same source agree on every response).
+void setup() {
+  TBL = malloc(sizeof(struct Tbl));
+  TBL->nbuckets = NBUCKETS;
+  TBL->size = 0;
+  TBL->buckets = malloc(NBUCKETS * 8);
+  struct Entry **b = TBL->buckets;
+  for (int i = 0; i < NBUCKETS; i = i + 1) { b[i] = null; }
+  for (int k = 0; k < NKEYS; k = k + 1) {
+    kv_put(k, k * 7 + 13);
+  }
+}
+
+// The request dispatcher: one call = one request = one printed line.
+// op 0: get(a)   op 1: put(a, b)   op 2: scan(a, b)
+int req(int op, int a, int b) {
+  int r = 0;
+  if (op == 0) { r = kv_get(a); }
+  if (op == 1) { r = kv_put(a, b); }
+  if (op == 2) { r = kv_scan(a, b); }
+  print_int(r);
+  return r;
+}
+
+// Standalone mode: exercise every op so the module runs (and roots
+// the descriptor plan) without a serving driver.
+void main() {
+  setup();
+  int acc = 0;
+  acc = acc + req(0, 17, 0);
+  acc = acc + req(1, 17, 999);
+  acc = acc + req(0, 17, 0);
+  acc = acc + req(0, NKEYS + 5, 0);
+  acc = acc + req(1, NKEYS + 5, 44);
+  acc = acc + req(0, NKEYS + 5, 0);
+  acc = acc + req(2, 0, 16);
+  print_int(TBL->size);
+  print_int(acc);
+}
+|}
+    keys nbuckets

@@ -1,0 +1,17 @@
+(** Memcached-style chained-hash key-value store — the serving layer's
+    request workload (Arcalis's RPC vocabulary: get / put / scan).
+
+    The table hangs off a global, so in a live {!Cards_interp.Machine}
+    session it persists across requests: the serving driver calls
+    [setup()] once and then dispatches [req(op, a, b)] per request
+    (op 0 = get(a), op 1 = put(a, b), op 2 = scan over [b] buckets
+    from [a]).  Each request prints exactly one integer — the response
+    — which is what the tenant-isolation oracle compares bit for bit.
+
+    [main] runs a small standalone battery over the same entry points,
+    so the module also works as an ordinary workload (and gives DSA a
+    rooted program to place descriptors in). *)
+
+val source : keys:int -> nbuckets:int -> string
+(** MiniC source.  [keys] entries preloaded by [setup] into [nbuckets]
+    chains (average chain length [keys / nbuckets]). *)

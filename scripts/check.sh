@@ -4,11 +4,12 @@
 # tracing, metrics, and the cycle-attribution profile on, then make
 # sure the emitted Chrome trace is non-empty), and the bench
 # regression gates: fabric, attribution, fault-injection, causal-span,
-# what-if prediction, execution-engine and layout-factorization
-# experiments are diffed against the committed BENCH_fabric.json /
-# BENCH_attr.json / BENCH_faults.json / BENCH_spans.json /
-# BENCH_whatif.json / BENCH_host.json /
-# BENCH_layout.json baselines (2% relative tolerance) and the
+# what-if prediction, execution-engine, layout-factorization and
+# many-tenant serving experiments are diffed against the committed
+# BENCH_fabric.json / BENCH_attr.json / BENCH_faults.json /
+# BENCH_spans.json / BENCH_whatif.json / BENCH_host.json /
+# BENCH_layout.json / BENCH_serve.json baselines (2% relative
+# tolerance) and the
 # snapshots refreshed on a clean pass.  The bench gates run from a
 # release build: the host gate asserts a wall-clock speedup of the
 # pre-decoded engine over the reference interpreter, which only means
@@ -59,6 +60,12 @@ dune exec --no-build test/test_main.exe -- test differential -e > /dev/null
 
 echo "== slow transform tests (factorize chunk boundaries)"
 dune exec --no-build test/test_main.exe -- test transform -e > /dev/null
+
+echo "== serving-layer suite (tenant-isolation matrix, incl. slow)"
+# The tenant-isolation differential oracle over the full
+# qp x batching x fault-rate matrix (registered Slow), plus the DRR /
+# admission property tests and the load-generator determinism suite.
+dune exec --no-build test/test_main.exe -- test serve -e > /dev/null
 
 echo "== smoke: cards run with --trace/--metrics/--profile"
 trace=$(mktemp /tmp/cards-trace.XXXXXX.json)
@@ -157,6 +164,15 @@ echo "== bench: engine speedup gate (BENCH_host.json, 2% tolerance)"
 # cycles of both workloads against the baseline.  The wall-clock
 # ratio itself is asserted in-process, never gated from JSON.
 gate host BENCH_host.json '"host-arith"'
+
+echo "== bench: serving fairness/isolation gate (BENCH_serve.json, 2% tolerance)"
+# The serve section hard-asserts the serving-clock and fabric
+# decompositions exactly, same-seed determinism of whole runs,
+# output invariance under a faulty tenant, the 1.5x healthy-p99
+# fairness bound with the faulty tenant strictly degrading; the gate
+# then diffs every tenant's service cycles, p99 latency and fabric
+# counters (clean and faulty runs) against the baseline.
+gate serve BENCH_serve.json '"serve-faulty-t1-an-p99"'
 
 # Every gate is green: only now do the fresh snapshots replace the
 # committed ones.

@@ -16,4 +16,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
+      ("serve", Test_serve.suite);
       ("simplify", Test_simplify.suite) ]
