@@ -1580,6 +1580,180 @@ let serve_section () =
     (mcycles a.S.total_cycles) (mcycles a.S.busy_cycles)
     (mcycles a.S.idle_cycles) a.S.rounds
 
+(* ---------- par: domain-parallel serving, same bits faster -------- *)
+
+(* Wall clock, not CPU time: a 4-domain run burns ~4 CPU-seconds per
+   wall-second, which is exactly the effect under test — [Sys.time]
+   would report the parallel run as no faster (or slower). *)
+let wall = Unix.gettimeofday
+
+let par_section () =
+  header "Par: parallel serving on OCaml 5 domains (deterministic virtual time)";
+  let module S = Cards_serve.Serve in
+  let module E = Cards_par.Engine in
+  let module F = Cards_net.Fabric in
+  let fail fmt =
+    Printf.ksprintf (fun m -> Printf.eprintf "PAR: %s\n" m; exit 1) fmt
+  in
+  let n = 8 and seed = 11 and requests = 60 and gap = 30_000.0 in
+  let cfg = S.default_config in
+  (* Two mixes: the uniform kv mix is perfectly balanced across
+     domains, so it is the wall-clock scaling specimen; the Zipf mix
+     carries analytics tenants with real fabric traffic, so its cells
+     exercise fetches, faults and the byte decompositions — which the
+     all-local kv mix would satisfy vacuously. *)
+  let specs ?faulty () = S.uniform_mix ?faulty ~n ~seed ~requests ~gap () in
+  let zspecs ?faulty () =
+    S.zipf_mix ?faulty ~n:4 ~seed:7 ~requests:60 ~base_gap:40_000.0 ()
+  in
+  (* Bit-identicality is checked on whole records — the structural
+     compare covers every tenant ledger, output line, latency sample,
+     fabric counter and the interference matrix at once; the per-tenant
+     loop just names the first divergence usefully. *)
+  let assert_identical tag (p : S.result) (q : S.result) =
+    Array.iteri
+      (fun i (tp : S.tenant_result) ->
+        if tp <> q.S.tenants.(i) then
+          fail "%s: tenant %s diverged from the sequential run" tag
+            tp.S.tr_name)
+      p.S.tenants;
+    if p <> q then fail "%s: aggregate results diverged" tag
+  in
+  let seq = S.run cfg (specs ()) in
+  let zseq = S.run cfg (zspecs ()) in
+  (* Exactness of the sequential references themselves, so identical
+     parallel runs inherit the same decompositions.  The byte check
+     runs on the Zipf mix, whose analytics tenants actually fetch. *)
+  let check_exact tag (r : S.result) =
+    let busy =
+      Array.fold_left (fun acc tr -> acc + tr.S.tr_service_cycles) 0 r.S.tenants
+    in
+    if r.S.busy_cycles <> busy then
+      fail "%s: busy %d <> sum of service cycles %d" tag r.S.busy_cycles busy;
+    if r.S.total_cycles <> r.S.busy_cycles + r.S.idle_cycles then
+      fail "%s: clock %d <> busy + idle" tag r.S.total_cycles;
+    let bytes =
+      Array.fold_left
+        (fun acc tr -> acc + tr.S.tr_fabric.F.fetched_bytes)
+        0 r.S.tenants
+    in
+    if r.S.fabric.F.fetched_bytes <> bytes then
+      fail "%s: aggregate fetched bytes %d <> per-tenant sum %d" tag
+        r.S.fabric.F.fetched_bytes bytes
+  in
+  check_exact "seq uniform" seq;
+  check_exact "seq zipf" zseq;
+  if zseq.S.fabric.F.fetched_bytes = 0 then
+    fail "zipf mix moved no bytes: the fabric cells below are vacuous";
+  (* Every domain count, both mixes, a faulty-fabric cell, and a
+     same-count rerun all produce the same bits. *)
+  List.iter
+    (fun domains ->
+      assert_identical
+        (Printf.sprintf "uniform d=%d" domains)
+        (E.run ~domains cfg (specs ()))
+        seq;
+      assert_identical
+        (Printf.sprintf "zipf d=%d" domains)
+        (E.run ~domains cfg (zspecs ()))
+        zseq)
+    [ 1; 2; 4 ];
+  let faulty = Some (1, 0.20) in
+  let zseq_f = S.run cfg (zspecs ?faulty ()) in
+  let injected (r : S.result) =
+    r.S.fabric.F.faults_transient + r.S.fabric.F.faults_late
+    + r.S.fabric.F.faults_dup
+  in
+  if injected zseq_f = 0 then
+    fail "fault injector never fired: the faulty cell is vacuous";
+  assert_identical "zipf faulty d=4"
+    (E.run ~domains:4 cfg (zspecs ?faulty ()))
+    zseq_f;
+  assert_identical "par rerun d=4"
+    (E.run ~domains:4 cfg (specs ()))
+    (E.run ~domains:4 cfg (specs ()));
+  (* Wall clock: one warmup, then best of three (noise only ever slows
+     a run down).  The >=2.5x gate arms only where it is physically
+     possible; on fewer than 4 cores the bits above are the contract
+     and the measured ratio is reported, not asserted. *)
+  let time_run domains =
+    ignore (E.run ~domains cfg (specs ()));
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = wall () in
+      ignore (E.run ~domains cfg (specs ()));
+      best := Float.min !best (wall () -. t0)
+    done;
+    !best
+  in
+  let measure () =
+    let t1 = time_run 1 in
+    let t4 = time_run 4 in
+    (t1, t4, t1 /. Float.max t4 1e-9)
+  in
+  let cores = Domain.recommended_domain_count () in
+  (* Like the host engine gate: a shared host can dip below the bar on
+     one sample; re-measure before declaring failure. *)
+  let rec settle (t1, t4, speedup) attempt =
+    if speedup >= 2.5 || attempt >= 3 || cores < 4 then (t1, t4, speedup)
+    else settle (measure ()) (attempt + 1)
+  in
+  let t1, t4, speedup = settle (measure ()) 1 in
+  let t =
+    T.create ~title:"wall clock, 8-tenant uniform kv mix (best of 3)"
+      ~header:[ "domains"; "seconds"; "speedup" ]
+  in
+  T.add_row t [ "1"; Printf.sprintf "%.3f" t1; fx 1.0 ];
+  T.add_row t [ "4"; Printf.sprintf "%.3f" t4; fx speedup ];
+  T.print t;
+  if cores >= 4 then begin
+    if speedup < 2.5 then
+      fail "4-domain speedup %.2fx below the 2.5x gate (%d cores)" speedup
+        cores
+  end
+  else
+    Printf.printf
+      "\n-- host reports %d core(s): the >=2.5x @ 4 domains wall-clock gate \
+       needs >= 4;\n\
+       \   asserting bit-identicality only (measured %.2fx).\n"
+      cores speedup;
+  (* Only deterministic numbers are gated: per-tenant service cycles and
+     fabric counters from the (identical) runs.  The wall-clock entry
+     carries no "cycles"/"fabric" fields, so the regression gate ignores
+     it — it is a recorded observation, not a contract. *)
+  let record prefix (r : S.result) =
+    Array.iter
+      (fun (tr : S.tenant_result) ->
+        experiments :=
+          J.Obj
+            [ ("tag", J.Str (prefix ^ "-" ^ tr.S.tr_name));
+              ("cycles", J.Int tr.S.tr_service_cycles);
+              ("fabric", fabric_json tr.S.tr_fabric) ]
+          :: !experiments)
+      r.S.tenants;
+    experiments :=
+      J.Obj
+        [ ("tag", J.Str (prefix ^ "-total"));
+          ("cycles", J.Int r.S.total_cycles);
+          ("fabric", fabric_json r.S.fabric) ]
+      :: !experiments
+  in
+  record "par" seq;
+  record "par-zipf" zseq;
+  record "par-zipf-faulty" zseq_f;
+  experiments :=
+    J.Obj
+      [ ("tag", J.Str "par-wallclock-info");
+        ("cores", J.Int cores);
+        ("speedup_milli", J.Int (int_of_float (speedup *. 1000.0)));
+        ("gate_armed", J.Int (if cores >= 4 then 1 else 0)) ]
+    :: !experiments;
+  Printf.printf
+    "\n-- all domain counts bit-identical to the sequential scheduler \
+     (clean,\n\
+     \   faulty, rerun); serving clock %s Mc either way.\n"
+    (mcycles seq.S.total_cycles)
+
 (* ---------------------------------------------------------------- *)
 
 let sections =
@@ -1589,6 +1763,7 @@ let sections =
     ("attr", attr_section); ("faults", faults_section);
     ("spans", spans_section); ("layout", layout_section);
     ("whatif", whatif_section); ("serve", serve_section);
+    ("par", par_section);
     ("ablations", ablations);
     ("bechamel", bechamel); ("host", host) ]
 

@@ -197,6 +197,21 @@ let engine_arg =
                  bit-identical in output, cycles, and statistics; only \
                  wall-clock speed differs.")
 
+let prefetch_bytes_arg =
+  Arg.(value & opt (some bytes_conv) None
+       & info [ "prefetch-bytes" ] ~docv:"BYTES"
+           ~doc:"Per-structure prefetch budget in bytes (e.g. 64K): the \
+                 run-ahead depth becomes $(i,BYTES) / object size, clamped \
+                 to [1,64], so factorized hot pools with small objects run \
+                 proportionally deeper.  Overrides the fixed depth.")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains (OCaml 5 parallelism).  Output, cycle \
+                 counts and every ledger are bit-identical for any count; \
+                 only wall-clock time changes.")
+
 let qp_arg =
   Arg.(value & opt int
          R.Runtime.default_config.fabric_config.Cards_net.Fabric.qp_count
@@ -490,14 +505,36 @@ let check_unit_interval flag v =
   if Float.is_nan v || v < 0.0 || v > 1.0 then
     failwith (Printf.sprintf "--%s %g: expected a probability in [0,1]" flag v)
 
+(* Domain counts are validated the same way: a bad value dies with a
+   usage error, while merely-ambitious ones (more domains than the host
+   has cores) warn and proceed — the result is bit-identical either
+   way, only the wall-clock gain saturates. *)
+let check_domains domains =
+  if domains < 1 then
+    failwith (Printf.sprintf "--domains %d: need at least one" domains);
+  let cores = Domain.recommended_domain_count () in
+  if domains > cores then
+    O.Reporter.linef reporter
+      "-- warning: --domains %d exceeds the %d core(s) this host reports; \
+       results are unchanged but wall-clock gains stop at the core count"
+      domains cores
+
 let run_cmd =
-  let run file system engine policy k local remotable prefetch report qp
-      no_batching fault_rate fault_seed retry_max fault_kinds
+  let run file system engine policy k local remotable prefetch prefetch_bytes
+      report qp no_batching fault_rate fault_seed retry_max fault_kinds
       trace events trace_cap metrics metrics_interval metrics_csv profile
-      spans span_rate postmortem whatif whatif_validate factorize =
+      spans span_rate postmortem whatif whatif_validate factorize domains =
     with_errors (fun () ->
         check_unit_interval "fault-rate" fault_rate;
         check_unit_interval "span-rate" span_rate;
+        check_domains domains;
+        Option.iter
+          (fun b ->
+            if b < 1 then
+              failwith
+                (Printf.sprintf "--prefetch-bytes %d: need a positive budget"
+                   b))
+          prefetch_bytes;
         let whatif = whatif || whatif_validate in
         (* A sampling rate without a span consumer is almost always a
            forgotten --spans; warn rather than fail so scripted sweeps
@@ -532,7 +569,7 @@ let run_cmd =
             let cfg =
               { R.Runtime.default_config with
                 policy; k; local_bytes = local; remotable_bytes = remotable;
-                prefetch_mode = prefetch;
+                prefetch_mode = prefetch; prefetch_bytes;
                 fabric_config =
                   { R.Runtime.default_config.fabric_config with
                     Cards_net.Fabric.qp_count = qp;
@@ -627,18 +664,60 @@ let run_cmd =
                O.Reporter.line reporter
                  "-- warning: --whatif-validate needs --system cards; \
                   printing predictions only");
-            let rows =
-              List.map
-                (fun (p : O.Whatif.prediction) ->
-                  let measured =
-                    if whatif_validate then
-                      Option.bind whatif_rerun (fun f ->
-                          f p.p_scenario.O.Whatif.sc_exec)
-                    else None
+            (* Each validation re-run is an independent, sinkless
+               re-execution, so under --domains N the scenarios fan out
+               over a work-stealing pool of N domains.  Results land in
+               a slot per scenario — the table order (and, scenarios
+               being deterministic, every measured number) is identical
+               to the sequential path. *)
+            let measured_for ranked =
+              match whatif_rerun with
+              | Some f when whatif_validate ->
+                let scen =
+                  Array.of_list
+                    (List.map
+                       (fun (p : O.Whatif.prediction) ->
+                         p.p_scenario.O.Whatif.sc_exec)
+                       ranked)
+                in
+                let out = Array.make (Array.length scen) None in
+                let pool = min domains (max 1 (Array.length scen)) in
+                if pool <= 1 then
+                  Array.iteri (fun i s -> out.(i) <- f s) scen
+                else begin
+                  let next = Atomic.make 0 in
+                  let worker () =
+                    let rec loop () =
+                      let i = Atomic.fetch_and_add next 1 in
+                      if i < Array.length scen then begin
+                        out.(i) <- f scen.(i);
+                        loop ()
+                      end
+                    in
+                    loop ()
                   in
-                  (p, measured))
-                ranked
+                  let helpers =
+                    Array.init (pool - 1) (fun _ -> Domain.spawn worker)
+                  in
+                  let first_err =
+                    match worker () with
+                    | () -> None
+                    | exception e -> Some e
+                  in
+                  let err =
+                    Array.fold_left
+                      (fun err d ->
+                        match Domain.join d with
+                        | () -> err
+                        | exception e -> if err = None then Some e else err)
+                      first_err helpers
+                  in
+                  Option.iter raise err
+                end;
+                Array.to_list out
+              | _ -> List.map (fun _ -> None) ranked
             in
+            let rows = List.combine ranked (measured_for ranked) in
             O.Reporter.text reporter (T.render (O.Export.whatif_table rows))
         end)
   in
@@ -646,12 +725,13 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a MiniC file on far memory")
     Term.(const run $ file_arg $ system_arg $ engine_arg $ policy_arg
           $ k_arg $ local_arg
-          $ remot_arg $ prefetch_arg $ report_arg $ qp_arg $ no_batching_arg
+          $ remot_arg $ prefetch_arg $ prefetch_bytes_arg $ report_arg
+          $ qp_arg $ no_batching_arg
           $ fault_rate_arg $ fault_seed_arg $ retry_max_arg $ fault_kinds_arg
           $ trace_arg $ events_arg $ trace_cap_arg $ metrics_arg
           $ metrics_interval_arg $ metrics_csv_arg $ profile_arg
           $ spans_arg $ span_rate_arg $ postmortem_arg $ whatif_arg
-          $ whatif_validate_arg $ factorize_arg)
+          $ whatif_validate_arg $ factorize_arg $ domains_arg)
 
 (* ---------- cards serve ---------- *)
 
@@ -704,10 +784,11 @@ let serve_cmd =
                    tenant's fabric slice.")
   in
   let run tenants requests seed quantum gap pin_budget faulty fault_rate
-      engine =
+      engine domains =
     with_errors (fun () ->
         check_unit_interval "fault-rate" fault_rate;
         if tenants <= 0 then failwith "--tenants: need at least one";
+        check_domains domains;
         Option.iter
           (fun i ->
             if i < 0 || i >= tenants then
@@ -720,23 +801,38 @@ let serve_cmd =
         let specs =
           S.zipf_mix ?faulty ~n:tenants ~seed ~requests ~base_gap:gap ()
         in
-        let r = S.run cfg specs in
+        let r =
+          if domains > 1 then Cards_par.Engine.run ~domains cfg specs
+          else S.run cfg specs
+        in
+        (* Tenant→domain pinning is deterministic, so the report can say
+           which worker domain served whom; with one domain the column
+           (and the @d labels below) would be all-zero noise. *)
+        let assign = Cards_par.Engine.assignment ~n:tenants ~domains in
+        let dom_label i =
+          if domains > 1 then Printf.sprintf "@d%d" assign.(i) else ""
+        in
         let t =
           T.create ~title:"Tenants"
-            ~header:[ "tenant"; "served"; "pinned"; "setup"; "service";
-                      "stall"; "wait"; "degrade"; "deficit" ]
+            ~header:
+              ((if domains > 1 then [ "tenant"; "dom" ] else [ "tenant" ])
+               @ [ "served"; "pinned"; "setup"; "service";
+                   "stall"; "wait"; "degrade"; "deficit" ])
         in
-        Array.iter
-          (fun (tr : S.tenant_result) ->
+        Array.iteri
+          (fun i (tr : S.tenant_result) ->
             T.add_row t
-              [ tr.S.tr_name; string_of_int tr.S.tr_served;
-                T.fmt_bytes (float_of_int tr.S.tr_pinned_granted);
-                T.fmt_cycles (float_of_int tr.S.tr_setup_cycles);
-                T.fmt_cycles (float_of_int tr.S.tr_service_cycles);
-                T.fmt_cycles (float_of_int tr.S.tr_stall_cycles);
-                T.fmt_cycles (float_of_int tr.S.tr_wait_cycles);
-                string_of_int tr.S.tr_degrade_level;
-                string_of_int tr.S.tr_deficit_end ])
+              ((if domains > 1 then
+                  [ tr.S.tr_name; string_of_int assign.(i) ]
+                else [ tr.S.tr_name ])
+               @ [ string_of_int tr.S.tr_served;
+                   T.fmt_bytes (float_of_int tr.S.tr_pinned_granted);
+                   T.fmt_cycles (float_of_int tr.S.tr_setup_cycles);
+                   T.fmt_cycles (float_of_int tr.S.tr_service_cycles);
+                   T.fmt_cycles (float_of_int tr.S.tr_stall_cycles);
+                   T.fmt_cycles (float_of_int tr.S.tr_wait_cycles);
+                   string_of_int tr.S.tr_degrade_level;
+                   string_of_int tr.S.tr_deficit_end ]))
           r.S.tenants;
         T.print t;
         T.print
@@ -750,12 +846,13 @@ let serve_cmd =
             ~header:
               ("victim \\ culprit"
                :: (Array.to_list r.S.tenants
-                   |> List.map (fun (tr : S.tenant_result) -> tr.S.tr_name)))
+                   |> List.mapi (fun i (tr : S.tenant_result) ->
+                          tr.S.tr_name ^ dom_label i)))
         in
         Array.iteri
           (fun v row ->
             T.add_row steal
-              (r.S.tenants.(v).S.tr_name
+              ((r.S.tenants.(v).S.tr_name ^ dom_label v)
                :: (Array.to_list row
                    |> List.map (fun c -> T.fmt_cycles (float_of_int c)))))
           r.S.stolen;
@@ -769,7 +866,12 @@ let serve_cmd =
           (T.fmt_cycles (float_of_int r.S.idle_cycles))
           r.S.rounds r.S.granted r.S.charged r.S.forfeited
           (T.fmt_bytes (float_of_int r.S.pin_admitted))
-          (T.fmt_bytes (float_of_int r.S.pin_budget)))
+          (T.fmt_bytes (float_of_int r.S.pin_budget));
+        if domains > 1 then
+          O.Reporter.linef reporter
+            "-- served on %d worker domains under deterministic virtual \
+             time (bit-identical to --domains 1)"
+            (Array.fold_left max 0 assign + 1))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -777,7 +879,7 @@ let serve_cmd =
              deficit-round-robin fairness")
     Term.(const run $ tenants_arg $ requests_arg $ seed_arg $ quantum_arg
           $ gap_arg $ pin_budget_arg $ faulty_arg $ serve_fault_rate_arg
-          $ engine_arg)
+          $ engine_arg $ domains_arg)
 
 (* ---------- cards workload ---------- *)
 

@@ -85,6 +85,25 @@ type failure = {
   f_qp : int;
 }
 
+(* One record per wire-level request, emitted to the (optional) port
+   observer with the FINAL times — a Late or Duplicate fault extends
+   the completion before the event is emitted, so an observer never
+   sees a provisional timestamp.  [pe_issue] is the caller's [now];
+   the per-direction monotonicity guards above make the emitted stream
+   nondecreasing in [pe_issue] per direction by construction, which is
+   what lets the parallel serving engine merge per-tenant streams with
+   a conservative virtual-time barrier. *)
+type port_event = {
+  pe_dir : [ `In | `Out ];
+  pe_issue : int;
+  pe_start : int;
+  pe_complete : int;
+  pe_qp : int;       (* -1 for the outbound direction *)
+  pe_count : int;    (* objects carried (batch size; 1 otherwise) *)
+  pe_bytes : int;
+  pe_ok : bool;      (* false: transient NACK, nothing landed *)
+}
+
 type t = {
   cfg : config;
   rng : Rng.t;
@@ -94,6 +113,7 @@ type t = {
   mutable out_busy_until : int;
   mutable last_in_now : int;      (* monotonicity guards per direction *)
   mutable last_out_now : int;
+  mutable port : (port_event -> unit) option;
   mutable fetches : int;
   mutable fetched_bytes : int;
   mutable batches : int;
@@ -123,11 +143,28 @@ let create cfg =
     qp_queue_cycles = Array.make cfg.qp_count 0;
     out_busy_until = 0;
     last_in_now = 0; last_out_now = 0;
+    port = None;
     fetches = 0; fetched_bytes = 0; batches = 0; batched_objects = 0;
     writebacks = 0; written_bytes = 0; wb_batches = 0;
     queue_in_cycles = 0; queue_out_cycles = 0;
     faults_transient = 0; faults_late = 0; faults_dup = 0;
     failed_fetches = 0; reliable_fetches = 0; wb_faults = 0 }
+
+let set_port t p = t.port <- p
+
+let emit t ev = match t.port with None -> () | Some f -> f ev
+
+let emit_transfer t ~now ~count ~bytes (tr : transfer) =
+  emit t
+    { pe_dir = `In; pe_issue = now; pe_start = tr.t_start;
+      pe_complete = tr.t_complete; pe_qp = tr.t_qp;
+      pe_count = count; pe_bytes = bytes; pe_ok = true }
+
+let emit_failure t ~now ~count ~bytes (f : failure) =
+  emit t
+    { pe_dir = `In; pe_issue = now; pe_start = f.f_start;
+      pe_complete = f.f_fail; pe_qp = f.f_qp;
+      pe_count = count; pe_bytes = bytes; pe_ok = false }
 
 let set_fault_rate t rate =
   if rate < 0.0 || rate > 1.0 then
@@ -190,7 +227,11 @@ let pick_qp t =
   done;
   !best
 
-let fetch_info ?(scale = unit_scale) t ~now ~bytes =
+(* The [_raw] layer does the queueing/accounting but emits no port
+   event: the fault-injecting wrappers adjust the completion time
+   after the fact (Late/Duplicate) and must emit the final record
+   themselves, exactly once. *)
+let fetch_info_raw ~scale t ~now ~bytes =
   check_in_now t now;
   let qp = pick_qp t in
   let start = max now t.in_busy_until.(qp) in
@@ -209,6 +250,11 @@ let fetch_info ?(scale = unit_scale) t ~now ~bytes =
   { t_start = start; t_queued = queued;
     t_complete = start + proto + ser; t_qp = qp;
     t_proto = proto; t_ser = ser; t_fault = None }
+
+let fetch_info ?(scale = unit_scale) t ~now ~bytes =
+  let tr = fetch_info_raw ~scale t ~now ~bytes in
+  emit_transfer t ~now ~count:1 ~bytes tr;
+  tr
 
 let fetch ?scale t ~now ~bytes = (fetch_info ?scale t ~now ~bytes).t_complete
 
@@ -231,9 +277,12 @@ let transient_failure t ~scale ~now =
 let fetch_attempt ?(scale = unit_scale) t ~now ~bytes =
   match draw_fault t with
   | None -> Ok (fetch_info ~scale t ~now ~bytes)
-  | Some Transient -> Error (transient_failure t ~scale ~now)
+  | Some Transient ->
+    let f = transient_failure t ~scale ~now in
+    emit_failure t ~now ~count:1 ~bytes f;
+    Error f
   | Some Late ->
-    let tr = fetch_info ~scale t ~now ~bytes in
+    let tr = fetch_info_raw ~scale t ~now ~bytes in
     let extra = late_extra t ~scale in
     t.faults_late <- t.faults_late + 1;
     (* Congestion: the response crawls, and the queue pair stays tied
@@ -241,10 +290,12 @@ let fetch_attempt ?(scale = unit_scale) t ~now ~bytes =
        [t_queued + t_proto + t_ser = t_complete - now] still holds for
        callers that wait the transfer out. *)
     t.in_busy_until.(tr.t_qp) <- tr.t_complete + extra;
-    Ok { tr with t_complete = tr.t_complete + extra;
-                 t_ser = tr.t_ser + extra; t_fault = Some Late }
+    let tr = { tr with t_complete = tr.t_complete + extra;
+                       t_ser = tr.t_ser + extra; t_fault = Some Late } in
+    emit_transfer t ~now ~count:1 ~bytes tr;
+    Ok tr
   | Some Duplicate ->
-    let tr = fetch_info ~scale t ~now ~bytes in
+    let tr = fetch_info_raw ~scale t ~now ~bytes in
     t.faults_dup <- t.faults_dup + 1;
     (* The data lands on time, but a duplicated completion occupies the
        queue pair for another protocol turn — timing-only: the caller
@@ -252,7 +303,9 @@ let fetch_attempt ?(scale = unit_scale) t ~now ~bytes =
        exactly once). *)
     t.in_busy_until.(tr.t_qp)
       <- tr.t_complete + scale_cycles scale.s_proto t.cfg.proto_cycles;
-    Ok { tr with t_fault = Some Duplicate }
+    let tr = { tr with t_fault = Some Duplicate } in
+    emit_transfer t ~now ~count:1 ~bytes tr;
+    Ok tr
 
 (* Escalation path after retries are exhausted: a heavyweight reliable
    channel (think RC send with end-to-end acknowledgement instead of
@@ -271,10 +324,14 @@ let fetch_reliable ?(scale = unit_scale) t ~now ~bytes =
   t.fetches <- t.fetches + 1;
   t.fetched_bytes <- t.fetched_bytes + bytes;
   t.reliable_fetches <- t.reliable_fetches + 1;
-  { t_start = start; t_queued = queued; t_complete = start + proto + ser;
-    t_qp = qp; t_proto = proto; t_ser = ser; t_fault = None }
+  let tr =
+    { t_start = start; t_queued = queued; t_complete = start + proto + ser;
+      t_qp = qp; t_proto = proto; t_ser = ser; t_fault = None }
+  in
+  emit_transfer t ~now ~count:1 ~bytes tr;
+  tr
 
-let fetch_many ?(scale = unit_scale) t ~now ~sizes =
+let fetch_many_raw ~scale t ~now ~sizes =
   let n = Array.length sizes in
   if n = 0 then invalid_arg "Fabric.fetch_many: empty batch";
   check_in_now t now;
@@ -308,30 +365,44 @@ let fetch_many ?(scale = unit_scale) t ~now ~sizes =
      t_proto = proto; t_ser = !cum; t_fault = None },
    completions)
 
+let batch_bytes sizes = Array.fold_left ( + ) 0 sizes
+
+let fetch_many ?(scale = unit_scale) t ~now ~sizes =
+  let (tr, completions) = fetch_many_raw ~scale t ~now ~sizes in
+  emit_transfer t ~now ~count:(Array.length sizes) ~bytes:(batch_bytes sizes) tr;
+  (tr, completions)
+
 let fetch_many_attempt ?(scale = unit_scale) t ~now ~sizes =
   match draw_fault t with
   | None -> Ok (fetch_many ~scale t ~now ~sizes)
   | Some Transient ->
     if Array.length sizes = 0 then
       invalid_arg "Fabric.fetch_many_attempt: empty batch";
-    Error (transient_failure t ~scale ~now)
+    let f = transient_failure t ~scale ~now in
+    emit_failure t ~now ~count:(Array.length sizes) ~bytes:(batch_bytes sizes) f;
+    Error f
   | Some Late ->
-    let tr, completions = fetch_many ~scale t ~now ~sizes in
+    let tr, completions = fetch_many_raw ~scale t ~now ~sizes in
     let extra = late_extra t ~scale in
     t.faults_late <- t.faults_late + 1;
     (* The whole response stream is delayed behind the congested
        request: every object in the batch lands [extra] cycles late. *)
     Array.iteri (fun i c -> completions.(i) <- c + extra) completions;
     t.in_busy_until.(tr.t_qp) <- tr.t_complete + extra;
-    Ok ({ tr with t_complete = tr.t_complete + extra;
-                  t_ser = tr.t_ser + extra; t_fault = Some Late },
-        completions)
+    let tr = { tr with t_complete = tr.t_complete + extra;
+                       t_ser = tr.t_ser + extra; t_fault = Some Late } in
+    emit_transfer t ~now ~count:(Array.length sizes) ~bytes:(batch_bytes sizes)
+      tr;
+    Ok (tr, completions)
   | Some Duplicate ->
-    let tr, completions = fetch_many ~scale t ~now ~sizes in
+    let tr, completions = fetch_many_raw ~scale t ~now ~sizes in
     t.faults_dup <- t.faults_dup + 1;
     t.in_busy_until.(tr.t_qp)
       <- tr.t_complete + scale_cycles scale.s_proto t.cfg.proto_cycles;
-    Ok ({ tr with t_fault = Some Duplicate }, completions)
+    let tr = { tr with t_fault = Some Duplicate } in
+    emit_transfer t ~now ~count:(Array.length sizes) ~bytes:(batch_bytes sizes)
+      tr;
+    Ok (tr, completions)
 
 (* Writeback faults never reach the caller: posted writes are
    asynchronous, so the fabric absorbs the fault by re-posting (or
@@ -351,6 +422,12 @@ let wb_fault_extra t =
    request still crosses the wire, so the outbound direction is
    occupied for the full protocol + serialization time — the same cost
    structure as a fetch, just asynchronous (DESIGN.md §fabric). *)
+let emit_writeback t ~now ~start ~count ~bytes =
+  emit t
+    { pe_dir = `Out; pe_issue = now; pe_start = start;
+      pe_complete = t.out_busy_until; pe_qp = -1;
+      pe_count = count; pe_bytes = bytes; pe_ok = true }
+
 let writeback t ~now ~bytes =
   check_out_now t now;
   let start = max now t.out_busy_until in
@@ -358,7 +435,8 @@ let writeback t ~now ~bytes =
   t.out_busy_until <-
     start + t.cfg.proto_cycles + serialization t.cfg bytes + wb_fault_extra t;
   t.writebacks <- t.writebacks + 1;
-  t.written_bytes <- t.written_bytes + bytes
+  t.written_bytes <- t.written_bytes + bytes;
+  emit_writeback t ~now ~start ~count:1 ~bytes
 
 let writeback_many t ~now ~count ~bytes =
   if count < 1 then invalid_arg "Fabric.writeback_many: empty batch";
@@ -369,7 +447,8 @@ let writeback_many t ~now ~count ~bytes =
     start + t.cfg.proto_cycles + serialization t.cfg bytes + wb_fault_extra t;
   t.writebacks <- t.writebacks + count;
   t.written_bytes <- t.written_bytes + bytes;
-  t.wb_batches <- t.wb_batches + 1
+  t.wb_batches <- t.wb_batches + 1;
+  emit_writeback t ~now ~start ~count ~bytes
 
 let inbound_busy_until t =
   Array.fold_left min t.in_busy_until.(0) t.in_busy_until

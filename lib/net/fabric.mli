@@ -134,6 +134,31 @@ type failure = {
   f_qp : int;     (** the queue pair it burned *)
 }
 
+type port_event = {
+  pe_dir : [ `In | `Out ];  (** fetch side or (posted) writeback side *)
+  pe_issue : int;     (** the caller's [now] when the request was issued *)
+  pe_start : int;     (** when a queue pair / the outbound link took it *)
+  pe_complete : int;  (** final completion (NACK time for failures;
+                          already includes any Late/Duplicate extension) *)
+  pe_qp : int;        (** inbound queue pair, or [-1] outbound *)
+  pe_count : int;     (** objects carried (batch size; 1 otherwise) *)
+  pe_bytes : int;     (** payload bytes requested *)
+  pe_ok : bool;       (** [false]: transient NACK, nothing landed *)
+}
+(** One record per wire-level request, as observed at this fabric's
+    port.  Emitted with {e final} times — fault wrappers extend the
+    completion before emitting, so an observer never sees a
+    provisional timestamp — and exactly once per request.  Because the
+    fabric rejects a backwards [now] per direction, the emitted stream
+    is nondecreasing in [pe_issue] per direction: per-tenant streams
+    can be merged in virtual-time order by a conservative barrier (the
+    parallel serving engine, {!Cards_par.Coordinator}). *)
+
+val set_port : t -> (port_event -> unit) option -> unit
+(** Install (or clear) the port observer.  Pure observation: the
+    callback sees every event but cannot perturb timing or stats —
+    [None] (the default) is bit-identical to any installed observer. *)
+
 val fetch_info : ?scale:scale -> t -> now:int -> bytes:int -> transfer
 (** Like {!fetch}, but exposes the queue/protocol/serialization split
     ([t_queued + t_proto + t_ser = t_complete - now]) so callers (the

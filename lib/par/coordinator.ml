@@ -1,0 +1,116 @@
+(* Conservative k-way merge of per-stream timestamped event queues —
+   the sequenced fabric coordinator's core, kept pure (no domains, no
+   locks) so qcheck can hammer the barrier logic directly.
+
+   Each stream promises nondecreasing timestamps (the fabric's
+   per-direction monotone-now guard provides this for wire events).
+   An event is ready only when its time is <= every other stream's
+   bound, where a stream's bound is its head event, or its last
+   submitted time while open and empty (it may still produce an equal
+   or later event), or +inf once closed and drained.  Ready events pop
+   in (time, stream index) order, so ties break deterministically and
+   the merged output is a pure function of the submitted streams —
+   never of the real-time order submissions happened to arrive in. *)
+
+exception Barrier_violation of string
+
+type 'a t = {
+  queues : (int * 'a) Queue.t array;
+  last : int array;        (* last submitted time per stream *)
+  closed : bool array;
+  mutable clock : int;     (* time of the last popped event *)
+  mutable pending : int;
+}
+
+let create ~streams =
+  if streams < 1 then invalid_arg "Coordinator.create: need a stream";
+  { queues = Array.init streams (fun _ -> Queue.create ());
+    last = Array.make streams min_int;
+    closed = Array.make streams false;
+    clock = min_int;
+    pending = 0 }
+
+let streams t = Array.length t.queues
+
+let check t i =
+  if i < 0 || i >= Array.length t.queues then
+    invalid_arg (Printf.sprintf "Coordinator: bad stream %d" i)
+
+let submit t ~stream ~time v =
+  check t stream;
+  if t.closed.(stream) then
+    invalid_arg (Printf.sprintf "Coordinator.submit: stream %d closed" stream);
+  if time < t.last.(stream) then
+    raise
+      (Barrier_violation
+         (Printf.sprintf
+            "stream %d submitted time %d behind its own %d" stream time
+            t.last.(stream)));
+  t.last.(stream) <- time;
+  Queue.push (time, v) t.queues.(stream);
+  t.pending <- t.pending + 1
+
+let close t ~stream =
+  check t stream;
+  t.closed.(stream) <- true
+
+let clock t = t.clock
+let pending t = t.pending
+
+(* A stream's lower bound on everything it may still produce. *)
+let bound t i =
+  if not (Queue.is_empty t.queues.(i)) then fst (Queue.peek t.queues.(i))
+  else if t.closed.(i) then max_int
+  else t.last.(i)
+
+let pop_ready t =
+  let n = Array.length t.queues in
+  (* Best head among non-empty streams, (time, index) order. *)
+  let best = ref (-1) in
+  let best_time = ref max_int in
+  for i = n - 1 downto 0 do
+    if not (Queue.is_empty t.queues.(i)) then begin
+      let time = fst (Queue.peek t.queues.(i)) in
+      if time <= !best_time then begin
+        best := i;
+        best_time := time
+      end
+    end
+  done;
+  if !best < 0 then None
+  else begin
+    (* Conservative barrier: commit only when no other stream can
+       still produce something strictly older. *)
+    let safe = ref true in
+    for i = 0 to n - 1 do
+      if i <> !best && bound t i < !best_time then safe := false
+    done;
+    if not !safe then None
+    else begin
+      let time, v = Queue.pop t.queues.(!best) in
+      t.pending <- t.pending - 1;
+      if time < t.clock then
+        raise
+          (Barrier_violation
+             (Printf.sprintf "merged clock moved backwards (%d < %d)" time
+                t.clock));
+      t.clock <- time;
+      Some (time, !best, v)
+    end
+  end
+
+let drain t =
+  Array.iteri
+    (fun i closed ->
+      if not closed then
+        invalid_arg
+          (Printf.sprintf "Coordinator.drain: stream %d still open" i))
+    t.closed;
+  let rec go acc =
+    match pop_ready t with
+    | Some ev -> go (ev :: acc)
+    | None -> List.rev acc
+  in
+  let out = go [] in
+  assert (t.pending = 0);
+  out

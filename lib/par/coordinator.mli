@@ -1,0 +1,49 @@
+(** Conservative k-way merge of per-stream timestamped event queues —
+    the sequenced fabric coordinator, kept pure (no domains, no locks)
+    so its barrier logic is directly property-testable.
+
+    Streams promise nondecreasing timestamps per stream.  An event is
+    {e ready} only when no other stream can still produce a strictly
+    older one: a stream's lower bound is its head event if any, its
+    last submitted time while open-and-empty, and +inf once closed and
+    drained.  Ready events pop in (time, stream) order, so the merged
+    sequence is a pure function of the submitted streams, independent
+    of the real-time arrival order — the virtual-time determinism the
+    parallel engine rests on. *)
+
+exception Barrier_violation of string
+(** A stream ran behind its own promise, or the merge clock would move
+    backwards — the conservative barrier has been broken. *)
+
+type 'a t
+
+val create : streams:int -> 'a t
+(** @raise Invalid_argument when [streams < 1]. *)
+
+val streams : 'a t -> int
+
+val submit : 'a t -> stream:int -> time:int -> 'a -> unit
+(** Append an event to one stream.
+    @raise Barrier_violation on a backwards [time] within the stream.
+    @raise Invalid_argument on a closed stream. *)
+
+val close : 'a t -> stream:int -> unit
+(** The stream will produce no further events: its bound becomes +inf
+    once drained, releasing events it was holding back. *)
+
+val clock : 'a t -> int
+(** Time of the last popped event ([min_int] before the first). *)
+
+val pending : 'a t -> int
+(** Events submitted but not yet popped. *)
+
+val pop_ready : 'a t -> (int * int * 'a) option
+(** Pop the next ready event as [(time, stream, event)], or [None]
+    when no event is provably safe yet (more submissions or closes are
+    needed).  Never yields an event older than {!clock}.
+    @raise Barrier_violation if the merge clock would move backwards
+    (cannot happen while stream promises hold). *)
+
+val drain : 'a t -> (int * int * 'a) list
+(** Pop everything; all streams must be closed.
+    @raise Invalid_argument while any stream is open. *)

@@ -1,0 +1,72 @@
+(** Parallel tenant serving on OCaml 5 domains under deterministic
+    virtual time (DESIGN.md §13).
+
+    Tenants execute on a pool of worker domains, each against its own
+    runtime's local virtual clock, running {e ahead} of the serving
+    clock; the calling domain replays the exact sequential DRR
+    schedule ({!Cards_serve.Serve.drive}), committing each dispatch
+    from the worker's completion-record stream.  The blocking pop is
+    the conservative lookahead barrier: the coordinator can never
+    advance onto a dispatch whose record does not exist.  Results are
+    bit-identical to {!Cards_serve.Serve.run} for any domain count,
+    window size, or perturbation — the stress suite and the bench
+    [par] gate assert it. *)
+
+type commit_ev = {
+  c_tenant : int;
+  c_ix : int;    (** request index within the tenant's arrival stream *)
+  c_cost : int;  (** measured service cycles *)
+}
+
+type trace = {
+  per_tenant : Cards_net.Fabric.port_event list array;
+      (** each tenant's wire-event stream in its local virtual time
+          (issue-ordered; bit-comparable against a traced sequential
+          run) *)
+  merged : (int * commit_ev) list;
+      (** the commit schedule, merged in serving-clock order through
+          the conservative {!Coordinator} (monotonicity asserted) *)
+}
+
+val assignment : n:int -> domains:int -> int array
+(** Tenant→domain pinning: tenant [i] runs on domain [i mod d] where
+    [d = max 1 (min domains n)].  Deterministic, so reports can label
+    which domain served each tenant. *)
+
+val run :
+  ?perturb:int ->
+  ?window:int ->
+  domains:int ->
+  Cards_serve.Serve.config ->
+  Cards_serve.Tenant.spec array ->
+  Cards_serve.Serve.result
+(** Serve the mix on [domains] worker domains (capped at the tenant
+    count; 1 is a degenerate but valid pool).  [window] (default 64)
+    bounds each tenant's execute-ahead record stream; [perturb] > 0
+    adds a seeded artificial spin (up to that many relax steps) before
+    every worker build/exec step, randomizing real interleaving for
+    the stress suite.  All three change wall-clock time only: the
+    returned result is bit-identical to {!Cards_serve.Serve.run}.
+    @raise Invalid_argument on an empty mix, [domains < 1], or
+    [window < 1].
+    @raise Coordinator.Barrier_violation if a record were ever
+    committed past its producing domain's published clock. *)
+
+val run_traced :
+  ?perturb:int ->
+  ?window:int ->
+  domains:int ->
+  Cards_serve.Serve.config ->
+  Cards_serve.Tenant.spec array ->
+  Cards_serve.Serve.result * trace
+(** {!run} with per-tenant fabric-port tracing on (pure observation —
+    the result is unchanged), returning the wire-event streams and the
+    merged commit schedule. *)
+
+val seq_traced :
+  Cards_serve.Serve.config ->
+  Cards_serve.Tenant.spec array ->
+  Cards_serve.Serve.result * Cards_net.Fabric.port_event list array
+(** The sequential reference ({!Cards_serve.Serve.run}, bit for bit)
+    with fabric tracing on — the differential tests compare its
+    streams against {!run_traced}'s. *)

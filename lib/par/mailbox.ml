@@ -1,0 +1,112 @@
+(* A set of bounded FIFO streams behind one mutex + condition — the
+   engine's worker→coordinator exchange.  One lock for all streams is
+   deliberate: each push/pop brackets an entire interpreted request
+   (tens of thousands of simulated cycles of real work), so the
+   critical sections are vanishingly short next to what they separate,
+   and a single condition keeps the wakeup logic trivially correct.
+
+   Deadlock-freedom with multi-tenant workers: a worker that owns
+   several streams uses {!try_push} round-robin and falls back to
+   {!wait_room} over all of them, so it blocks only when every owned
+   stream is full; the coordinator drains exactly one stream at a
+   time, and the stream it blocks on is by definition empty — its
+   owner therefore always has room to push, so someone always makes
+   progress.
+
+   Poison: a failing domain stamps the whole exchange with its
+   exception; every blocked or future operation re-raises it (wrapped
+   in {!Poisoned}) instead of hanging the run. *)
+
+exception Poisoned of exn
+
+type 'a t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  queues : 'a Queue.t array;
+  capacity : int;
+  mutable poison : exn option;
+}
+
+let create ~streams ~capacity =
+  if streams < 1 then invalid_arg "Mailbox.create: need at least one stream";
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be positive";
+  { lock = Mutex.create ();
+    cond = Condition.create ();
+    queues = Array.init streams (fun _ -> Queue.create ());
+    capacity;
+    poison = None }
+
+let streams t = Array.length t.queues
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= Array.length t.queues then
+    invalid_arg (Printf.sprintf "Mailbox: bad stream %d" i)
+
+let check_poison t =
+  match t.poison with None -> () | Some e -> raise (Poisoned e)
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v -> Mutex.unlock t.lock; v
+  | exception e -> Mutex.unlock t.lock; raise e
+
+let length t i =
+  check t i;
+  locked t (fun () -> Queue.length t.queues.(i))
+
+let try_push t i v =
+  check t i;
+  locked t (fun () ->
+      check_poison t;
+      if Queue.length t.queues.(i) >= t.capacity then false
+      else begin
+        Queue.push v t.queues.(i);
+        Condition.broadcast t.cond;
+        true
+      end)
+
+let push t i v =
+  check t i;
+  locked t (fun () ->
+      check_poison t;
+      while Queue.length t.queues.(i) >= t.capacity do
+        Condition.wait t.cond t.lock;
+        check_poison t
+      done;
+      Queue.push v t.queues.(i);
+      Condition.broadcast t.cond)
+
+(* Block until at least one of [streams] has room (or the exchange is
+   poisoned).  Returns immediately when the list is empty — a worker
+   with nothing left to produce must not sleep here. *)
+let wait_room t is =
+  List.iter (check t) is;
+  if is <> [] then
+    locked t (fun () ->
+        check_poison t;
+        let room () =
+          List.exists (fun i -> Queue.length t.queues.(i) < t.capacity) is
+        in
+        while not (room ()) do
+          Condition.wait t.cond t.lock;
+          check_poison t
+        done)
+
+let pop t i =
+  check t i;
+  locked t (fun () ->
+      check_poison t;
+      while Queue.is_empty t.queues.(i) do
+        Condition.wait t.cond t.lock;
+        check_poison t
+      done;
+      let v = Queue.pop t.queues.(i) in
+      Condition.broadcast t.cond;
+      v)
+
+let poison t e =
+  locked t (fun () ->
+      if t.poison = None then t.poison <- Some e;
+      Condition.broadcast t.cond)

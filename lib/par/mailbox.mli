@@ -1,0 +1,50 @@
+(** Bounded multi-stream FIFO exchange between domains.
+
+    The engine's worker→coordinator channel: one mutex + condition
+    guards [streams] independent bounded queues.  The coarse lock is
+    fine because each push/pop brackets an entire interpreted request.
+
+    Deadlock-freedom protocol for workers owning several streams:
+    produce with {!try_push} round-robin, fall back to {!wait_room}
+    over every still-active owned stream — a worker then blocks only
+    when all its streams are full, and the (single) consumer blocked
+    on a stream is by definition blocked on an empty one, whose owner
+    consequently has room to push.
+
+    A failing domain {!poison}s the exchange: every blocked or future
+    operation raises {!Poisoned} instead of hanging the run. *)
+
+exception Poisoned of exn
+
+type 'a t
+
+val create : streams:int -> capacity:int -> 'a t
+(** @raise Invalid_argument when [streams < 1] or [capacity < 1]. *)
+
+val streams : 'a t -> int
+val capacity : 'a t -> int
+
+val length : 'a t -> int -> int
+(** Current depth of one stream (racy outside the producing domain —
+    a bound, not a truth). *)
+
+val try_push : 'a t -> int -> 'a -> bool
+(** Non-blocking push; [false] when the stream is at capacity.
+    @raise Poisoned when the exchange is poisoned. *)
+
+val push : 'a t -> int -> 'a -> unit
+(** Blocking push. @raise Poisoned when the exchange is poisoned. *)
+
+val wait_room : 'a t -> int list -> unit
+(** Block until one of the listed streams has room.  Returns
+    immediately on an empty list.
+    @raise Poisoned when the exchange is poisoned. *)
+
+val pop : 'a t -> int -> 'a
+(** Blocking pop of one stream — the engine's conservative barrier: a
+    committed record exists before it is merged, by construction.
+    @raise Poisoned when the exchange is poisoned. *)
+
+val poison : 'a t -> exn -> unit
+(** Stamp the exchange with a fatal exception and wake every waiter.
+    First exception wins; later poisons keep the original. *)

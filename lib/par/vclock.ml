@@ -1,0 +1,59 @@
+(* Per-stream virtual-clock horizons, shared across domains through
+   Atomics.  Each worker publishes how far its stream's local virtual
+   time has advanced; the coordinator reads horizons to check the
+   conservative-barrier invariant (it never commits a record its
+   producer's clock has not passed) and to compute the GVT-style lower
+   bound.  A retired stream drops out of the bound (it will never
+   produce another event). *)
+
+type t = {
+  horizons : int Atomic.t array;
+  active : bool Atomic.t array;
+}
+
+let create n =
+  if n < 1 then invalid_arg "Vclock.create: need at least one stream";
+  { horizons = Array.init n (fun _ -> Atomic.make 0);
+    active = Array.init n (fun _ -> Atomic.make true) }
+
+let streams t = Array.length t.horizons
+
+let check t i =
+  if i < 0 || i >= Array.length t.horizons then
+    invalid_arg (Printf.sprintf "Vclock: bad stream %d" i)
+
+(* Monotonic publish: local virtual time never runs backwards, so a
+   horizon that did would mean the producer itself is broken — fail
+   loudly rather than let the barrier go optimistic. *)
+let publish t i now =
+  check t i;
+  let h = t.horizons.(i) in
+  let cur = Atomic.get h in
+  if now < cur then
+    invalid_arg
+      (Printf.sprintf "Vclock.publish: stream %d moved backwards (%d < %d)"
+         i now cur);
+  Atomic.set h now
+
+let horizon t i =
+  check t i;
+  Atomic.get t.horizons.(i)
+
+let retire t i =
+  check t i;
+  Atomic.set t.active.(i) false
+
+let active t i =
+  check t i;
+  Atomic.get t.active.(i)
+
+(* Global lower bound over the still-active streams: no active stream
+   can produce an event strictly older than this.  [max_int] when all
+   streams have retired. *)
+let gvt t =
+  let bound = ref max_int in
+  for i = 0 to Array.length t.horizons - 1 do
+    if Atomic.get t.active.(i) then
+      bound := min !bound (Atomic.get t.horizons.(i))
+  done;
+  !bound

@@ -1,0 +1,34 @@
+(** Per-stream virtual-clock horizons shared across domains.
+
+    Each worker domain {!publish}es how far its stream's local virtual
+    time has advanced; the coordinator reads {!horizon}s to check the
+    conservative-barrier invariant (a record is only committed once
+    its producer's published clock has passed it) and {!gvt} for the
+    global lower bound no active stream can ever emit behind.  All
+    operations are wait-free ([Atomic] reads/writes). *)
+
+type t
+
+val create : int -> t
+(** [create n]: [n] streams, horizons at 0, all active.
+    @raise Invalid_argument when [n < 1]. *)
+
+val streams : t -> int
+
+val publish : t -> int -> int -> unit
+(** [publish t i now] advances stream [i]'s horizon to [now].
+    @raise Invalid_argument when the horizon would move backwards —
+    virtual time is monotone, so a backwards publish means the
+    producer is broken and the barrier must not go optimistic. *)
+
+val horizon : t -> int -> int
+
+val retire : t -> int -> unit
+(** Stream [i] will produce no further events: drop it from {!gvt}. *)
+
+val active : t -> int -> bool
+
+val gvt : t -> int
+(** Minimum horizon over still-active streams ([max_int] when all have
+    retired): the global virtual-time lower bound — no active stream
+    can produce an event strictly older than this. *)

@@ -20,6 +20,12 @@ type config = {
   fabric_config : Fabric.config;
   prefetch_mode : prefetch_mode;
   prefetch_depth : int;
+  (* Layout-aware sizing: when set, each structure's window depth is
+     derived from this wire budget in bytes and its own object size
+     ([budget / obj_size], clamped to [1, 64]), so a factorized hot
+     pool earns a proportionally deeper run.  [None] keeps the fixed
+     object-count [prefetch_depth] for every structure. *)
+  prefetch_bytes : int option;
   batching : bool;
   (* Fault survival (only exercised when the fabric injects faults):
      a demand fetch is retried after a transient failure or a
@@ -59,6 +65,7 @@ let default_config =
     fabric_config = { Fabric.default_config with qp_count = 2 };
     prefetch_mode = Pf_per_class;
     prefetch_depth = 4;
+    prefetch_bytes = None;
     batching = true;
     retry_max = 4;
     retry_backoff_cycles = 4_096;
@@ -485,6 +492,15 @@ let pow2_ceil x =
 
 let align_up x a = (x + a - 1) land lnot (a - 1)
 
+(* Per-structure window depth.  In byte-budget mode the depth is a
+   pure function of the structure's (static) object size, so it is as
+   deterministic as the fixed depth — smaller objects, deeper runs,
+   same bytes in flight. *)
+let info_prefetch_depth t (info : Static_info.t) =
+  match t.cfg.prefetch_bytes with
+  | None -> t.cfg.prefetch_depth
+  | Some budget -> max 1 (min 64 (budget / info.Static_info.obj_size))
+
 let ds_init t ~sid =
   if sid < 0 || sid >= Array.length t.infos then fail "ds_init: bad sid %d" sid;
   let info = t.infos.(sid) in
@@ -495,7 +511,7 @@ let ds_init t ~sid =
   prof.Profile.p_alloc <- prof.Profile.p_alloc + t.cfg.cost.ds_init;
   attr_charge t ~ds:handle Attribution.Bookkeeping t.cfg.cost.ds_init;
   let pf, candidates =
-    let depth = t.cfg.prefetch_depth in
+    let depth = info_prefetch_depth t info in
     match t.cfg.prefetch_mode with
     | Pf_none -> (None, [])
     | Pf_stride_only -> (Some (Prefetcher.stride ~depth), [])
@@ -651,7 +667,8 @@ let prefetch_viable t (tg : Prefetcher.target) (d : ds) =
      window alongside the working objects only evicts what the demand
      stream is about to use. *)
   let window_fits =
-    t.cfg.remotable_bytes / obj_size td >= 2 * (t.cfg.prefetch_depth + 1)
+    t.cfg.remotable_bytes / obj_size td
+    >= 2 * (info_prefetch_depth t td.info + 1)
   in
   if window_fits && (not td.pinned) && o >= 0 && o lsl td.obj_shift < td.pool_used
   then begin
@@ -743,10 +760,12 @@ let note_fault_outcome t faulted =
   end
 
 (* Effective prefetch fan-out after degradation: each step halves the
-   configured depth; at zero the runtime is demand-only until the
-   window recovers. *)
-let effective_prefetch_limit t =
-  if t.degrade = 0 then max_int else t.cfg.prefetch_depth asr t.degrade
+   structure's configured depth (its byte-derived depth in byte-budget
+   mode, so degradation also operates on the wire budget); at zero the
+   runtime is demand-only until the window recovers. *)
+let effective_prefetch_limit t (d : ds) =
+  if t.degrade = 0 then max_int
+  else info_prefetch_depth t d.info asr t.degrade
 
 (* A prefetch transfer's span carries the fabric occupancy split
    (queued/proto/wire on its QP) for the timeline, but none of it is
@@ -929,7 +948,8 @@ let adapt_prefetcher t (d : ds) =
          if d.pf_cooldown = 0 then begin
            match d.pf_order with
            | first :: rest ->
-             d.pf <- Prefetcher.of_class first ~depth:t.cfg.prefetch_depth;
+             d.pf <- Prefetcher.of_class first
+                       ~depth:(info_prefetch_depth t d.info);
              d.pf_candidates <- rest;
              d.pf_switches <- d.pf_switches + 1;
              emit_policy_switch t d ~from_pf:"off"
@@ -960,7 +980,8 @@ let adapt_prefetcher t (d : ds) =
             d.pf <- None;
             d.pf_cooldown <- reexplore_cooldown
           | next :: rest ->
-            d.pf <- Prefetcher.of_class next ~depth:t.cfg.prefetch_depth;
+            d.pf <- Prefetcher.of_class next
+                      ~depth:(info_prefetch_depth t d.info);
             d.pf_candidates <- rest);
          emit_policy_switch t d ~from_pf
        end);
@@ -985,7 +1006,7 @@ let run_prefetcher t (d : ds) ~obj ~missed =
         link that is failing them.  Recovery re-widens the window. *)
      let targets =
        if t.fault_accounting && t.degrade > 0 then begin
-         let limit = effective_prefetch_limit t in
+         let limit = effective_prefetch_limit t d in
          let n = List.length targets in
          if n > limit then begin
            Rt_stats.note_pf_suppressed t.stats (n - limit);
@@ -1532,6 +1553,8 @@ let report t =
 
 let stats t = t.stats
 let fabric_stats t = Fabric.stats t.fabric
+
+let set_fabric_port t p = Fabric.set_port t.fabric p
 let degrade_level t = t.degrade
 let set_fault_rate t rate = Fabric.set_fault_rate t.fabric rate
 let pinned_bytes t = t.pinned_used

@@ -39,6 +39,14 @@ type config = {
   fabric_config : Cards_net.Fabric.config;
   prefetch_mode : prefetch_mode;
   prefetch_depth : int;
+  prefetch_bytes : int option;
+      (** layout-aware window sizing: when set, each structure's depth
+          is [prefetch_bytes / obj_size] (clamped to [1, 64]) instead
+          of the fixed [prefetch_depth], so a factorized hot pool with
+          smaller objects earns a proportionally deeper run for the
+          same bytes in flight.  The degradation controller halves the
+          byte-derived depth per step, i.e. it budgets in bytes too.
+          [None] (default) is bit-identical to the fixed depth. *)
   batching : bool;
       (** coalesce each prefetcher call's targets into one fabric
           request ({!Cards_net.Fabric.fetch_many}) and eviction-burst
@@ -176,6 +184,14 @@ val report : t -> ds_report list
 
 val stats : t -> Rt_stats.t
 val fabric_stats : t -> Cards_net.Fabric.stats
+
+val set_fabric_port :
+  t -> (Cards_net.Fabric.port_event -> unit) option -> unit
+(** Install (or clear) a port observer on this runtime's fabric slice
+    ({!Cards_net.Fabric.set_port}).  Pure observation — timing, stats
+    and outputs are bit-identical with or without an observer; the
+    parallel serving engine uses it to collect per-tenant wire-event
+    streams for its virtual-time merge oracle. *)
 
 val degrade_level : t -> int
 (** Current graceful-degradation level: 0 = full prefetch width; each

@@ -55,28 +55,17 @@ type result = {
   pin_admitted : int;
 }
 
-let run (cfg : config) (specs : Tenant.spec array) =
-  let n = Array.length specs in
-  if n = 0 then invalid_arg "Serve.run: no tenants";
-  (* Admission: equal shares of the shared pinned budget, reserved
-     before each tenant's runtime exists.  Shares are deterministic,
-     so a solo replay of one tenant (the isolation oracle) can
-     reproduce its exact grant by passing the same share. *)
-  let adm = Admission.create ~budget_bytes:cfg.pin_budget in
-  let share = cfg.pin_budget / n in
-  let tenants =
-    Array.map
-      (fun spec ->
-        let t =
-          Tenant.create ~base:cfg.base ~engine:cfg.engine
-            ~pin_share:(min share (Admission.available adm))
-            spec
-        in
-        if not (Admission.admit adm ~bytes:(Tenant.pinned_granted t)) then
-          failwith "Serve.run: planner exceeded its admission share";
-        t)
-      specs
-  in
+(* The DRR merge loop, factored out of [run] so the parallel engine
+   can replay the {e exact} sequential schedule with [serve] swapped
+   from "execute now" to "commit the worker's next completion record":
+   every scheduling decision below depends only on [pending] /
+   [next_arrival] (pure functions of the arrival streams and the
+   committed prefix) and the measured costs [serve] returns, so the
+   merged schedule is a pure function of the specs — bit-identical no
+   matter where execution physically happened. *)
+let drive (cfg : config) ~(tenants : Tenant.t array) ~(pin_admitted : int)
+    ~(serve : int -> now:int -> int) =
+  let n = Array.length tenants in
   let drr = Drr.create ~quantum:cfg.quantum n in
   let clock = ref 0 in
   let busy = ref 0 in
@@ -89,7 +78,7 @@ let run (cfg : config) (specs : Tenant.spec array) =
     let pending i = Tenant.pending tenants.(i) ~now:!clock in
     match Drr.next drr ~pending with
     | Some i ->
-      let cost = Tenant.serve_next tenants.(i) ~now:!clock in
+      let cost = serve i ~now:!clock in
       Drr.charge drr i cost;
       (* Interference matrix: while tenant [i] held the core for
          [cost] cycles, every other tenant with a request in (or
@@ -156,7 +145,32 @@ let run (cfg : config) (specs : Tenant.spec array) =
     stolen;
     fabric;
     pin_budget = cfg.pin_budget;
-    pin_admitted = Admission.admitted_bytes adm }
+    pin_admitted }
+
+let run (cfg : config) (specs : Tenant.spec array) =
+  let n = Array.length specs in
+  if n = 0 then invalid_arg "Serve.run: no tenants";
+  (* Admission: equal shares of the shared pinned budget, reserved
+     before each tenant's runtime exists.  Shares are deterministic,
+     so a solo replay of one tenant (the isolation oracle) can
+     reproduce its exact grant by passing the same share. *)
+  let adm = Admission.create ~budget_bytes:cfg.pin_budget in
+  let share = cfg.pin_budget / n in
+  let tenants =
+    Array.map
+      (fun spec ->
+        let t =
+          Tenant.create ~base:cfg.base ~engine:cfg.engine
+            ~pin_share:(min share (Admission.available adm))
+            spec
+        in
+        if not (Admission.admit adm ~bytes:(Tenant.pinned_granted t)) then
+          failwith "Serve.run: planner exceeded its admission share";
+        t)
+      specs
+  in
+  drive cfg ~tenants ~pin_admitted:(Admission.admitted_bytes adm)
+    ~serve:(fun i ~now -> Tenant.serve_next tenants.(i) ~now)
 
 (* ---------- the standard tenant mix ---------- *)
 
@@ -197,6 +211,20 @@ let zipf_mix ?faulty ~n ~seed ~requests ~base_gap () =
           ~seed:tseed
           ~requests:(max 10 (requests / 4))
           ~mean_gap:(mean_gap *. 40.0) ~fault_rate)
+
+(* Uniform kv mix: n equally-loaded kv tenants with decorrelated
+   seeds.  The parallel bench uses it because equal per-tenant work is
+   what a domain pool can actually scale (the Zipf mix concentrates
+   load on tenant 0, capping any parallel speedup by Amdahl). *)
+let uniform_mix ?faulty ~n ~seed ~requests ~gap () =
+  Array.init n (fun i ->
+      let tseed = abs ((seed * 0x1000193) lxor (i * 0x9e3779b9)) in
+      let fault_rate =
+        match faulty with Some (j, r) when j = i -> r | _ -> 0.0
+      in
+      kv_spec
+        ~name:(Printf.sprintf "u%d-kv" i)
+        ~seed:tseed ~requests ~mean_gap:gap ~fault_rate)
 
 (* Solo replay of one tenant under the same admission share it had in
    an [n]-tenant mix — the isolation oracle's other arm. *)

@@ -72,6 +72,20 @@ type result = {
 val run : config -> Tenant.spec array -> result
 (** @raise Invalid_argument on an empty mix. *)
 
+val drive :
+  config ->
+  tenants:Tenant.t array ->
+  pin_admitted:int ->
+  serve:(int -> now:int -> int) ->
+  result
+(** The DRR merge loop of {!run}, over already-built tenants: calls
+    [serve i ~now] for every dispatch and charges the returned cost.
+    Every scheduling decision depends only on the arrival streams, the
+    committed prefix, and the costs [serve] returns — so the parallel
+    engine ({!Cards_par.Engine}) replays the exact sequential schedule
+    by swapping [serve] from "execute now" ({!Tenant.serve_next}) to
+    "commit the worker's next completion record". *)
+
 val kv_spec :
   name:string -> seed:int -> requests:int -> mean_gap:float ->
   fault_rate:float -> Tenant.spec
@@ -91,6 +105,14 @@ val zipf_mix :
     [1/(i+1)], alternating kv and analytics, seeds decorrelated from
     the mix seed.  [faulty = (i, rate)] gives tenant [i] a faulty
     fabric slice. *)
+
+val uniform_mix :
+  ?faulty:int * float ->
+  n:int -> seed:int -> requests:int -> gap:float -> unit ->
+  Tenant.spec array
+(** [n] equally-loaded kv tenants with decorrelated seeds — the
+    parallel bench's mix, because equal per-tenant work is what a
+    domain pool can actually scale.  [faulty] as in {!zipf_mix}. *)
 
 val run_solo : config -> mix_size:int -> Tenant.spec -> result
 (** Run one tenant alone under the admission share it would hold in a

@@ -18,6 +18,13 @@ type spec = {
 
 type record = { req : Loadgen.request; ret : int; cost : int }
 
+(* The mutable state splits cleanly into an execution half and an
+   accounting half, which is what lets the parallel engine run them on
+   different domains: [exec_next] (worker side) touches only the
+   runtime/session and [exec_ix]; [commit] (coordinator side) touches
+   only the serving-clock accounting ([next_ix] onward).  The two
+   halves synchronize through the engine's mailbox, never through this
+   record. *)
 type t = {
   spec : spec;
   compiled : P.compiled;
@@ -25,7 +32,8 @@ type t = {
   session : M.session;
   handles : (int, int) Hashtbl.t;
   arrivals : Loadgen.arrival array;
-  mutable next_ix : int;
+  mutable exec_ix : int;          (* requests executed (worker side) *)
+  mutable next_ix : int;          (* requests committed (coordinator side) *)
   mutable served : int;
   mutable setup_cycles : int;
   mutable service_cycles : int;
@@ -35,6 +43,7 @@ type t = {
   mutable records_rev : record list;
   mutable out_rev : string list;
   pinned_granted : int;
+  events_rev : F.port_event list ref;  (* local-time wire events, when traced *)
 }
 
 (* A transformed function's appended handle parameters, resolved
@@ -80,11 +89,31 @@ let probe_footprint ~(base : R.config) ~engine compiled =
     (R.report rt);
   bytes
 
-let create ~(base : R.config) ~engine ~pin_share spec =
-  let compiled = P.compile_source spec.source in
-  let bytes = probe_footprint ~base ~engine compiled in
+(* Creation splits at the compile boundary: [prepare] runs the
+   compiler (which keeps process-global pass counters, so it must stay
+   on one domain — the parallel engine prepares every tenant
+   sequentially), while [build] does only tenant-private work — probe,
+   knapsack, runtime, setup(), arrivals — and is safe to run on the
+   tenant's own domain. *)
+type prep = {
+  p_spec : spec;
+  p_base : R.config;
+  p_engine : M.engine;
+  p_pin_share : int;
+  p_trace : bool;
+  p_compiled : P.compiled;
+}
+
+let prepare ?(trace_fabric = false) ~(base : R.config) ~engine ~pin_share spec =
+  { p_spec = spec; p_base = base; p_engine = engine;
+    p_pin_share = pin_share; p_trace = trace_fabric;
+    p_compiled = P.compile_source spec.source }
+
+let build (p : prep) =
+  let spec = p.p_spec and base = p.p_base and compiled = p.p_compiled in
+  let bytes = probe_footprint ~base ~engine:p.p_engine compiled in
   let policy, pinned_granted =
-    Kbudget.plan ~infos:compiled.P.infos ~bytes ~budget:pin_share
+    Kbudget.plan ~infos:compiled.P.infos ~bytes ~budget:p.p_pin_share
   in
   let cfg =
     { base with
@@ -98,7 +127,10 @@ let create ~(base : R.config) ~engine ~pin_share spec =
               fault_seed = spec.seed lxor 0x5e4e } } }
   in
   let rt = R.create cfg compiled.P.infos in
-  let session = M.session ~engine compiled.P.instrumented rt in
+  let events_rev = ref [] in
+  if p.p_trace then
+    R.set_fabric_port rt (Some (fun ev -> events_rev := ev :: !events_rev));
+  let session = M.session ~engine:p.p_engine compiled.P.instrumented rt in
   let handles = Hashtbl.create 8 in
   let r = M.call session "setup" (handles_for handles rt compiled "setup") in
   let arrivals =
@@ -107,10 +139,13 @@ let create ~(base : R.config) ~engine ~pin_share spec =
          ~mean_gap:spec.mean_gap ~sample:spec.sample)
   in
   { spec; compiled; rt; session; handles; arrivals;
-    next_ix = 0; served = 0;
+    exec_ix = 0; next_ix = 0; served = 0;
     setup_cycles = r.M.cycles; service_cycles = 0; stall_cycles = 0;
     wait_cycles = 0; lat = Stats.create (); records_rev = [];
-    out_rev = []; pinned_granted }
+    out_rev = []; pinned_granted; events_rev }
+
+let create ?trace_fabric ~(base : R.config) ~engine ~pin_share spec =
+  build (prepare ?trace_fabric ~base ~engine ~pin_share spec)
 
 let finished t = t.next_ix >= Array.length t.arrivals
 
@@ -120,13 +155,26 @@ let pending t ~now =
 let next_arrival t =
   if finished t then None else Some t.arrivals.(t.next_ix).Loadgen.at
 
-(* Serve the oldest pending request.  The caller owns the serving
-   clock; we return the measured service cost so it can advance it
-   and charge the scheduler.  Per-request cost ties to the PR 3
-   ledger exactly: cost = Δcompute + Δattribution, checked on every
-   single request. *)
-let serve_next t ~now =
-  let arr = t.arrivals.(t.next_ix) in
+type exec = {
+  e_ix : int;
+  e_ret : int;
+  e_cost : int;
+  e_stall : int;
+  e_out : string list;
+}
+
+let exec_remaining t = Array.length t.arrivals - t.exec_ix
+
+(* Execute the next request against the tenant's private runtime.
+   Deliberately independent of the serving clock: the result (return
+   value, cost, output, fabric effects) is a pure function of the
+   tenant's own request stream, which is the PR 9 isolation invariant
+   — and exactly what lets a worker domain run ahead of the serving
+   clock.  Per-request cost ties to the PR 3 ledger: cost = Δcompute +
+   Δattribution, checked on every single request. *)
+let exec_next t =
+  let ix = t.exec_ix in
+  let arr = t.arrivals.(ix) in
   let { Loadgen.op; a; b } = arr.Loadgen.req in
   let att0 = Attribution.total (R.attribution t.rt) in
   let comp0 = Profile.compute (R.profile t.rt) in
@@ -141,16 +189,36 @@ let serve_next t ~now =
          "%s: request cost %d cycles but the ledger decomposes it as \
           %d compute + %d stall"
          t.spec.name r.M.cycles compute stall);
+  t.exec_ix <- ix + 1;
+  { e_ix = ix; e_ret = r.M.ret; e_cost = r.M.cycles; e_stall = stall;
+    e_out = r.M.output }
+
+(* Commit an executed request at serving time [now]: the caller owns
+   the serving clock, we fold the record into the tenant's accounting
+   and return the cost so the scheduler can be charged.  Records must
+   commit in execution order — the engine's per-tenant FIFO guarantees
+   it, and we check it anyway. *)
+let commit t ~now (e : exec) =
+  if e.e_ix <> t.next_ix then
+    failwith
+      (Printf.sprintf "%s: commit out of order (record %d at slot %d)"
+         t.spec.name e.e_ix t.next_ix);
+  let arr = t.arrivals.(t.next_ix) in
   let wait = now - arr.Loadgen.at in
   t.next_ix <- t.next_ix + 1;
   t.served <- t.served + 1;
-  t.service_cycles <- t.service_cycles + r.M.cycles;
-  t.stall_cycles <- t.stall_cycles + stall;
+  t.service_cycles <- t.service_cycles + e.e_cost;
+  t.stall_cycles <- t.stall_cycles + e.e_stall;
   t.wait_cycles <- t.wait_cycles + wait;
-  Stats.add t.lat (float_of_int (wait + r.M.cycles));
-  t.records_rev <- { req = arr.Loadgen.req; ret = r.M.ret; cost = r.M.cycles } :: t.records_rev;
-  t.out_rev <- List.rev_append r.M.output t.out_rev;
-  r.M.cycles
+  Stats.add t.lat (float_of_int (wait + e.e_cost));
+  t.records_rev <-
+    { req = arr.Loadgen.req; ret = e.e_ret; cost = e.e_cost } :: t.records_rev;
+  t.out_rev <- List.rev_append e.e_out t.out_rev;
+  e.e_cost
+
+(* Serve the oldest pending request: execute and commit in one step
+   (the sequential path). *)
+let serve_next t ~now = commit t ~now (exec_next t)
 
 let name t = t.spec.name
 let served t = t.served
@@ -165,3 +233,5 @@ let output t = List.rev t.out_rev
 let fabric_stats t = R.fabric_stats t.rt
 let degrade_level t = R.degrade_level t.rt
 let runtime t = t.rt
+let local_clock t = R.now t.rt
+let fabric_events t = List.rev !(t.events_rev)

@@ -37,13 +37,36 @@ type record = { req : Loadgen.request; ret : int; cost : int }
 type t
 
 val create :
+  ?trace_fabric:bool ->
   base:Cards_runtime.Runtime.config ->
   engine:Cards_interp.Machine.engine ->
   pin_share:int ->
   spec ->
   t
 (** [pin_share] is the pinned-byte budget the k-budget planner may
-    consume (what admission control granted). *)
+    consume (what admission control granted).  [trace_fabric] (default
+    false) installs a port observer on the tenant's fabric slice so
+    {!fabric_events} returns its wire-event stream; pure observation —
+    results are bit-identical either way. *)
+
+type prep
+(** A compiled-but-not-built tenant.  {!prepare} runs the MiniC
+    compiler, which keeps process-global pass counters and therefore
+    must stay on a single domain; {!build} does only tenant-private
+    work (footprint probe, k-budget plan, runtime, [setup()], arrival
+    stream) and is safe to run on the tenant's own domain.  The
+    parallel engine prepares all tenants sequentially, then builds
+    each on its worker; [create = build ∘ prepare]. *)
+
+val prepare :
+  ?trace_fabric:bool ->
+  base:Cards_runtime.Runtime.config ->
+  engine:Cards_interp.Machine.engine ->
+  pin_share:int ->
+  spec ->
+  prep
+
+val build : prep -> t
 
 val finished : t -> bool
 val pending : t -> now:int -> bool
@@ -56,7 +79,33 @@ val serve_next : t -> now:int -> int
 (** Serve the oldest pending request at serving time [now]; returns
     the measured service cost in cycles.  Records latency
     ([wait + cost]), the service record, and the printed output.
+    Equal to [commit ~now (exec_next t)].
     @raise Failure if the per-request ledger decomposition breaks. *)
+
+type exec = {
+  e_ix : int;           (** request index in the arrival stream *)
+  e_ret : int;
+  e_cost : int;         (** measured service cycles *)
+  e_stall : int;        (** attribution-ledger share of [e_cost] *)
+  e_out : string list;
+}
+(** One executed-but-uncommitted request: everything {!commit} needs
+    to fold it into the serving-clock accounting.  Independent of the
+    serving clock by construction (the PR 9 isolation invariant), so a
+    worker domain can run {!exec_next} arbitrarily far ahead. *)
+
+val exec_remaining : t -> int
+(** Requests not yet executed (worker side; [>=] unserved count). *)
+
+val exec_next : t -> exec
+(** Execute the next request against the tenant's private runtime and
+    advance the execution cursor.  Touches only worker-side state.
+    @raise Failure if the per-request ledger decomposition breaks. *)
+
+val commit : t -> now:int -> exec -> int
+(** Commit an executed request at serving time [now]; returns its cost.
+    Touches only coordinator-side accounting state.
+    @raise Failure when records arrive out of execution order. *)
 
 val name : t -> string
 val served : t -> int
@@ -73,3 +122,12 @@ val output : t -> string list
 val fabric_stats : t -> Cards_net.Fabric.stats
 val degrade_level : t -> int
 val runtime : t -> Cards_runtime.Runtime.t
+
+val local_clock : t -> int
+(** The tenant runtime's own virtual clock ([Runtime.now]) — the
+    per-domain clock the parallel engine publishes as its lookahead
+    horizon. *)
+
+val fabric_events : t -> Cards_net.Fabric.port_event list
+(** The tenant's wire-event stream in local virtual time, in issue
+    order — empty unless built with [trace_fabric]. *)

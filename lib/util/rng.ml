@@ -41,25 +41,35 @@ let shuffle t a =
   done
 
 (* Truncated-harmonic inverse transform.  We cache the cumulative table
-   per (n, s) because workload generators call this in a tight loop. *)
+   per (n, s) because workload generators call this in a tight loop.
+   The cache is the only process-global state in this module, so it is
+   the one place load generators running on different domains can
+   collide (a Hashtbl resize is not atomic); a mutex around the lookup
+   keeps it safe, and the table itself is immutable once published. *)
 let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_lock = Mutex.create ()
 
 let zipf_table n s =
-  match Hashtbl.find_opt zipf_cache (n, s) with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    for i = 0 to n - 1 do
-      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
-      tbl.(i) <- !acc
-    done;
-    let total = !acc in
-    for i = 0 to n - 1 do
-      tbl.(i) <- tbl.(i) /. total
-    done;
-    Hashtbl.replace zipf_cache (n, s) tbl;
-    tbl
+  Mutex.lock zipf_lock;
+  let tbl =
+    match Hashtbl.find_opt zipf_cache (n, s) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+        tbl.(i) <- !acc
+      done;
+      let total = !acc in
+      for i = 0 to n - 1 do
+        tbl.(i) <- tbl.(i) /. total
+      done;
+      Hashtbl.replace zipf_cache (n, s) tbl;
+      tbl
+  in
+  Mutex.unlock zipf_lock;
+  tbl
 
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Rng.zipf: n must be positive";

@@ -42,6 +42,17 @@ case "${1:-}" in
   *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
 esac
 
+# The parallel serving engine runs tenants on OCaml 5 domains; on an
+# older compiler the build would die pages deep in Domain/Atomic
+# errors, so fail fast with the actual requirement instead.
+ocaml_ver=$(ocamlc -version 2>/dev/null || echo none)
+case "$ocaml_ver" in
+  [5-9].*) ;;
+  *) echo "check.sh: OCaml >= 5.0 required for domain parallelism \
+(ocamlc -version says: $ocaml_ver)" >&2
+     exit 1 ;;
+esac
+
 echo "== dune build"
 dune build
 
@@ -66,6 +77,13 @@ echo "== serving-layer suite (tenant-isolation matrix, incl. slow)"
 # qp x batching x fault-rate matrix (registered Slow), plus the DRR /
 # admission property tests and the load-generator determinism suite.
 dune exec --no-build test/test_main.exe -- test serve -e > /dev/null
+
+echo "== parallel-engine suite (domain matrix + perturbation stress, incl. slow)"
+# The domain-parallel engine's differential battery — bit-identicality
+# against the sequential scheduler across domain counts, the
+# scheduler-perturbation stress matrix (registered Slow), and the
+# barrier/mailbox/vclock property tests — forced on.
+dune exec --no-build test/test_main.exe -- test par -e > /dev/null
 
 echo "== smoke: cards run with --trace/--metrics/--profile"
 trace=$(mktemp /tmp/cards-trace.XXXXXX.json)
@@ -173,6 +191,25 @@ echo "== bench: serving fairness/isolation gate (BENCH_serve.json, 2% tolerance)
 # then diffs every tenant's service cycles, p99 latency and fabric
 # counters (clean and faulty runs) against the baseline.
 gate serve BENCH_serve.json '"serve-faulty-t1-an-p99"'
+
+echo "== bench: parallel-serving gate (BENCH_par.json, 2% tolerance)"
+# The par section hard-asserts that the domain-parallel engine is
+# bit-identical to the sequential scheduler — whole result records,
+# for 1/2/4 domains, clean and with a faulty tenant, plus a same-count
+# rerun — and re-checks the serving-clock and fetched-bytes
+# decompositions; on hosts reporting >= 4 cores it also asserts a
+# >= 2.5x wall-clock speedup at 4 domains (reported, not asserted,
+# on smaller hosts).  The gate then diffs the deterministic per-tenant
+# service cycles and fabric counters against the baseline; the
+# wall-clock entry carries no gated fields by construction.
+gate par BENCH_par.json '"par-total"'
+
+echo "== full suite at both ends of the domain matrix"
+# The whole test binary twice, with the par differential tests pinned
+# to one domain count per pass: serving results must not depend on the
+# pool size anywhere in the suite, not just inside the par section.
+CARDS_TEST_DOMAINS=1 dune exec --no-build test/test_main.exe > /dev/null
+CARDS_TEST_DOMAINS=4 dune exec --no-build test/test_main.exe > /dev/null
 
 # Every gate is green: only now do the fresh snapshots replace the
 # committed ones.

@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("serve", Test_serve.suite);
+      ("par", Test_par.suite);
       ("simplify", Test_simplify.suite) ]

@@ -1,0 +1,420 @@
+(* The parallel virtual-time engine's test battery.
+
+   1. The parallel-vs-sequential differential oracle: the engine's
+      result — every per-tenant field, the serving-clock decomposition,
+      the DRR counters, the interference matrix, the aggregated fabric
+      stats — must be bit-identical to [Serve.run] for every domain
+      count, window size, and artificial perturbation.  The full
+      perturbation matrix is registered Slow (check.sh forces it on);
+      one adversarial cell stays in the quick tier.  The domain counts
+      under test come from CARDS_TEST_DOMAINS when set (check.sh runs
+      the whole suite under 1 and 4).
+
+   2. Wire-level determinism: with fabric-port tracing on, each
+      tenant's wire-event stream (issue/start/complete/qp/bytes per
+      transfer, in local virtual time) is bit-identical between the
+      parallel and sequential runs, and the engine's merged commit
+      schedule is nondecreasing in serving time and complete.
+
+   3. qcheck properties for the barrier machinery: the conservative
+      coordinator merge equals the deterministic (time, stream) sort
+      regardless of submission interleaving and never pops backwards
+      ("no domain observes an event older than its clock"); virtual
+      clock horizons are monotone and GVT is their active minimum;
+      the mailbox preserves FIFO order and capacity.
+
+   4. Cross-domain smoke: a real two-domain producer/consumer run
+      through the mailbox, and poison propagation out of a dead
+      worker. *)
+
+module R = Cards_runtime
+module F = Cards_net.Fabric
+module S = Cards_serve.Serve
+module Tn = Cards_serve.Tenant
+module Lg = Cards_serve.Loadgen
+module E = Cards_par.Engine
+module Mb = Cards_par.Mailbox
+module Vc = Cards_par.Vclock
+module Co = Cards_par.Coordinator
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Domain counts under differential test: CARDS_TEST_DOMAINS pins one
+   count (check.sh runs the release suite under 1 and 4); otherwise a
+   small ladder. *)
+let domain_counts =
+  match Sys.getenv_opt "CARDS_TEST_DOMAINS" with
+  | Some s -> [ int_of_string (String.trim s) ]
+  | None -> [ 1; 2; 4 ]
+
+let small_kv ~name ~seed ~fault_rate =
+  { Tn.name;
+    source = Cards_workloads.Kv.source ~keys:256 ~nbuckets:64;
+    seed; requests = 16; mean_gap = 20_000.0;
+    sample = Lg.kv_sample ~keys:256 ~nbuckets:64; fault_rate }
+
+let small_an ~name ~seed ~fault_rate =
+  { Tn.name;
+    source = Cards_workloads.Analytics.source_server ~trips:120;
+    seed; requests = 8; mean_gap = 200_000.0;
+    sample = Lg.analytics_sample; fault_rate }
+
+let small_mix ?(rate = 0.0) () =
+  [| small_kv ~name:"kv0" ~seed:11 ~fault_rate:0.0;
+     small_an ~name:"an1" ~seed:23 ~fault_rate:rate;
+     small_kv ~name:"kv2" ~seed:37 ~fault_rate:0.0 |]
+
+(* Full bit-identicality between two serving results. *)
+let compare_results label (a : S.result) (b : S.result) =
+  let ck what got want = check Alcotest.int (label ^ ": " ^ what) want got in
+  ck "total cycles" a.S.total_cycles b.S.total_cycles;
+  ck "busy cycles" a.S.busy_cycles b.S.busy_cycles;
+  ck "idle cycles" a.S.idle_cycles b.S.idle_cycles;
+  ck "granted" a.S.granted b.S.granted;
+  ck "charged" a.S.charged b.S.charged;
+  ck "forfeited" a.S.forfeited b.S.forfeited;
+  ck "rounds" a.S.rounds b.S.rounds;
+  ck "pin admitted" a.S.pin_admitted b.S.pin_admitted;
+  check Alcotest.bool (label ^ ": interference matrix") true
+    (a.S.stolen = b.S.stolen);
+  check Alcotest.bool (label ^ ": aggregated fabric stats") true
+    (a.S.fabric = b.S.fabric);
+  ck "tenant count" (Array.length a.S.tenants) (Array.length b.S.tenants);
+  Array.iteri
+    (fun i (bt : S.tenant_result) ->
+      let at = a.S.tenants.(i) in
+      let who what = Printf.sprintf "%s: %s %s" label bt.S.tr_name what in
+      check Alcotest.string (who "name") bt.S.tr_name at.S.tr_name;
+      check Alcotest.int (who "served") bt.S.tr_served at.S.tr_served;
+      check Alcotest.int (who "setup cycles") bt.S.tr_setup_cycles
+        at.S.tr_setup_cycles;
+      check Alcotest.int (who "service cycles") bt.S.tr_service_cycles
+        at.S.tr_service_cycles;
+      check Alcotest.int (who "stall cycles") bt.S.tr_stall_cycles
+        at.S.tr_stall_cycles;
+      check Alcotest.int (who "wait cycles") bt.S.tr_wait_cycles
+        at.S.tr_wait_cycles;
+      check Alcotest.int (who "pinned grant") bt.S.tr_pinned_granted
+        at.S.tr_pinned_granted;
+      check Alcotest.int (who "degrade level") bt.S.tr_degrade_level
+        at.S.tr_degrade_level;
+      check Alcotest.int (who "end deficit") bt.S.tr_deficit_end
+        at.S.tr_deficit_end;
+      check Alcotest.(list string) (who "output") bt.S.tr_output
+        at.S.tr_output;
+      check Alcotest.bool (who "service records") true
+        (at.S.tr_records = bt.S.tr_records);
+      check Alcotest.bool (who "fabric stats") true
+        (at.S.tr_fabric = bt.S.tr_fabric);
+      check Alcotest.bool (who "latency histogram") true
+        (at.S.tr_latency = bt.S.tr_latency))
+    b.S.tenants
+
+(* ---------- 1. parallel = sequential, the differential oracle ---------- *)
+
+let test_engine_matches_sequential () =
+  let specs = small_mix () in
+  let seq = S.run S.default_config specs in
+  List.iter
+    (fun d ->
+      let par = E.run ~domains:d S.default_config specs in
+      compare_results (Printf.sprintf "domains=%d" d) par seq)
+    domain_counts
+
+let test_engine_matches_sequential_faulty () =
+  let specs = small_mix ~rate:0.2 () in
+  let seq = S.run S.default_config specs in
+  List.iter
+    (fun d ->
+      let par = E.run ~domains:d S.default_config specs in
+      compare_results (Printf.sprintf "faulty domains=%d" d) par seq)
+    domain_counts
+
+let test_engine_degenerate_shapes () =
+  let specs = small_mix () in
+  let seq = S.run S.default_config specs in
+  (* More domains than tenants: the pool caps at the tenant count. *)
+  let par = E.run ~domains:16 S.default_config specs in
+  compare_results "domains=16 (capped)" par seq;
+  (* A single-record lookahead window forces maximal coordinator/worker
+     lock-stepping — the slowest, most barrier-bound schedule. *)
+  let par = E.run ~domains:2 ~window:1 S.default_config specs in
+  compare_results "window=1" par seq;
+  (* One tenant: one worker, pure pipeline. *)
+  let solo = [| small_kv ~name:"solo" ~seed:5 ~fault_rate:0.0 |] in
+  compare_results "single tenant"
+    (E.run ~domains:4 S.default_config solo)
+    (S.run S.default_config solo)
+
+(* Perturbation stress: seeded artificial per-domain delays randomize
+   the real interleaving; virtual-time results must not move. *)
+let perturb_cell ~domains ~perturb seq specs =
+  let par = E.run ~domains ~perturb S.default_config specs in
+  compare_results
+    (Printf.sprintf "perturb=%d domains=%d" perturb domains)
+    par seq
+
+let test_perturbation_quick () =
+  let specs = small_mix ~rate:0.2 () in
+  let seq = S.run S.default_config specs in
+  perturb_cell ~domains:(List.fold_left max 1 domain_counts) ~perturb:200 seq
+    specs
+
+let test_perturbation_matrix () =
+  let specs = small_mix ~rate:0.05 () in
+  let seq = S.run S.default_config specs in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun perturb -> perturb_cell ~domains ~perturb seq specs)
+        [ 20; 200; 2000 ])
+    domain_counts
+
+(* ---------- 2. wire-event streams and the merged schedule ---------- *)
+
+let test_traced_streams () =
+  let specs = small_mix ~rate:0.2 () in
+  let seq, seq_events = E.seq_traced S.default_config specs in
+  let d = List.fold_left max 1 domain_counts in
+  let par, trace = E.run_traced ~domains:d S.default_config specs in
+  compare_results "traced" par seq;
+  Array.iteri
+    (fun i ev ->
+      check Alcotest.int
+        (Printf.sprintf "tenant %d wire-event count" i)
+        (List.length ev)
+        (List.length trace.E.per_tenant.(i));
+      check Alcotest.bool
+        (Printf.sprintf "tenant %d wire-event stream identical" i)
+        true
+        (trace.E.per_tenant.(i) = ev))
+    seq_events;
+  (* The merged commit schedule covers every served request exactly
+     once, nondecreasing in serving time, tie-broken by tenant. *)
+  let served =
+    Array.fold_left (fun acc tr -> acc + tr.S.tr_served) 0 seq.S.tenants
+  in
+  check Alcotest.int "merged schedule is complete" served
+    (List.length trace.E.merged);
+  let rec monotone = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+      t1 <= t2 && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "merged schedule is monotone" true
+    (monotone trace.E.merged);
+  (* Per tenant, commit indices appear in FIFO order. *)
+  let next = Array.make (Array.length specs) 0 in
+  List.iter
+    (fun (_, ev) ->
+      check Alcotest.int "per-tenant commits in FIFO order"
+        next.(ev.E.c_tenant) ev.E.c_ix;
+      next.(ev.E.c_tenant) <- ev.E.c_ix + 1)
+    trace.E.merged
+
+(* ---------- 3. qcheck: barrier machinery ---------- *)
+
+(* A batch of per-stream event lists with nondecreasing times. *)
+let streams_gen =
+  QCheck.Gen.(
+    let stream =
+      list_size (int_bound 12) (int_bound 50) >|= fun deltas ->
+      let t = ref 0 in
+      List.map
+        (fun d ->
+          t := !t + d;
+          !t)
+        deltas
+    in
+    int_range 1 4 >>= fun n ->
+    list_size (return n) stream)
+
+let streams_arb =
+  QCheck.make ~print:(fun ss ->
+      String.concat "; "
+        (List.map
+           (fun s -> "[" ^ String.concat "," (List.map string_of_int s) ^ "]")
+           ss))
+    streams_gen
+
+(* The conservative merge equals the deterministic (time, stream) sort
+   no matter how submissions interleave with early pops. *)
+let prop_coordinator_merge =
+  QCheck.Test.make ~name:"coordinator merge = (time, stream) sort" ~count:300
+    streams_arb (fun streams ->
+      let n = List.length streams in
+      let co = Co.create ~streams:n in
+      let arr = Array.of_list (List.map Array.of_list streams) in
+      let pos = Array.make n 0 in
+      let popped = ref [] in
+      (* Interleave submissions round-robin with opportunistic pops so
+         the barrier is exercised mid-stream, not only at drain. *)
+      let remaining () =
+        Array.exists (fun i -> i >= 0) (Array.mapi (fun s p ->
+            if p < Array.length arr.(s) then 0 else -1) pos)
+      in
+      while remaining () do
+        for s = 0 to n - 1 do
+          if pos.(s) < Array.length arr.(s) then begin
+            Co.submit co ~stream:s ~time:arr.(s).(pos.(s)) (s, pos.(s));
+            pos.(s) <- pos.(s) + 1
+          end
+        done;
+        match Co.pop_ready co with
+        | Some ev -> popped := ev :: !popped
+        | None -> ()
+      done;
+      for s = 0 to n - 1 do
+        Co.close co ~stream:s
+      done;
+      let merged = List.rev !popped @ Co.drain co in
+      (* Expected: stable sort of all events by (time, stream). *)
+      let all =
+        List.concat
+          (List.mapi
+             (fun s ts -> List.mapi (fun i t -> (t, s, (s, i))) ts)
+             streams)
+      in
+      let expected =
+        List.stable_sort
+          (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+          all
+      in
+      merged = expected
+      && (* no event ever popped behind the merge clock *)
+      fst
+        (List.fold_left
+           (fun (ok, last) (t, _, _) -> (ok && t >= last, t))
+           (true, min_int) merged))
+
+let prop_coordinator_stream_monotone =
+  QCheck.Test.make ~name:"coordinator rejects a backwards stream" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      QCheck.assume (b > 0);
+      let co = Co.create ~streams:1 in
+      Co.submit co ~stream:0 ~time:a ();
+      match Co.submit co ~stream:0 ~time:(a - b) () with
+      | () -> false
+      | exception Co.Barrier_violation _ -> true)
+
+let prop_vclock =
+  QCheck.Test.make ~name:"vclock horizons monotone, gvt = active min"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40)
+              (pair (int_bound 3) (int_bound 1000)))
+    (fun updates ->
+      let vc = Vc.create 4 in
+      let shadow = Array.make 4 0 in
+      List.iter
+        (fun (i, t) ->
+          if t >= shadow.(i) then begin
+            Vc.publish vc i t;
+            shadow.(i) <- t
+          end
+          else
+            (* A backwards publish must raise, not regress. *)
+            (match Vc.publish vc i t with
+             | () -> failwith "backwards publish accepted"
+             | exception Invalid_argument _ -> ()))
+        updates;
+      let ok = ref (Vc.gvt vc = Array.fold_left min max_int shadow) in
+      (* Retiring the slowest stream raises the bound to the next min. *)
+      let slowest = ref 0 in
+      Array.iteri (fun i h -> if h < shadow.(!slowest) then slowest := i) shadow;
+      Vc.retire vc !slowest;
+      let expected =
+        let m = ref max_int in
+        Array.iteri (fun i h -> if i <> !slowest then m := min !m h) shadow;
+        !m
+      in
+      ok := !ok && Vc.gvt vc = expected;
+      !ok)
+
+(* ---------- 4. mailbox: FIFO, capacity, poison, cross-domain ---------- *)
+
+let test_mailbox_fifo_capacity () =
+  let mb = Mb.create ~streams:2 ~capacity:3 in
+  check Alcotest.bool "push 0" true (Mb.try_push mb 0 10);
+  check Alcotest.bool "push 1" true (Mb.try_push mb 0 11);
+  check Alcotest.bool "push 2" true (Mb.try_push mb 0 12);
+  check Alcotest.bool "stream full" false (Mb.try_push mb 0 13);
+  check Alcotest.bool "other stream has room" true (Mb.try_push mb 1 20);
+  check Alcotest.int "fifo 0" 10 (Mb.pop mb 0);
+  check Alcotest.bool "room again" true (Mb.try_push mb 0 13);
+  check Alcotest.int "fifo 1" 11 (Mb.pop mb 0);
+  check Alcotest.int "fifo 2" 12 (Mb.pop mb 0);
+  check Alcotest.int "fifo 3" 13 (Mb.pop mb 0);
+  check Alcotest.int "stream 1 intact" 20 (Mb.pop mb 1);
+  (* wait_room returns immediately when a listed stream has room, and
+     on an empty list. *)
+  Mb.wait_room mb [ 0; 1 ];
+  Mb.wait_room mb []
+
+let test_mailbox_poison () =
+  let mb = Mb.create ~streams:1 ~capacity:1 in
+  Mb.poison mb (Failure "worker died");
+  (match Mb.pop mb 0 with
+   | _ -> Alcotest.fail "pop after poison returned"
+   | exception Mb.Poisoned (Failure m) ->
+     check Alcotest.string "poison carries the exception" "worker died" m
+   | exception _ -> Alcotest.fail "wrong poison exception");
+  match Mb.try_push mb 0 1 with
+  | _ -> Alcotest.fail "push after poison returned"
+  | exception Mb.Poisoned _ -> ()
+
+let test_mailbox_cross_domain () =
+  let mb = Mb.create ~streams:1 ~capacity:4 in
+  let total = 500 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to total - 1 do
+          Mb.push mb 0 i
+        done)
+  in
+  let ok = ref true in
+  for i = 0 to total - 1 do
+    if Mb.pop mb 0 <> i then ok := false
+  done;
+  Domain.join producer;
+  check Alcotest.bool "bounded stream delivered in order" true !ok
+
+let test_engine_worker_failure () =
+  (* A tenant whose req() traps poisons the run: the engine must
+     re-raise instead of hanging. *)
+  let bad =
+    { Tn.name = "bad";
+      source = "function setup() { return 0; } \
+                function req(op, a, b) { return *(&op + 1000000); }";
+      seed = 3; requests = 4; mean_gap = 10_000.0;
+      sample = (fun _ -> { Lg.op = 1; a = 0; b = 0 });
+      fault_rate = 0.0 }
+  in
+  match E.run ~domains:2 S.default_config [| bad; bad |] with
+  | _ -> Alcotest.fail "engine returned from a trapping tenant"
+  | exception _ -> ()
+
+let suite =
+  [ Alcotest.test_case "parallel = sequential (clean mix)" `Quick
+      test_engine_matches_sequential;
+    Alcotest.test_case "parallel = sequential (faulty tenant)" `Quick
+      test_engine_matches_sequential_faulty;
+    Alcotest.test_case "degenerate shapes (capped pool, window=1, solo)"
+      `Quick test_engine_degenerate_shapes;
+    Alcotest.test_case "perturbation stress (adversarial cell)" `Quick
+      test_perturbation_quick;
+    Alcotest.test_case "perturbation stress (full matrix)" `Slow
+      test_perturbation_matrix;
+    Alcotest.test_case "wire-event streams + merged schedule" `Quick
+      test_traced_streams;
+    qcheck prop_coordinator_merge;
+    qcheck prop_coordinator_stream_monotone;
+    qcheck prop_vclock;
+    Alcotest.test_case "mailbox FIFO and capacity" `Quick
+      test_mailbox_fifo_capacity;
+    Alcotest.test_case "mailbox poison" `Quick test_mailbox_poison;
+    Alcotest.test_case "mailbox across domains" `Quick
+      test_mailbox_cross_domain;
+    Alcotest.test_case "worker failure poisons the run" `Quick
+      test_engine_worker_failure ]

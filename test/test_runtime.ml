@@ -546,6 +546,108 @@ let test_rt_cross_structure_prefetch_at_frontier () =
   check Alcotest.bool "frontier prefetch issued on B" true
     (sb.prefetch_issued >= 1)
 
+(* ---------- layout-aware prefetch sizing (byte budgets) ---------- *)
+
+(* The eviction+scan workload under an explicit prefetch sizing: one
+   structure of [obj] bytes per object, scanned object by object after
+   a flood eviction.  Returns every observable — total cycles, the
+   aggregate and per-ds counters, and the fabric stats. *)
+let sized_scan ?prefetch_bytes ?(depth = 4) ~obj () =
+  let infos = [| { (R.Static_info.default ~sid:0) with obj_size = obj } |] in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 20; remotable_bytes = 1 lsl 17;
+        prefetch_mode = R.Runtime.Pf_stride_only;
+        prefetch_depth = depth; prefetch_bytes }
+      infos
+  in
+  let h = R.Runtime.ds_init rt ~sid:0 in
+  let a = R.Runtime.ds_alloc rt ~handle:h ~size:(256 * obj) in
+  let _ = R.Runtime.ds_alloc rt ~handle:h ~size:(1 lsl 18) in
+  for i = 0 to 255 do
+    let addr = a + (i * obj) in
+    R.Runtime.guard rt ~write:false addr;
+    ignore (R.Runtime.read_i64 rt addr)
+  done;
+  ( R.Runtime.now rt,
+    R.Rt_stats.total (R.Runtime.stats rt),
+    R.Rt_stats.ds_stats (R.Runtime.stats rt) h,
+    R.Runtime.fabric_stats rt )
+
+let test_rt_prefetch_bytes_matches_depth () =
+  (* A byte budget of d * obj_size must be bit-identical to the fixed
+     depth d — the byte mode changes how the depth is derived, never
+     what a given depth does.  The floor division and both clamps are
+     pinned the same way. *)
+  List.iter
+    (fun (label, bytes, depth) ->
+      let byte_run = sized_scan ~prefetch_bytes:bytes ~obj:4096 () in
+      let depth_run = sized_scan ~depth ~obj:4096 () in
+      check Alcotest.bool label true (byte_run = depth_run))
+    [ ("4 objects of budget = depth 4", 4 * 4096, 4);
+      ("floor division (16x + change = depth 16)", (16 * 4096) + 123, 16);
+      ("clamped up to depth 1", 100, 1);
+      ("clamped down to depth 64", 1 lsl 30, 64) ]
+
+let test_rt_prefetch_bytes_smaller_objects_deeper () =
+  (* The factorization payoff: under the same byte budget, a structure
+     of 512 B objects runs 32 deep where 4 KiB objects run 4 deep —
+     checked against the explicit depths, so the derivation itself is
+     what's under test. *)
+  let budget = 16 * 1024 in
+  check Alcotest.bool "512 B objects run 32 deep" true
+    (sized_scan ~prefetch_bytes:budget ~obj:512 ()
+     = sized_scan ~depth:32 ~obj:512 ());
+  check Alcotest.bool "4 KiB objects run 4 deep" true
+    (sized_scan ~prefetch_bytes:budget ~obj:4096 ()
+     = sized_scan ~depth:4 ~obj:4096 ());
+  (* And the two depths genuinely behave differently at 512 B. *)
+  check Alcotest.bool "deeper run is observable" true
+    (sized_scan ~prefetch_bytes:budget ~obj:512 ()
+     <> sized_scan ~depth:4 ~obj:512 ())
+
+let test_rt_prefetch_bytes_accounting_exact () =
+  (* Mixed object sizes under one byte budget: per-structure
+     fetched-bytes must still sum exactly to the fabric total. *)
+  let infos =
+    [| R.Static_info.default ~sid:0;  (* 4096 B objects, depth 4 *)
+       { (R.Static_info.default ~sid:1) with obj_size = 512 } (* depth 32 *) |]
+  in
+  let rt =
+    R.Runtime.create
+      { R.Runtime.default_config with
+        policy = R.Policy.All_remotable; k = 0.0;
+        local_bytes = 1 lsl 21; remotable_bytes = 1 lsl 17;
+        prefetch_mode = R.Runtime.Pf_stride_only;
+        prefetch_bytes = Some (16 * 1024) }
+      infos
+  in
+  let h0 = R.Runtime.ds_init rt ~sid:0 in
+  let h1 = R.Runtime.ds_init rt ~sid:1 in
+  let a0 = R.Runtime.ds_alloc rt ~handle:h0 ~size:(128 * 4096) in
+  let a1 = R.Runtime.ds_alloc rt ~handle:h1 ~size:(256 * 512) in
+  let _ = R.Runtime.ds_alloc rt ~handle:h0 ~size:(1 lsl 18) in
+  for i = 0 to 255 do
+    let addr = a1 + (i * 512) in
+    R.Runtime.guard rt ~write:false addr;
+    ignore (R.Runtime.read_i64 rt addr)
+  done;
+  for i = 0 to 127 do
+    let addr = a0 + (i * 4096) in
+    R.Runtime.guard rt ~write:false addr;
+    ignore (R.Runtime.read_i64 rt addr)
+  done;
+  let s0 = R.Rt_stats.ds_stats (R.Runtime.stats rt) h0 in
+  let s1 = R.Rt_stats.ds_stats (R.Runtime.stats rt) h1 in
+  let fs = R.Runtime.fabric_stats rt in
+  check Alcotest.int "fetched bytes sum exactly"
+    fs.N.Fabric.fetched_bytes
+    (s0.fetched_bytes + s1.fetched_bytes);
+  check Alcotest.bool "both structures prefetched" true
+    (s0.prefetch_issued > 0 && s1.prefetch_issued > 0)
+
 let test_rt_over_budget_counted () =
   (* Regression: a deep jump-pointer chase puts more objects in flight
      than the remotable budget holds; eviction cannot reclaim data
@@ -1194,6 +1296,15 @@ let suite =
     ("rt dirty eviction", `Quick, test_rt_dirty_eviction_writes_back);
     ("rt prefetch hides latency", `Quick, test_rt_prefetch_hides_latency);
     ("rt prefetch stats", `Quick, test_rt_prefetch_stats);
+    ( "rt prefetch bytes matches depth",
+      `Quick,
+      test_rt_prefetch_bytes_matches_depth );
+    ( "rt prefetch bytes smaller objects deeper",
+      `Quick,
+      test_rt_prefetch_bytes_smaller_objects_deeper );
+    ( "rt prefetch bytes accounting exact",
+      `Quick,
+      test_rt_prefetch_bytes_accounting_exact );
     ("rt cross-structure frontier prefetch", `Quick,
      test_rt_cross_structure_prefetch_at_frontier);
     ("rt over-budget counted", `Quick, test_rt_over_budget_counted);
